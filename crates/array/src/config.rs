@@ -1,0 +1,83 @@
+//! Array geometry configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the RAID-5 SSD array.
+///
+/// Defaults mirror the paper's setup (§4.1): four SSDs under mdraid RAID-5
+/// with a 64 KiB chunk (mdraid's default chunk size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayConfig {
+    /// Number of member devices (data + rotating parity). RAID-5 needs ≥ 3.
+    pub num_devices: usize,
+    /// Chunk size in bytes — the minimum write unit of the array.
+    pub chunk_bytes: u64,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self { num_devices: 4, chunk_bytes: 64 * 1024 }
+    }
+}
+
+impl ArrayConfig {
+    /// Create a config, validating the geometry.
+    pub fn new(num_devices: usize, chunk_bytes: u64) -> Self {
+        let cfg = Self { num_devices, chunk_bytes };
+        cfg.validate();
+        cfg
+    }
+
+    /// Panic if the geometry is not a valid RAID-5 layout.
+    pub fn validate(&self) {
+        assert!(self.num_devices >= 3, "RAID-5 requires at least 3 devices");
+        assert!(self.chunk_bytes > 0, "chunk size must be positive");
+    }
+
+    /// Number of data chunks per stripe (one device per stripe holds parity).
+    pub fn data_columns(&self) -> usize {
+        self.num_devices - 1
+    }
+
+    /// Bytes of user-visible capacity per stripe.
+    pub fn stripe_data_bytes(&self) -> u64 {
+        self.data_columns() as u64 * self.chunk_bytes
+    }
+
+    /// Parity overhead ratio: parity bytes per data byte.
+    pub fn parity_overhead(&self) -> f64 {
+        1.0 / self.data_columns() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = ArrayConfig::default();
+        assert_eq!(c.num_devices, 4);
+        assert_eq!(c.chunk_bytes, 64 * 1024);
+        assert_eq!(c.data_columns(), 3);
+        assert_eq!(c.stripe_data_bytes(), 192 * 1024);
+    }
+
+    #[test]
+    fn parity_overhead() {
+        assert!((ArrayConfig::new(4, 65536).parity_overhead() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ArrayConfig::new(5, 65536).parity_overhead() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_devices_rejected() {
+        ArrayConfig::new(2, 65536);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_chunk_rejected() {
+        ArrayConfig::new(4, 0);
+    }
+}

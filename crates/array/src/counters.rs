@@ -1,0 +1,130 @@
+//! Per-device and array-wide traffic accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Byte counters for one member device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceCounters {
+    /// Bytes of live payload (user writes and GC rewrites).
+    pub data_bytes: u64,
+    /// Bytes of zero padding absorbed.
+    pub pad_bytes: u64,
+    /// Bytes of parity chunks written.
+    pub parity_bytes: u64,
+    /// Number of chunk writes (any kind) issued to this device.
+    pub chunk_writes: u64,
+}
+
+impl DeviceCounters {
+    /// Total bytes physically written to the device.
+    pub fn total_bytes(&self) -> u64 {
+        self.data_bytes + self.pad_bytes + self.parity_bytes
+    }
+}
+
+/// Aggregated view across all devices.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ArrayStats {
+    /// Per-device counters, indexed by device id.
+    pub devices: Vec<DeviceCounters>,
+    /// Count of chunks that contained any padding.
+    pub padded_chunks: u64,
+    /// Count of completely full (pad-free) chunks.
+    pub full_chunks: u64,
+    /// Number of complete stripes closed (parity generated).
+    pub stripes_completed: u64,
+}
+
+impl ArrayStats {
+    /// Create stats for an array of `n` devices.
+    pub fn new(n: usize) -> Self {
+        Self { devices: vec![DeviceCounters::default(); n], ..Default::default() }
+    }
+
+    /// Total payload bytes across devices.
+    pub fn data_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.data_bytes).sum()
+    }
+
+    /// Total padding bytes across devices.
+    pub fn pad_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.pad_bytes).sum()
+    }
+
+    /// Total parity bytes across devices.
+    pub fn parity_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.parity_bytes).sum()
+    }
+
+    /// Total bytes physically written (data + pad + parity).
+    pub fn total_bytes(&self) -> u64 {
+        self.devices.iter().map(|d| d.total_bytes()).sum()
+    }
+
+    /// Fraction of non-parity bytes that are padding.
+    pub fn pad_fraction(&self) -> f64 {
+        let data = self.data_bytes() + self.pad_bytes();
+        if data == 0 {
+            return 0.0;
+        }
+        self.pad_bytes() as f64 / data as f64
+    }
+
+    /// Coefficient of variation of per-device total bytes (0 = perfectly
+    /// balanced). Useful to confirm the rotation spreads load.
+    pub fn device_imbalance(&self) -> f64 {
+        let totals: Vec<f64> = self.devices.iter().map(|d| d.total_bytes() as f64).collect();
+        let n = totals.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = totals.iter().sum::<f64>() / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = totals.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let mut s = ArrayStats::new(2);
+        s.devices[0].data_bytes = 100;
+        s.devices[0].pad_bytes = 10;
+        s.devices[1].parity_bytes = 50;
+        assert_eq!(s.data_bytes(), 100);
+        assert_eq!(s.pad_bytes(), 10);
+        assert_eq!(s.parity_bytes(), 50);
+        assert_eq!(s.total_bytes(), 160);
+        assert!((s.pad_fraction() - 10.0 / 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_zero_when_equal() {
+        let mut s = ArrayStats::new(3);
+        for d in &mut s.devices {
+            d.data_bytes = 77;
+        }
+        assert!(s.device_imbalance() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_positive_when_skewed() {
+        let mut s = ArrayStats::new(2);
+        s.devices[0].data_bytes = 100;
+        s.devices[1].data_bytes = 0;
+        assert!(s.device_imbalance() > 0.9);
+    }
+
+    #[test]
+    fn empty_stats_no_nan() {
+        let s = ArrayStats::new(0);
+        assert_eq!(s.pad_fraction(), 0.0);
+        assert_eq!(s.device_imbalance(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! SSD-array substrate for the ADAPT reproduction.
+//!
+//! Models the array layer the paper deploys beneath its log-structured
+//! store: an mdraid-style RAID-5 volume whose minimum write unit is a
+//! *chunk* (64 KiB default). Chunks from different devices form *stripes*;
+//! each stripe carries one parity chunk, with parity rotated across devices
+//! (left-symmetric layout, as in Linux mdraid's default).
+//!
+//! Two levels of fidelity are provided:
+//!
+//! * [`CountingArray`] — a pure accounting model used by the trace-driven
+//!   simulator: it tracks where each flushed chunk lands, how many bytes of
+//!   user data, GC data, shadow copies, and zero padding each device
+//!   absorbs, and how much parity traffic the stripe geometry implies.
+//! * [`InMemoryArray`] — a byte-faithful RAID-5 store used by the prototype
+//!   and the fault-injection tests: it keeps real chunk contents, computes
+//!   XOR parity when a stripe completes, and can reconstruct any single
+//!   failed device from the survivors.
+//!
+//! The log-structured engine above talks to either through the
+//! [`ArraySink`] trait, which receives chunk-granular flushes (the paper's
+//! invariant: the array never sees sub-chunk writes — partial chunks are
+//! zero-padded by the layer above).
+
+pub mod config;
+pub mod counters;
+pub mod ftl;
+pub mod ftl_sink;
+pub mod layout;
+pub mod parity;
+pub mod sink;
+pub mod store;
+
+pub use config::ArrayConfig;
+pub use counters::{ArrayStats, DeviceCounters};
+pub use ftl::{FtlConfig, FtlDevice, FtlStats};
+pub use ftl_sink::FtlArray;
+pub use layout::{ChunkLocation, Raid5Layout};
+pub use sink::{ArraySink, ChunkFlush, CountingArray, Traffic};
+pub use store::InMemoryArray;

@@ -1,0 +1,103 @@
+//! XOR parity math for RAID-5 stripes.
+//!
+//! Simple single-fault-tolerant parity: the parity chunk is the bytewise
+//! XOR of all data chunks in the stripe; any single missing chunk is the
+//! XOR of the survivors (data and parity alike — XOR is its own inverse).
+//!
+//! The hot loop XORs in `u64` words; chunk sizes are always multiples of 8
+//! in practice (the config validates power-of-two-ish sizes upstream), but
+//! a byte tail is handled for generality.
+
+/// XOR `src` into `acc` in place. Panics if lengths differ.
+pub fn xor_into(acc: &mut [u8], src: &[u8]) {
+    assert_eq!(acc.len(), src.len(), "parity operands must be equal length");
+    // Word-wise main loop; chunks_exact keeps this autovectorizable.
+    let words = acc.len() / 8;
+    let (acc_head, acc_tail) = acc.split_at_mut(words * 8);
+    let (src_head, src_tail) = src.split_at(words * 8);
+    for (a, s) in acc_head.chunks_exact_mut(8).zip(src_head.chunks_exact(8)) {
+        let av = u64::from_ne_bytes(a.try_into().unwrap());
+        let sv = u64::from_ne_bytes(s.try_into().unwrap());
+        a.copy_from_slice(&(av ^ sv).to_ne_bytes());
+    }
+    for (a, s) in acc_tail.iter_mut().zip(src_tail) {
+        *a ^= s;
+    }
+}
+
+/// Compute the parity chunk of a stripe from its data chunks.
+/// Panics if `data` is empty or the chunks have unequal lengths.
+pub fn compute_parity(data: &[&[u8]]) -> Vec<u8> {
+    assert!(!data.is_empty(), "stripe must have at least one data chunk");
+    let mut parity = data[0].to_vec();
+    for chunk in &data[1..] {
+        xor_into(&mut parity, chunk);
+    }
+    parity
+}
+
+/// Reconstruct one missing chunk from the surviving chunks of the stripe
+/// (the survivors must include the parity chunk unless the missing chunk
+/// *is* the parity chunk).
+pub fn reconstruct(survivors: &[&[u8]]) -> Vec<u8> {
+    compute_parity(survivors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| seed.wrapping_mul(31).wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn parity_of_identical_chunks_is_zero_for_pairs() {
+        let a = chunk(1, 64);
+        let p = compute_parity(&[&a, &a]);
+        assert!(p.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn reconstruct_any_data_chunk() {
+        let chunks: Vec<Vec<u8>> = (0..3).map(|i| chunk(i, 4096)).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let parity = compute_parity(&refs);
+        for missing in 0..3 {
+            let mut survivors: Vec<&[u8]> = Vec::new();
+            for (i, c) in chunks.iter().enumerate() {
+                if i != missing {
+                    survivors.push(c);
+                }
+            }
+            survivors.push(&parity);
+            assert_eq!(reconstruct(&survivors), chunks[missing], "chunk {missing}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_parity_itself() {
+        let chunks: Vec<Vec<u8>> = (0..3).map(|i| chunk(i + 5, 1024)).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        let parity = compute_parity(&refs);
+        assert_eq!(reconstruct(&refs), parity);
+    }
+
+    #[test]
+    fn handles_non_word_lengths() {
+        let a = chunk(3, 13);
+        let b = chunk(7, 13);
+        let mut acc = a.clone();
+        xor_into(&mut acc, &b);
+        for i in 0..13 {
+            assert_eq!(acc[i], a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut a = vec![0u8; 8];
+        xor_into(&mut a, &[0u8; 9]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Criterion micro-benchmarks over the hot paths:
+//!
+//! * per-policy placement decision (the per-block critical path),
+//! * the RA identifier lookup (the paper's "overhead of nanoseconds"
+//!   claim in §3.4),
+//! * reuse-distance tree updates and ghost-set steps (§3.2 machinery),
+//! * RAID-5 parity over a full stripe,
+//! * an end-to-end engine block write.
+
+use adapt_core::demotion::RaIdentifier;
+use adapt_core::distance::DistanceTree;
+use adapt_core::ghost::GhostSet;
+use adapt_core::Adapt;
+use adapt_lss::{GcSelection, Lss, LssConfig, PlacementPolicy, PolicyCtx};
+use adapt_placement::{Dac, Mida, SepBit, SepGc, Warcip};
+use adapt_array::{parity, CountingArray};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn cfg() -> LssConfig {
+    LssConfig { user_blocks: 16 * 1024, op_ratio: 0.4, ..Default::default() }
+}
+
+fn ctx() -> PolicyCtx {
+    PolicyCtx {
+        user_bytes: 1 << 30,
+        now_us: 1_000_000,
+        groups: vec![Default::default(); 8],
+        segment_blocks: 128,
+        block_bytes: 4096,
+    }
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("place_user");
+    let context = ctx();
+    macro_rules! bench_policy {
+        ($name:literal, $policy:expr) => {
+            group.bench_function($name, |b| {
+                let mut p = $policy;
+                // Warm the per-LBA state.
+                for lba in 0..16_384u64 {
+                    p.place_user(&context, lba);
+                }
+                let mut lba = 0u64;
+                b.iter(|| {
+                    lba = (lba + 7919) % 16_384;
+                    black_box(p.place_user(&context, black_box(lba)))
+                });
+            });
+        };
+    }
+    bench_policy!("SepGC", SepGc::new());
+    bench_policy!("DAC", Dac::new());
+    bench_policy!("WARCIP", Warcip::new());
+    bench_policy!("MiDA", Mida::new());
+    bench_policy!("SepBIT", SepBit::new());
+    bench_policy!("ADAPT", Adapt::new(&cfg()));
+    group.finish();
+}
+
+fn bench_ra_identifier(c: &mut Criterion) {
+    let mut ra = RaIdentifier::new(vec![4, 5], 4, 4096, 2);
+    for lba in 0..20_000u64 {
+        ra.observe_migration(lba % 4096, 4, 4);
+    }
+    c.bench_function("ra_identifier_lookup", |b| {
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 97) % 8192;
+            black_box(ra.check(black_box(lba)))
+        });
+    });
+}
+
+fn bench_distance_tree(c: &mut Criterion) {
+    c.bench_function("distance_tree_access", |b| {
+        let mut tree = DistanceTree::new();
+        for lba in 0..4096u64 {
+            tree.access(lba);
+        }
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 613) % 4096;
+            black_box(tree.access(black_box(lba)))
+        });
+    });
+}
+
+fn bench_ghost_set(c: &mut Criterion) {
+    c.bench_function("ghost_set_write", |b| {
+        let mut ghost = GhostSet::new(1 << 21, 8, 4, 800, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            ghost.write(black_box(i % 512), Some((i * 4096) % (1 << 22)), i * 100);
+        });
+    });
+}
+
+fn bench_parity(c: &mut Criterion) {
+    let chunks: Vec<Vec<u8>> =
+        (0..3).map(|i| vec![i as u8; 64 * 1024]).collect();
+    let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+    c.bench_function("raid5_parity_64k_stripe", |b| {
+        b.iter(|| black_box(parity::compute_parity(black_box(&refs))));
+    });
+}
+
+fn bench_engine_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_block_write");
+    group.bench_function("adapt_dense", |b| {
+        b.iter_batched(
+            || {
+                let cfg = cfg();
+                let mut e = Lss::new(
+                    cfg,
+                    GcSelection::Greedy,
+                    Adapt::new(&cfg),
+                    CountingArray::new(cfg.array_config()),
+                );
+                for lba in 0..16_384u64 {
+                    e.write(lba, lba);
+                }
+                e
+            },
+            |mut e| {
+                let mut ts = 20_000u64;
+                for i in 0..4096u64 {
+                    ts += 2;
+                    e.write(ts, (i * 7919) % 16_384);
+                }
+                e
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_placement,
+    bench_ra_identifier,
+    bench_distance_tree,
+    bench_ghost_set,
+    bench_parity,
+    bench_engine_write
+);
+criterion_main!(benches);

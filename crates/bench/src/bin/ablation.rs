@@ -1,0 +1,6 @@
+//! Regenerates the paper's ablation (see DESIGN.md's experiment index).
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    adapt_bench::figures::ablation::run(&cli);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the GC victim-selection sweep (extension experiment).
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    adapt_bench::figures::gc_selection::run(&cli);
+}

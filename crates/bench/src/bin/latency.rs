@@ -1,0 +1,6 @@
+//! Regenerates the durability-latency (SLA compliance) experiment.
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    adapt_bench::figures::latency::run(&cli);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the multi-stream / in-device WA experiment (§3.1 claim).
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    adapt_bench::figures::multistream::run(&cli);
+}

@@ -1,0 +1,704 @@
+//! One module per figure of the paper's evaluation. Every `run` prints the
+//! figure's series as text tables and writes a JSON report.
+
+use crate::sweep::FullSweep;
+use crate::{eval_suite, Cli, FIGURE_SEED};
+use adapt_lss::GcSelection;
+use adapt_sim::compare::{
+    compare_volumes, overall_padding_reduction_pct, overall_wa_reduction_pct,
+    reduction_correlation,
+};
+use adapt_sim::report::{cdf_points, render_table, wa_table, write_json};
+use adapt_sim::runner::run_suite;
+use adapt_sim::{replay_volume, ReplayConfig, Scheme};
+use adapt_trace::stats::{Ecdf, TraceSummary};
+use adapt_trace::ycsb::{AccessDistribution, TrafficIntensity, YcsbConfig};
+use adapt_trace::{SuiteKind, WorkloadSuite};
+use serde::Serialize;
+
+/// Fig. 2 — workload characterization: per-volume request-rate CDF (a) and
+/// write-size distribution (b) over the *full population* of each suite.
+pub mod fig2 {
+    use super::*;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// Per-suite rate CDF points `(req/s, F)`.
+        pub rate_cdfs: Vec<(String, Vec<(f64, f64)>)>,
+        /// Per-suite `(frac ≤ 8 KiB, frac > 32 KiB)` write-size marginals.
+        pub size_marginals: Vec<(String, f64, f64)>,
+        /// Per-suite share of volumes below 10 req/s and above 100 req/s.
+        pub rate_marginals: Vec<(String, f64, f64)>,
+    }
+
+    /// Regenerate Fig. 2.
+    pub fn run(cli: &Cli) -> Report {
+        // The population view needs many volumes for stable quantiles.
+        let population = (400.0 * cli.scale).max(100.0) as usize;
+        let mut rate_cdfs = Vec::new();
+        let mut size_marginals = Vec::new();
+        let mut rate_marginals = Vec::new();
+        let mut rows = Vec::new();
+        for kind in SuiteKind::ALL {
+            let suite = WorkloadSuite::generate_n(kind, FIGURE_SEED, population);
+            let rates: Vec<f64> =
+                suite.volumes.iter().map(|v| v.mean_rate_per_sec()).collect();
+            let ecdf = Ecdf::new(rates.clone());
+            let below10 = ecdf.cdf(10.0);
+            let above100 = 1.0 - ecdf.cdf(100.0);
+            // Sample one volume's trace for the write-size marginals (the
+            // size mixture is shared per suite).
+            let summary = TraceSummary::from_trace(suite.volumes[0].trace(20_000));
+            rate_cdfs.push((kind.name().to_string(), cdf_points(&rates, 40)));
+            size_marginals.push((
+                kind.name().to_string(),
+                summary.frac_writes_le_8k(),
+                summary.frac_writes_gt_32k(),
+            ));
+            rate_marginals.push((kind.name().to_string(), below10, above100));
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{below10:.1}", below10 = below10 * 100.0),
+                format!("{:.1}", above100 * 100.0),
+                format!("{:.1}", summary.frac_writes_le_8k() * 100.0),
+                format!("{:.1}", summary.frac_writes_gt_32k() * 100.0),
+            ]);
+        }
+        println!("Figure 2 — workload characterization ({population} volumes/suite)");
+        println!(
+            "{}",
+            render_table(
+                &["suite", "%vol<10req/s", "%vol>100req/s", "%wr≤8KiB", "%wr>32KiB"],
+                &rows
+            )
+        );
+        let report = Report { rate_cdfs, size_marginals, rate_marginals };
+        let path = write_json(&cli.out_dir, "figure2", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Fig. 3 — per-group write-volume split and group sizes for the five
+/// baseline strategies replaying the Ali suite.
+pub mod fig3 {
+    use super::*;
+
+    /// JSON payload: per scheme, per group: (user, gc, shadow, pad) blocks
+    /// and segment counts.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// Rows of `(scheme, group, user, gc, shadow, pad, segments)`.
+        pub groups: Vec<(String, u8, u64, u64, u64, u64, u32)>,
+    }
+
+    /// Regenerate Fig. 3.
+    pub fn run(cli: &Cli) -> Report {
+        let suite = eval_suite(SuiteKind::Ali, cli.volumes());
+        let mut rows = Vec::new();
+        let mut table = Vec::new();
+        println!("Figure 3 — group traffic split, Ali suite, Greedy GC");
+        for scheme in Scheme::PAPER {
+            let r = run_suite(scheme, GcSelection::Greedy, &suite, None);
+            // Sum group traffic across volumes (groups align by id).
+            let n_groups = scheme.group_count();
+            let mut agg = vec![[0u64; 4]; n_groups];
+            let mut segs = vec![0u32; n_groups];
+            for v in &r.volumes {
+                for (g, t) in v.groups.iter().enumerate() {
+                    agg[g][0] += t.user_blocks;
+                    agg[g][1] += t.gc_blocks;
+                    agg[g][2] += t.shadow_blocks;
+                    agg[g][3] += t.pad_blocks;
+                    segs[g] += t.segments;
+                }
+            }
+            for (g, (a, s)) in agg.iter().zip(&segs).enumerate() {
+                rows.push((
+                    scheme.name().to_string(),
+                    g as u8,
+                    a[0],
+                    a[1],
+                    a[2],
+                    a[3],
+                    *s,
+                ));
+                let total: u64 = a.iter().sum();
+                if total == 0 {
+                    continue;
+                }
+                table.push(vec![
+                    scheme.name().to_string(),
+                    format!("G{g}"),
+                    format!("{:.1}", a[0] as f64 / total as f64 * 100.0),
+                    format!("{:.1}", a[1] as f64 / total as f64 * 100.0),
+                    format!("{:.1}", a[2] as f64 / total as f64 * 100.0),
+                    format!("{:.1}", a[3] as f64 / total as f64 * 100.0),
+                    s.to_string(),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(
+                &["scheme", "group", "%user", "%gc", "%shadow", "%pad", "segments"],
+                &table
+            )
+        );
+        let report = Report { groups: rows };
+        let path = write_json(&cli.out_dir, "figure3", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Fig. 8 — overall WA per scheme × GC policy × suite, plus per-volume
+/// box statistics.
+pub mod fig8 {
+    use super::*;
+    use adapt_trace::stats::BoxStats;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(suite, gc, scheme, overall WA, box stats)`.
+        pub cells: Vec<(String, String, String, f64, BoxStats)>,
+        /// ADAPT's overall WA reduction vs each baseline, per (suite, gc).
+        pub adapt_reductions: Vec<(String, String, String, f64)>,
+    }
+
+    /// Summarize an existing sweep into Fig. 8.
+    pub fn from_sweep(cli: &Cli, sweep: &FullSweep) -> Report {
+        println!("Figure 8 — GC efficiency (overall WA and per-volume quartiles)");
+        println!("{}", wa_table(&sweep.results));
+        let mut cells = Vec::new();
+        let mut adapt_reductions = Vec::new();
+        for r in &sweep.results {
+            cells.push((
+                r.suite.clone(),
+                r.gc.name().to_string(),
+                r.scheme.name().to_string(),
+                r.overall_wa(),
+                r.wa_box(),
+            ));
+        }
+        let mut rows = Vec::new();
+        for kind in SuiteKind::ALL {
+            for gc in [GcSelection::Greedy, GcSelection::CostBenefit] {
+                let adapt = sweep.get(Scheme::Adapt, gc, kind.name()).unwrap();
+                for &b in &Scheme::BASELINES {
+                    let base = sweep.get(b, gc, kind.name()).unwrap();
+                    let red = overall_wa_reduction_pct(adapt, base);
+                    adapt_reductions.push((
+                        kind.name().to_string(),
+                        gc.name().to_string(),
+                        b.name().to_string(),
+                        red,
+                    ));
+                    rows.push(vec![
+                        kind.name().to_string(),
+                        gc.name().to_string(),
+                        b.name().to_string(),
+                        crate::pct(red),
+                    ]);
+                }
+            }
+        }
+        println!("ADAPT overall-WA reduction vs baselines:");
+        println!("{}", render_table(&["suite", "gc", "baseline", "WA reduction"], &rows));
+        let report = Report { cells, adapt_reductions };
+        let path = write_json(&cli.out_dir, "figure8", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+
+    /// Regenerate Fig. 8 (runs the sweep).
+    pub fn run(cli: &Cli) -> Report {
+        let sweep = FullSweep::run(cli);
+        from_sweep(cli, &sweep)
+    }
+}
+
+/// Fig. 9 — CDFs of per-volume padding-traffic ratio.
+pub mod fig9 {
+    use super::*;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(suite, gc, scheme, CDF points over padding ratio %)`.
+        pub cdfs: Vec<(String, String, String, Vec<(f64, f64)>)>,
+        /// ADAPT padding reduction vs each baseline per (suite, gc).
+        pub adapt_padding_reductions: Vec<(String, String, String, f64)>,
+    }
+
+    /// Summarize an existing sweep into Fig. 9.
+    pub fn from_sweep(cli: &Cli, sweep: &FullSweep) -> Report {
+        println!("Figure 9 — padding-traffic ratio CDFs");
+        let mut cdfs = Vec::new();
+        let mut reductions = Vec::new();
+        let mut rows = Vec::new();
+        for r in &sweep.results {
+            let samples: Vec<f64> =
+                r.padding_samples().iter().map(|p| p * 100.0).collect();
+            let ecdf = Ecdf::new(samples.clone());
+            rows.push(vec![
+                r.suite.clone(),
+                r.gc.name().to_string(),
+                r.scheme.name().to_string(),
+                format!("{:.1}", ecdf.quantile(0.5)),
+                format!("{:.1}", ecdf.cdf(25.0) * 100.0),
+            ]);
+            cdfs.push((
+                r.suite.clone(),
+                r.gc.name().to_string(),
+                r.scheme.name().to_string(),
+                cdf_points(&samples, 40),
+            ));
+        }
+        println!(
+            "{}",
+            render_table(
+                &["suite", "gc", "scheme", "median pad%", "%vol with pad<25%"],
+                &rows
+            )
+        );
+        for kind in SuiteKind::ALL {
+            for gc in [GcSelection::Greedy, GcSelection::CostBenefit] {
+                let adapt = sweep.get(Scheme::Adapt, gc, kind.name()).unwrap();
+                for &b in &Scheme::BASELINES {
+                    let base = sweep.get(b, gc, kind.name()).unwrap();
+                    reductions.push((
+                        kind.name().to_string(),
+                        gc.name().to_string(),
+                        b.name().to_string(),
+                        overall_padding_reduction_pct(adapt, base),
+                    ));
+                }
+            }
+        }
+        let report = Report { cdfs, adapt_padding_reductions: reductions };
+        let path = write_json(&cli.out_dir, "figure9", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+
+    /// Regenerate Fig. 9 (runs the sweep).
+    pub fn run(cli: &Cli) -> Report {
+        let sweep = FullSweep::run(cli);
+        from_sweep(cli, &sweep)
+    }
+}
+
+/// Fig. 10 — per-volume correlation between padding reduction and WA
+/// reduction (ADAPT vs MiDA, ADAPT vs SepBIT; Ali suite, Greedy).
+pub mod fig10 {
+    use super::*;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(baseline, [(pad reduction %, wa reduction %)], r)`.
+        pub scatter: Vec<(String, Vec<(f64, f64)>, f64)>,
+    }
+
+    /// Summarize an existing sweep into Fig. 10.
+    pub fn from_sweep(cli: &Cli, sweep: &FullSweep) -> Report {
+        println!("Figure 10 — padding reduction vs WA reduction (Ali, Greedy)");
+        let adapt = sweep.get(Scheme::Adapt, GcSelection::Greedy, "AliCloud").unwrap();
+        let mut scatter = Vec::new();
+        let mut rows = Vec::new();
+        for baseline in [Scheme::Mida, Scheme::SepBit] {
+            let base = sweep.get(baseline, GcSelection::Greedy, "AliCloud").unwrap();
+            let comps = compare_volumes(adapt, base);
+            let r = reduction_correlation(&comps);
+            let points: Vec<(f64, f64)> = comps
+                .iter()
+                .map(|c| (c.padding_reduction_pct, c.wa_reduction_pct))
+                .collect();
+            rows.push(vec![
+                baseline.name().to_string(),
+                format!("{r:.3}"),
+                format!("{:.1}", points.iter().map(|p| p.0).sum::<f64>() / points.len() as f64),
+                format!("{:.1}", points.iter().map(|p| p.1).sum::<f64>() / points.len() as f64),
+            ]);
+            scatter.push((baseline.name().to_string(), points, r));
+        }
+        println!(
+            "{}",
+            render_table(
+                &["baseline", "corr(pad,WA)", "mean padΔ%", "mean WAΔ%"],
+                &rows
+            )
+        );
+        let report = Report { scatter };
+        let path = write_json(&cli.out_dir, "figure10", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+
+    /// Regenerate Fig. 10 (runs the sweep).
+    pub fn run(cli: &Cli) -> Report {
+        let sweep = FullSweep::run(cli);
+        from_sweep(cli, &sweep)
+    }
+}
+
+/// Fig. 11 — sensitivity to access density (left) and Zipfian skew
+/// (right), YCSB-A with Greedy GC.
+pub mod fig11 {
+    use super::*;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(intensity, scheme, WA)`.
+        pub density: Vec<(String, String, f64)>,
+        /// `(alpha, scheme, WA)`.
+        pub skew: Vec<(f64, String, f64)>,
+    }
+
+    fn ycsb_run(scheme: Scheme, cfg: &YcsbConfig) -> f64 {
+        let replay = ReplayConfig::for_volume(cfg.num_blocks, GcSelection::Greedy);
+        let r = replay_volume(scheme, replay, 0, cfg.generator());
+        r.wa()
+    }
+
+    /// Regenerate Fig. 11.
+    pub fn run(cli: &Cli) -> Report {
+        // Paper: 1 M blocks filled, WA measured over 10 M writes. Scaled.
+        let blocks = ((1_000_000.0 * cli.scale) as u64).max(32 * 1024);
+        let updates = ((10_000_000.0 * cli.scale) as u64).max(320 * 1024);
+        println!(
+            "Figure 11 — sensitivity (YCSB-A, {blocks} blocks, {updates} updates)"
+        );
+        let mut density = Vec::new();
+        let mut rows = Vec::new();
+        for intensity in
+            [TrafficIntensity::Light, TrafficIntensity::Medium, TrafficIntensity::Heavy]
+        {
+            for scheme in Scheme::PAPER {
+                let cfg = YcsbConfig {
+                    num_blocks: blocks,
+                    num_updates: updates,
+                    zipf_alpha: 0.99,
+                    read_ratio: 0.0,
+                    arrival: intensity.arrival(),
+                    blocks_per_request: 1,
+                    distribution: AccessDistribution::Zipfian,
+                    seed: FIGURE_SEED,
+                };
+                let wa = ycsb_run(scheme, &cfg);
+                density.push((intensity.name().to_string(), scheme.name().to_string(), wa));
+                rows.push(vec![
+                    intensity.name().to_string(),
+                    scheme.name().to_string(),
+                    format!("{wa:.3}"),
+                ]);
+            }
+        }
+        println!("{}", render_table(&["intensity", "scheme", "WA"], &rows));
+
+        let mut skew = Vec::new();
+        let mut rows = Vec::new();
+        for alpha in [0.0, 0.3, 0.6, 0.9, 0.99] {
+            for scheme in Scheme::PAPER {
+                let cfg = YcsbConfig {
+                    num_blocks: blocks,
+                    num_updates: updates,
+                    zipf_alpha: alpha,
+                    read_ratio: 0.0,
+                    arrival: TrafficIntensity::Medium.arrival(),
+                    blocks_per_request: 1,
+                    distribution: AccessDistribution::Zipfian,
+                    seed: FIGURE_SEED,
+                };
+                let wa = ycsb_run(scheme, &cfg);
+                skew.push((alpha, scheme.name().to_string(), wa));
+                rows.push(vec![
+                    format!("{alpha:.2}"),
+                    scheme.name().to_string(),
+                    format!("{wa:.3}"),
+                ]);
+            }
+        }
+        println!("{}", render_table(&["alpha", "scheme", "WA"], &rows));
+        let report = Report { density, skew };
+        let path = write_json(&cli.out_dir, "figure11", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Fig. 12 — prototype throughput (a) and memory overhead (b).
+pub mod fig12 {
+    use super::*;
+    use adapt_proto::{run_throughput, ThroughputConfig};
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(clients, scheme, ops/s, WA)`.
+        pub throughput: Vec<(usize, String, f64, f64)>,
+        /// `(scheme, policy bytes, engine bytes)`.
+        pub memory: Vec<(String, u64, u64)>,
+    }
+
+    /// Regenerate Fig. 12.
+    pub fn run(cli: &Cli) -> Report {
+        let blocks = ((192_000.0 * cli.scale) as u64).max(24 * 1024);
+        let ops = ((48_000.0 * cli.scale) as u64).max(6_000);
+        println!("Figure 12 — prototype throughput & memory ({blocks} blocks)");
+        let mut throughput = Vec::new();
+        let mut rows = Vec::new();
+        for clients in [1usize, 4, 8] {
+            for scheme in Scheme::PAPER {
+                let cfg = ThroughputConfig {
+                    num_blocks: blocks,
+                    ops_per_client: ops,
+                    clients,
+                    ..Default::default()
+                };
+                let r = run_throughput(scheme, cfg);
+                rows.push(vec![
+                    clients.to_string(),
+                    scheme.name().to_string(),
+                    format!("{:.0}", r.ops_per_sec),
+                    format!("{:.3}", r.wa),
+                ]);
+                throughput.push((clients, scheme.name().to_string(), r.ops_per_sec, r.wa));
+            }
+        }
+        println!("{}", render_table(&["clients", "scheme", "ops/s", "WA"], &rows));
+
+        // Memory comparison at 4 clients: ADAPT vs SepBIT (same group count
+        // and lifespan machinery, per the paper).
+        let mut memory = Vec::new();
+        let mut rows = Vec::new();
+        for scheme in [Scheme::SepBit, Scheme::Adapt] {
+            let cfg = ThroughputConfig {
+                num_blocks: blocks,
+                ops_per_client: ops,
+                clients: 4,
+                ..Default::default()
+            };
+            let r = run_throughput(scheme, cfg);
+            memory.push((scheme.name().to_string(), r.policy_memory_bytes, r.engine_memory_bytes));
+            rows.push(vec![
+                scheme.name().to_string(),
+                format!("{:.1}", r.policy_memory_bytes as f64 / 1024.0),
+                format!("{:.1}", r.engine_memory_bytes as f64 / 1024.0),
+            ]);
+        }
+        println!("{}", render_table(&["scheme", "policy KiB", "engine KiB"], &rows));
+        if let [(_, sepbit, _), (_, adapt, _)] = memory[..] {
+            let overhead = (adapt as f64 / sepbit as f64 - 1.0) * 100.0;
+            println!("ADAPT policy-memory overhead vs SepBIT: {overhead:+.1}%");
+        }
+        let report = Report { throughput, memory };
+        let path = write_json(&cli.out_dir, "figure12", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// GC victim-selection sweep: every scheme × the extended victim-policy
+/// family (supports the §4.2 "universality" discussion).
+pub mod gc_selection {
+    use super::*;
+    use adapt_sim::gc_sweep::{replay_with_victim, victim_family};
+    use adapt_sim::runner::requests_for;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(victim policy, scheme, overall WA)`.
+        pub cells: Vec<(String, String, f64)>,
+    }
+
+    /// Run the sweep over a few Ali volumes.
+    pub fn run(cli: &Cli) -> Report {
+        let volumes = (cli.volumes() / 2).max(3);
+        let suite = eval_suite(SuiteKind::Ali, volumes);
+        println!("GC-selection sweep — Ali suite, {volumes} volumes");
+        let mut cells = Vec::new();
+        let mut rows = Vec::new();
+        for victim in victim_family(FIGURE_SEED) {
+            for scheme in [Scheme::SepGc, Scheme::SepBit, Scheme::Adapt] {
+                let mut host = 0u64;
+                let mut phys = 0u64;
+                for vol in &suite.volumes {
+                    let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+                    let cell = replay_with_victim(
+                        scheme,
+                        cfg,
+                        victim.clone(),
+                        vol.trace(requests_for(vol)),
+                    );
+                    host += cell.metrics.host_write_bytes;
+                    phys += cell.metrics.physical_bytes();
+                }
+                let wa = phys as f64 / host.max(1) as f64;
+                cells.push((victim.name().to_string(), scheme.name().to_string(), wa));
+                rows.push(vec![
+                    victim.name().to_string(),
+                    scheme.name().to_string(),
+                    format!("{wa:.3}"),
+                ]);
+            }
+        }
+        println!("{}", render_table(&["victim policy", "scheme", "overall WA"], &rows));
+        let report = Report { cells };
+        let path = write_json(&cli.out_dir, "gc_selection", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Multi-stream experiment: in-device WA with groups mapped to SSD
+/// streams vs a single stream (§3.1's claim).
+pub mod multistream {
+    use super::*;
+    use adapt_sim::multistream::replay_multistream;
+    use adapt_sim::runner::requests_for;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(scheme, multi_stream, array WA, in-device WA)`.
+        pub cells: Vec<(String, bool, f64, f64)>,
+    }
+
+    /// Run the experiment over a few Ali volumes.
+    pub fn run(cli: &Cli) -> Report {
+        let volumes = (cli.volumes() / 3).max(2);
+        let suite = eval_suite(SuiteKind::Ali, volumes);
+        println!("Multi-stream sweep — Ali suite, {volumes} volumes, FTL-modeled SSDs");
+        let mut cells = Vec::new();
+        let mut rows = Vec::new();
+        for scheme in [Scheme::SepGc, Scheme::SepBit, Scheme::Adapt] {
+            for multi in [false, true] {
+                let mut host = 0.0;
+                let mut dev = 0.0;
+                let mut arr = 0.0;
+                for vol in &suite.volumes {
+                    let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+                    let r = replay_multistream(
+                        scheme,
+                        cfg,
+                        multi,
+                        vol.trace(requests_for(vol)),
+                    );
+                    host += 1.0;
+                    dev += r.in_device_wa;
+                    arr += r.array_wa;
+                }
+                let dev_wa = dev / host;
+                let arr_wa = arr / host;
+                cells.push((scheme.name().to_string(), multi, arr_wa, dev_wa));
+                rows.push(vec![
+                    scheme.name().to_string(),
+                    if multi { "per-group".into() } else { "single".to_string() },
+                    format!("{arr_wa:.3}"),
+                    format!("{dev_wa:.3}"),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            render_table(&["scheme", "streams", "array WA", "in-device WA"], &rows)
+        );
+        let report = Report { cells };
+        let path = write_json(&cli.out_dir, "multistream", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Durability-latency experiment: time-to-persistence distribution per
+/// scheme (the SLA-compliance view of the coalescing design).
+pub mod latency {
+    use super::*;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(scheme, mean µs, p99-upper µs, fraction within 128 µs)`.
+        pub cells: Vec<(String, f64, u64, f64)>,
+    }
+
+    /// Run over the Ali evaluation selection.
+    pub fn run(cli: &Cli) -> Report {
+        let suite = eval_suite(SuiteKind::Ali, cli.volumes());
+        println!("Durability latency — Ali suite, Greedy GC");
+        let mut cells = Vec::new();
+        let mut rows = Vec::new();
+        for scheme in Scheme::PAPER {
+            let r = run_suite(scheme, GcSelection::Greedy, &suite, None);
+            let mut merged = adapt_lss::LatencyHistogram::default();
+            for v in &r.volumes {
+                merged.merge(&v.metrics.durability_latency);
+            }
+            let within = merged.fraction_within(128);
+            cells.push((
+                scheme.name().to_string(),
+                merged.mean_us(),
+                merged.quantile_upper_us(0.99),
+                within,
+            ));
+            rows.push(vec![
+                scheme.name().to_string(),
+                format!("{:.1}", merged.mean_us()),
+                format!("{}", merged.quantile_upper_us(0.99)),
+                format!("{:.1}%", within * 100.0),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["scheme", "mean µs", "p99≤ µs", "within 128 µs"], &rows)
+        );
+        let report = Report { cells };
+        let path = write_json(&cli.out_dir, "latency", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Ablation study: ADAPT with each mechanism disabled, Ali suite.
+pub mod ablation {
+    use super::*;
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// `(variant, overall WA, padding ratio)`.
+        pub variants: Vec<(String, f64, f64)>,
+    }
+
+    /// Run the ablation sweep.
+    pub fn run(cli: &Cli) -> Report {
+        let suite = eval_suite(SuiteKind::Ali, cli.volumes());
+        println!("Ablation — ADAPT mechanisms, Ali suite, Greedy GC");
+        let mut variants = Vec::new();
+        let mut rows = Vec::new();
+        for scheme in Scheme::ABLATIONS {
+            let r = run_suite(scheme, GcSelection::Greedy, &suite, None);
+            variants.push((
+                scheme.name().to_string(),
+                r.overall_wa(),
+                r.overall_padding_ratio(),
+            ));
+            rows.push(vec![
+                scheme.name().to_string(),
+                format!("{:.3}", r.overall_wa()),
+                format!("{:.1}%", r.overall_padding_ratio() * 100.0),
+            ]);
+        }
+        println!("{}", render_table(&["variant", "overall WA", "pad ratio"], &rows));
+        let report = Report { variants };
+        let path = write_json(&cli.out_dir, "ablation", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared plumbing for the figure regenerators.
+//!
+//! Each binary in `src/bin/` regenerates one figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index). They share a common
+//! command-line convention:
+//!
+//! * `--scale <f>` — scale workload sizes (volume count, request counts)
+//!   by `f`; default 0.25 for minutes-scale runs, `--scale 1` reproduces
+//!   the paper-sized configuration.
+//! * `--out <dir>` — where JSON reports land (default `results/`).
+//!
+//! Figures print their series as aligned text tables *and* write JSON so
+//! EXPERIMENTS.md can be assembled mechanically.
+
+pub mod figures;
+pub mod sweep;
+
+use adapt_sim::Scheme;
+use adapt_trace::{SuiteKind, WorkloadSuite};
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Workload scale factor (1.0 = paper-sized).
+    pub scale: f64,
+    /// Output directory for JSON reports.
+    pub out_dir: String,
+}
+
+impl Cli {
+    /// Parse `--scale` and `--out` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut scale = 0.25;
+        let mut out_dir = "results".to_string();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--scale needs a number");
+                }
+                "--out" => {
+                    i += 1;
+                    out_dir = args.get(i).expect("--out needs a path").clone();
+                }
+                other => panic!("unknown argument {other} (expected --scale/--out)"),
+            }
+            i += 1;
+        }
+        assert!(scale > 0.0, "--scale must be positive");
+        Self { scale, out_dir }
+    }
+
+    /// Volumes per suite at this scale (paper: 50).
+    pub fn volumes(&self) -> usize {
+        ((50.0 * self.scale).round() as usize).clamp(4, 50)
+    }
+}
+
+/// Seed shared by every figure so suites are consistent across binaries.
+pub const FIGURE_SEED: u64 = 0x20_26;
+
+/// Minimum mean request rate (req/s) for the evaluation selection used by
+/// the WA experiments (see `WorkloadSuite::evaluation_selection`).
+pub const EVAL_MIN_RATE: f64 = 20.0;
+
+/// The evaluation selection of a suite at the given scale.
+pub fn eval_suite(kind: SuiteKind, volumes: usize) -> WorkloadSuite {
+    WorkloadSuite::evaluation_selection(kind, FIGURE_SEED, volumes, EVAL_MIN_RATE)
+}
+
+/// Pretty percent formatting for reduction tables.
+pub fn pct(x: f64) -> String {
+    format!("{x:+.1}%")
+}
+
+/// The scheme order used in every figure.
+pub fn paper_schemes() -> [Scheme; 6] {
+    Scheme::PAPER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volumes_scale_and_clamp() {
+        let mk = |scale| Cli { scale, out_dir: String::new() };
+        assert_eq!(mk(1.0).volumes(), 50);
+        assert_eq!(mk(0.25).volumes(), 13);
+        assert_eq!(mk(0.01).volumes(), 4);
+        assert_eq!(mk(5.0).volumes(), 50);
+    }
+
+    #[test]
+    fn eval_suite_respects_rate_floor() {
+        let s = eval_suite(SuiteKind::Ali, 5);
+        assert_eq!(s.volumes.len(), 5);
+        assert!(s.volumes.iter().all(|v| v.mean_rate_per_sec() >= EVAL_MIN_RATE));
+    }
+
+    #[test]
+    fn pct_formats_sign() {
+        assert_eq!(pct(12.34), "+12.3%");
+        assert_eq!(pct(-3.0), "-3.0%");
+    }
+}

@@ -1,0 +1,76 @@
+//! The shared WA sweep behind Figs. 8, 9, and 10: every paper scheme ×
+//! both GC policies × all three suites.
+
+use crate::{eval_suite, Cli};
+use adapt_lss::GcSelection;
+use adapt_sim::runner::{run_suite, SuiteResult};
+use adapt_sim::Scheme;
+use adapt_trace::SuiteKind;
+
+/// Results of the full sweep, indexable by (scheme, gc, suite).
+#[derive(Debug, Clone, Default)]
+pub struct FullSweep {
+    /// All results, in deterministic order.
+    pub results: Vec<SuiteResult>,
+}
+
+impl FullSweep {
+    /// Run the sweep at the CLI's scale. This is the expensive call every
+    /// WA figure shares; progress is printed per (scheme, gc, suite) cell.
+    pub fn run(cli: &Cli) -> Self {
+        let volumes = cli.volumes();
+        let mut results = Vec::new();
+        for kind in SuiteKind::ALL {
+            let suite = eval_suite(kind, volumes);
+            for gc in [GcSelection::Greedy, GcSelection::CostBenefit] {
+                for scheme in Scheme::PAPER {
+                    let t0 = std::time::Instant::now();
+                    let r = run_suite(scheme, gc, &suite, None);
+                    eprintln!(
+                        "[sweep] {:<12} {:<12} {:<8} wa={:.3} pad={:.1}% ({:.1}s)",
+                        kind.name(),
+                        gc.name(),
+                        scheme.name(),
+                        r.overall_wa(),
+                        r.overall_padding_ratio() * 100.0,
+                        t0.elapsed().as_secs_f64()
+                    );
+                    results.push(r);
+                }
+            }
+        }
+        Self { results }
+    }
+
+    /// Find the result cell for a combination.
+    pub fn get(&self, scheme: Scheme, gc: GcSelection, suite: &str) -> Option<&SuiteResult> {
+        self.results
+            .iter()
+            .find(|r| r.scheme == scheme && r.gc == gc && r.suite == suite)
+    }
+
+    /// All results for one (gc, suite) combination, in paper scheme order.
+    pub fn row(&self, gc: GcSelection, suite: &str) -> Vec<&SuiteResult> {
+        Scheme::PAPER
+            .iter()
+            .filter_map(|&s| self.get(s, gc, suite))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_is_complete_and_indexable() {
+        let cli = Cli { scale: 0.08, out_dir: "/tmp/adapt-test".into() };
+        let sweep = FullSweep::run(&cli);
+        assert_eq!(sweep.results.len(), 3 * 2 * 6);
+        let cell = sweep
+            .get(Scheme::Adapt, GcSelection::Greedy, "AliCloud")
+            .expect("cell exists");
+        assert!(cell.overall_wa() >= 1.0);
+        assert_eq!(sweep.row(GcSelection::CostBenefit, "MSRC").len(), 6);
+    }
+}

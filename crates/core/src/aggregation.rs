@@ -1,0 +1,210 @@
+//! Cross-group dynamic aggregation decision logic (§3.3).
+//!
+//! The engine owns the shadow/lazy-append *mechanics*; this module owns
+//! the *decision*: when the hot user group's SLA expires with a partial
+//! chunk, should its pending blocks be shadow-appended into the cold
+//! group's unfilled chunk instead of padding?
+//!
+//! The paper's two-step condition:
+//!
+//! 1. **Predict** that the chunk would stay unfilled: access density is
+//!    continuous, so if the group's recent inter-arrival gap projects the
+//!    chunk to take longer than another SLA window to fill, padding is
+//!    imminent again — aggregate.
+//! 2. **Stop** when the substitutes already donated into the target's
+//!    current segment exceed the home group's average padding size
+//!    (Eq. 1's `C_i` complement): beyond that point shadow copies cost
+//!    more than the padding they save.
+//!
+//! The shadow target is always the *colder* user group: its chunks
+//! accumulate slowly (stable unused space) and its segments live long, so
+//! donated substitutes do not drag early GC into the hot group's lifespan
+//! class (§3.3, "Group selection for shadow append").
+
+use adapt_lss::{GroupId, PolicyCtx, SlaAction};
+
+/// Decision state for cross-group aggregation between one hot/cold user
+/// group pair.
+#[derive(Debug, Clone)]
+pub struct AggregationCtl {
+    /// Hot user group (shadow source).
+    hot: GroupId,
+    /// Cold user group (shadow target).
+    cold: GroupId,
+    /// Enabled switch (ablation).
+    enabled: bool,
+    /// Shadow blocks donated into the cold group's current open segment.
+    donated_in_segment: u64,
+}
+
+impl AggregationCtl {
+    /// Create the controller for a hot/cold pair.
+    pub fn new(hot: GroupId, cold: GroupId, enabled: bool) -> Self {
+        Self { hot, cold, enabled, donated_in_segment: 0 }
+    }
+
+    /// Decide the SLA action for `group`'s expiring partial chunk.
+    ///
+    /// Fires for the hot user group, and also for GC groups holding
+    /// *demoted* user blocks whose SLA ran out — both donate their
+    /// unpersisted blocks into the cold group's unfilled chunk.
+    pub fn on_sla_expire(&mut self, ctx: &PolicyCtx, group: GroupId) -> SlaAction {
+        if !self.enabled || group == self.cold || group as usize >= ctx.groups.len() {
+            return SlaAction::Pad;
+        }
+        // Only the hot user group and the demotion GC groups carry SLA
+        // timers (cold pads above; pure-GC chunks never start a timer).
+        debug_assert!(group == self.hot || group > self.cold);
+        let hot = &ctx.groups[group as usize];
+        let cold = &ctx.groups[self.cold as usize];
+
+        // Mechanical feasibility: every unpersisted pending block must fit
+        // in the cold group's open chunk (the engine enforces this too and
+        // pads on violation; checking here keeps the accounting honest).
+        if hot.pending_blocks == 0
+            || hot.pending_blocks + cold.pending_blocks > hot.chunk_blocks
+        {
+            return SlaAction::Pad;
+        }
+
+        // Aggregation only pays when the two streams actually merge: the
+        // cold chunk must hold payload of its own, so one combined padded
+        // chunk replaces two separately padded ones. Donating substitutes
+        // into an *empty* cold chunk merely relocates the padding and adds
+        // shadow garbage.
+        if cold.pending_blocks == 0 {
+            return SlaAction::Pad;
+        }
+
+        // Step 1 — predict the chunk stays unfilled: project fill time from
+        // the recent inter-arrival gap. A gap estimate of u64::MAX (no
+        // second arrival yet) trivially predicts "unfilled".
+        let missing = (hot.chunk_blocks - hot.pending_blocks) as u64;
+        let sla_us = 100; // prediction horizon ≈ one SLA window
+        let projected_fill_us = hot.ewma_gap_us.saturating_mul(missing);
+        if projected_fill_us <= sla_us {
+            // Dense traffic: the next chunk would fill on its own; padding
+            // once now is cheaper than donating shadow copies.
+            return SlaAction::Pad;
+        }
+
+        // Step 2 — cost balance: stop once this segment already absorbed
+        // more substitutes than the hot group's average padding size.
+        if let Some(avg_pad) = hot.avg_pad_blocks() {
+            if self.donated_in_segment as f64 >= avg_pad.max(1.0) * 4.0 {
+                return SlaAction::Pad;
+            }
+        }
+
+        self.donated_in_segment += hot.pending_blocks as u64;
+        let _ = group;
+        SlaAction::ShadowAppend { target: self.cold }
+    }
+
+    /// The cold group sealed a segment: its open segment is fresh, so the
+    /// donation budget resets.
+    pub fn on_segment_sealed(&mut self, group: GroupId) {
+        if group == self.cold {
+            self.donated_in_segment = 0;
+        }
+    }
+
+    /// Donated blocks charged against the current cold segment.
+    pub fn donated_in_segment(&self) -> u64 {
+        self.donated_in_segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_lss::GroupSnapshot;
+
+    fn ctx(hot_pending: u32, cold_pending: u32, gap_us: u64, pad_chunks: u64) -> PolicyCtx {
+        let mk = |pending: u32| GroupSnapshot {
+            pending_blocks: pending,
+            chunk_blocks: 16,
+            ewma_gap_us: gap_us,
+            window_pad_chunks: pad_chunks,
+            window_pad_blocks: pad_chunks * 8,
+            window_blocks: 100,
+            ..Default::default()
+        };
+        PolicyCtx {
+            groups: vec![mk(hot_pending), mk(cold_pending)],
+            segment_blocks: 128,
+            block_bytes: 4096,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sparse_hot_group_aggregates() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        // 4 pending, gap 1000 µs: 12 missing blocks → 12 ms ≫ SLA.
+        let action = a.on_sla_expire(&ctx(4, 2, 1000, 0), 0);
+        assert_eq!(action, SlaAction::ShadowAppend { target: 1 });
+        assert_eq!(a.donated_in_segment(), 4);
+    }
+
+    #[test]
+    fn dense_traffic_pads_instead() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        // gap 2 µs × 12 missing = 24 µs < SLA: the next chunk will fill.
+        assert_eq!(a.on_sla_expire(&ctx(4, 2, 2, 0), 0), SlaAction::Pad);
+    }
+
+    #[test]
+    fn cold_group_expiry_always_pads() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        assert_eq!(a.on_sla_expire(&ctx(4, 2, 1000, 0), 1), SlaAction::Pad);
+    }
+
+    #[test]
+    fn disabled_controller_pads() {
+        let mut a = AggregationCtl::new(0, 1, false);
+        assert_eq!(a.on_sla_expire(&ctx(4, 2, 1000, 0), 0), SlaAction::Pad);
+    }
+
+    #[test]
+    fn no_room_in_cold_chunk_pads() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        // 10 hot + 10 cold > 16-block chunk.
+        assert_eq!(a.on_sla_expire(&ctx(10, 10, 1000, 0), 0), SlaAction::Pad);
+    }
+
+    #[test]
+    fn empty_cold_chunk_pads() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        assert_eq!(a.on_sla_expire(&ctx(4, 0, 1000, 0), 0), SlaAction::Pad);
+    }
+
+    #[test]
+    fn donation_budget_stops_aggregation() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        // avg pad = 8 blocks → budget 32 donated blocks per cold segment.
+        let c = ctx(8, 2, 1000, 2);
+        for _ in 0..4 {
+            assert_eq!(a.on_sla_expire(&c, 0), SlaAction::ShadowAppend { target: 1 });
+        }
+        assert_eq!(a.on_sla_expire(&c, 0), SlaAction::Pad);
+        // A fresh cold segment resets the budget.
+        a.on_segment_sealed(1);
+        assert_eq!(a.on_sla_expire(&c, 0), SlaAction::ShadowAppend { target: 1 });
+    }
+
+    #[test]
+    fn hot_segment_seal_does_not_reset_budget() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        let c = ctx(8, 2, 1000, 2);
+        a.on_sla_expire(&c, 0);
+        a.on_segment_sealed(0);
+        assert_eq!(a.donated_in_segment(), 8);
+    }
+
+    #[test]
+    fn empty_pending_pads() {
+        let mut a = AggregationCtl::new(0, 1, true);
+        assert_eq!(a.on_sla_expire(&ctx(0, 0, 1000, 0), 0), SlaAction::Pad);
+    }
+}

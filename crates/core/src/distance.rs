@@ -1,0 +1,232 @@
+//! Reuse-distance tracking over the sampled stream (§3.2's "distance
+//! tree").
+//!
+//! The *access interval* of a block is the number of distinct other blocks
+//! referenced since its previous access. We track it with the classical
+//! Fenwick-tree formulation of reuse distance: every access occupies a
+//! fresh position in a virtual time line; a position is marked while it is
+//! the *most recent* access of some block; the interval of a re-access is
+//! the count of marked positions after the block's previous position.
+//! The position line is compacted periodically so memory stays
+//! proportional to the number of live sampled blocks, not stream length.
+
+use adapt_lss::Lba;
+use std::collections::HashMap;
+
+/// Fenwick (binary indexed) tree over positions with u32 counters.
+#[derive(Debug, Clone)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self { tree: vec![0; n + 1] }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Add `delta` at position `i` (0-based).
+    fn add(&mut self, i: usize, delta: i32) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i` (0-based).
+    fn prefix(&self, i: usize) -> u32 {
+        let mut i = i + 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Streaming reuse-distance tracker.
+#[derive(Debug, Clone)]
+pub struct DistanceTree {
+    fenwick: Fenwick,
+    last_pos: HashMap<Lba, usize>,
+    next_pos: usize,
+}
+
+impl Default for DistanceTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DistanceTree {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self { fenwick: Fenwick::new(1024), last_pos: HashMap::new(), next_pos: 0 }
+    }
+
+    /// Record an access; returns the reuse distance (distinct intervening
+    /// blocks), or `None` for a first access.
+    pub fn access(&mut self, lba: Lba) -> Option<u64> {
+        if self.next_pos == self.fenwick.len() {
+            self.compact();
+        }
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        let distance = match self.last_pos.get(&lba).copied() {
+            Some(prev) => {
+                // Marked positions strictly after prev = distinct blocks
+                // whose latest access came after lba's.
+                let after_prev =
+                    self.fenwick.prefix(pos.saturating_sub(1)) - self.fenwick.prefix(prev);
+                self.fenwick.add(prev, -1);
+                Some(after_prev as u64)
+            }
+            None => None,
+        };
+        self.fenwick.add(pos, 1);
+        self.last_pos.insert(lba, pos);
+        distance
+    }
+
+    /// Distinct blocks currently tracked.
+    pub fn live_blocks(&self) -> usize {
+        self.last_pos.len()
+    }
+
+    /// Forget a block (e.g., evicted from the ghost working set).
+    pub fn forget(&mut self, lba: Lba) {
+        if let Some(pos) = self.last_pos.remove(&lba) {
+            self.fenwick.add(pos, -1);
+        }
+    }
+
+    /// Rebuild the position line compactly: live blocks keep their order
+    /// but positions renumber 0..live.
+    fn compact(&mut self) {
+        let mut entries: Vec<(usize, Lba)> =
+            self.last_pos.iter().map(|(&l, &p)| (p, l)).collect();
+        entries.sort_unstable();
+        let live = entries.len();
+        let new_cap = (live * 2).max(1024);
+        self.fenwick = Fenwick::new(new_cap);
+        self.last_pos.clear();
+        for (new_pos, (_, lba)) in entries.into_iter().enumerate() {
+            self.fenwick.add(new_pos, 1);
+            self.last_pos.insert(lba, new_pos);
+        }
+        self.next_pos = live;
+    }
+
+    /// Approximate resident bytes (the paper budgets ~44 B per sampled
+    /// block; a hash map entry plus the Fenwick slot lands in that range).
+    pub fn memory_bytes(&self) -> usize {
+        self.fenwick.tree.capacity() * 4
+            + self.last_pos.capacity() * (std::mem::size_of::<(Lba, usize)>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_has_no_distance() {
+        let mut t = DistanceTree::new();
+        assert_eq!(t.access(1), None);
+        assert_eq!(t.access(2), None);
+    }
+
+    #[test]
+    fn immediate_reaccess_distance_zero() {
+        let mut t = DistanceTree::new();
+        t.access(1);
+        assert_eq!(t.access(1), Some(0));
+    }
+
+    #[test]
+    fn classic_sequence() {
+        // a b c a : distance(a) = 2 (b, c intervene)
+        let mut t = DistanceTree::new();
+        t.access(1);
+        t.access(2);
+        t.access(3);
+        assert_eq!(t.access(1), Some(2));
+        // b: c and a accessed since → 2
+        assert_eq!(t.access(2), Some(2));
+    }
+
+    #[test]
+    fn repeats_do_not_inflate_distance() {
+        // a b b b a : only b intervenes → distance 1
+        let mut t = DistanceTree::new();
+        t.access(1);
+        t.access(2);
+        t.access(2);
+        t.access(2);
+        assert_eq!(t.access(1), Some(1));
+    }
+
+    #[test]
+    fn compaction_preserves_distances() {
+        let mut t = DistanceTree::new();
+        // Touch enough distinct blocks to force several compactions.
+        for round in 0..5u64 {
+            for lba in 0..600u64 {
+                t.access(lba);
+            }
+            let _ = round;
+        }
+        // Full cyclic scan: distance = 599 for every block.
+        assert_eq!(t.access(0), Some(599));
+        assert_eq!(t.live_blocks(), 600);
+    }
+
+    #[test]
+    fn forget_removes_from_distances() {
+        let mut t = DistanceTree::new();
+        t.access(1);
+        t.access(2);
+        t.access(3);
+        t.forget(2);
+        // Only 3 intervenes now.
+        assert_eq!(t.access(1), Some(1));
+        assert_eq!(t.live_blocks(), 2); // 1 and 3 (2 forgotten; 1 re-added)
+    }
+
+    #[test]
+    fn forgotten_block_is_fresh_again() {
+        let mut t = DistanceTree::new();
+        t.access(9);
+        t.forget(9);
+        assert_eq!(t.access(9), None);
+    }
+
+    #[test]
+    fn distances_match_naive_reference() {
+        use adapt_trace::rng::Xoshiro256StarStar;
+        let mut rng = Xoshiro256StarStar::new(99);
+        let mut t = DistanceTree::new();
+        let mut history: Vec<Lba> = Vec::new();
+        for _ in 0..3000 {
+            let lba = rng.next_bounded(200);
+            // Naive reference: distinct LBAs after lba's last occurrence.
+            let expect = history
+                .iter()
+                .rposition(|&x| x == lba)
+                .map(|p| {
+                    let mut set = std::collections::HashSet::new();
+                    for &x in &history[p + 1..] {
+                        set.insert(x);
+                    }
+                    set.len() as u64
+                });
+            assert_eq!(t.access(lba), expect, "lba {lba}");
+            history.push(lba);
+        }
+    }
+}

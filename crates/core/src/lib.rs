@@ -1,0 +1,56 @@
+//! ADAPT: the paper's access-density-aware data placement policy.
+//!
+//! ADAPT (§3) separates user-written from GC-rewritten blocks across six
+//! groups — hot/cold user groups plus four residual-lifespan GC groups —
+//! and improves on lifespan-only schemes (SepBIT) with three mechanisms:
+//!
+//! 1. **Density-aware threshold adaptation** ([`threshold`]): sampled
+//!    requests feed miniature *ghost set* simulations ([`ghost`]), one per
+//!    candidate hot/cold threshold; the live threshold follows whichever
+//!    ghost set shows the least write amplification. Sampling is
+//!    SHARDS-style spatial hashing ([`sampler`]); access intervals come
+//!    from a reuse-distance tree ([`distance`]).
+//! 2. **Cross-group dynamic aggregation** ([`aggregation`]): when sparse
+//!    traffic would force zero padding in the hot group, its pending
+//!    blocks are persisted as substitutes inside the cold group's unfilled
+//!    chunk (shadow append; the engine provides the mechanics).
+//! 3. **Proactive demotion** ([`demotion`]): cascading Bloom filters per
+//!    GC group recognize blocks that keep migrating back into the same
+//!    group; such long-lived blocks are placed straight into that GC group
+//!    at *user-write* time, skipping the cascade of GC migrations.
+//!
+//! The composite policy lives in [`policy::Adapt`]; each mechanism can be
+//! disabled independently through [`AdaptConfig`] for ablation studies.
+//!
+//! # Example
+//!
+//! ```
+//! use adapt_core::{Adapt, AdaptConfig};
+//! use adapt_lss::{GcSelection, Lss, LssConfig};
+//! use adapt_array::CountingArray;
+//!
+//! let cfg = LssConfig { user_blocks: 8 * 1024, op_ratio: 0.5, ..Default::default() };
+//! let policy = Adapt::new(&cfg); // or Adapt::with_config for ablations
+//! let mut engine = Lss::new(cfg, GcSelection::Greedy, policy,
+//!                           CountingArray::new(cfg.array_config()));
+//! for lba in 0..1024u64 {
+//!     engine.write(lba, lba % 512); // skewed overwrites
+//! }
+//! engine.flush_all();
+//! assert!(engine.metrics().wa() >= 0.5);
+//! assert!(engine.policy().effective_threshold() > 0.0);
+//! ```
+
+pub mod aggregation;
+pub mod bloom;
+pub mod config;
+pub mod demotion;
+pub mod distance;
+pub mod ghost;
+pub mod mrc;
+pub mod policy;
+pub mod sampler;
+pub mod threshold;
+
+pub use config::AdaptConfig;
+pub use policy::Adapt;

@@ -1,0 +1,469 @@
+//! The ADAPT placement policy (§3).
+//!
+//! Six groups: hot and cold user-written groups (0, 1) plus four
+//! GC-rewritten groups (2–5) classed by residual lifespan, exactly the
+//! topology of Fig. 4. The three mechanisms compose as follows on the
+//! write path:
+//!
+//! ```text
+//! user write ──► RA identifier score ≥ θ ? ──yes──► demote into GC group
+//!                        │ no
+//!                        ▼
+//!          access interval < threshold T ? ──yes──► hot group (0)
+//!                        │ no                          │ SLA expiry:
+//!                        ▼                             ▼
+//!                   cold group (1) ◄─── shadow append ─┘
+//! ```
+//!
+//! `T` comes from the ghost-set machinery ([`crate::threshold`]) once it
+//! has adopted; before that (and whenever adaptation is disabled for
+//! ablation) ADAPT falls back to a SepBIT-style cold-start estimate: the
+//! EWMA lifespan of reclaimed hot-group segments, initially infinite.
+
+use crate::aggregation::AggregationCtl;
+use crate::config::AdaptConfig;
+use crate::demotion::RaIdentifier;
+use crate::threshold::ThresholdAdapter;
+use adapt_lss::{
+    GroupId, GroupKind, Lba, LssConfig, PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta,
+    SlaAction, VictimMeta,
+};
+use adapt_placement::LbaTable;
+
+/// EWMA factor of the cold-start lifespan estimate.
+const COLD_START_ALPHA: f64 = 0.5;
+
+/// Itemized resident memory of ADAPT's components (Fig. 12b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBreakdown {
+    /// Per-LBA last-write table (shared with lifespan-based baselines).
+    pub lifespan_table_bytes: usize,
+    /// Sampling module: distance tree + ghost sets (§3.2's ~44 B/sampled
+    /// block and ~20 B/simulated block).
+    pub sampling_bytes: usize,
+    /// Cascading Bloom discriminators (§3.4).
+    pub ra_identifier_bytes: usize,
+}
+
+impl MemoryBreakdown {
+    /// Sum of the parts.
+    pub fn total(&self) -> usize {
+        self.lifespan_table_bytes + self.sampling_bytes + self.ra_identifier_bytes
+    }
+}
+
+/// The ADAPT policy.
+#[derive(Debug, Clone)]
+pub struct Adapt {
+    cfg: AdaptConfig,
+    groups: [GroupKind; 6],
+    /// Byte clock of each block's last user write, +1 (0 = never).
+    last_write_bytes: LbaTable<u64>,
+    /// Ghost-set threshold adaptation (§3.2).
+    adapter: ThresholdAdapter,
+    /// Cold-start / fallback threshold (bytes).
+    cold_start_threshold: f64,
+    /// EWMA lifespan of reclaimed user-group segments (bytes): the base ℓ
+    /// of the GC residual-lifespan ladder. Distinct from the hot/cold
+    /// threshold — that one may legitimately adapt to 0 ("no separation")
+    /// while GC classing still needs a lifespan scale.
+    gc_ladder_base: f64,
+    /// Cross-group aggregation decisions (§3.3).
+    aggregation: AggregationCtl,
+    /// Proactive demotion identifier (§3.4).
+    ra: RaIdentifier,
+    /// Whether the user groups showed padding in their recent window —
+    /// the regime where the ghost-adapted threshold (which uniquely models
+    /// the padding/density tradeoff) overrides the lifespan estimate.
+    padding_present: bool,
+    /// User writes demoted straight into GC groups.
+    demotions: u64,
+    /// Threshold adoptions performed.
+    adoptions: u64,
+}
+
+impl Adapt {
+    /// Hot user group.
+    pub const HOT: GroupId = 0;
+    /// Cold user group.
+    pub const COLD: GroupId = 1;
+    /// GC groups (residual-lifespan classes, short → long).
+    pub const GC_GROUPS: [GroupId; 4] = [2, 3, 4, 5];
+    /// GC groups eligible for proactive demotion: only the *cold* classes.
+    /// The paper's motivation (§3.4) is blocks that trickle through
+    /// progressively colder groups before settling — demoting into the
+    /// short-residual classes would only re-mix churn-prone data.
+    pub const DEMOTION_GROUPS: [GroupId; 2] = [4, 5];
+
+    /// Create ADAPT for an engine configuration with default tuning.
+    pub fn new(lss: &LssConfig) -> Self {
+        Self::with_config(lss, AdaptConfig::for_engine(lss))
+    }
+
+    /// Create ADAPT with explicit tuning (ablations, sensitivity studies).
+    pub fn with_config(lss: &LssConfig, cfg: AdaptConfig) -> Self {
+        cfg.validate();
+        Self {
+            cfg,
+            groups: [
+                GroupKind::User,
+                GroupKind::User,
+                GroupKind::Gc,
+                GroupKind::Gc,
+                GroupKind::Gc,
+                GroupKind::Gc,
+            ],
+            last_write_bytes: LbaTable::default(),
+            adapter: ThresholdAdapter::new(cfg, lss.segment_bytes(), lss.block_bytes),
+            cold_start_threshold: f64::INFINITY,
+            gc_ladder_base: f64::INFINITY,
+            aggregation: AggregationCtl::new(Self::HOT, Self::COLD, cfg.enable_aggregation),
+            ra: RaIdentifier::new(
+                Self::DEMOTION_GROUPS.to_vec(),
+                cfg.filters_per_discriminator,
+                cfg.filter_capacity,
+                cfg.score_threshold,
+            ),
+            padding_present: true,
+            demotions: 0,
+            adoptions: 0,
+        }
+    }
+
+    /// The hot/cold threshold currently in force (bytes).
+    ///
+    /// The ghost-adapted value governs while the workload's density makes
+    /// padding a live cost (that tradeoff is what the ghosts simulate);
+    /// when chunks fill on their own, ADAPT falls back to the SepBIT-style
+    /// lifespan estimate, which is the better pure-GC separator.
+    pub fn effective_threshold(&self) -> f64 {
+        if self.cfg.enable_adaptation && self.padding_present {
+            match self.adapter.threshold() {
+                Some(t) => t as f64,
+                None => self.cold_start_threshold,
+            }
+        } else {
+            self.cold_start_threshold
+        }
+    }
+
+    /// User writes demoted by the RA identifier so far.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Threshold adoptions performed so far.
+    pub fn adoptions(&self) -> u64 {
+        self.adoptions
+    }
+
+    /// The adaptation machinery, for inspection.
+    pub fn adapter(&self) -> &ThresholdAdapter {
+        &self.adapter
+    }
+
+    /// Itemized resident memory (the paper's Fig. 12b discussion itemizes
+    /// the sampling module and the ghost simulation separately).
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
+        MemoryBreakdown {
+            lifespan_table_bytes: self.last_write_bytes.memory_bytes(),
+            sampling_bytes: self.adapter.memory_bytes(),
+            ra_identifier_bytes: self.ra.memory_bytes(),
+        }
+    }
+
+    /// Age of `lba`'s current data on the byte clock.
+    fn age_bytes(&self, lba: Lba, now_bytes: u64) -> Option<u64> {
+        let v = self.last_write_bytes.get(lba);
+        if v == 0 {
+            None
+        } else {
+            Some(now_bytes.saturating_sub(v - 1))
+        }
+    }
+
+    /// Residual-lifespan class for a GC-rewritten block of the given age:
+    /// bounds ℓ, 4ℓ, 16ℓ over the learned user-segment lifespan.
+    fn gc_class(&self, age: u64) -> GroupId {
+        let l = self.gc_ladder_base;
+        let a = age as f64;
+        if a < l {
+            Self::GC_GROUPS[0]
+        } else if a < 4.0 * l {
+            Self::GC_GROUPS[1]
+        } else if a < 16.0 * l {
+            Self::GC_GROUPS[2]
+        } else {
+            Self::GC_GROUPS[3]
+        }
+    }
+}
+
+impl PlacementPolicy for Adapt {
+    fn name(&self) -> &'static str {
+        "ADAPT"
+    }
+
+    fn groups(&self) -> &[GroupKind] {
+        &self.groups
+    }
+
+    fn place_user(&mut self, ctx: &PolicyCtx, lba: Lba) -> GroupId {
+        // Feed the density/popularity tracking pipeline.
+        if self.cfg.enable_adaptation && self.adapter.on_user_write(lba, ctx.now_us) {
+            self.adoptions += 1;
+        }
+        self.padding_present = ctx
+            .groups
+            .get(Self::HOT as usize)
+            .map(|g| g.window_pad_chunks > 0)
+            .unwrap_or(true)
+            || ctx
+                .groups
+                .get(Self::COLD as usize)
+                .map(|g| g.window_pad_chunks > 0)
+                .unwrap_or(true);
+
+        // Proactive demotion: a block that repeatedly migrated back into
+        // the same GC group belongs there from the start. Demote only when
+        // that group's open chunk already carries payload — joining a
+        // partially filled bulk chunk costs nothing, whereas opening a
+        // fresh chunk with one sparse user block would force a padded
+        // flush at the SLA deadline and waste more than the saved
+        // migrations.
+        if self.cfg.enable_demotion {
+            if let Some(gc_group) = self.ra.check(lba) {
+                if ctx.groups[gc_group as usize].pending_blocks > 0 {
+                    self.demotions += 1;
+                    self.last_write_bytes.set(lba, ctx.user_bytes + 1);
+                    return gc_group;
+                }
+            }
+        }
+
+        // Hot/cold split by inferred lifespan vs the adaptive threshold.
+        let group = match self.age_bytes(lba, ctx.user_bytes) {
+            Some(interval) if (interval as f64) < self.effective_threshold() => Self::HOT,
+            Some(_) => Self::COLD,
+            None => Self::COLD, // first write: no inference, assume cold
+        };
+        self.last_write_bytes.set(lba, ctx.user_bytes + 1);
+        group
+    }
+
+    fn place_gc(&mut self, ctx: &PolicyCtx, lba: Lba, _victim: &VictimMeta) -> GroupId {
+        let age = self.age_bytes(lba, ctx.user_bytes).unwrap_or(u64::MAX);
+        self.gc_class(age)
+    }
+
+    fn on_sla_expire(&mut self, ctx: &PolicyCtx, group: GroupId) -> SlaAction {
+        self.aggregation.on_sla_expire(ctx, group)
+    }
+
+    fn on_gc_block_migrated(&mut self, lba: Lba, from: GroupId, to: GroupId) {
+        if self.cfg.enable_demotion {
+            self.ra.observe_migration(lba, from, to);
+        }
+    }
+
+    fn on_segment_sealed(&mut self, _ctx: &PolicyCtx, meta: &SegmentMeta) {
+        self.aggregation.on_segment_sealed(meta.group);
+    }
+
+    fn on_segment_reclaimed(&mut self, _ctx: &PolicyCtx, info: &ReclaimInfo) {
+        let lifespan = info.lifespan_bytes() as f64;
+        // Cold-start threshold: lifespan of hot-group segments (§3.2,
+        // "Updating threshold configuration").
+        if info.group == Self::HOT {
+            self.cold_start_threshold = if self.cold_start_threshold.is_finite() {
+                COLD_START_ALPHA * lifespan + (1.0 - COLD_START_ALPHA) * self.cold_start_threshold
+            } else {
+                lifespan
+            };
+        }
+        // GC-ladder scale: lifespan of *any* user-written segment.
+        if info.group == Self::HOT || info.group == Self::COLD {
+            self.gc_ladder_base = if self.gc_ladder_base.is_finite() {
+                COLD_START_ALPHA * lifespan + (1.0 - COLD_START_ALPHA) * self.gc_ladder_base
+            } else {
+                lifespan
+            };
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.last_write_bytes.memory_bytes()
+            + self.adapter.memory_bytes()
+            + self.ra.memory_bytes()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lss() -> LssConfig {
+        LssConfig { user_blocks: 16 * 1024, ..Default::default() }
+    }
+
+    fn ctx(user_bytes: u64) -> PolicyCtx {
+        PolicyCtx {
+            user_bytes,
+            groups: vec![Default::default(); 6],
+            segment_blocks: 128,
+            block_bytes: 4096,
+            ..Default::default()
+        }
+    }
+
+    fn victim() -> VictimMeta {
+        VictimMeta { seg: 0, group: 2, created_user_bytes: 0, valid_blocks: 0, segment_blocks: 128 }
+    }
+
+    fn reclaim(group: GroupId, created: u64, now: u64) -> ReclaimInfo {
+        ReclaimInfo {
+            seg: 0,
+            group,
+            created_user_bytes: created,
+            reclaimed_user_bytes: now,
+            migrated_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn topology_matches_figure_4() {
+        let p = Adapt::new(&lss());
+        assert_eq!(p.groups().len(), 6);
+        assert_eq!(&p.groups()[..2], &[GroupKind::User, GroupKind::User]);
+        assert!(p.groups()[2..].iter().all(|&k| k == GroupKind::Gc));
+    }
+
+    #[test]
+    fn first_write_cold_rewrite_hot_during_bootstrap() {
+        let mut p = Adapt::new(&lss());
+        assert_eq!(p.place_user(&ctx(0), 5), Adapt::COLD);
+        // ℓ = ∞ during bootstrap: any finite interval is hot.
+        assert_eq!(p.place_user(&ctx(1_000_000), 5), Adapt::HOT);
+    }
+
+    #[test]
+    fn hot_cold_follow_learned_threshold() {
+        let mut p = Adapt::new(&lss());
+        // Learn a 1 MB cold-start threshold from a hot-group reclaim.
+        p.on_segment_reclaimed(&ctx(0), &reclaim(Adapt::HOT, 0, 1_000_000));
+        p.place_user(&ctx(0), 7);
+        assert_eq!(p.place_user(&ctx(100_000), 7), Adapt::HOT);
+        p.place_user(&ctx(100_000), 8);
+        assert_eq!(p.place_user(&ctx(90_000_000), 8), Adapt::COLD);
+    }
+
+    #[test]
+    fn gc_ladder_spreads_by_age() {
+        let mut p = Adapt::new(&lss());
+        p.on_segment_reclaimed(&ctx(0), &reclaim(Adapt::HOT, 0, 1_000_000));
+        p.place_user(&ctx(0), 1);
+        assert_eq!(p.place_gc(&ctx(500_000), 1, &victim()), 2);
+        assert_eq!(p.place_gc(&ctx(2_000_000), 1, &victim()), 3);
+        assert_eq!(p.place_gc(&ctx(10_000_000), 1, &victim()), 4);
+        assert_eq!(p.place_gc(&ctx(50_000_000), 1, &victim()), 5);
+    }
+
+    #[test]
+    fn demotion_overrides_hot_cold() {
+        let mut p = Adapt::new(&lss());
+        // Train the RA identifier: lba 9 migrates back into group 4 across
+        // several filter generations.
+        for filler in 0..20_000u64 {
+            p.on_gc_block_migrated(9, 4, 4);
+            p.on_gc_block_migrated(100_000 + filler, 4, 4);
+        }
+        // Demotion requires the target GC group's chunk to carry payload.
+        let mut c = ctx(0);
+        c.groups[4].pending_blocks = 3;
+        let g = p.place_user(&c, 9);
+        assert_eq!(g, 4, "expected demotion into group 4");
+        assert!(p.demotions() > 0);
+        // With an empty target chunk the block falls back to hot/cold.
+        let g2 = p.place_user(&ctx(4096), 9);
+        assert!(g2 == Adapt::HOT || g2 == Adapt::COLD);
+    }
+
+    #[test]
+    fn demotion_disabled_by_ablation() {
+        let cfg = AdaptConfig::for_engine(&lss()).without_demotion();
+        let mut p = Adapt::with_config(&lss(), cfg);
+        for filler in 0..20_000u64 {
+            p.on_gc_block_migrated(9, 4, 4);
+            p.on_gc_block_migrated(100_000 + filler, 4, 4);
+        }
+        assert_eq!(p.place_user(&ctx(0), 9), Adapt::COLD);
+        assert_eq!(p.demotions(), 0);
+    }
+
+    #[test]
+    fn cross_group_migration_does_not_train_ra() {
+        let mut p = Adapt::new(&lss());
+        for filler in 0..20_000u64 {
+            p.on_gc_block_migrated(9, 2, 4);
+            let _ = filler;
+        }
+        assert_eq!(p.place_user(&ctx(0), 9), Adapt::COLD);
+    }
+
+    #[test]
+    fn sla_expiry_delegates_to_aggregation() {
+        let mut p = Adapt::new(&lss());
+        let mut c = ctx(0);
+        c.groups[0].pending_blocks = 4;
+        c.groups[0].chunk_blocks = 16;
+        c.groups[0].ewma_gap_us = 10_000;
+        c.groups[1].chunk_blocks = 16;
+        c.groups[1].pending_blocks = 2;
+        assert_eq!(
+            p.on_sla_expire(&c, Adapt::HOT),
+            SlaAction::ShadowAppend { target: Adapt::COLD }
+        );
+        assert_eq!(p.on_sla_expire(&c, Adapt::COLD), SlaAction::Pad);
+    }
+
+    #[test]
+    fn aggregation_disabled_by_ablation() {
+        let cfg = AdaptConfig::for_engine(&lss()).without_aggregation();
+        let mut p = Adapt::with_config(&lss(), cfg);
+        let mut c = ctx(0);
+        c.groups[0].pending_blocks = 4;
+        c.groups[0].chunk_blocks = 16;
+        c.groups[0].ewma_gap_us = 10_000;
+        assert_eq!(p.on_sla_expire(&c, Adapt::HOT), SlaAction::Pad);
+    }
+
+    #[test]
+    fn memory_accounts_all_components() {
+        let mut p = Adapt::new(&lss());
+        for i in 0..10_000u64 {
+            p.place_user(&ctx(i * 4096), i % 2000);
+        }
+        // Table + sampler machinery + RA identifier all contribute.
+        assert!(p.memory_bytes() > 16_000, "mem {}", p.memory_bytes());
+        let b = p.memory_breakdown();
+        assert!(b.lifespan_table_bytes > 0);
+        assert!(b.sampling_bytes > 0);
+        assert!(b.ra_identifier_bytes > 0);
+        // Breakdown total tracks the trait-level number (modulo the
+        // struct's own size).
+        let diff = p.memory_bytes() as i64 - b.total() as i64;
+        assert!(diff.unsigned_abs() < 4096, "diff {diff}");
+    }
+
+    #[test]
+    fn adaptation_disabled_keeps_cold_start_threshold() {
+        let cfg = AdaptConfig::for_engine(&lss()).without_adaptation();
+        let mut p = Adapt::with_config(&lss(), cfg);
+        for i in 0..200_000u64 {
+            p.place_user(&ctx(i * 4096), i % 100);
+        }
+        assert_eq!(p.adoptions(), 0);
+        assert!(p.effective_threshold().is_infinite());
+    }
+}

@@ -1,0 +1,155 @@
+//! Engine configuration.
+
+use adapt_array::ArrayConfig;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the log-structured engine.
+///
+/// Defaults follow the paper's setup (§4.1): 4 KiB blocks, 64 KiB chunks,
+/// 100 µs coalescing SLA, Greedy or Cost-Benefit GC.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LssConfig {
+    /// Block size in bytes (the user request granularity).
+    pub block_bytes: u64,
+    /// Blocks per array chunk (chunk = minimum array write unit).
+    pub chunk_blocks: u32,
+    /// Chunks per segment.
+    pub segment_chunks: u32,
+    /// Logical capacity exposed to the user, in blocks.
+    pub user_blocks: u64,
+    /// Over-provisioning fraction: physical capacity is
+    /// `user_blocks * (1 + op_ratio)` rounded up to whole segments.
+    pub op_ratio: f64,
+    /// Chunk coalescing SLA window in microseconds (paper: 100 µs, the
+    /// Alibaba Pangu latency SLA).
+    pub sla_us: u64,
+    /// GC triggers when the free-segment pool drops to this many segments.
+    pub gc_low_water: u32,
+    /// GC keeps collecting until the pool recovers to this many segments.
+    pub gc_high_water: u32,
+    /// When true, the engine does not run GC inline on the write path
+    /// (except as an emergency when the free pool is nearly exhausted);
+    /// the embedder drives collection via [`crate::Lss::gc_step`] from
+    /// dedicated threads, as the paper's prototype does (§4.4: "the number
+    /// of background GC threads matches the number of client threads").
+    pub background_gc: bool,
+}
+
+impl Default for LssConfig {
+    fn default() -> Self {
+        Self {
+            block_bytes: 4096,
+            chunk_blocks: 16,   // 64 KiB chunks
+            segment_chunks: 8,  // 512 KiB segments
+            user_blocks: 16 * 1024,
+            op_ratio: 0.28,
+            sla_us: 100,
+            gc_low_water: 12,
+            gc_high_water: 18,
+            background_gc: false,
+        }
+    }
+}
+
+impl LssConfig {
+    /// Validate invariants; panics on an unusable configuration.
+    pub fn validate(&self, num_groups: usize) {
+        assert!(self.block_bytes > 0);
+        assert!(self.chunk_blocks > 0);
+        assert!(self.segment_chunks > 0);
+        assert!(self.user_blocks >= self.segment_blocks() as u64 * 4, "capacity too small");
+        assert!(self.op_ratio > 0.0, "log-structured stores need over-provisioning");
+        assert!(self.gc_high_water > self.gc_low_water);
+        // Every group keeps one open segment; GC must still make progress
+        // with all opens allocated plus room for migration destinations.
+        assert!(
+            (self.gc_low_water as usize) >= num_groups + 2,
+            "gc_low_water {} must exceed group count {} + 2 so GC can always allocate",
+            self.gc_low_water,
+            num_groups
+        );
+        // Spare segments must cover the GC high watermark plus one open
+        // segment per group (all of which can be allocated mid-GC) with
+        // margin, or the free pool can exhaust under pressure.
+        let spare = self.total_segments() as i64 - self.user_segments() as i64;
+        let needed = self.gc_high_water as i64 + num_groups as i64 + 2;
+        assert!(
+            spare > needed,
+            "over-provisioned segments ({spare}) must exceed gc_high_water + groups + 2 ({needed})"
+        );
+    }
+
+    /// Blocks per segment.
+    pub fn segment_blocks(&self) -> u32 {
+        self.chunk_blocks * self.segment_chunks
+    }
+
+    /// Segment size in bytes.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_blocks() as u64 * self.block_bytes
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_blocks as u64 * self.block_bytes
+    }
+
+    /// Segments needed to hold exactly the user-visible capacity.
+    pub fn user_segments(&self) -> u32 {
+        self.user_blocks.div_ceil(self.segment_blocks() as u64) as u32
+    }
+
+    /// Total physical segments including over-provisioning.
+    pub fn total_segments(&self) -> u32 {
+        let phys_blocks = (self.user_blocks as f64 * (1.0 + self.op_ratio)).ceil() as u64;
+        phys_blocks.div_ceil(self.segment_blocks() as u64) as u32
+    }
+
+    /// Array geometry consistent with this engine config (4-device RAID-5).
+    pub fn array_config(&self) -> ArrayConfig {
+        ArrayConfig::new(4, self.chunk_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry() {
+        let c = LssConfig::default();
+        assert_eq!(c.segment_blocks(), 128);
+        assert_eq!(c.segment_bytes(), 512 * 1024);
+        assert_eq!(c.chunk_bytes(), 64 * 1024);
+        assert_eq!(c.user_segments(), 128);
+        assert!(c.total_segments() > c.user_segments());
+        c.validate(6);
+    }
+
+    #[test]
+    fn overprovision_accounted() {
+        let c = LssConfig { user_blocks: 12800, op_ratio: 0.25, ..Default::default() };
+        assert_eq!(c.user_segments(), 100);
+        assert_eq!(c.total_segments(), 125);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_low_water_below_groups() {
+        let c = LssConfig { gc_low_water: 5, ..Default::default() };
+        c.validate(6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_op() {
+        let c = LssConfig { op_ratio: 0.0, ..Default::default() };
+        c.validate(2);
+    }
+
+    #[test]
+    fn array_config_chunk_matches() {
+        let c = LssConfig::default();
+        assert_eq!(c.array_config().chunk_bytes, c.chunk_bytes());
+    }
+}

@@ -1,0 +1,244 @@
+//! Additional GC victim-selection policies from the literature the paper
+//! cites (§5, "GC optimization in log-structured storage"): d-choices
+//! (Van Houdt, SIGMETRICS '13), Windowed Greedy (Hu et al., SYSTOR '09),
+//! Random, and Random-Greedy (Li et al., SIGMETRICS '13).
+//!
+//! These extend the paper's Greedy/Cost-Benefit pair and power the
+//! GC-selection ablation bench: ADAPT's claim of "better universality"
+//! across selection policies (§4.2) is checked against all of them.
+
+use crate::gc::GcSelection;
+use crate::segment::{Segment, SegmentState};
+use crate::types::SegmentId;
+use serde::{Deserialize, Serialize};
+
+/// Deterministic per-call PRNG for the randomized policies: mixes a seed
+/// with a call counter so selection is reproducible run-to-run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionRng {
+    state: u64,
+}
+
+impl SelectionRng {
+    /// Create from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1 }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        // SplitMix64 step.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn bounded(&mut self, n: usize) -> usize {
+        ((self.next() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// The extended victim-selection family. [`GcSelection`] covers the two
+/// policies the paper evaluates throughout; this enum adds the variants
+/// from its related-work discussion.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum VictimPolicy {
+    /// The paper's two (Greedy / Cost-Benefit).
+    Base(GcSelection),
+    /// Sample `d` sealed segments uniformly; collect the one with the most
+    /// garbage. `d = 10` approximates Greedy at a fraction of the scan
+    /// cost (Van Houdt '13).
+    DChoices {
+        /// Sample size.
+        d: usize,
+        /// RNG state.
+        rng: SelectionRng,
+    },
+    /// Greedy restricted to the `w` *oldest* sealed segments (Hu et al.
+    /// '09): bounds the age of stale data while staying close to Greedy.
+    WindowedGreedy {
+        /// Window size in segments.
+        w: usize,
+    },
+    /// Uniformly random sealed victim (the classical lower bound).
+    Random {
+        /// RNG state.
+        rng: SelectionRng,
+    },
+}
+
+impl VictimPolicy {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VictimPolicy::Base(b) => b.name(),
+            VictimPolicy::DChoices { .. } => "d-choices",
+            VictimPolicy::WindowedGreedy { .. } => "Windowed-Greedy",
+            VictimPolicy::Random { .. } => "Random",
+        }
+    }
+
+    /// Standard d-choices configuration (d = 10).
+    pub fn d_choices(seed: u64) -> Self {
+        VictimPolicy::DChoices { d: 10, rng: SelectionRng::new(seed) }
+    }
+
+    /// Standard windowed-greedy configuration (w = 32).
+    pub fn windowed_greedy() -> Self {
+        VictimPolicy::WindowedGreedy { w: 32 }
+    }
+
+    /// Uniform random selection.
+    pub fn random(seed: u64) -> Self {
+        VictimPolicy::Random { rng: SelectionRng::new(seed) }
+    }
+
+    /// Choose a victim among sealed segments with reclaimable garbage.
+    pub fn select(&mut self, segments: &[Segment], now_user_bytes: u64) -> Option<SegmentId> {
+        match self {
+            VictimPolicy::Base(b) => b.select(segments, now_user_bytes),
+            VictimPolicy::DChoices { d, rng } => {
+                let candidates: Vec<&Segment> = segments
+                    .iter()
+                    .filter(|s| s.state == SegmentState::Sealed && s.garbage_blocks() > 0)
+                    .collect();
+                if candidates.is_empty() {
+                    return None;
+                }
+                let mut best: Option<&Segment> = None;
+                for _ in 0..(*d).max(1) {
+                    let pick = candidates[rng.bounded(candidates.len())];
+                    if best.map(|b| pick.garbage_blocks() > b.garbage_blocks()).unwrap_or(true)
+                    {
+                        best = Some(pick);
+                    }
+                }
+                best.map(|s| s.id)
+            }
+            VictimPolicy::WindowedGreedy { w } => {
+                // Oldest = smallest creation byte-clock.
+                let mut sealed: Vec<&Segment> = segments
+                    .iter()
+                    .filter(|s| s.state == SegmentState::Sealed && s.garbage_blocks() > 0)
+                    .collect();
+                if sealed.is_empty() {
+                    return None;
+                }
+                sealed.sort_by_key(|s| s.created_user_bytes);
+                sealed
+                    .iter()
+                    .take((*w).max(1))
+                    .max_by_key(|s| s.garbage_blocks())
+                    .map(|s| s.id)
+            }
+            VictimPolicy::Random { rng } => {
+                let candidates: Vec<SegmentId> = segments
+                    .iter()
+                    .filter(|s| s.state == SegmentState::Sealed && s.garbage_blocks() > 0)
+                    .map(|s| s.id)
+                    .collect();
+                if candidates.is_empty() {
+                    None
+                } else {
+                    Some(candidates[rng.bounded(candidates.len())])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Slot;
+
+    fn sealed(id: SegmentId, cap: u32, valid: u32, created: u64) -> Segment {
+        let mut s = Segment::new(id, cap);
+        s.open(0, created, 0);
+        for i in 0..cap {
+            s.append_slot(Slot::Block(i as u64));
+        }
+        s.seal();
+        s.valid_blocks = valid;
+        s
+    }
+
+    fn field(garbage: &[(u32, u64)]) -> Vec<Segment> {
+        garbage
+            .iter()
+            .enumerate()
+            .map(|(i, &(valid, created))| sealed(i as SegmentId, 8, valid, created))
+            .collect()
+    }
+
+    #[test]
+    fn d_choices_with_full_sampling_matches_greedy() {
+        let segs = field(&[(6, 0), (1, 0), (4, 0)]);
+        // d much larger than the candidate set: effectively exhaustive.
+        let mut p = VictimPolicy::DChoices { d: 64, rng: SelectionRng::new(1) };
+        assert_eq!(p.select(&segs, 100), Some(1));
+    }
+
+    #[test]
+    fn d_choices_deterministic_per_seed() {
+        let segs = field(&[(6, 0), (5, 0), (4, 0), (3, 0), (2, 0)]);
+        let pick = |seed| {
+            let mut p = VictimPolicy::DChoices { d: 2, rng: SelectionRng::new(seed) };
+            p.select(&segs, 100)
+        };
+        assert_eq!(pick(7), pick(7));
+    }
+
+    #[test]
+    fn windowed_greedy_limits_to_oldest() {
+        // Newest segment (created later) has the most garbage but sits
+        // outside the window of 2 oldest.
+        let segs = field(&[(7, 0), (6, 10), (0, 999)]);
+        let mut p = VictimPolicy::WindowedGreedy { w: 2 };
+        assert_eq!(p.select(&segs, 1000), Some(1));
+    }
+
+    #[test]
+    fn random_picks_only_reclaimable() {
+        let mut segs = field(&[(8, 0), (8, 0), (3, 0)]);
+        segs[0].valid_blocks = 8; // fully valid: not a candidate
+        segs[1].valid_blocks = 8;
+        let mut p = VictimPolicy::random(3);
+        for _ in 0..20 {
+            assert_eq!(p.select(&segs, 100), Some(2));
+        }
+    }
+
+    #[test]
+    fn all_policies_none_when_nothing_reclaimable() {
+        let segs = field(&[(8, 0)]);
+        for mut p in [
+            VictimPolicy::Base(GcSelection::Greedy),
+            VictimPolicy::d_choices(1),
+            VictimPolicy::windowed_greedy(),
+            VictimPolicy::random(1),
+        ] {
+            assert_eq!(p.select(&segs, 100), None, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = [
+            VictimPolicy::Base(GcSelection::Greedy),
+            VictimPolicy::d_choices(1),
+            VictimPolicy::windowed_greedy(),
+            VictimPolicy::random(1),
+        ]
+        .iter()
+        .map(|p| p.name())
+        .collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

@@ -1,0 +1,137 @@
+//! The block index: LBA → current location.
+//!
+//! Grows on demand (dense LBA spaces are the norm for block volumes); each
+//! entry records whether the newest version of a block is durable in a
+//! segment slot, or still pending in a group's open-chunk buffer —
+//! optionally with a durable *shadow* copy somewhere else (ADAPT's lazy
+//! append state, §3.3).
+
+use crate::types::{GroupId, Lba, SegmentId};
+
+/// Where the current version of a block lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockEntry {
+    /// Never written.
+    #[default]
+    Absent,
+    /// Durable in a segment slot.
+    Durable {
+        /// Segment holding the block.
+        seg: SegmentId,
+        /// Slot offset within the segment.
+        off: u32,
+    },
+    /// Pending in `group`'s open-chunk buffer; if `shadow` is set, a
+    /// durable substitute copy exists at that slot (so the block is
+    /// persistent even though its home append hasn't happened yet).
+    Pending {
+        /// Home group whose buffer holds the block.
+        group: GroupId,
+        /// Durable shadow copy, if any.
+        shadow: Option<(SegmentId, u32)>,
+    },
+}
+
+/// Dense, growable LBA index.
+#[derive(Debug, Default)]
+pub struct BlockIndex {
+    entries: Vec<BlockEntry>,
+}
+
+impl BlockIndex {
+    /// Create with capacity hint.
+    pub fn with_capacity(blocks: u64) -> Self {
+        Self { entries: Vec::with_capacity(blocks as usize) }
+    }
+
+    /// Current entry for `lba` ([`BlockEntry::Absent`] if out of range).
+    #[inline]
+    pub fn get(&self, lba: Lba) -> BlockEntry {
+        self.entries.get(lba as usize).copied().unwrap_or(BlockEntry::Absent)
+    }
+
+    /// Set the entry for `lba`, growing the table as needed.
+    #[inline]
+    pub fn set(&mut self, lba: Lba, entry: BlockEntry) {
+        let idx = lba as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, BlockEntry::Absent);
+        }
+        self.entries[idx] = entry;
+    }
+
+    /// Whether the durable slot `(seg, off)` is the live copy of `lba`.
+    /// Shadow copies count as live while referenced by a pending entry.
+    #[inline]
+    pub fn is_live(&self, lba: Lba, seg: SegmentId, off: u32) -> bool {
+        match self.get(lba) {
+            BlockEntry::Durable { seg: s, off: o } => s == seg && o == off,
+            BlockEntry::Pending { shadow: Some((s, o)), .. } => s == seg && o == off,
+            _ => false,
+        }
+    }
+
+    /// Number of tracked LBAs (table size, not live count).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no LBA has ever been written.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes of the index.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<BlockEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_by_default() {
+        let idx = BlockIndex::default();
+        assert_eq!(idx.get(42), BlockEntry::Absent);
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut idx = BlockIndex::default();
+        idx.set(5, BlockEntry::Durable { seg: 2, off: 7 });
+        assert_eq!(idx.get(5), BlockEntry::Durable { seg: 2, off: 7 });
+        assert_eq!(idx.get(4), BlockEntry::Absent);
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn liveness_durable() {
+        let mut idx = BlockIndex::default();
+        idx.set(1, BlockEntry::Durable { seg: 3, off: 0 });
+        assert!(idx.is_live(1, 3, 0));
+        assert!(!idx.is_live(1, 3, 1));
+        assert!(!idx.is_live(1, 4, 0));
+    }
+
+    #[test]
+    fn liveness_shadow() {
+        let mut idx = BlockIndex::default();
+        idx.set(9, BlockEntry::Pending { group: 1, shadow: Some((5, 2)) });
+        assert!(idx.is_live(9, 5, 2));
+        assert!(!idx.is_live(9, 5, 3));
+        idx.set(9, BlockEntry::Pending { group: 1, shadow: None });
+        assert!(!idx.is_live(9, 5, 2));
+    }
+
+    #[test]
+    fn growth_preserves_existing() {
+        let mut idx = BlockIndex::default();
+        idx.set(0, BlockEntry::Durable { seg: 1, off: 1 });
+        idx.set(1000, BlockEntry::Durable { seg: 2, off: 2 });
+        assert_eq!(idx.get(0), BlockEntry::Durable { seg: 1, off: 1 });
+        assert_eq!(idx.get(500), BlockEntry::Absent);
+    }
+}

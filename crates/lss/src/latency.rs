@@ -1,0 +1,182 @@
+//! Write-durability latency tracking.
+//!
+//! The 100 µs coalescing SLA exists because a buffered block is not
+//! durable until its chunk reaches the array. This histogram measures the
+//! simulated time from each user block's arrival to its persistence —
+//! via a full chunk flush, an SLA-forced padded flush, or a shadow append
+//! — so SLA compliance can be checked per placement scheme.
+
+use serde::{Deserialize, Serialize};
+
+/// Log₂-bucketed latency histogram (µs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts latencies in `[2^(i-1), 2^i)` µs; bucket 0
+    /// counts 0 µs (persisted within the same instant).
+    buckets: Vec<u64>,
+    /// Total samples.
+    count: u64,
+    /// Sum of latencies (µs) for the mean.
+    sum_us: u64,
+    /// Maximum observed latency (µs).
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: vec![0; 40], count: 0, sum_us: 0, max_us: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one latency sample in µs.
+    #[inline]
+    pub fn record(&mut self, us: u64) {
+        let bucket = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(self.buckets.len() - 1)
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency (µs).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum_us as f64 / self.count as f64
+    }
+
+    /// Maximum latency (µs).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound of the bucket containing quantile `q` — a conservative
+    /// (over-)estimate of the true quantile.
+    pub fn quantile_upper_us(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count as f64 * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max_us
+    }
+
+    /// Fraction of samples at or below `bound_us` (bucket-resolution,
+    /// conservative: a bucket straddling the bound counts as exceeding it).
+    pub fn fraction_within(&self, bound_us: u64) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let mut within = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let upper = if i == 0 { 0u64 } else { 1u64 << i };
+            if upper <= bound_us {
+                within += c;
+            }
+        }
+        within as f64 / self.count as f64
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Zero all counters.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = LatencyHistogram::default();
+        for us in [0u64, 10, 100, 1000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean_us() - 277.5).abs() < 1e-9);
+        assert_eq!(h.max_us(), 1000);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..99 {
+            h.record(50);
+        }
+        h.record(5000);
+        // p50 bucket upper bound for 50 µs is 64.
+        assert_eq!(h.quantile_upper_us(0.5), 64);
+        // p100 reaches the big sample's bucket (8192).
+        assert!(h.quantile_upper_us(1.0) >= 5000);
+    }
+
+    #[test]
+    fn sla_compliance_fraction() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(40); // bucket upper 64 ≤ 128
+        }
+        for _ in 0..10 {
+            h.record(900); // bucket upper 1024 > 128
+        }
+        let within = h.fraction_within(128);
+        assert!((within - 0.9).abs() < 1e-9, "{within}");
+    }
+
+    #[test]
+    fn merge_adds_up() {
+        let mut a = LatencyHistogram::default();
+        let mut b = LatencyHistogram::default();
+        a.record(10);
+        b.record(20);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 30);
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_us(0.99), 0);
+        assert_eq!(h.fraction_within(100), 1.0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn huge_latencies_clamp_to_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_upper_us(1.0) > 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Engine-level traffic metrics: the numbers behind every figure.
+
+use crate::latency::LatencyHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Per-group traffic breakdown (blocks), snapshot for Fig. 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupTraffic {
+    /// User payload blocks flushed from this group.
+    pub user_blocks: u64,
+    /// GC payload blocks flushed from this group.
+    pub gc_blocks: u64,
+    /// Shadow-copy blocks flushed into this group.
+    pub shadow_blocks: u64,
+    /// Padding blocks flushed from this group.
+    pub pad_blocks: u64,
+    /// Segments currently owned.
+    pub segments: u32,
+}
+
+impl GroupTraffic {
+    /// All flushed blocks from this group.
+    pub fn total_blocks(&self) -> u64 {
+        self.user_blocks + self.gc_blocks + self.shadow_blocks + self.pad_blocks
+    }
+}
+
+/// Cumulative engine metrics. `reset()` zeroes the counters without
+/// touching engine state, so measurement can start after a fill phase
+/// (the paper measures WA over the update phase only).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LssMetrics {
+    /// Logical bytes the host asked to write (trace write bytes).
+    pub host_write_bytes: u64,
+    /// User payload bytes flushed to the array.
+    pub user_bytes: u64,
+    /// GC payload bytes flushed to the array.
+    pub gc_bytes: u64,
+    /// Shadow-copy bytes flushed to the array.
+    pub shadow_bytes: u64,
+    /// Zero-padding bytes flushed to the array.
+    pub pad_bytes: u64,
+    /// Chunks flushed.
+    pub chunks_flushed: u64,
+    /// Chunks flushed with padding.
+    pub padded_chunks: u64,
+    /// GC passes executed.
+    pub gc_passes: u64,
+    /// Segments reclaimed.
+    pub segments_reclaimed: u64,
+    /// Valid blocks migrated by GC.
+    pub blocks_migrated: u64,
+    /// Host writes absorbed while still pending (overwritten in buffer
+    /// before ever reaching the array).
+    pub buffer_absorbed_blocks: u64,
+    /// Times a pending block's home flush (lazy append) completed while a
+    /// shadow copy existed.
+    pub lazy_appends: u64,
+    /// Times shadow-append was performed (per donated chunk).
+    pub shadow_append_events: u64,
+    /// Logical bytes the host asked to read.
+    pub host_read_bytes: u64,
+    /// Bytes fetched from the array to serve reads (whole chunks, §2.2:
+    /// "For reads, systems fetch entire chunks encompassing the requested
+    /// data").
+    pub array_read_bytes: u64,
+    /// Blocks served straight from the open-chunk buffers (still in RAM).
+    pub buffer_read_blocks: u64,
+    /// Blocks invalidated by TRIM/discard commands.
+    pub trimmed_blocks: u64,
+    /// Time from each user block's arrival to its durability (full flush,
+    /// padded flush, or shadow append), in µs.
+    pub durability_latency: LatencyHistogram,
+}
+
+impl LssMetrics {
+    /// Total bytes physically written to the array (excluding parity,
+    /// which the array layer accounts separately).
+    pub fn physical_bytes(&self) -> u64 {
+        self.user_bytes + self.gc_bytes + self.shadow_bytes + self.pad_bytes
+    }
+
+    /// Write amplification including padding (the paper's headline WA:
+    /// padding "exacerbates the actual write amplification ratio").
+    pub fn wa(&self) -> f64 {
+        if self.host_write_bytes == 0 {
+            return 1.0;
+        }
+        self.physical_bytes() as f64 / self.host_write_bytes as f64
+    }
+
+    /// Write amplification excluding padding (the classical GC-only WA).
+    pub fn wa_gc_only(&self) -> f64 {
+        if self.host_write_bytes == 0 {
+            return 1.0;
+        }
+        (self.user_bytes + self.gc_bytes + self.shadow_bytes) as f64
+            / self.host_write_bytes as f64
+    }
+
+    /// Padding share of all physically written bytes (Fig. 9's
+    /// padding-traffic ratio).
+    pub fn padding_ratio(&self) -> f64 {
+        let total = self.physical_bytes();
+        if total == 0 {
+            return 0.0;
+        }
+        self.pad_bytes as f64 / total as f64
+    }
+
+    /// Read amplification: array bytes fetched per host byte requested.
+    pub fn read_amplification(&self) -> f64 {
+        if self.host_read_bytes == 0 {
+            return 1.0;
+        }
+        self.array_read_bytes as f64 / self.host_read_bytes as f64
+    }
+
+    /// Zero every counter (measurement-window start).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wa_math() {
+        let m = LssMetrics {
+            host_write_bytes: 1000,
+            user_bytes: 900,
+            gc_bytes: 500,
+            shadow_bytes: 100,
+            pad_bytes: 500,
+            ..Default::default()
+        };
+        assert!((m.wa() - 2.0).abs() < 1e-12);
+        assert!((m.wa_gc_only() - 1.5).abs() < 1e-12);
+        assert!((m.padding_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_defined() {
+        let m = LssMetrics::default();
+        assert_eq!(m.wa(), 1.0);
+        assert_eq!(m.padding_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = LssMetrics { host_write_bytes: 5, ..Default::default() };
+        m.reset();
+        assert_eq!(m, LssMetrics::default());
+    }
+
+    #[test]
+    fn read_amplification_math() {
+        let m = LssMetrics {
+            host_read_bytes: 4096,
+            array_read_bytes: 65536,
+            ..Default::default()
+        };
+        assert!((m.read_amplification() - 16.0).abs() < 1e-12);
+        assert_eq!(LssMetrics::default().read_amplification(), 1.0);
+    }
+
+    #[test]
+    fn group_traffic_total() {
+        let g = GroupTraffic {
+            user_blocks: 1,
+            gc_blocks: 2,
+            shadow_blocks: 3,
+            pad_blocks: 4,
+            segments: 9,
+        };
+        assert_eq!(g.total_blocks(), 10);
+    }
+}

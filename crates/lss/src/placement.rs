@@ -1,0 +1,249 @@
+//! The placement-policy interface.
+//!
+//! A placement policy owns the paper's central decision: *which group does
+//! each block go to?* The engine consults the policy on every user write
+//! and every GC rewrite, lets it react to SLA expiries (this is where
+//! ADAPT's cross-group aggregation plugs in), and feeds it segment
+//! lifecycle events so lifespan-based policies (SepBIT, ADAPT) can learn
+//! segment lifespans.
+
+use crate::types::{GroupId, Lba, SegmentId};
+use serde::{Deserialize, Serialize};
+
+/// What kind of traffic a group accepts. Used for reporting (Fig. 3b splits
+/// groups by whether they are limited to user/GC writes) and for sanity
+/// checks; the engine itself routes wherever the policy says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GroupKind {
+    /// Receives user writes only.
+    User,
+    /// Receives GC rewrites only.
+    Gc,
+    /// Receives both (DAC, MiDA style).
+    Mixed,
+}
+
+/// Reaction to a chunk-coalescing SLA expiry on a group with pending
+/// blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlaAction {
+    /// Zero-pad the partial chunk and flush it (the default behaviour and
+    /// what every baseline does).
+    Pad,
+    /// ADAPT §3.3: persist the pending blocks as *shadow* copies inside
+    /// `target`'s open chunk, keep them pending in their home group (lazy
+    /// append), and reset the home group's aggregation timer.
+    ShadowAppend {
+        /// The (colder) group whose unfilled chunk absorbs the substitutes.
+        target: GroupId,
+    },
+}
+
+/// Immutable per-group view handed to the policy at decision time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GroupSnapshot {
+    /// Blocks currently pending in the group's open chunk.
+    pub pending_blocks: u32,
+    /// Capacity of a chunk in blocks (same for all groups; replicated here
+    /// for convenience).
+    pub chunk_blocks: u32,
+    /// Segments currently owned by the group (sealed + open).
+    pub segments: u32,
+    /// Lifetime user blocks written to this group.
+    pub user_blocks: u64,
+    /// Lifetime GC blocks written to this group.
+    pub gc_blocks: u64,
+    /// Padded chunks flushed from this group over the recent window
+    /// (`P_i` in the paper's Eq. 1).
+    pub window_pad_chunks: u64,
+    /// Blocks written from this group over the recent window (`V_i`).
+    pub window_blocks: u64,
+    /// Padding blocks written over the recent window.
+    pub window_pad_blocks: u64,
+    /// Exponentially-weighted mean inter-arrival gap of user blocks into
+    /// this group, in µs (u64::MAX until two blocks have arrived).
+    pub ewma_gap_us: u64,
+}
+
+impl GroupSnapshot {
+    /// The paper's Eq. 1: average accumulated payload of *unfilled* chunks,
+    /// in blocks. `None` when the window contains no padded chunk.
+    pub fn avg_unfilled_payload_blocks(&self) -> Option<f64> {
+        if self.window_pad_chunks == 0 {
+            return None;
+        }
+        // V_i minus the payload of full chunks, averaged over padded chunks.
+        // Equivalent formulation: padded chunks carried
+        // (chunk_blocks - pad) payload each on average.
+        let avg_pad = self.window_pad_blocks as f64 / self.window_pad_chunks as f64;
+        Some(self.chunk_blocks as f64 - avg_pad)
+    }
+
+    /// Average padding per padded chunk, in blocks.
+    pub fn avg_pad_blocks(&self) -> Option<f64> {
+        if self.window_pad_chunks == 0 {
+            return None;
+        }
+        Some(self.window_pad_blocks as f64 / self.window_pad_chunks as f64)
+    }
+}
+
+/// Snapshot of engine state passed to every policy callback.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyCtx {
+    /// Current simulated time (µs).
+    pub now_us: u64,
+    /// Logical user bytes written so far — the "byte clock" lifespan-based
+    /// policies measure ages and lifespans against (SepBIT, ADAPT).
+    pub user_bytes: u64,
+    /// Per-group state, indexed by `GroupId`.
+    pub groups: Vec<GroupSnapshot>,
+    /// Segment size in blocks.
+    pub segment_blocks: u32,
+    /// Block size in bytes.
+    pub block_bytes: u64,
+}
+
+impl PolicyCtx {
+    /// Segment size in bytes (the unit lifespan thresholds are naturally
+    /// quantized to).
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_blocks as u64 * self.block_bytes
+    }
+}
+
+/// Metadata of a sealed segment (lifecycle notifications).
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentMeta {
+    /// Segment id.
+    pub seg: SegmentId,
+    /// Owning group at seal time.
+    pub group: GroupId,
+    /// Byte-clock value when the segment was opened.
+    pub created_user_bytes: u64,
+    /// Wall-clock (µs) when the segment was opened.
+    pub created_ts_us: u64,
+}
+
+/// Metadata of the victim segment during a GC pass, passed to
+/// [`PlacementPolicy::place_gc`] for every migrated block.
+#[derive(Debug, Clone, Copy)]
+pub struct VictimMeta {
+    /// Victim segment id.
+    pub seg: SegmentId,
+    /// Group the victim belonged to.
+    pub group: GroupId,
+    /// Byte-clock value when the victim segment was opened.
+    pub created_user_bytes: u64,
+    /// Valid blocks in the victim at selection time.
+    pub valid_blocks: u32,
+    /// Total block slots per segment.
+    pub segment_blocks: u32,
+}
+
+/// Notification that a victim segment was fully reclaimed.
+#[derive(Debug, Clone, Copy)]
+pub struct ReclaimInfo {
+    /// Victim segment id.
+    pub seg: SegmentId,
+    /// Group the victim belonged to.
+    pub group: GroupId,
+    /// Byte-clock value when the segment was opened.
+    pub created_user_bytes: u64,
+    /// Byte-clock value at reclaim — lifespan = this − created.
+    pub reclaimed_user_bytes: u64,
+    /// Valid blocks that had to be migrated.
+    pub migrated_blocks: u32,
+}
+
+impl ReclaimInfo {
+    /// Segment lifespan measured on the user-byte clock (the paper's §3.2
+    /// definition: unique user-written bytes between creation and reclaim —
+    /// we use total user bytes, the standard SepBIT approximation).
+    pub fn lifespan_bytes(&self) -> u64 {
+        self.reclaimed_user_bytes.saturating_sub(self.created_user_bytes)
+    }
+}
+
+/// A data placement strategy. See the crate docs for the call protocol.
+pub trait PlacementPolicy {
+    /// Display name used in reports ("SepGC", "ADAPT", …).
+    fn name(&self) -> &'static str;
+
+    /// The fixed group topology. Index = `GroupId`.
+    fn groups(&self) -> &[GroupKind];
+
+    /// Choose the destination group for a user-written block.
+    fn place_user(&mut self, ctx: &PolicyCtx, lba: Lba) -> GroupId;
+
+    /// Choose the destination group for a GC-rewritten (still valid) block
+    /// being migrated out of `victim`.
+    fn place_gc(&mut self, ctx: &PolicyCtx, lba: Lba, victim: &VictimMeta) -> GroupId;
+
+    /// The coalescing SLA expired on `group` with a partial chunk pending.
+    /// Default: pad (all baselines).
+    fn on_sla_expire(&mut self, _ctx: &PolicyCtx, _group: GroupId) -> SlaAction {
+        SlaAction::Pad
+    }
+
+    /// A valid block was migrated from `from`'s victim segment into `to`.
+    /// ADAPT builds its re-access identifier here (§3.4).
+    fn on_gc_block_migrated(&mut self, _lba: Lba, _from: GroupId, _to: GroupId) {}
+
+    /// A segment filled up and was sealed.
+    fn on_segment_sealed(&mut self, _ctx: &PolicyCtx, _meta: &SegmentMeta) {}
+
+    /// A victim segment was reclaimed. Lifespan-based policies update their
+    /// thresholds here.
+    fn on_segment_reclaimed(&mut self, _ctx: &PolicyCtx, _info: &ReclaimInfo) {}
+
+    /// Approximate resident memory of policy state in bytes (Fig. 12b).
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_average_unfilled_payload() {
+        // Window: 2 padded chunks with 6 pad blocks total over 16-block
+        // chunks → average pad 3 → average payload 13.
+        let g = GroupSnapshot {
+            chunk_blocks: 16,
+            window_pad_chunks: 2,
+            window_pad_blocks: 6,
+            window_blocks: 100,
+            ..Default::default()
+        };
+        assert_eq!(g.avg_unfilled_payload_blocks(), Some(13.0));
+        assert_eq!(g.avg_pad_blocks(), Some(3.0));
+    }
+
+    #[test]
+    fn eq1_none_without_padding() {
+        let g = GroupSnapshot { chunk_blocks: 16, ..Default::default() };
+        assert_eq!(g.avg_unfilled_payload_blocks(), None);
+        assert_eq!(g.avg_pad_blocks(), None);
+    }
+
+    #[test]
+    fn reclaim_lifespan() {
+        let r = ReclaimInfo {
+            seg: 0,
+            group: 0,
+            created_user_bytes: 1000,
+            reclaimed_user_bytes: 5000,
+            migrated_blocks: 3,
+        };
+        assert_eq!(r.lifespan_bytes(), 4000);
+    }
+
+    #[test]
+    fn ctx_segment_bytes() {
+        let ctx = PolicyCtx { segment_blocks: 128, block_bytes: 4096, ..Default::default() };
+        assert_eq!(ctx.segment_bytes(), 512 * 1024);
+    }
+}

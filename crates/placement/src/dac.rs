@@ -1,0 +1,159 @@
+//! DAC: Dynamic dAta Clustering (Chiang, Lee & Chang, SP&E 1999).
+//!
+//! DAC partitions flash into `k` regions ordered from coldest to hottest
+//! and moves data between adjacent regions on two events:
+//!
+//! * **update** — the block is being rewritten soon after its last write,
+//!   so it is promoted one region toward *hot*;
+//! * **GC migration** — the block survived long enough for its segment to
+//!   be collected, so it is demoted one region toward *cold*.
+//!
+//! Every region accepts both user and GC writes (the paper configures DAC
+//! with five mixed groups), which is exactly why it suffers high padding
+//! under sparse traffic: user writes are spread over five open chunks
+//! (Observation 3).
+
+use crate::lba_table::LbaTable;
+use adapt_lss::{GroupId, GroupKind, Lba, PlacementPolicy, PolicyCtx, VictimMeta};
+
+/// Number of temperature regions in the paper's DAC configuration.
+pub const DAC_GROUPS: usize = 5;
+
+/// Dynamic data clustering policy.
+#[derive(Debug, Clone)]
+pub struct Dac {
+    groups: Vec<GroupKind>,
+    /// Region of each block, biased by +1 (0 = never seen).
+    region: LbaTable<u8>,
+}
+
+impl Default for Dac {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dac {
+    /// Create with the paper's five regions.
+    pub fn new() -> Self {
+        Self::with_groups(DAC_GROUPS)
+    }
+
+    /// Create with a custom region count (≥ 2).
+    pub fn with_groups(k: usize) -> Self {
+        assert!((2..=255).contains(&k));
+        Self { groups: vec![GroupKind::Mixed; k], region: LbaTable::default() }
+    }
+
+    fn hottest(&self) -> u8 {
+        (self.groups.len() - 1) as u8
+    }
+
+    /// Current region of a block, if ever written.
+    pub fn region_of(&self, lba: Lba) -> Option<u8> {
+        let r = self.region.get(lba);
+        if r == 0 {
+            None
+        } else {
+            Some(r - 1)
+        }
+    }
+}
+
+impl PlacementPolicy for Dac {
+    fn name(&self) -> &'static str {
+        "DAC"
+    }
+
+    fn groups(&self) -> &[GroupKind] {
+        &self.groups
+    }
+
+    fn place_user(&mut self, _ctx: &PolicyCtx, lba: Lba) -> GroupId {
+        let new_region = match self.region_of(lba) {
+            // Update: the block proved hot — promote toward the hottest.
+            Some(r) => r.saturating_add(1).min(self.hottest()),
+            // First write: enter at the coldest region.
+            None => 0,
+        };
+        self.region.set(lba, new_region + 1);
+        new_region
+    }
+
+    fn place_gc(&mut self, _ctx: &PolicyCtx, lba: Lba, _victim: &VictimMeta) -> GroupId {
+        // Surviving GC: the block proved colder than assumed — demote.
+        let r = self.region_of(lba).unwrap_or(0);
+        let new_region = r.saturating_sub(1);
+        self.region.set(lba, new_region + 1);
+        new_region
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.region.memory_bytes() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn victim() -> VictimMeta {
+        VictimMeta { seg: 0, group: 0, created_user_bytes: 0, valid_blocks: 0, segment_blocks: 128 }
+    }
+
+    #[test]
+    fn first_write_goes_cold() {
+        let mut p = Dac::new();
+        assert_eq!(p.place_user(&PolicyCtx::default(), 7), 0);
+    }
+
+    #[test]
+    fn repeated_updates_promote_to_hottest() {
+        let mut p = Dac::new();
+        let ctx = PolicyCtx::default();
+        let mut last = p.place_user(&ctx, 7);
+        for _ in 0..10 {
+            let g = p.place_user(&ctx, 7);
+            assert!(g >= last);
+            last = g;
+        }
+        assert_eq!(last, 4);
+    }
+
+    #[test]
+    fn gc_demotes() {
+        let mut p = Dac::new();
+        let ctx = PolicyCtx::default();
+        for _ in 0..5 {
+            p.place_user(&ctx, 7); // reach hottest
+        }
+        assert_eq!(p.place_gc(&ctx, 7, &victim()), 3);
+        assert_eq!(p.place_gc(&ctx, 7, &victim()), 2);
+    }
+
+    #[test]
+    fn demotion_saturates_at_coldest() {
+        let mut p = Dac::new();
+        let ctx = PolicyCtx::default();
+        p.place_user(&ctx, 3);
+        for _ in 0..10 {
+            let g = p.place_gc(&ctx, 3, &victim());
+            assert_eq!(g, 0);
+        }
+    }
+
+    #[test]
+    fn all_groups_mixed() {
+        let p = Dac::new();
+        assert!(p.groups().iter().all(|&k| k == GroupKind::Mixed));
+        assert_eq!(p.groups().len(), 5);
+    }
+
+    #[test]
+    fn memory_tracks_address_space() {
+        let mut p = Dac::new();
+        let ctx = PolicyCtx::default();
+        p.place_user(&ctx, 100_000);
+        assert!(p.memory_bytes() >= 100_000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Dense per-LBA state table shared by the policies.
+
+/// Growable dense table mapping LBA → policy state. Block volumes address
+/// a dense LBA space, so a flat vector beats a hash map on both memory and
+/// the per-write hot path.
+#[derive(Debug, Clone)]
+pub struct LbaTable<T: Copy + Default> {
+    entries: Vec<T>,
+}
+
+impl<T: Copy + Default> Default for LbaTable<T> {
+    fn default() -> Self {
+        Self { entries: Vec::new() }
+    }
+}
+
+impl<T: Copy + Default> LbaTable<T> {
+    /// Create with a capacity hint.
+    pub fn with_capacity(blocks: u64) -> Self {
+        Self { entries: Vec::with_capacity(blocks as usize) }
+    }
+
+    /// Value for `lba` (default when never set).
+    #[inline]
+    pub fn get(&self, lba: u64) -> T {
+        self.entries.get(lba as usize).copied().unwrap_or_default()
+    }
+
+    /// Set the value, growing as needed.
+    #[inline]
+    pub fn set(&mut self, lba: u64, value: T) {
+        let idx = lba as usize;
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, T::default());
+        }
+        self.entries[idx] = value;
+    }
+
+    /// Whether `lba` has an explicit entry slot (it may still hold the
+    /// default value).
+    #[inline]
+    pub fn covers(&self, lba: u64) -> bool {
+        (lba as usize) < self.entries.len()
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<T>()
+    }
+
+    /// Number of slots allocated.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was ever set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_until_set() {
+        let mut t: LbaTable<u32> = LbaTable::default();
+        assert_eq!(t.get(10), 0);
+        t.set(10, 7);
+        assert_eq!(t.get(10), 7);
+        assert_eq!(t.get(9), 0);
+        assert!(t.covers(10));
+        assert!(!t.covers(11));
+    }
+
+    #[test]
+    fn grows_sparsely() {
+        let mut t: LbaTable<u8> = LbaTable::default();
+        t.set(1000, 3);
+        assert_eq!(t.len(), 1001);
+        assert_eq!(t.get(500), 0);
+    }
+
+    #[test]
+    fn memory_scales_with_type() {
+        let mut a: LbaTable<u8> = LbaTable::default();
+        let mut b: LbaTable<u64> = LbaTable::default();
+        a.set(999, 1);
+        b.set(999, 1);
+        assert!(b.memory_bytes() >= 8 * a.memory_bytes() / 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Prototype evaluation harness (paper §4.4).
+//!
+//! The trace-driven simulator measures WA but not throughput or memory;
+//! this crate runs the same engine + placement stack under *real threads*
+//! against a bandwidth-modeled four-device RAID-5 array:
+//!
+//! * [`timeline::DeviceTimeline`] — per-device virtual-time accounting:
+//!   every chunk flush charges `bytes / bandwidth` to its device; client
+//!   threads throttle against the most-backlogged device, so array
+//!   bandwidth is the shared bottleneck exactly as in the paper's Fig. 12a
+//!   (GC and padding traffic steal user bandwidth, so lower-WA policies
+//!   sustain higher client throughput once the disks saturate).
+//! * [`bench::ThroughputBench`] — spawns N client threads (YCSB-A update
+//!   streams; paper: 1/4/8 clients, I/O depth 8) over one shared engine and
+//!   reports aggregate ops/s, plus the engine's resident metadata footprint
+//!   for the memory comparison of Fig. 12b.
+
+pub mod bench;
+pub mod sink;
+pub mod timeline;
+
+pub use bench::{run_throughput, ThroughputConfig, ThroughputResult};
+pub use sink::ProtoSink;
+pub use timeline::DeviceTimeline;

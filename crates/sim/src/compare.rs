@@ -1,0 +1,172 @@
+//! Cross-scheme comparisons: the data behind Fig. 10 and the headline
+//! reduction percentages of §4.2.
+
+use crate::runner::SuiteResult;
+use serde::{Deserialize, Serialize};
+
+/// One volume's pairwise comparison (ADAPT vs a baseline).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct VolumeComparison {
+    /// Volume id.
+    pub volume_id: u32,
+    /// Percent reduction in padding write traffic (positive = ADAPT
+    /// padded less), relative to the baseline's physical traffic.
+    pub padding_reduction_pct: f64,
+    /// Percent reduction in WA.
+    pub wa_reduction_pct: f64,
+}
+
+/// Pairwise per-volume comparison of two suite results (same suite, same
+/// GC policy, different schemes). `a` is the candidate (ADAPT), `b` the
+/// baseline.
+pub fn compare_volumes(a: &SuiteResult, b: &SuiteResult) -> Vec<VolumeComparison> {
+    assert_eq!(a.volumes.len(), b.volumes.len(), "suites must match");
+    a.volumes
+        .iter()
+        .zip(&b.volumes)
+        .map(|(va, vb)| {
+            debug_assert_eq!(va.volume_id, vb.volume_id);
+            let wa_a = va.wa();
+            let wa_b = vb.wa();
+            let wa_reduction_pct = if wa_b > 0.0 { (wa_b - wa_a) / wa_b * 100.0 } else { 0.0 };
+            let pad_a = va.metrics.pad_bytes as f64;
+            let pad_b = vb.metrics.pad_bytes as f64;
+            let padding_reduction_pct =
+                if pad_b > 0.0 { (pad_b - pad_a) / pad_b * 100.0 } else { 0.0 };
+            VolumeComparison { volume_id: va.volume_id, padding_reduction_pct, wa_reduction_pct }
+        })
+        .collect()
+}
+
+/// Overall percent WA reduction of `a` relative to `b`.
+pub fn overall_wa_reduction_pct(a: &SuiteResult, b: &SuiteResult) -> f64 {
+    let wa_a = a.overall_wa();
+    let wa_b = b.overall_wa();
+    if wa_b == 0.0 {
+        return 0.0;
+    }
+    (wa_b - wa_a) / wa_b * 100.0
+}
+
+/// Overall percent padding-traffic reduction of `a` relative to `b`.
+pub fn overall_padding_reduction_pct(a: &SuiteResult, b: &SuiteResult) -> f64 {
+    let pad_a: u64 = a.volumes.iter().map(|v| v.metrics.pad_bytes).sum();
+    let pad_b: u64 = b.volumes.iter().map(|v| v.metrics.pad_bytes).sum();
+    if pad_b == 0 {
+        return 0.0;
+    }
+    (pad_b as f64 - pad_a as f64) / pad_b as f64 * 100.0
+}
+
+/// Pearson correlation coefficient between padding reduction and WA
+/// reduction across volumes — the paper's claim that the two are
+/// "strongly correlated" (Fig. 10).
+pub fn reduction_correlation(comparisons: &[VolumeComparison]) -> f64 {
+    let n = comparisons.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let mx = comparisons.iter().map(|c| c.padding_reduction_pct).sum::<f64>() / n;
+    let my = comparisons.iter().map(|c| c.wa_reduction_pct).sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for c in comparisons {
+        let dx = c.padding_reduction_pct - mx;
+        let dy = c.wa_reduction_pct - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::VolumeResult;
+    use crate::scheme::Scheme;
+    use adapt_lss::{GcSelection, LssMetrics};
+
+    fn vr(id: u32, host: u64, gc: u64, pad: u64) -> VolumeResult {
+        VolumeResult {
+            scheme: Scheme::SepGc,
+            gc: GcSelection::Greedy,
+            volume_id: id,
+            metrics: LssMetrics {
+                host_write_bytes: host,
+                user_bytes: host,
+                gc_bytes: gc,
+                pad_bytes: pad,
+                ..Default::default()
+            },
+            groups: vec![],
+            memory_bytes: 0,
+        }
+    }
+
+    fn suite(vols: Vec<VolumeResult>) -> SuiteResult {
+        SuiteResult {
+            scheme: Scheme::SepGc,
+            gc: GcSelection::Greedy,
+            suite: "test".into(),
+            volumes: vols,
+        }
+    }
+
+    #[test]
+    fn reductions_computed_per_volume() {
+        let a = suite(vec![vr(0, 1000, 100, 50)]);
+        let b = suite(vec![vr(0, 1000, 300, 200)]);
+        let c = compare_volumes(&a, &b);
+        assert_eq!(c.len(), 1);
+        // pad: (200-50)/200 = 75%
+        assert!((c[0].padding_reduction_pct - 75.0).abs() < 1e-9);
+        // wa_a = 1150/1000=1.15, wa_b = 1500/1000=1.5 → 23.33%
+        assert!((c[0].wa_reduction_pct - 23.333333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn overall_reduction_aggregates_bytes() {
+        let a = suite(vec![vr(0, 1000, 0, 0), vr(1, 1000, 1000, 0)]);
+        let b = suite(vec![vr(0, 1000, 1000, 0), vr(1, 1000, 1000, 0)]);
+        // a: 3000/2000 = 1.5; b: 4000/2000 = 2.0 → 25%
+        assert!((overall_wa_reduction_pct(&a, &b) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_of_aligned_series_is_one() {
+        let comps: Vec<VolumeComparison> = (0..10)
+            .map(|i| VolumeComparison {
+                volume_id: i,
+                padding_reduction_pct: i as f64,
+                wa_reduction_pct: 2.0 * i as f64 + 1.0,
+            })
+            .collect();
+        assert!((reduction_correlation(&comps) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_handles_degenerate_input() {
+        assert_eq!(reduction_correlation(&[]), 0.0);
+        let flat: Vec<VolumeComparison> = (0..5)
+            .map(|i| VolumeComparison {
+                volume_id: i,
+                padding_reduction_pct: 1.0,
+                wa_reduction_pct: i as f64,
+            })
+            .collect();
+        assert_eq!(reduction_correlation(&flat), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_padding_yields_zero_reduction() {
+        let a = suite(vec![vr(0, 1000, 0, 10)]);
+        let b = suite(vec![vr(0, 1000, 0, 0)]);
+        assert_eq!(compare_volumes(&a, &b)[0].padding_reduction_pct, 0.0);
+        assert_eq!(overall_padding_reduction_pct(&a, &b), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Victim-selection sweep: WA of each placement scheme under the extended
+//! GC-policy family (Greedy, Cost-Benefit, d-choices, Windowed-Greedy,
+//! Random). Backs the paper's §4.2 observation that ADAPT "demonstrates
+//! better universality" across selection strategies.
+
+use crate::replay::{ReplayConfig, Warmup};
+use crate::scheme::{with_policy, PolicyVisitor, Scheme};
+use adapt_array::CountingArray;
+use adapt_lss::{GcSelection, Lss, LssMetrics, PlacementPolicy, VictimPolicy};
+use adapt_trace::TraceRecord;
+use serde::Serialize;
+
+/// Construct every member of the victim-policy family with deterministic
+/// seeds.
+pub fn victim_family(seed: u64) -> Vec<VictimPolicy> {
+    vec![
+        VictimPolicy::Base(GcSelection::Greedy),
+        VictimPolicy::Base(GcSelection::CostBenefit),
+        VictimPolicy::d_choices(seed),
+        VictimPolicy::windowed_greedy(),
+        VictimPolicy::random(seed ^ 0x5eed),
+    ]
+}
+
+/// One cell of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct GcSweepCell {
+    /// Placement scheme.
+    pub scheme: Scheme,
+    /// Victim policy name.
+    pub victim: String,
+    /// Metrics over the measurement window.
+    pub metrics: LssMetrics,
+}
+
+struct SweepVisitor<I> {
+    cfg: ReplayConfig,
+    victim: VictimPolicy,
+    trace: I,
+}
+
+impl<I: Iterator<Item = TraceRecord>> PolicyVisitor<LssMetrics> for SweepVisitor<I> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> LssMetrics {
+        let SweepVisitor { cfg, victim, trace } = self;
+        let sink = CountingArray::new(cfg.lss.array_config());
+        let mut engine = Lss::with_victim_policy(cfg.lss, victim, policy, sink);
+        let warmup_bytes = match cfg.warmup {
+            Warmup::None => 0,
+            Warmup::CapacityOnce => cfg.lss.user_blocks * cfg.lss.block_bytes,
+            Warmup::Blocks(b) => b * cfg.lss.block_bytes,
+        };
+        let mut warmed = warmup_bytes == 0;
+        for rec in trace {
+            if rec.is_write() {
+                engine.write_request(rec.ts_us, rec.lba, rec.num_blocks);
+            } else {
+                engine.read_request(rec.ts_us, rec.lba, rec.num_blocks);
+            }
+            if !warmed && engine.user_bytes_clock() >= warmup_bytes {
+                engine.reset_metrics();
+                warmed = true;
+            }
+        }
+        engine.flush_all();
+        engine.metrics().clone()
+    }
+}
+
+/// Replay one trace under one (scheme, victim policy) combination.
+pub fn replay_with_victim<I>(
+    scheme: Scheme,
+    cfg: ReplayConfig,
+    victim: VictimPolicy,
+    trace: I,
+) -> GcSweepCell
+where
+    I: Iterator<Item = TraceRecord>,
+{
+    let name = victim.name().to_string();
+    let metrics = with_policy(scheme, &cfg.lss.clone(), SweepVisitor { cfg, victim, trace });
+    GcSweepCell { scheme, victim: name, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_trace::arrival::ArrivalModel;
+    use adapt_trace::ycsb::{AccessDistribution, YcsbConfig};
+
+    fn trace() -> impl Iterator<Item = TraceRecord> {
+        YcsbConfig {
+            num_blocks: 4096,
+            num_updates: 25_000,
+            zipf_alpha: 0.9,
+            read_ratio: 0.0,
+            arrival: ArrivalModel::Fixed { gap_us: 3 },
+            blocks_per_request: 1,
+            distribution: AccessDistribution::Zipfian,
+            seed: 4,
+        }
+        .generator()
+    }
+
+    #[test]
+    fn family_has_five_members_with_unique_names() {
+        let fam = victim_family(1);
+        let mut names: Vec<&str> = fam.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 5);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn every_victim_policy_completes_a_replay() {
+        for victim in victim_family(9) {
+            let cfg = ReplayConfig::for_volume(4096, GcSelection::Greedy);
+            let cell = replay_with_victim(Scheme::Adapt, cfg, victim, trace());
+            assert!(cell.metrics.gc_passes > 0, "{}", cell.victim);
+            assert!(cell.metrics.wa() >= 1.0, "{}", cell.victim);
+        }
+    }
+
+    #[test]
+    fn greedy_beats_random_selection() {
+        let cfg = ReplayConfig::for_volume(4096, GcSelection::Greedy);
+        let greedy = replay_with_victim(
+            Scheme::SepGc,
+            cfg.clone(),
+            VictimPolicy::Base(GcSelection::Greedy),
+            trace(),
+        );
+        let random =
+            replay_with_victim(Scheme::SepGc, cfg, VictimPolicy::random(3), trace());
+        assert!(
+            greedy.metrics.wa() < random.metrics.wa(),
+            "greedy {} vs random {}",
+            greedy.metrics.wa(),
+            random.metrics.wa()
+        );
+    }
+
+    #[test]
+    fn d_choices_close_to_greedy() {
+        let cfg = ReplayConfig::for_volume(4096, GcSelection::Greedy);
+        let greedy = replay_with_victim(
+            Scheme::SepGc,
+            cfg.clone(),
+            VictimPolicy::Base(GcSelection::Greedy),
+            trace(),
+        );
+        let dch = replay_with_victim(Scheme::SepGc, cfg, VictimPolicy::d_choices(3), trace());
+        let ratio = dch.metrics.wa() / greedy.metrics.wa();
+        assert!(ratio < 1.25, "d-choices/greedy WA ratio {ratio}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Trace-driven simulation harness.
+//!
+//! Ties the stack together: workload suites (`adapt-trace`) are replayed
+//! through the log-structured engine (`adapt-lss`) under each placement
+//! policy (`adapt-placement`, `adapt-core`), and the resulting metrics are
+//! aggregated into the figures of the paper's evaluation (§4).
+//!
+//! The per-volume runs of a sweep are independent, so [`runner`] fans them
+//! out across cores with Rayon — a full Fig. 8 sweep is
+//! `6 schemes × 2 GC policies × 3 suites × 50 volumes = 1800` simulations.
+
+pub mod compare;
+pub mod consolidate;
+pub mod gc_sweep;
+pub mod multistream;
+pub mod replay;
+pub mod report;
+pub mod runner;
+pub mod scheme;
+
+pub use replay::{replay_volume, ReplayConfig, VolumeResult, Warmup};
+pub use runner::{run_suite, run_suite_all_schemes, SuiteResult};
+pub use scheme::Scheme;

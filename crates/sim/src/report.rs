@@ -1,0 +1,127 @@
+//! Human-readable and JSON reporting of experiment results.
+
+use crate::runner::SuiteResult;
+use adapt_trace::stats::Ecdf;
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Render a fixed-width table: header row plus data rows.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(c.len());
+            let _ = write!(out, "{c:>w$}  ");
+        }
+        out.push('\n');
+    };
+    render_row(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    render_row(&mut out, &sep);
+    for row in rows {
+        render_row(&mut out, row);
+    }
+    out
+}
+
+/// Summarize a set of suite results as a WA table: one row per scheme.
+pub fn wa_table(results: &[SuiteResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let b = r.wa_box();
+            vec![
+                r.scheme.name().to_string(),
+                r.gc.name().to_string(),
+                r.suite.clone(),
+                format!("{:.3}", r.overall_wa()),
+                format!("{:.3}", b.q1),
+                format!("{:.3}", b.median),
+                format!("{:.3}", b.q3),
+                format!("{:.1}%", r.overall_padding_ratio() * 100.0),
+            ]
+        })
+        .collect();
+    render_table(
+        &["scheme", "gc", "suite", "overall_WA", "p25_WA", "median_WA", "p75_WA", "pad_ratio"],
+        &rows,
+    )
+}
+
+/// Evenly spaced CDF points `(x, F(x))` for plotting.
+pub fn cdf_points(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return vec![];
+    }
+    let e = Ecdf::new(samples.to_vec());
+    let lo = e.quantile(0.0);
+    let hi = e.quantile(1.0);
+    (0..=points)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / points as f64;
+            (x, e.cdf(x))
+        })
+        .collect()
+}
+
+/// Serialize any result payload as pretty JSON.
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("result types serialize infallibly")
+}
+
+/// Write a JSON report next to the bench outputs (results/ directory).
+pub fn write_json<T: Serialize>(dir: &str, name: &str, value: &T) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{name}.json");
+    std::fs::write(&path, to_json(value))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["x".into(), "y".into()], vec!["long".into(), "z".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal length.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()), "{t}");
+    }
+
+    #[test]
+    fn cdf_points_monotone() {
+        let samples: Vec<f64> = (0..100).map(|i| (i % 37) as f64).collect();
+        let pts = cdf_points(&samples, 20);
+        assert_eq!(pts.len(), 21);
+        assert!(pts.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_points_empty_ok() {
+        assert!(cdf_points(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        let s = to_json(&T { x: 7 });
+        assert!(s.contains("\"x\": 7"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Placement-scheme selection.
+//!
+//! The engine is generic over the policy for hot-path speed; experiments
+//! need a runtime choice. [`Scheme`] enumerates every policy (including
+//! ADAPT's ablated variants) and the [`scheme::dispatch`](dispatch) helper
+//! monomorphizes a closure per variant.
+
+use adapt_core::{Adapt, AdaptConfig};
+use adapt_lss::{LssConfig, PlacementPolicy};
+use adapt_placement::{Dac, Mida, SepBit, SepGc, Warcip};
+use serde::{Deserialize, Serialize};
+
+/// Every placement scheme the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// User/GC separation only.
+    SepGc,
+    /// Dynamic data clustering (access counts).
+    Dac,
+    /// Rewrite-interval clustering.
+    Warcip,
+    /// Migration-count streams.
+    Mida,
+    /// Block-invalidation-time inference.
+    SepBit,
+    /// The paper's policy, all mechanisms on.
+    Adapt,
+    /// Ablation: ADAPT without density-aware threshold adaptation.
+    AdaptNoAdaptation,
+    /// Ablation: ADAPT without cross-group aggregation.
+    AdaptNoAggregation,
+    /// Ablation: ADAPT without proactive demotion.
+    AdaptNoDemotion,
+}
+
+impl Scheme {
+    /// The six schemes of the paper's main comparison, in figure order.
+    pub const PAPER: [Scheme; 6] = [
+        Scheme::SepGc,
+        Scheme::Mida,
+        Scheme::Dac,
+        Scheme::Warcip,
+        Scheme::SepBit,
+        Scheme::Adapt,
+    ];
+
+    /// The five baselines (everything but ADAPT variants).
+    pub const BASELINES: [Scheme; 5] =
+        [Scheme::SepGc, Scheme::Mida, Scheme::Dac, Scheme::Warcip, Scheme::SepBit];
+
+    /// ADAPT plus its three ablations.
+    pub const ABLATIONS: [Scheme; 4] = [
+        Scheme::Adapt,
+        Scheme::AdaptNoAdaptation,
+        Scheme::AdaptNoAggregation,
+        Scheme::AdaptNoDemotion,
+    ];
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::SepGc => "SepGC",
+            Scheme::Dac => "DAC",
+            Scheme::Warcip => "WARCIP",
+            Scheme::Mida => "MiDA",
+            Scheme::SepBit => "SepBIT",
+            Scheme::Adapt => "ADAPT",
+            Scheme::AdaptNoAdaptation => "ADAPT-noThresh",
+            Scheme::AdaptNoAggregation => "ADAPT-noAggr",
+            Scheme::AdaptNoDemotion => "ADAPT-noDemo",
+        }
+    }
+
+    /// Number of groups this scheme uses.
+    pub fn group_count(&self) -> usize {
+        match self {
+            Scheme::SepGc => 2,
+            Scheme::Dac => 5,
+            Scheme::Warcip => 6,
+            Scheme::Mida => 8,
+            Scheme::SepBit => 6,
+            _ => 6,
+        }
+    }
+}
+
+/// Invoke `f` with a concrete policy instance for `scheme`, keeping the
+/// engine's hot loop monomorphized per policy type (no `dyn` dispatch on
+/// the per-block path).
+pub fn with_policy<R>(
+    scheme: Scheme,
+    lss: &LssConfig,
+    f: impl PolicyVisitor<R>,
+) -> R {
+    match scheme {
+        Scheme::SepGc => f.visit(SepGc::new()),
+        Scheme::Dac => f.visit(Dac::new()),
+        Scheme::Warcip => f.visit(Warcip::new()),
+        Scheme::Mida => f.visit(Mida::new()),
+        Scheme::SepBit => f.visit(SepBit::new()),
+        Scheme::Adapt => f.visit(Adapt::new(lss)),
+        Scheme::AdaptNoAdaptation => {
+            f.visit(Adapt::with_config(lss, AdaptConfig::for_engine(lss).without_adaptation()))
+        }
+        Scheme::AdaptNoAggregation => {
+            f.visit(Adapt::with_config(lss, AdaptConfig::for_engine(lss).without_aggregation()))
+        }
+        Scheme::AdaptNoDemotion => {
+            f.visit(Adapt::with_config(lss, AdaptConfig::for_engine(lss).without_demotion()))
+        }
+    }
+}
+
+/// Generic visitor over a concrete policy value. Policies are plain data
+/// and `Send`, which lets visitors move engines into worker threads (the
+/// prototype's multi-client benchmark does).
+pub trait PolicyVisitor<R> {
+    /// Called with the constructed policy.
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> R;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NameOf;
+    impl PolicyVisitor<(&'static str, usize)> for NameOf {
+        fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> (&'static str, usize) {
+            (policy.name(), policy.groups().len())
+        }
+    }
+
+    #[test]
+    fn dispatch_constructs_each_scheme() {
+        let lss = LssConfig::default();
+        for s in Scheme::PAPER {
+            let (name, groups) = with_policy(s, &lss, NameOf);
+            assert_eq!(groups, s.group_count(), "{name}");
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = Scheme::PAPER.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn ablations_build() {
+        let lss = LssConfig::default();
+        for s in Scheme::ABLATIONS {
+            let (name, groups) = with_policy(s, &lss, NameOf);
+            assert_eq!(name, "ADAPT");
+            assert_eq!(groups, 6);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Request arrival-time models.
+//!
+//! The paper's motivation (Observation 1) and the density-sensitivity
+//! experiment (Fig. 11 left) hinge on how request inter-arrival times relate
+//! to the array's 100 µs chunk-coalescing SLA window: sparse arrivals force
+//! zero padding, dense arrivals fill chunks naturally.
+
+use crate::rng::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// An arrival process producing monotonically non-decreasing timestamps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ArrivalModel {
+    /// Fixed inter-arrival gap in microseconds.
+    Fixed { gap_us: u64 },
+    /// Poisson process with the given mean rate (requests per second).
+    Poisson { rate_per_sec: f64 },
+    /// On/off bursty process: bursts of `burst_len` requests with
+    /// `intra_gap_us` spacing, separated by `inter_gap_us` idle gaps.
+    /// Models the diurnal/bursty volumes seen in cloud block traces.
+    Bursty {
+        burst_len: u32,
+        intra_gap_us: u64,
+        inter_gap_us: u64,
+    },
+}
+
+impl ArrivalModel {
+    /// Stateful clock over this model.
+    pub fn clock(&self, rng_seed: u64) -> ArrivalClock {
+        ArrivalClock {
+            model: self.clone(),
+            rng: Xoshiro256StarStar::new(rng_seed),
+            now_us: 0,
+            burst_pos: 0,
+        }
+    }
+
+    /// Long-run mean rate in requests per second.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        match *self {
+            ArrivalModel::Fixed { gap_us } => {
+                if gap_us == 0 {
+                    f64::INFINITY
+                } else {
+                    1e6 / gap_us as f64
+                }
+            }
+            ArrivalModel::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalModel::Bursty { burst_len, intra_gap_us, inter_gap_us } => {
+                let cycle_us =
+                    (burst_len as u64).saturating_sub(1) * intra_gap_us + inter_gap_us;
+                if cycle_us == 0 {
+                    f64::INFINITY
+                } else {
+                    burst_len as f64 * 1e6 / cycle_us as f64
+                }
+            }
+        }
+    }
+}
+
+/// Iterator-style clock yielding successive arrival timestamps (µs).
+#[derive(Debug, Clone)]
+pub struct ArrivalClock {
+    model: ArrivalModel,
+    rng: Xoshiro256StarStar,
+    now_us: u64,
+    burst_pos: u32,
+}
+
+impl ArrivalClock {
+    /// Timestamp of the next arrival; advances the clock.
+    pub fn next_arrival(&mut self) -> u64 {
+        let ts = self.now_us;
+        let gap = match self.model {
+            ArrivalModel::Fixed { gap_us } => gap_us,
+            ArrivalModel::Poisson { rate_per_sec } => {
+                let rate_per_us = rate_per_sec / 1e6;
+                if rate_per_us <= 0.0 {
+                    u64::MAX / 4
+                } else {
+                    self.rng.next_exp(rate_per_us).round() as u64
+                }
+            }
+            ArrivalModel::Bursty { burst_len, intra_gap_us, inter_gap_us } => {
+                self.burst_pos += 1;
+                if self.burst_pos >= burst_len {
+                    self.burst_pos = 0;
+                    inter_gap_us
+                } else {
+                    intra_gap_us
+                }
+            }
+        };
+        self.now_us = self.now_us.saturating_add(gap);
+        ts
+    }
+
+    /// Current clock value without advancing.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_gaps_are_exact() {
+        let mut c = ArrivalModel::Fixed { gap_us: 50 }.clock(1);
+        assert_eq!(c.next_arrival(), 0);
+        assert_eq!(c.next_arrival(), 50);
+        assert_eq!(c.next_arrival(), 100);
+    }
+
+    #[test]
+    fn poisson_rate_close_to_target() {
+        let mut c = ArrivalModel::Poisson { rate_per_sec: 1000.0 }.clock(2);
+        let n = 50_000;
+        let mut last = 0;
+        for _ in 0..n {
+            last = c.next_arrival();
+        }
+        let observed_rate = (n - 1) as f64 / (last as f64 / 1e6);
+        assert!(
+            (observed_rate - 1000.0).abs() / 1000.0 < 0.05,
+            "rate {observed_rate}"
+        );
+    }
+
+    #[test]
+    fn bursty_structure() {
+        let mut c = ArrivalModel::Bursty {
+            burst_len: 3,
+            intra_gap_us: 10,
+            inter_gap_us: 1000,
+        }
+        .clock(3);
+        let ts: Vec<u64> = (0..6).map(|_| c.next_arrival()).collect();
+        assert_eq!(ts, vec![0, 10, 20, 1020, 1030, 1040]);
+    }
+
+    #[test]
+    fn mean_rate_formulas() {
+        assert!((ArrivalModel::Fixed { gap_us: 1000 }.mean_rate_per_sec() - 1000.0).abs() < 1e-9);
+        let b = ArrivalModel::Bursty { burst_len: 3, intra_gap_us: 10, inter_gap_us: 980 };
+        // cycle = 2*10 + 980 = 1000us for 3 reqs => 3000 req/s
+        assert!((b.mean_rate_per_sec() - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_timestamps() {
+        for model in [
+            ArrivalModel::Fixed { gap_us: 7 },
+            ArrivalModel::Poisson { rate_per_sec: 5000.0 },
+            ArrivalModel::Bursty { burst_len: 5, intra_gap_us: 3, inter_gap_us: 99 },
+        ] {
+            let mut c = model.clock(9);
+            let mut prev = 0;
+            for _ in 0..1000 {
+                let t = c.next_arrival();
+                assert!(t >= prev);
+                prev = t;
+            }
+        }
+    }
+}

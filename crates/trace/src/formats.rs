@@ -1,0 +1,287 @@
+//! Parsers for the public trace formats the paper evaluates on.
+//!
+//! The reproduction ships *calibrated synthetic* suites because the trace
+//! archives cannot be redistributed, but anyone holding the real files can
+//! replay them directly through the same pipeline:
+//!
+//! * **MSRC** (SNIA "MSR Cambridge" block traces):
+//!   `Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime` with
+//!   Windows 100 ns timestamps, byte offsets/sizes.
+//! * **Alibaba cloud block storage** (Li et al., ToS '23 release):
+//!   `device_id,opcode,offset,length,timestamp` with byte offsets and
+//!   microsecond timestamps, opcode `R`/`W`.
+//! * **Tencent CBS** (SNIA): `timestamp,offset,size,ioType,volumeId` with
+//!   second timestamps and 512-byte-sector offsets/sizes.
+//!
+//! All parsers normalize to [`TraceRecord`]s in 4 KiB blocks with
+//! microsecond timestamps rebased to the first record, skip malformed
+//! lines (counted), and can filter a single volume/device.
+
+use crate::record::{TraceRecord, BLOCK_SIZE};
+use std::io::BufRead;
+
+/// Which on-disk trace dialect to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// MSR Cambridge enterprise traces.
+    Msrc,
+    /// Alibaba cloud block storage traces.
+    Ali,
+    /// Tencent CBS traces.
+    Tencent,
+}
+
+/// Parse outcome with data-quality counters.
+#[derive(Debug, Default)]
+pub struct ParseStats {
+    /// Records successfully parsed.
+    pub parsed: u64,
+    /// Lines skipped (malformed, header, wrong device).
+    pub skipped: u64,
+}
+
+/// Streaming trace parser over any `BufRead`.
+pub struct TraceParser<R: BufRead> {
+    reader: R,
+    format: TraceFormat,
+    /// Restrict to this device/volume id, if set.
+    device_filter: Option<String>,
+    /// Timestamp of the first accepted record (for rebasing).
+    epoch_us: Option<u64>,
+    /// Counters.
+    pub stats: ParseStats,
+    line: String,
+}
+
+impl<R: BufRead> TraceParser<R> {
+    /// Create a parser for the given dialect.
+    pub fn new(reader: R, format: TraceFormat) -> Self {
+        Self {
+            reader,
+            format,
+            device_filter: None,
+            epoch_us: None,
+            stats: ParseStats::default(),
+            line: String::new(),
+        }
+    }
+
+    /// Only keep records whose device/volume field equals `id`.
+    pub fn with_device_filter(mut self, id: impl Into<String>) -> Self {
+        self.device_filter = Some(id.into());
+        self
+    }
+
+    fn parse_line(&self, line: &str) -> Option<(String, TraceRecord)> {
+        let fields: Vec<&str> = line.trim().split(',').collect();
+        match self.format {
+            TraceFormat::Msrc => {
+                // Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+                if fields.len() < 6 {
+                    return None;
+                }
+                let ts_100ns: u64 = fields[0].parse().ok()?;
+                let device = format!("{}:{}", fields[1], fields[2]);
+                let is_write = fields[3].eq_ignore_ascii_case("write");
+                let offset: u64 = fields[4].parse().ok()?;
+                let size: u64 = fields[5].parse().ok()?;
+                let rec = normalize(ts_100ns / 10, offset, size, is_write)?;
+                Some((device, rec))
+            }
+            TraceFormat::Ali => {
+                // device_id,opcode,offset,length,timestamp
+                if fields.len() < 5 {
+                    return None;
+                }
+                let device = fields[0].to_string();
+                let is_write = fields[1].eq_ignore_ascii_case("w");
+                let offset: u64 = fields[2].parse().ok()?;
+                let size: u64 = fields[3].parse().ok()?;
+                let ts_us: u64 = fields[4].parse().ok()?;
+                let rec = normalize(ts_us, offset, size, is_write)?;
+                Some((device, rec))
+            }
+            TraceFormat::Tencent => {
+                // timestamp,offset,size,ioType,volumeId (sectors)
+                if fields.len() < 5 {
+                    return None;
+                }
+                let ts_s: u64 = fields[0].parse().ok()?;
+                let offset_sect: u64 = fields[1].parse().ok()?;
+                let size_sect: u64 = fields[2].parse().ok()?;
+                let is_write = fields[3].trim() == "1";
+                let device = fields[4].to_string();
+                let rec =
+                    normalize(ts_s * 1_000_000, offset_sect * 512, size_sect * 512, is_write)?;
+                Some((device, rec))
+            }
+        }
+    }
+}
+
+/// Convert byte-granular fields to a block-granular record.
+fn normalize(ts_us: u64, offset_bytes: u64, size_bytes: u64, is_write: bool) -> Option<TraceRecord> {
+    if size_bytes == 0 {
+        return None;
+    }
+    let first_block = offset_bytes / BLOCK_SIZE;
+    let last_block = (offset_bytes + size_bytes - 1) / BLOCK_SIZE;
+    let num_blocks = (last_block - first_block + 1).min(u32::MAX as u64) as u32;
+    Some(if is_write {
+        TraceRecord::write(ts_us, first_block, num_blocks)
+    } else {
+        TraceRecord::read(ts_us, first_block, num_blocks)
+    })
+}
+
+impl<R: BufRead> Iterator for TraceParser<R> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        loop {
+            self.line.clear();
+            if self.reader.read_line(&mut self.line).ok()? == 0 {
+                return None;
+            }
+            if self.line.trim().is_empty() {
+                continue;
+            }
+            let line = std::mem::take(&mut self.line);
+            match self.parse_line(&line) {
+                Some((device, mut rec)) => {
+                    if let Some(f) = &self.device_filter {
+                        if &device != f {
+                            self.stats.skipped += 1;
+                            continue;
+                        }
+                    }
+                    let epoch = *self.epoch_us.get_or_insert(rec.ts_us);
+                    rec.ts_us = rec.ts_us.saturating_sub(epoch);
+                    self.stats.parsed += 1;
+                    return Some(rec);
+                }
+                None => {
+                    self.stats.skipped += 1;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// Serialize records in the Ali dialect (the most compact of the three) —
+/// useful for exporting synthetic suites so external tools can consume
+/// them.
+pub fn write_ali_format<W: std::io::Write>(
+    out: &mut W,
+    device: &str,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> std::io::Result<u64> {
+    let mut n = 0;
+    for rec in records {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            device,
+            if rec.is_write() { "W" } else { "R" },
+            rec.lba * BLOCK_SIZE,
+            rec.bytes(),
+            rec.ts_us
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OpType;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_msrc_lines() {
+        let data = "\
+128166372003061629,usr,0,Write,8192,8192,1331\n\
+128166372013061629,usr,0,Read,0,4096,100\n";
+        let recs: Vec<_> =
+            TraceParser::new(Cursor::new(data), TraceFormat::Msrc).collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].op, OpType::Write);
+        assert_eq!(recs[0].lba, 2); // 8192 / 4096
+        assert_eq!(recs[0].num_blocks, 2);
+        assert_eq!(recs[0].ts_us, 0); // rebased
+        assert_eq!(recs[1].ts_us, 1_000_000); // 10^7 × 100ns later
+    }
+
+    #[test]
+    fn parses_ali_lines_and_filters_device() {
+        let data = "\
+dev1,W,4096,4096,1000\n\
+dev2,W,0,4096,1500\n\
+dev1,R,8192,16384,2000\n";
+        let mut p = TraceParser::new(Cursor::new(data), TraceFormat::Ali)
+            .with_device_filter("dev1");
+        let recs: Vec<_> = p.by_ref().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(p.stats.parsed, 2);
+        assert_eq!(p.stats.skipped, 1);
+        assert_eq!(recs[0].lba, 1);
+        assert_eq!(recs[1].num_blocks, 4);
+    }
+
+    #[test]
+    fn parses_tencent_sectors() {
+        let data = "1538323200,8,16,1,1283\n";
+        let recs: Vec<_> =
+            TraceParser::new(Cursor::new(data), TraceFormat::Tencent).collect();
+        assert_eq!(recs.len(), 1);
+        // 8 sectors * 512 = 4096 bytes offset → block 1; 16 sectors = 8192
+        // bytes spanning blocks 1..=2.
+        assert_eq!(recs[0].lba, 1);
+        assert_eq!(recs[0].num_blocks, 2);
+        assert!(recs[0].is_write());
+    }
+
+    #[test]
+    fn malformed_lines_skipped_not_fatal() {
+        let data = "garbage\n\ndev1,W,0,4096,100\nnot,enough\n";
+        let mut p = TraceParser::new(Cursor::new(data), TraceFormat::Ali);
+        let recs: Vec<_> = p.by_ref().collect();
+        assert_eq!(recs.len(), 1);
+        assert!(p.stats.skipped >= 2);
+    }
+
+    #[test]
+    fn unaligned_requests_cover_all_touched_blocks() {
+        // 1 byte at offset 4095 touches block 0 only; 2 bytes at 4095
+        // touch blocks 0 and 1.
+        let data = "d,W,4095,1,0\nd,W,4095,2,1\n";
+        let recs: Vec<_> =
+            TraceParser::new(Cursor::new(data), TraceFormat::Ali).collect();
+        assert_eq!((recs[0].lba, recs[0].num_blocks), (0, 1));
+        assert_eq!((recs[1].lba, recs[1].num_blocks), (0, 2));
+    }
+
+    #[test]
+    fn ali_roundtrip() {
+        let original = vec![
+            TraceRecord::write(0, 5, 3),
+            TraceRecord::read(1000, 0, 1),
+        ];
+        let mut buf = Vec::new();
+        let n = write_ali_format(&mut buf, "vol0", original.clone()).unwrap();
+        assert_eq!(n, 2);
+        let parsed: Vec<_> =
+            TraceParser::new(Cursor::new(buf), TraceFormat::Ali).collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn zero_size_requests_dropped() {
+        let data = "d,W,0,0,0\nd,W,0,4096,10\n";
+        let recs: Vec<_> =
+            TraceParser::new(Cursor::new(data), TraceFormat::Ali).collect();
+        assert_eq!(recs.len(), 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Request-size distributions.
+//!
+//! Production block workloads are dominated by small I/Os (paper Fig. 2b:
+//! 69.8–80.9 % of writes ≤ 8 KiB, only 10.8–23.4 % > 32 KiB). We model
+//! request sizes as a categorical mixture over block counts, which lets the
+//! suites (`suites.rs`) hit those marginals exactly.
+
+use crate::rng::Xoshiro256StarStar;
+use serde::{Deserialize, Serialize};
+
+/// Categorical distribution over request sizes in 4 KiB blocks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeDist {
+    /// `(num_blocks, weight)` entries; weights need not be normalized.
+    entries: Vec<(u32, f64)>,
+    /// Cumulative weights for sampling (normalized).
+    #[serde(skip)]
+    cum: Vec<f64>,
+}
+
+impl SizeDist {
+    /// Build from `(num_blocks, weight)` pairs. Panics if empty, if any
+    /// entry has zero blocks, or if the total weight is non-positive.
+    pub fn new(entries: Vec<(u32, f64)>) -> Self {
+        assert!(!entries.is_empty(), "SizeDist needs at least one entry");
+        assert!(entries.iter().all(|&(b, w)| b > 0 && w >= 0.0));
+        let total: f64 = entries.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "total weight must be positive");
+        let mut cum = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        for &(_, w) in &entries {
+            acc += w / total;
+            cum.push(acc);
+        }
+        // Guard against rounding leaving the last boundary below 1.0.
+        if let Some(last) = cum.last_mut() {
+            *last = 1.0;
+        }
+        Self { entries, cum }
+    }
+
+    /// A fixed size (every request `blocks` long).
+    pub fn fixed(blocks: u32) -> Self {
+        Self::new(vec![(blocks, 1.0)])
+    }
+
+    /// Small-I/O-dominated mixture characteristic of cloud block storage:
+    /// `p_small` of requests are ≤ 8 KiB (split 4 KiB / 8 KiB),
+    /// `p_large` exceed 32 KiB, the remainder fall in between.
+    pub fn cloud_mixture(p_small: f64, p_large: f64) -> Self {
+        assert!(p_small >= 0.0 && p_large >= 0.0 && p_small + p_large <= 1.0);
+        let p_mid = 1.0 - p_small - p_large;
+        Self::new(vec![
+            (1, p_small * 0.70),  // 4 KiB
+            (2, p_small * 0.30),  // 8 KiB
+            (4, p_mid * 0.55),    // 16 KiB
+            (8, p_mid * 0.45),    // 32 KiB
+            (16, p_large * 0.60), // 64 KiB
+            (32, p_large * 0.30), // 128 KiB
+            (64, p_large * 0.10), // 256 KiB
+        ])
+    }
+
+    /// Sample a request size in blocks.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u32 {
+        let u = rng.next_f64();
+        let idx = self
+            .cum
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.entries.len() - 1);
+        self.entries[idx].0
+    }
+
+    /// Mean request size in blocks.
+    pub fn mean_blocks(&self) -> f64 {
+        let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
+        self.entries
+            .iter()
+            .map(|&(b, w)| b as f64 * w / total)
+            .sum()
+    }
+
+    /// Probability that a request is at most `blocks` blocks long.
+    pub fn prob_le(&self, blocks: u32) -> f64 {
+        let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
+        self.entries
+            .iter()
+            .filter(|&&(b, _)| b <= blocks)
+            .map(|&(_, w)| w / total)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_always_same() {
+        let d = SizeDist::fixed(3);
+        let mut rng = Xoshiro256StarStar::new(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn cloud_mixture_marginals() {
+        // Target: 75% ≤ 8KiB (≤2 blocks), 15% > 32KiB (>8 blocks).
+        let d = SizeDist::cloud_mixture(0.75, 0.15);
+        assert!((d.prob_le(2) - 0.75).abs() < 1e-9);
+        assert!((1.0 - d.prob_le(8) - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_analytic_prob() {
+        let d = SizeDist::cloud_mixture(0.8, 0.1);
+        let mut rng = Xoshiro256StarStar::new(77);
+        let n = 200_000;
+        let small = (0..n).filter(|_| d.sample(&mut rng) <= 2).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn mean_blocks_sane() {
+        let d = SizeDist::new(vec![(1, 1.0), (3, 1.0)]);
+        assert!((d.mean_blocks() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rejected() {
+        let _ = SizeDist::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_block_entry_rejected() {
+        let _ = SizeDist::new(vec![(0, 1.0)]);
+    }
+}

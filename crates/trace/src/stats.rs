@@ -1,0 +1,277 @@
+//! Workload statistics: the measurements behind Fig. 2.
+//!
+//! Provides empirical CDFs over per-volume request rates and write sizes,
+//! plus general summary helpers (quantiles, box-plot stats) reused by the
+//! experiment reports.
+
+use crate::record::TraceRecord;
+use serde::{Deserialize, Serialize};
+
+/// Empirical distribution over f64 samples with quantile/CDF queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are rejected).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile by linear interpolation; `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// The raw sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Five-number summary plus outliers — the data behind a box plot
+/// (paper Fig. 8 bottom row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Minimum non-outlier (lower whisker).
+    pub whisker_lo: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Maximum non-outlier (upper whisker).
+    pub whisker_hi: f64,
+    /// Points beyond 1.5×IQR from the box.
+    pub outliers: Vec<f64>,
+    /// Mean of all samples.
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Compute box-plot statistics from samples.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "BoxStats of empty sample set");
+        let e = Ecdf::new(samples.to_vec());
+        let q1 = e.quantile(0.25);
+        let q3 = e.quantile(0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let inliers: Vec<f64> = e
+            .samples()
+            .iter()
+            .copied()
+            .filter(|&x| x >= lo_fence && x <= hi_fence)
+            .collect();
+        let outliers = e
+            .samples()
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Self {
+            // Clamp whiskers to the box: with tiny samples and extreme
+            // outliers, the smallest inlier can exceed the *interpolated*
+            // Q1 (and symmetrically for Q3); a whisker inside the box is
+            // meaningless, so it collapses onto the box edge.
+            whisker_lo: inliers.first().copied().unwrap_or(q1).min(q1),
+            q1,
+            median: e.quantile(0.5),
+            q3,
+            whisker_hi: inliers.last().copied().unwrap_or(q3).max(q3),
+            outliers,
+            mean: e.mean(),
+        }
+    }
+}
+
+/// Summary of one volume's trace, aggregated record-by-record.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total requests observed.
+    pub requests: u64,
+    /// Write requests observed.
+    pub writes: u64,
+    /// Total bytes written.
+    pub write_bytes: u64,
+    /// Writes of at most 8 KiB.
+    pub writes_le_8k: u64,
+    /// Writes strictly larger than 32 KiB.
+    pub writes_gt_32k: u64,
+    /// First timestamp seen (µs).
+    pub first_ts_us: u64,
+    /// Last timestamp seen (µs).
+    pub last_ts_us: u64,
+}
+
+impl TraceSummary {
+    /// Fold one record into the summary.
+    pub fn observe(&mut self, rec: &TraceRecord) {
+        if self.requests == 0 {
+            self.first_ts_us = rec.ts_us;
+        }
+        self.requests += 1;
+        self.last_ts_us = self.last_ts_us.max(rec.ts_us);
+        if rec.is_write() {
+            self.writes += 1;
+            self.write_bytes += rec.bytes();
+            if rec.bytes() <= 8 * 1024 {
+                self.writes_le_8k += 1;
+            }
+            if rec.bytes() > 32 * 1024 {
+                self.writes_gt_32k += 1;
+            }
+        }
+    }
+
+    /// Summarize an iterator of records.
+    pub fn from_trace<I: IntoIterator<Item = TraceRecord>>(trace: I) -> Self {
+        let mut s = Self::default();
+        for rec in trace {
+            s.observe(&rec);
+        }
+        s
+    }
+
+    /// Mean request rate over the observed span (req/s).
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        let span_us = self.last_ts_us.saturating_sub(self.first_ts_us);
+        if span_us == 0 {
+            return 0.0;
+        }
+        (self.requests.saturating_sub(1)) as f64 / (span_us as f64 / 1e6)
+    }
+
+    /// Mean write request size in bytes.
+    pub fn mean_write_bytes(&self) -> f64 {
+        if self.writes == 0 {
+            return 0.0;
+        }
+        self.write_bytes as f64 / self.writes as f64
+    }
+
+    /// Fraction of writes at most 8 KiB.
+    pub fn frac_writes_le_8k(&self) -> f64 {
+        if self.writes == 0 {
+            return 0.0;
+        }
+        self.writes_le_8k as f64 / self.writes as f64
+    }
+
+    /// Fraction of writes larger than 32 KiB.
+    pub fn frac_writes_gt_32k(&self) -> f64 {
+        if self.writes == 0 {
+            return 0.0;
+        }
+        self.writes_gt_32k as f64 / self.writes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    #[test]
+    fn ecdf_cdf_and_quantiles() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(2.0), 0.5);
+        assert_eq!(e.cdf(10.0), 1.0);
+        assert!((e.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((e.quantile(1.0) - 4.0).abs() < 1e-12);
+        assert!((e.quantile(0.5) - 2.5).abs() < 1e-12);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_basic() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let b = BoxStats::from_samples(&samples);
+        assert!((b.median - 50.5).abs() < 1e-9);
+        assert!(b.q1 < b.median && b.median < b.q3);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn box_stats_detects_outliers() {
+        let mut samples: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        samples.push(1000.0);
+        let b = BoxStats::from_samples(&samples);
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 20.0);
+    }
+
+    #[test]
+    fn trace_summary_counts() {
+        let recs = vec![
+            TraceRecord::write(0, 0, 1),        // 4k
+            TraceRecord::write(1_000_000, 4, 2), // 8k
+            TraceRecord::write(2_000_000, 8, 16), // 64k
+            TraceRecord::read(3_000_000, 0, 1),
+        ];
+        let s = TraceSummary::from_trace(recs);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.writes, 3);
+        assert_eq!(s.writes_le_8k, 2);
+        assert_eq!(s.writes_gt_32k, 1);
+        // 3 intervals over 3 seconds => 1 req/s.
+        assert!((s.mean_rate_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = TraceSummary::default();
+        assert_eq!(s.mean_rate_per_sec(), 0.0);
+        assert_eq!(s.mean_write_bytes(), 0.0);
+        assert_eq!(s.frac_writes_le_8k(), 0.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_single_sample() {
+        let e = Ecdf::new(vec![7.0]);
+        assert_eq!(e.quantile(0.3), 7.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Calibrated synthetic workload suites.
+//!
+//! Stand-ins for the three production trace sets the paper evaluates
+//! (Alibaba cloud block storage, Tencent cloud block storage, MSRC
+//! enterprise servers). Each suite is a population of 50 volumes whose
+//! marginal statistics are calibrated to the paper's Fig. 2:
+//!
+//! * per-volume mean request rate is log-normal, with the fraction of
+//!   volumes above 100 req/s and below 10 req/s matching the reported
+//!   1.9–2.7 % / 75–86.1 % ranges;
+//! * write-size mixtures match the reported ≤8 KiB and >32 KiB write
+//!   fractions (69.8–80.9 % and 10.8–23.4 %);
+//! * Tencent volumes are more skewed than Alibaba (the paper notes its
+//!   per-volume WA is lower because access is more skewed); MSRC is
+//!   read-intensive with more sequential runs.
+//!
+//! The log-normal parameters below are solved from the two quantile
+//! constraints: if `P(rate < 10) = p10` and `P(rate > 100) = p100`, then
+//! `sigma = ln(10) / (z(1-p100) - z(p10))` and
+//! `mu = ln(10) - z(p10) * sigma` (z = standard normal quantile).
+
+use crate::arrival::ArrivalModel;
+use crate::rng::Xoshiro256StarStar;
+use crate::size_dist::SizeDist;
+use crate::volume::VolumeModel;
+use serde::{Deserialize, Serialize};
+
+/// Which production environment a suite models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SuiteKind {
+    /// Alibaba cloud block storage (Li et al., ToS '23).
+    Ali,
+    /// Tencent cloud block storage (Zhang et al., ATC '20).
+    Tencent,
+    /// Microsoft Research Cambridge enterprise servers (Narayanan et al.).
+    Msrc,
+}
+
+impl SuiteKind {
+    /// All three suites in paper order.
+    pub const ALL: [SuiteKind; 3] = [SuiteKind::Ali, SuiteKind::Tencent, SuiteKind::Msrc];
+
+    /// Human-readable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SuiteKind::Ali => "AliCloud",
+            SuiteKind::Tencent => "TencentCloud",
+            SuiteKind::Msrc => "MSRC",
+        }
+    }
+
+    /// Calibration targets for this suite (used both for generation and as
+    /// oracle values in tests).
+    pub fn calibration(&self) -> SuiteCalibration {
+        match self {
+            SuiteKind::Ali => SuiteCalibration {
+                // 80% of volumes < 10 req/s, 2.5% > 100 req/s.
+                rate_mu: 0.576,
+                rate_sigma: 2.056,
+                p_small_write: 0.75,
+                p_large_write: 0.12,
+                alpha_lo: 0.70,
+                alpha_hi: 1.00,
+                read_ratio_lo: 0.30,
+                read_ratio_hi: 0.55,
+                seq_prob: 0.08,
+                update_frac_lo: 0.25,
+                update_frac_hi: 0.55,
+                once_prob_lo: 0.1,
+                once_prob_hi: 0.3,
+                bursty_frac: 0.55,
+                min_blocks: 20 * 1024,
+                max_blocks: 56 * 1024,
+            },
+            SuiteKind::Tencent => SuiteCalibration {
+                // 86% of volumes < 10 req/s, 1.9% > 100 req/s; more skewed.
+                rate_mu: -0.209,
+                rate_sigma: 2.326,
+                p_small_write: 0.81,
+                p_large_write: 0.108,
+                alpha_lo: 0.90,
+                alpha_hi: 1.15,
+                read_ratio_lo: 0.25,
+                read_ratio_hi: 0.50,
+                seq_prob: 0.05,
+                update_frac_lo: 0.2,
+                update_frac_hi: 0.45,
+                once_prob_lo: 0.08,
+                once_prob_hi: 0.25,
+                bursty_frac: 0.55,
+                min_blocks: 20 * 1024,
+                max_blocks: 48 * 1024,
+            },
+            SuiteKind::Msrc => SuiteCalibration {
+                // 75% of volumes < 10 req/s, 2.7% > 100 req/s; read heavy.
+                rate_mu: 1.064,
+                rate_sigma: 1.838,
+                p_small_write: 0.70,
+                p_large_write: 0.23,
+                alpha_lo: 0.60,
+                alpha_hi: 1.00,
+                read_ratio_lo: 0.60,
+                read_ratio_hi: 0.85,
+                seq_prob: 0.20,
+                update_frac_lo: 0.25,
+                update_frac_hi: 0.55,
+                once_prob_lo: 0.15,
+                once_prob_hi: 0.4,
+                bursty_frac: 0.45,
+                min_blocks: 20 * 1024,
+                max_blocks: 56 * 1024,
+            },
+        }
+    }
+}
+
+/// Meta-distribution parameters from which a suite's volumes are drawn.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteCalibration {
+    /// Log-normal mu of per-volume mean request rate (req/s).
+    pub rate_mu: f64,
+    /// Log-normal sigma of per-volume mean request rate.
+    pub rate_sigma: f64,
+    /// Target fraction of writes ≤ 8 KiB.
+    pub p_small_write: f64,
+    /// Target fraction of writes > 32 KiB.
+    pub p_large_write: f64,
+    /// Per-volume Zipf alpha range (uniform).
+    pub alpha_lo: f64,
+    /// Upper end of the alpha range.
+    pub alpha_hi: f64,
+    /// Per-volume read ratio range (uniform).
+    pub read_ratio_lo: f64,
+    /// Upper end of the read-ratio range.
+    pub read_ratio_hi: f64,
+    /// Sequential-run probability.
+    pub seq_prob: f64,
+    /// Update-region fraction range (uniform per volume).
+    pub update_frac_lo: f64,
+    /// Upper end of the update-region fraction range.
+    pub update_frac_hi: f64,
+    /// Write-once probability range (uniform per volume).
+    pub once_prob_lo: f64,
+    /// Upper end of the write-once probability range.
+    pub once_prob_hi: f64,
+    /// Fraction of volumes with bursty (on/off) rather than Poisson arrivals.
+    pub bursty_frac: f64,
+    /// Working-set size range in 4 KiB blocks.
+    pub min_blocks: u64,
+    /// Upper end of the working-set range.
+    pub max_blocks: u64,
+}
+
+/// A population of volumes standing in for one production trace set.
+#[derive(Debug, Clone)]
+pub struct WorkloadSuite {
+    /// Which environment this models.
+    pub kind: SuiteKind,
+    /// The volume models (paper: 50 volumes per trace set).
+    pub volumes: Vec<VolumeModel>,
+}
+
+/// Number of volumes per suite, matching the paper's selection of 50.
+pub const VOLUMES_PER_SUITE: usize = 50;
+
+impl WorkloadSuite {
+    /// Generate the suite deterministically from a seed.
+    pub fn generate(kind: SuiteKind, seed: u64) -> Self {
+        Self::generate_n(kind, seed, VOLUMES_PER_SUITE)
+    }
+
+    /// Generate the *evaluation selection*: volumes drawn from the same
+    /// calibrated population but conditioned on being reasonably active
+    /// (mean rate ≥ `min_rate` req/s). The paper "selects 50 volumes" from
+    /// each trace set for its WA experiments; an activity-biased selection
+    /// is the standard practice (idle volumes barely exercise GC), and it
+    /// is what reproduces the paper's padding-ratio ranges.
+    pub fn evaluation_selection(kind: SuiteKind, seed: u64, n: usize, min_rate: f64) -> Self {
+        let mut out = Self::generate_n(kind, seed, 0);
+        let mut attempt = 0u64;
+        while out.volumes.len() < n {
+            let candidate = Self::generate_n(kind, seed ^ crate::rng::mix64(attempt + 1), 1);
+            attempt += 1;
+            let v = &candidate.volumes[0];
+            if v.mean_rate_per_sec() >= min_rate {
+                let mut v = v.clone();
+                v.id = out.volumes.len() as u32;
+                out.volumes.push(v);
+            }
+            assert!(attempt < 200_000, "selection failed to find active volumes");
+        }
+        out
+    }
+
+    /// Generate a suite with an explicit volume count (smaller counts are
+    /// useful for fast tests).
+    pub fn generate_n(kind: SuiteKind, seed: u64, n: usize) -> Self {
+        let cal = kind.calibration();
+        let mut rng = Xoshiro256StarStar::new(seed ^ crate::rng::mix64(kind as u64 + 1));
+        let volumes = (0..n as u32)
+            .map(|id| {
+                // Per-volume mean request rate, clamped to a sane range so a
+                // single extreme volume cannot dominate simulation cost.
+                let rate = rng
+                    .next_lognormal(cal.rate_mu, cal.rate_sigma)
+                    .clamp(0.2, 2_000.0);
+                let arrival = if rng.next_f64() < cal.bursty_frac {
+                    // Bursts of 8–32 requests at 20 µs spacing (VM flush
+                    // behaviour documented for cloud block traces); the
+                    // idle gap is chosen to hit the target mean rate:
+                    // cycle_us = (len-1)*20 + inter_gap, rate = len*1e6/cycle.
+                    let burst_len = 8u32 << rng.next_bounded(3); // 8, 16, 32
+                    let cycle_us = (burst_len as f64 * 1e6 / rate).max(400.0) as u64;
+                    let inter =
+                        cycle_us.saturating_sub((burst_len as u64 - 1) * 20).max(1);
+                    ArrivalModel::Bursty {
+                        burst_len,
+                        intra_gap_us: 20,
+                        inter_gap_us: inter,
+                    }
+                } else {
+                    ArrivalModel::Poisson { rate_per_sec: rate }
+                };
+                let alpha = cal.alpha_lo + rng.next_f64() * (cal.alpha_hi - cal.alpha_lo);
+                let read_ratio = cal.read_ratio_lo
+                    + rng.next_f64() * (cal.read_ratio_hi - cal.read_ratio_lo);
+                let span = cal.max_blocks - cal.min_blocks;
+                let unique_blocks = cal.min_blocks + rng.next_bounded(span.max(1));
+                let update_frac = cal.update_frac_lo
+                    + rng.next_f64() * (cal.update_frac_hi - cal.update_frac_lo);
+                let once_prob =
+                    cal.once_prob_lo + rng.next_f64() * (cal.once_prob_hi - cal.once_prob_lo);
+                VolumeModel {
+                    id,
+                    unique_blocks,
+                    arrival,
+                    sizes: SizeDist::cloud_mixture(cal.p_small_write, cal.p_large_write),
+                    zipf_alpha: alpha,
+                    read_ratio,
+                    seq_prob: cal.seq_prob,
+                    update_frac,
+                    once_prob,
+                    seed: crate::rng::mix64(seed ^ ((kind as u64) << 32) ^ id as u64),
+                }
+            })
+            .collect();
+        Self { kind, volumes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_fifty_volumes() {
+        for kind in SuiteKind::ALL {
+            let s = WorkloadSuite::generate(kind, 1);
+            assert_eq!(s.volumes.len(), VOLUMES_PER_SUITE);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = WorkloadSuite::generate(SuiteKind::Ali, 9);
+        let b = WorkloadSuite::generate(SuiteKind::Ali, 9);
+        for (va, vb) in a.volumes.iter().zip(&b.volumes) {
+            assert_eq!(va.seed, vb.seed);
+            assert_eq!(va.unique_blocks, vb.unique_blocks);
+        }
+    }
+
+    #[test]
+    fn rate_quantiles_near_paper_fig2a() {
+        // With only 50 volumes the sample quantiles are noisy; use a large
+        // population to validate the meta-distribution itself.
+        for kind in SuiteKind::ALL {
+            let s = WorkloadSuite::generate_n(kind, 17, 4000);
+            let rates: Vec<f64> = s.volumes.iter().map(|v| v.mean_rate_per_sec()).collect();
+            let below10 = rates.iter().filter(|&&r| r < 10.0).count() as f64 / rates.len() as f64;
+            let above100 =
+                rates.iter().filter(|&&r| r > 100.0).count() as f64 / rates.len() as f64;
+            assert!(
+                (0.70..=0.90).contains(&below10),
+                "{}: below10 {below10}",
+                kind.name()
+            );
+            assert!(
+                (0.01..=0.05).contains(&above100),
+                "{}: above100 {above100}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn write_size_marginals_match_calibration() {
+        for kind in SuiteKind::ALL {
+            let cal = kind.calibration();
+            let s = WorkloadSuite::generate(kind, 3);
+            let d = &s.volumes[0].sizes;
+            assert!((d.prob_le(2) - cal.p_small_write).abs() < 1e-9);
+            assert!(((1.0 - d.prob_le(8)) - cal.p_large_write).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tencent_more_skewed_than_ali() {
+        let ali = WorkloadSuite::generate(SuiteKind::Ali, 5);
+        let tc = WorkloadSuite::generate(SuiteKind::Tencent, 5);
+        let mean = |s: &WorkloadSuite| {
+            s.volumes.iter().map(|v| v.zipf_alpha).sum::<f64>() / s.volumes.len() as f64
+        };
+        assert!(mean(&tc) > mean(&ali));
+    }
+
+    #[test]
+    fn msrc_read_intensive() {
+        let m = WorkloadSuite::generate(SuiteKind::Msrc, 5);
+        let mean_reads =
+            m.volumes.iter().map(|v| v.read_ratio).sum::<f64>() / m.volumes.len() as f64;
+        assert!(mean_reads > 0.55, "MSRC read ratio {mean_reads}");
+    }
+
+    #[test]
+    fn volume_seeds_unique_within_suite() {
+        let s = WorkloadSuite::generate(SuiteKind::Ali, 21);
+        let mut seeds: Vec<u64> = s.volumes.iter().map(|v| v.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), VOLUMES_PER_SUITE);
+    }
+}

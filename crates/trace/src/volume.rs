@@ -1,0 +1,213 @@
+//! Per-volume workload model and trace generator.
+//!
+//! A [`VolumeModel`] captures everything that distinguishes one cloud block
+//! volume from another: working-set size, arrival density, request-size
+//! mixture, update skew, read/write mix, and sequentiality. A
+//! [`VolumeTrace`] turns a model into a concrete deterministic stream of
+//! [`TraceRecord`]s.
+
+use crate::arrival::{ArrivalClock, ArrivalModel};
+use crate::record::TraceRecord;
+use crate::rng::Xoshiro256StarStar;
+use crate::size_dist::SizeDist;
+use crate::zipf::ZipfGenerator;
+use serde::{Deserialize, Serialize};
+
+/// Description of a single volume's workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VolumeModel {
+    /// Stable identifier within a suite.
+    pub id: u32,
+    /// Number of distinct 4 KiB blocks in the volume's address space.
+    pub unique_blocks: u64,
+    /// Arrival process for requests.
+    pub arrival: ArrivalModel,
+    /// Request-size mixture.
+    pub sizes: SizeDist,
+    /// Zipfian skew of the access pattern over blocks (0 = uniform).
+    pub zipf_alpha: f64,
+    /// Fraction of requests that are reads.
+    pub read_ratio: f64,
+    /// Probability that a request starts where the previous one ended
+    /// (sequential run behaviour, common in enterprise traces).
+    pub seq_prob: f64,
+    /// Fraction of the address space that is update-heavy; Zipfian rewrites
+    /// target only this region. Cloud block traces show most LBAs written
+    /// once or twice with a small heavily-updated region.
+    pub update_frac: f64,
+    /// Probability that a (non-sequential) request touches the write-once
+    /// region (uniformly) instead of the update region.
+    pub once_prob: f64,
+    /// RNG seed; two volumes with equal fields but different seeds produce
+    /// different concrete traces.
+    pub seed: u64,
+}
+
+impl VolumeModel {
+    /// Generator over this model producing `num_requests` records.
+    pub fn trace(&self, num_requests: u64) -> VolumeTrace {
+        VolumeTrace::new(self.clone(), num_requests)
+    }
+
+    /// Long-run mean request rate (req/s) implied by the arrival model.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        self.arrival.mean_rate_per_sec()
+    }
+}
+
+/// Deterministic iterator of trace records for one volume.
+#[derive(Debug, Clone)]
+pub struct VolumeTrace {
+    model: VolumeModel,
+    remaining: u64,
+    clock: ArrivalClock,
+    rng: Xoshiro256StarStar,
+    zipf: ZipfGenerator,
+    /// Permutation seed decorrelating Zipf rank from LBA so that hot blocks
+    /// are scattered across the address space rather than clustered at 0.
+    scatter: u64,
+    prev_end: u64,
+}
+
+impl VolumeTrace {
+    fn new(model: VolumeModel, num_requests: u64) -> Self {
+        let update_blocks =
+            ((model.unique_blocks as f64 * model.update_frac) as u64).clamp(1, model.unique_blocks);
+        let zipf = ZipfGenerator::new(update_blocks, model.zipf_alpha);
+        let clock = model.arrival.clock(model.seed ^ 0xA11C_E5ED);
+        let rng = Xoshiro256StarStar::new(model.seed);
+        let scatter = crate::rng::mix64(model.seed ^ 0x5CA7_7E2D);
+        Self { model, remaining: num_requests, clock, rng, zipf, scatter, prev_end: 0 }
+    }
+
+    /// Map a Zipf rank to an LBA inside the update region via a cheap
+    /// bijective-ish scatter (affine map with an odd multiplier modulo the
+    /// region size; we force oddness and accept the rare non-coprime case
+    /// since the region size is arbitrary).
+    fn rank_to_lba(&self, rank: u64) -> u64 {
+        let n = self.zipf.n().max(1);
+        let mult = self.scatter | 1;
+        ((rank as u128 * mult as u128) % n as u128) as u64
+    }
+}
+
+impl Iterator for VolumeTrace {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let ts = self.clock.next_arrival();
+        let nb = self.model.sizes.sample(&mut self.rng);
+        let n = self.model.unique_blocks.max(1);
+        let update_blocks = self.zipf.n();
+        let lba = if self.rng.next_f64() < self.model.seq_prob {
+            // Sequential continuation, wrapped into the address space.
+            self.prev_end % n
+        } else if update_blocks < n && self.rng.next_f64() < self.model.once_prob {
+            // Write-once / rarely-touched region: uniform beyond the
+            // update region.
+            update_blocks + self.rng.next_bounded(n - update_blocks)
+        } else {
+            let rank = self.zipf.sample(&mut self.rng);
+            self.rank_to_lba(rank)
+        };
+        // Clamp multi-block requests into the address space.
+        let lba = if nb as u64 >= n { 0 } else { lba.min(n - nb as u64) };
+        self.prev_end = lba + nb as u64;
+        let is_read = self.rng.next_f64() < self.model.read_ratio;
+        Some(if is_read {
+            TraceRecord::read(ts, lba, nb)
+        } else {
+            TraceRecord::write(ts, lba, nb)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OpType;
+
+    fn model() -> VolumeModel {
+        VolumeModel {
+            id: 0,
+            unique_blocks: 10_000,
+            arrival: ArrivalModel::Fixed { gap_us: 100 },
+            sizes: SizeDist::cloud_mixture(0.8, 0.1),
+            zipf_alpha: 0.9,
+            read_ratio: 0.3,
+            seq_prob: 0.1,
+            update_frac: 0.4,
+            once_prob: 0.2,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<_> = model().trace(1000).collect();
+        let b: Vec<_> = model().trace(1000).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let mut m2 = model();
+        m2.seed = 43;
+        let a: Vec<_> = model().trace(1000).collect();
+        let b: Vec<_> = m2.trace(1000).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn records_stay_in_address_space() {
+        for rec in model().trace(5000) {
+            assert!(rec.lba + rec.num_blocks as u64 <= 10_000);
+            assert!(rec.num_blocks >= 1);
+        }
+    }
+
+    #[test]
+    fn read_ratio_approximated() {
+        let n = 20_000;
+        let reads = model()
+            .trace(n)
+            .filter(|r| r.op == OpType::Read)
+            .count();
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.02, "read frac {frac}");
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let mut prev = 0;
+        for rec in model().trace(2000) {
+            assert!(rec.ts_us >= prev);
+            prev = rec.ts_us;
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_writes() {
+        // With alpha 0.9, distinct-block count must be far below request
+        // count for a working set of 10k and 50k requests.
+        let distinct: std::collections::HashSet<u64> = model()
+            .trace(50_000)
+            .filter(|r| r.is_write())
+            .flat_map(|r| r.lbas().collect::<Vec<_>>())
+            .collect();
+        assert!(
+            (distinct.len() as u64) < 10_000,
+            "distinct {} should be below working set",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn takes_exactly_n_records() {
+        assert_eq!(model().trace(777).count(), 777);
+    }
+}

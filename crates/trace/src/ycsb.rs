@@ -1,0 +1,366 @@
+//! YCSB-style workload generator.
+//!
+//! The paper's sensitivity study (§4.3, Fig. 11) and prototype evaluation
+//! (§4.4, Fig. 12) use YCSB-A: an update-heavy workload with Zipfian access
+//! over a fixed key population. This module reproduces that shape at the
+//! block level: a *load* phase that fills `num_blocks` blocks once, then a
+//! *run* phase of `num_updates` updates drawn from a Zipfian distribution
+//! with configurable skew and arrival density.
+
+use crate::arrival::ArrivalModel;
+use crate::record::TraceRecord;
+use crate::rng::Xoshiro256StarStar;
+use crate::zipf::ZipfGenerator;
+use serde::{Deserialize, Serialize};
+
+/// Traffic intensity presets used by Fig. 11 (left). "Light" keeps every
+/// inter-arrival gap above the 100 µs coalescing SLA so padding pressure is
+/// maximal; "medium" and "heavy" fall below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficIntensity {
+    /// Inter-arrival gap > SLA window (sparse; padding-bound).
+    Light,
+    /// Inter-arrival gap just below the SLA window.
+    Medium,
+    /// Dense back-to-back requests; no padding occurs.
+    Heavy,
+}
+
+impl TrafficIntensity {
+    /// Arrival model for this intensity given the 100 µs SLA used in the
+    /// paper's setup.
+    pub fn arrival(&self) -> ArrivalModel {
+        match self {
+            // Mean 250 µs gaps (Poisson): the stream is sparse relative
+            // to the 100 µs window, so partial chunks dominate.
+            TrafficIntensity::Light => ArrivalModel::Poisson { rate_per_sec: 4_000.0 },
+            // Mean 60 µs gaps: some chunks fill before timing out.
+            TrafficIntensity::Medium => ArrivalModel::Poisson { rate_per_sec: 16_667.0 },
+            // Back-to-back submission (saturated queue): simulated time
+            // does not advance between requests, so no coalescing window
+            // ever expires — padding vanishes for every scheme, as in the
+            // paper's heavy setting.
+            TrafficIntensity::Heavy => ArrivalModel::Fixed { gap_us: 0 },
+        }
+    }
+
+    /// Name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrafficIntensity::Light => "light",
+            TrafficIntensity::Medium => "medium",
+            TrafficIntensity::Heavy => "heavy",
+        }
+    }
+}
+
+/// Access distribution of the run phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessDistribution {
+    /// Zipfian over the whole population (YCSB default).
+    Zipfian,
+    /// Uniform over the whole population.
+    Uniform,
+    /// "Latest": Zipfian over recency — recently *written* blocks are the
+    /// most likely to be accessed again (YCSB-D's distribution).
+    Latest,
+}
+
+/// Configuration of a YCSB-shaped block workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct YcsbConfig {
+    /// Number of distinct 4 KiB blocks (paper: 1 M blocks = 4 GiB).
+    pub num_blocks: u64,
+    /// Number of update requests in the run phase (paper: 10 M writes).
+    pub num_updates: u64,
+    /// Zipfian skew (YCSB default 0.99; Fig. 11 sweeps 0..0.99).
+    pub zipf_alpha: f64,
+    /// Fraction of run-phase requests that are reads (YCSB-A: 0.5).
+    pub read_ratio: f64,
+    /// Arrival process of the run phase.
+    pub arrival: ArrivalModel,
+    /// Blocks per request (1 = pure 4 KiB updates, YCSB record-sized).
+    pub blocks_per_request: u32,
+    /// Access distribution of the run phase.
+    pub distribution: AccessDistribution,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl YcsbConfig {
+    /// YCSB-A defaults (50/50 read/update, Zipfian) at the given intensity
+    /// and skew.
+    pub fn workload_a(num_blocks: u64, num_updates: u64, alpha: f64, intensity: TrafficIntensity) -> Self {
+        Self {
+            num_blocks,
+            num_updates,
+            zipf_alpha: alpha,
+            read_ratio: 0.5,
+            arrival: intensity.arrival(),
+            blocks_per_request: 1,
+            distribution: AccessDistribution::Zipfian,
+            seed: 0x9C5B_A001,
+        }
+    }
+
+    /// YCSB-B: 95% reads, 5% updates, Zipfian.
+    pub fn workload_b(num_blocks: u64, num_ops: u64, intensity: TrafficIntensity) -> Self {
+        Self { read_ratio: 0.95, ..Self::workload_a(num_blocks, num_ops, 0.99, intensity) }
+    }
+
+    /// YCSB-D-shaped: 95% reads, 5% writes, *latest* distribution — both
+    /// reads and writes favour recently written blocks.
+    pub fn workload_d(num_blocks: u64, num_ops: u64, intensity: TrafficIntensity) -> Self {
+        Self {
+            read_ratio: 0.95,
+            distribution: AccessDistribution::Latest,
+            ..Self::workload_a(num_blocks, num_ops, 0.99, intensity)
+        }
+    }
+
+    /// YCSB-F-shaped: read-modify-write — every key access issues a read
+    /// followed by a write of the same block. Modeled as a 50/50 mix where
+    /// the generator pairs each write with the preceding read (the block
+    /// stream is what the placement layer sees either way).
+    pub fn workload_f(num_blocks: u64, num_ops: u64, intensity: TrafficIntensity) -> Self {
+        Self { read_ratio: 0.5, ..Self::workload_a(num_blocks, num_ops, 0.99, intensity) }
+    }
+
+    /// Generator over this configuration (load phase then run phase).
+    pub fn generator(&self) -> YcsbGenerator {
+        YcsbGenerator::new(self.clone())
+    }
+}
+
+/// Iterator producing the load phase (sequential fill of every block)
+/// followed by the run phase (Zipfian updates/reads).
+#[derive(Debug, Clone)]
+pub struct YcsbGenerator {
+    cfg: YcsbConfig,
+    zipf: ZipfGenerator,
+    rng: Xoshiro256StarStar,
+    clock_now: u64,
+    arrival: crate::arrival::ArrivalClock,
+    loaded: u64,
+    updates_done: u64,
+    scatter: u64,
+    /// Ring of recently written LBAs (for the latest distribution).
+    recent: Vec<u64>,
+    recent_pos: usize,
+}
+
+impl YcsbGenerator {
+    fn new(cfg: YcsbConfig) -> Self {
+        let zipf = ZipfGenerator::new(cfg.num_blocks.max(1), cfg.zipf_alpha);
+        let arrival = cfg.arrival.clock(cfg.seed ^ 0xDEAD_BEEF);
+        let rng = Xoshiro256StarStar::new(cfg.seed);
+        let scatter = crate::rng::mix64(cfg.seed ^ 0x5CA7);
+        Self {
+            cfg,
+            zipf,
+            rng,
+            clock_now: 0,
+            arrival,
+            loaded: 0,
+            updates_done: 0,
+            scatter,
+            recent: Vec::with_capacity(RECENT_WINDOW),
+            recent_pos: 0,
+        }
+    }
+
+    fn rank_to_lba(&self, rank: u64) -> u64 {
+        let n = self.cfg.num_blocks.max(1);
+        let mult = self.scatter | 1;
+        ((rank as u128 * mult as u128) % n as u128) as u64
+    }
+
+    /// Total number of records this generator will yield.
+    pub fn total_len(&self) -> u64 {
+        let stride = self.cfg.blocks_per_request.max(1) as u64;
+        self.cfg.num_blocks.div_ceil(stride) + self.cfg.num_updates
+    }
+}
+
+/// Window of the latest distribution (most recent writes tracked).
+const RECENT_WINDOW: usize = 1024;
+
+impl YcsbGenerator {
+    fn note_write(&mut self, lba: u64) {
+        if self.recent.len() < RECENT_WINDOW {
+            self.recent.push(lba);
+        } else {
+            self.recent[self.recent_pos] = lba;
+            self.recent_pos = (self.recent_pos + 1) % RECENT_WINDOW;
+        }
+    }
+}
+
+impl Iterator for YcsbGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let stride = self.cfg.blocks_per_request.max(1);
+        if self.loaded < self.cfg.num_blocks {
+            // Load phase: dense sequential fill (back-to-back, 1 µs apart);
+            // it is excluded from WA measurement windows by the simulator.
+            let lba = self.loaded;
+            let nb = stride.min((self.cfg.num_blocks - self.loaded) as u32);
+            self.loaded += nb as u64;
+            let ts = self.clock_now;
+            self.clock_now += 1;
+            return Some(TraceRecord::write(ts, lba, nb));
+        }
+        if self.updates_done >= self.cfg.num_updates {
+            return None;
+        }
+        self.updates_done += 1;
+        // Run-phase arrivals start after the load phase finished.
+        let ts = self.clock_now + self.arrival.next_arrival();
+        let n = self.cfg.num_blocks.max(1);
+        let lba = match self.cfg.distribution {
+            AccessDistribution::Zipfian => {
+                let rank = self.zipf.sample(&mut self.rng);
+                self.rank_to_lba(rank)
+            }
+            AccessDistribution::Uniform => self.rng.next_bounded(n),
+            AccessDistribution::Latest => {
+                if self.recent.is_empty() {
+                    let rank = self.zipf.sample(&mut self.rng);
+                    self.rank_to_lba(rank)
+                } else {
+                    // Zipfian over recency: rank 0 = newest write.
+                    let r = self.zipf.sample(&mut self.rng) as usize % self.recent.len();
+                    let newest =
+                        (self.recent_pos + self.recent.len() - 1) % self.recent.len();
+                    self.recent[(newest + self.recent.len() - r) % self.recent.len()]
+                }
+            }
+        };
+        let lba = if stride as u64 >= n { 0 } else { lba.min(n - stride as u64) };
+        Some(if self.rng.next_f64() < self.cfg.read_ratio {
+            TraceRecord::read(ts, lba, stride)
+        } else {
+            self.note_write(lba);
+            TraceRecord::write(ts, lba, stride)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::OpType;
+
+    fn cfg(alpha: f64) -> YcsbConfig {
+        YcsbConfig {
+            num_blocks: 1000,
+            num_updates: 5000,
+            zipf_alpha: alpha,
+            read_ratio: 0.5,
+            arrival: ArrivalModel::Fixed { gap_us: 100 },
+            blocks_per_request: 1,
+            distribution: AccessDistribution::Zipfian,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn load_phase_covers_all_blocks_once() {
+        let recs: Vec<_> = cfg(0.99).generator().take(1000).collect();
+        assert!(recs.iter().all(|r| r.op == OpType::Write));
+        let lbas: Vec<u64> = recs.iter().map(|r| r.lba).collect();
+        assert_eq!(lbas, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn total_len_matches_iteration() {
+        let g = cfg(0.5).generator();
+        let expect = g.total_len();
+        assert_eq!(g.count() as u64, expect);
+    }
+
+    #[test]
+    fn run_phase_mixes_reads_and_writes() {
+        let recs: Vec<_> = cfg(0.99).generator().skip(1000).collect();
+        let reads = recs.iter().filter(|r| r.op == OpType::Read).count();
+        let frac = reads as f64 / recs.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "read frac {frac}");
+    }
+
+    #[test]
+    fn intensity_gaps_ordered() {
+        let l = TrafficIntensity::Light.arrival().mean_rate_per_sec();
+        let m = TrafficIntensity::Medium.arrival().mean_rate_per_sec();
+        let h = TrafficIntensity::Heavy.arrival().mean_rate_per_sec();
+        assert!(l < m && m < h);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = cfg(0.9).generator().collect();
+        let b: Vec<_> = cfg(0.9).generator().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timestamps_nondecreasing() {
+        let mut prev = 0;
+        for r in cfg(0.7).generator() {
+            assert!(r.ts_us >= prev, "ts {} < prev {prev}", r.ts_us);
+            prev = r.ts_us;
+        }
+    }
+
+    #[test]
+    fn latest_distribution_prefers_recent_writes() {
+        let mut c = cfg(0.99);
+        c.distribution = AccessDistribution::Latest;
+        c.read_ratio = 0.0;
+        c.num_updates = 20_000;
+        let recs: Vec<_> = c.generator().skip(1000).collect();
+        // Consecutive-write reuse: with the latest distribution a large
+        // share of writes hit a block written within the last few ops.
+        let mut last_seen = std::collections::HashMap::new();
+        let mut near = 0u64;
+        for (i, r) in recs.iter().enumerate() {
+            if let Some(&prev) = last_seen.get(&r.lba) {
+                if i - prev <= 64 {
+                    near += 1;
+                }
+            }
+            last_seen.insert(r.lba, i);
+        }
+        let frac = near as f64 / recs.len() as f64;
+        assert!(frac > 0.2, "recency fraction {frac}");
+    }
+
+    #[test]
+    fn workload_presets_shapes() {
+        let b = YcsbConfig::workload_b(1000, 100, TrafficIntensity::Heavy);
+        assert!((b.read_ratio - 0.95).abs() < 1e-9);
+        let d = YcsbConfig::workload_d(1000, 100, TrafficIntensity::Heavy);
+        assert_eq!(d.distribution, AccessDistribution::Latest);
+        let f = YcsbConfig::workload_f(1000, 100, TrafficIntensity::Heavy);
+        assert!((f.read_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_distribution_covers_space() {
+        let mut c = cfg(0.0);
+        c.distribution = AccessDistribution::Uniform;
+        c.read_ratio = 0.0;
+        let distinct: std::collections::HashSet<u64> =
+            c.generator().skip(1000).map(|r| r.lba).collect();
+        assert!(distinct.len() > 900, "{}", distinct.len());
+    }
+
+    #[test]
+    fn multi_block_requests_in_range() {
+        let mut c = cfg(0.9);
+        c.blocks_per_request = 4;
+        for r in c.generator() {
+            assert!(r.lba + r.num_blocks as u64 <= 1000);
+        }
+    }
+}

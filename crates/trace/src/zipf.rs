@@ -1,0 +1,157 @@
+//! Zipfian item sampler.
+//!
+//! Implements the rejection-inversion-free generator of Gray et al.
+//! ("Quickly generating billion-record synthetic databases", SIGMOD '94),
+//! which is exactly what the YCSB benchmark uses internally. Sampling is
+//! O(1) per draw after O(n^s)-free closed-form setup (two harmonic numbers
+//! computed once in O(n); we cache them).
+//!
+//! For `alpha = 0` this degrades to a uniform distribution, matching the
+//! paper's skewness sweep in Fig. 11 (right).
+
+use crate::rng::Xoshiro256StarStar;
+
+/// Zipfian generator over items `0..n` with skew parameter `alpha`
+/// (a.k.a. `theta` in the YCSB source). Item 0 is the most popular.
+#[derive(Debug, Clone)]
+pub struct ZipfGenerator {
+    n: u64,
+    alpha: f64,
+    // Cached constants of the Gray et al. method.
+    zetan: f64,
+    theta: f64,
+    eta: f64,
+}
+
+impl ZipfGenerator {
+    /// Create a generator over `n` items with skew `alpha >= 0`.
+    ///
+    /// `alpha = 0` is uniform; YCSB's default is `0.99`. Setup is O(n) for
+    /// the zeta sums (done once; generators are cheap to clone afterwards).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfGenerator needs at least one item");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let theta = alpha;
+        let zetan = zeta(n, theta);
+        let zeta2theta = zeta(2.min(n), theta);
+        let eta = if n == 1 {
+            // Degenerate single-item distribution; eta is unused because the
+            // sampler below always returns 0, but keep it finite.
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan)
+        };
+        Self { n, alpha, zetan, theta, eta }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Draw the next item rank in `[0, n)`; rank 0 is the hottest item.
+    pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u64 {
+        if self.n == 1 {
+            return 0;
+        }
+        if self.theta == 0.0 {
+            return rng.next_bounded(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let spread =
+            (self.eta * u - self.eta + 1.0).powf(1.0 / (1.0 - self.theta));
+        let item = (self.n as f64 * spread) as u64;
+        item.min(self.n - 1)
+    }
+}
+
+/// Partial harmonic sum `sum_{i=1..n} 1/i^theta`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn freq(alpha: f64, n: u64, draws: usize) -> Vec<f64> {
+        let g = ZipfGenerator::new(n, alpha);
+        let mut rng = Xoshiro256StarStar::new(12345);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..draws {
+            counts[g.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_when_alpha_zero() {
+        let f = freq(0.0, 10, 100_000);
+        for p in &f {
+            assert!((p - 0.1).abs() < 0.01, "p={p}");
+        }
+    }
+
+    #[test]
+    fn skewed_head_dominates() {
+        let f = freq(0.99, 1000, 200_000);
+        // With alpha=0.99 over 1000 items, rank 0 should take a large share.
+        assert!(f[0] > 0.1, "head share {}", f[0]);
+        // Monotone-ish decay head vs tail.
+        let tail: f64 = f[500..].iter().sum();
+        assert!(f[0] > tail, "head should beat the entire upper tail");
+    }
+
+    #[test]
+    fn eighty_twenty_at_high_alpha() {
+        // The paper notes alpha=0.9 gives ~80% of traffic to top 20% of
+        // blocks; check we are in that regime (loose bounds).
+        let f = freq(0.9, 10_000, 400_000);
+        let mut sorted = f.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top20: f64 = sorted[..2000].iter().sum();
+        assert!(top20 > 0.65 && top20 < 0.95, "top-20% share {top20}");
+    }
+
+    #[test]
+    fn sample_in_range() {
+        let g = ZipfGenerator::new(7, 0.7);
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let g = ZipfGenerator::new(1, 0.99);
+        let mut rng = Xoshiro256StarStar::new(5);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn ranks_follow_zipf_ratio() {
+        // P(0)/P(1) should be ~2^theta for theta=1-ish distributions.
+        let f = freq(0.99, 100, 400_000);
+        let ratio = f[0] / f[1];
+        assert!(ratio > 1.5 && ratio < 2.6, "ratio {ratio}");
+    }
+}
