@@ -33,6 +33,17 @@ pub struct ArrayStats {
     pub full_chunks: u64,
     /// Number of complete stripes closed (parity generated).
     pub stripes_completed: u64,
+    /// Reads served by parity reconstruction while a device was failed
+    /// (or a latent sector error hid the direct copy).
+    pub degraded_reads: u64,
+    /// Bytes read from surviving devices to serve degraded reads.
+    pub reconstructed_bytes: u64,
+    /// Bytes read from survivors by the rebuild sweep.
+    pub rebuild_read_bytes: u64,
+    /// Bytes written to the replacement device by the rebuild sweep.
+    pub rebuild_write_bytes: u64,
+    /// Chunks restored onto the replacement device.
+    pub rebuilt_chunks: u64,
 }
 
 impl ArrayStats {
@@ -68,6 +79,11 @@ impl ArrayStats {
             return 0.0;
         }
         self.pad_bytes() as f64 / data as f64
+    }
+
+    /// Total bytes moved by the rebuild sweep (reads + writes).
+    pub fn rebuild_bytes(&self) -> u64 {
+        self.rebuild_read_bytes + self.rebuild_write_bytes
     }
 
     /// Coefficient of variation of per-device total bytes (0 = perfectly

@@ -1,0 +1,124 @@
+//! Typed errors for the array layer.
+//!
+//! The read/write paths of [`crate::store`], [`crate::ftl`], and the
+//! [`crate::sink::ArraySink`] trait return these instead of panicking, so
+//! the log-structured layer above can degrade gracefully (serve the read
+//! via parity reconstruction, retry a transient error, or surface data
+//! loss to the caller) rather than crash the process.
+
+use crate::layout::ChunkLocation;
+use std::fmt;
+
+/// Error raised by array read/write paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayError {
+    /// The chunk's home device has failed and the stripe cannot be
+    /// reconstructed (incomplete stripe: parity was never generated).
+    Unreconstructable { loc: ChunkLocation },
+    /// Two or more devices are failed: RAID-5 cannot recover.
+    DoubleFault { loc: ChunkLocation },
+    /// The location was never written.
+    MissingChunk { loc: ChunkLocation },
+    /// A transient device error: the same read is expected to succeed if
+    /// retried after a backoff.
+    TransientRead { loc: ChunkLocation },
+    /// A latent sector error: the chunk's media is unreadable on its home
+    /// device until rewritten, but survivors can reconstruct it.
+    LatentSector { loc: ChunkLocation },
+    /// A device's FTL ran out of free erase blocks.
+    OutOfSpace { device: usize },
+    /// A logical page number beyond the device's capacity.
+    LpnOutOfRange { lpn: u64, capacity: u64 },
+    /// A rebuild was requested while no device is failed, or targeting a
+    /// healthy device.
+    NotDegraded,
+}
+
+impl ArrayError {
+    /// Whether retrying the same operation (after a backoff) can succeed
+    /// without any state change.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ArrayError::TransientRead { .. })
+    }
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::Unreconstructable { loc } => write!(
+                f,
+                "chunk (stripe {}, device {}) on failed device and stripe incomplete",
+                loc.stripe, loc.device
+            ),
+            ArrayError::DoubleFault { loc } => write!(
+                f,
+                "chunk (stripe {}, device {}) unrecoverable: multiple devices failed",
+                loc.stripe, loc.device
+            ),
+            ArrayError::MissingChunk { loc } => {
+                write!(f, "chunk (stripe {}, device {}) was never written", loc.stripe, loc.device)
+            }
+            ArrayError::TransientRead { loc } => write!(
+                f,
+                "transient read error at (stripe {}, device {})",
+                loc.stripe, loc.device
+            ),
+            ArrayError::LatentSector { loc } => write!(
+                f,
+                "latent sector error at (stripe {}, device {})",
+                loc.stripe, loc.device
+            ),
+            ArrayError::OutOfSpace { device } => {
+                write!(f, "device {device}: FTL free pool exhausted")
+            }
+            ArrayError::LpnOutOfRange { lpn, capacity } => {
+                write!(f, "LPN {lpn} beyond device capacity {capacity}")
+            }
+            ArrayError::NotDegraded => write!(f, "rebuild requested but no device is failed"),
+        }
+    }
+}
+
+impl std::error::Error for ArrayError {}
+
+/// Error raised by the parity math on malformed stripes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParityError {
+    /// A stripe with zero chunks has no parity.
+    EmptyStripe,
+    /// Chunks within one stripe must have equal lengths.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for ParityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParityError::EmptyStripe => write!(f, "stripe must have at least one data chunk"),
+            ParityError::LengthMismatch { expected, got } => {
+                write!(f, "parity operands must be equal length ({expected} vs {got})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let loc = ChunkLocation { stripe: 7, device: 2, column: 1 };
+        assert!(ArrayError::DoubleFault { loc }.to_string().contains("stripe 7"));
+        assert!(ArrayError::OutOfSpace { device: 3 }.to_string().contains("device 3"));
+        assert!(ParityError::LengthMismatch { expected: 8, got: 9 }.to_string().contains("8"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        let loc = ChunkLocation { stripe: 0, device: 0, column: 0 };
+        assert!(ArrayError::TransientRead { loc }.is_transient());
+        assert!(!ArrayError::DoubleFault { loc }.is_transient());
+    }
+}

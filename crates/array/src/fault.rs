@@ -1,0 +1,250 @@
+//! Deterministic fault injection for the array layer.
+//!
+//! A [`FaultPlan`] is a seedable schedule of device failures, transient
+//! read errors, and latent sector errors. It is consulted by the array
+//! implementations on every operation, so a given seed + schedule replays
+//! the exact same fault sequence — the property the recovery tests and the
+//! fault-scenario simulator rely on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Health of the array as seen by the layer above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrayHealth {
+    /// All devices operational.
+    Healthy,
+    /// One device failed; reads to it are served by reconstruction.
+    Degraded { device: usize },
+    /// A spare is being rebuilt for the failed device.
+    Rebuilding { device: usize },
+}
+
+impl ArrayHealth {
+    /// The failed device, if any.
+    pub fn failed_device(&self) -> Option<usize> {
+        match self {
+            ArrayHealth::Healthy => None,
+            ArrayHealth::Degraded { device } | ArrayHealth::Rebuilding { device } => Some(*device),
+        }
+    }
+}
+
+/// How a read was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Directly from the chunk's home device.
+    Normal,
+    /// Reconstructed by XOR-ing the stripe's survivors.
+    Reconstructed,
+}
+
+/// Result of a successful chunk read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// How the read was served.
+    pub mode: ReadMode,
+    /// Bytes physically read from devices to serve it (one chunk when
+    /// normal; the surviving `n-1` chunks when reconstructed).
+    pub device_bytes_read: u64,
+}
+
+impl ReadOutcome {
+    /// A direct read of one chunk.
+    pub fn normal(chunk_bytes: u64) -> Self {
+        Self { mode: ReadMode::Normal, device_bytes_read: chunk_bytes }
+    }
+
+    /// A reconstruction from `survivors` chunks.
+    pub fn reconstructed(chunk_bytes: u64, survivors: usize) -> Self {
+        Self { mode: ReadMode::Reconstructed, device_bytes_read: chunk_bytes * survivors as u64 }
+    }
+}
+
+/// Progress of an incremental rebuild sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebuildProgress {
+    /// Stripes rebuilt so far.
+    pub stripes_done: u64,
+    /// Stripes the sweep will visit in total.
+    pub stripes_total: u64,
+    /// Whether the sweep has finished and the array is healthy again.
+    pub complete: bool,
+}
+
+/// Deterministic, seedable fault schedule.
+///
+/// Operations are counted by the array (`record_op` on every chunk write
+/// and read); schedules are expressed against that counter so the same
+/// plan replayed over the same workload injects the same faults.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// RNG seed for the transient-error draw.
+    seed: u64,
+    /// Device → operation index at which it fails permanently.
+    fail_at_op: BTreeMap<usize, u64>,
+    /// Probability in [0, 1] that any single chunk read raises a
+    /// transient error (retry succeeds).
+    transient_read_prob: f64,
+    /// (device, stripe) pairs whose media is unreadable until rewritten.
+    latent_sectors: BTreeSet<(usize, u64)>,
+    /// Operations observed so far.
+    ops: u64,
+    /// Deterministic RNG state (derived from `seed`).
+    rng_state: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            rng_state: seed ^ 0x9e3779b97f4a7c15,
+            ..Default::default()
+        }
+    }
+
+    /// Schedule `device` to fail permanently once `op` operations have
+    /// been observed.
+    pub fn fail_device_at(mut self, device: usize, op: u64) -> Self {
+        self.fail_at_op.insert(device, op);
+        self
+    }
+
+    /// Make every chunk read raise a transient error with probability `p`.
+    pub fn with_transient_read_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.transient_read_prob = p;
+        self
+    }
+
+    /// Mark (device, stripe) as a latent sector error: direct reads of
+    /// that chunk fail until it is rewritten (e.g. by a rebuild).
+    pub fn with_latent_sector(mut self, device: usize, stripe: u64) -> Self {
+        self.add_latent_sector(device, stripe);
+        self
+    }
+
+    /// Inject a latent sector error on an existing plan (media degrades
+    /// after the data was written).
+    pub fn add_latent_sector(&mut self, device: usize, stripe: u64) {
+        self.latent_sectors.insert((device, stripe));
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Advance the operation counter; returns devices whose scheduled
+    /// failure op has now been reached.
+    pub fn record_op(&mut self) -> Vec<usize> {
+        self.ops += 1;
+        let due: Vec<usize> = self
+            .fail_at_op
+            .iter()
+            .filter(|&(_, &op)| op <= self.ops)
+            .map(|(&d, _)| d)
+            .collect();
+        for d in &due {
+            self.fail_at_op.remove(d);
+        }
+        due
+    }
+
+    /// Deterministic draw: does this read raise a transient error?
+    pub fn transient_read_fires(&mut self) -> bool {
+        if self.transient_read_prob <= 0.0 {
+            return false;
+        }
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < self.transient_read_prob
+    }
+
+    /// Whether (device, stripe) has an outstanding latent sector error.
+    pub fn is_latent(&self, device: usize, stripe: u64) -> bool {
+        self.latent_sectors.contains(&(device, stripe))
+    }
+
+    /// Clear a latent sector error (the chunk was rewritten).
+    pub fn clear_latent(&mut self, device: usize, stripe: u64) {
+        self.latent_sectors.remove(&(device, stripe));
+    }
+
+    /// Outstanding latent sector errors.
+    pub fn latent_count(&self) -> usize {
+        self.latent_sectors.len()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: deterministic, cheap, good enough for fault draws.
+        self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_fails_at_scheduled_op() {
+        let mut p = FaultPlan::new(1).fail_device_at(2, 3);
+        assert!(p.record_op().is_empty());
+        assert!(p.record_op().is_empty());
+        assert_eq!(p.record_op(), vec![2]);
+        assert!(p.record_op().is_empty(), "failure fires once");
+    }
+
+    #[test]
+    fn transient_draw_is_deterministic() {
+        let draws = |seed| {
+            let mut p = FaultPlan::new(seed).with_transient_read_prob(0.3);
+            (0..64).map(|_| p.transient_read_fires()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+        let fired = draws(7).iter().filter(|&&b| b).count();
+        assert!(fired > 5 && fired < 40, "p=0.3 over 64 draws fired {fired}");
+    }
+
+    #[test]
+    fn zero_probability_never_fires() {
+        let mut p = FaultPlan::new(3);
+        assert!((0..100).all(|_| !p.transient_read_fires()));
+    }
+
+    #[test]
+    fn latent_sectors_clear_on_rewrite() {
+        let mut p = FaultPlan::new(0).with_latent_sector(1, 42);
+        assert!(p.is_latent(1, 42));
+        assert!(!p.is_latent(1, 43));
+        p.clear_latent(1, 42);
+        assert!(!p.is_latent(1, 42));
+        assert_eq!(p.latent_count(), 0);
+    }
+
+    #[test]
+    fn health_reports_failed_device() {
+        assert_eq!(ArrayHealth::Healthy.failed_device(), None);
+        assert_eq!(ArrayHealth::Degraded { device: 2 }.failed_device(), Some(2));
+        assert_eq!(ArrayHealth::Rebuilding { device: 1 }.failed_device(), Some(1));
+    }
+
+    #[test]
+    fn read_outcome_byte_accounting() {
+        let normal = ReadOutcome::normal(65536);
+        assert_eq!(normal.device_bytes_read, 65536);
+        let recon = ReadOutcome::reconstructed(65536, 3);
+        assert_eq!(recon.device_bytes_read, 3 * 65536);
+        assert_eq!(recon.mode, ReadMode::Reconstructed);
+    }
+}

@@ -11,6 +11,7 @@
 //! device-GC migrates the valid pages of the dirtiest block and erases it
 //! — every migrated page is in-device write amplification.
 
+use crate::error::ArrayError;
 use serde::{Deserialize, Serialize};
 
 /// NAND geometry and stream configuration.
@@ -117,13 +118,20 @@ pub struct FtlDevice {
     stats: FtlStats,
     /// Re-entrancy guard: GC migrations must not start a nested GC.
     in_gc: bool,
+    /// Device index within the array (for error attribution).
+    id: usize,
 }
 
 const UNMAPPED: (u32, u32) = (u32::MAX, u32::MAX);
 
 impl FtlDevice {
-    /// Create a device.
+    /// Create a device (array position 0).
     pub fn new(cfg: FtlConfig) -> Self {
+        Self::with_id(cfg, 0)
+    }
+
+    /// Create a device that reports errors as array member `id`.
+    pub fn with_id(cfg: FtlConfig, id: usize) -> Self {
         cfg.validate();
         let total = cfg.total_blocks();
         let blocks = (0..total)
@@ -141,6 +149,7 @@ impl FtlDevice {
             map: vec![UNMAPPED; cfg.logical_pages as usize],
             stats: FtlStats::default(),
             in_gc: false,
+            id,
         }
     }
 
@@ -154,19 +163,41 @@ impl FtlDevice {
         &self.cfg
     }
 
-    /// Write one logical page on the given stream (host write).
-    pub fn write_page(&mut self, lpn: u64, stream: usize) {
-        assert!((lpn as usize) < self.map.len(), "LPN beyond device capacity");
+    /// Write one logical page on the given stream (host write), returning
+    /// a typed error for out-of-range LPNs or free-pool exhaustion.
+    pub fn try_write_page(&mut self, lpn: u64, stream: usize) -> Result<(), ArrayError> {
+        if lpn as usize >= self.map.len() {
+            return Err(ArrayError::LpnOutOfRange { lpn, capacity: self.map.len() as u64 });
+        }
         let stream = stream.min(self.cfg.streams - 1);
         self.stats.host_pages += 1;
-        self.program(lpn, stream);
+        self.program(lpn, stream)
+    }
+
+    /// Write a run of consecutive logical pages on one stream, returning
+    /// a typed error on the first failing page.
+    pub fn try_write_pages(&mut self, lpn: u64, count: u32, stream: usize) -> Result<(), ArrayError> {
+        for i in 0..count as u64 {
+            self.try_write_page(lpn + i, stream)?;
+        }
+        Ok(())
+    }
+
+    /// Write one logical page on the given stream (host write).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range LPN or free-pool exhaustion; use
+    /// [`Self::try_write_page`] to handle those as errors.
+    pub fn write_page(&mut self, lpn: u64, stream: usize) {
+        self.try_write_page(lpn, stream).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Write a run of consecutive logical pages on one stream.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::write_page`].
     pub fn write_pages(&mut self, lpn: u64, count: u32, stream: usize) {
-        for i in 0..count as u64 {
-            self.write_page(lpn + i, stream);
-        }
+        self.try_write_pages(lpn, count, stream).unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Invalidate the current mapping (host TRIM).
@@ -183,7 +214,7 @@ impl FtlDevice {
     }
 
     /// Program one page (shared by host writes and GC migration).
-    fn program(&mut self, lpn: u64, stream: usize) {
+    fn program(&mut self, lpn: u64, stream: usize) -> Result<(), ArrayError> {
         // Invalidate the previous copy.
         let prev = self.map[lpn as usize];
         if prev != UNMAPPED {
@@ -191,7 +222,7 @@ impl FtlDevice {
             blk.valid -= 1;
             blk.slots[prev.1 as usize] = u64::MAX;
         }
-        let block_id = self.open_block(stream);
+        let block_id = self.open_block(stream)?;
         let blk = &mut self.blocks[block_id as usize];
         let slot = blk.written;
         blk.slots[slot as usize] = lpn;
@@ -202,38 +233,23 @@ impl FtlDevice {
             blk.sealed = true;
             self.open[stream] = None;
         }
+        Ok(())
     }
 
-    fn open_block(&mut self, stream: usize) -> u32 {
+    fn open_block(&mut self, stream: usize) -> Result<u32, ArrayError> {
         if let Some(b) = self.open[stream] {
-            return b;
+            return Ok(b);
         }
         if !self.in_gc && self.free.len() <= self.cfg.gc_low_water as usize {
-            self.device_gc();
+            self.device_gc()?;
             // GC migrates into stream 0; if that is the stream we are
             // opening, the block it allocated must be reused — allocating
             // another would orphan it.
             if let Some(b) = self.open[stream] {
-                return b;
+                return Ok(b);
             }
         }
-        let id = match self.free.pop() {
-            Some(id) => id,
-            None => {
-                let sealed = self.blocks.iter().filter(|b| b.sealed && !b.free).count();
-                let sealed_garbage = self
-                    .blocks
-                    .iter()
-                    .filter(|b| b.sealed && !b.free && b.written > b.valid)
-                    .count();
-                let open = self.open.iter().filter(|o| o.is_some()).count();
-                let valid: u64 = self.blocks.iter().map(|b| b.valid as u64).sum();
-                panic!(
-                    "FTL free pool exhausted (blocks {} sealed {} sealed-with-garbage {} open {} valid-pages {} in_gc {})",
-                    self.blocks.len(), sealed, sealed_garbage, open, valid, self.in_gc
-                );
-            }
-        };
+        let id = self.free.pop().ok_or(ArrayError::OutOfSpace { device: self.id })?;
         let blk = &mut self.blocks[id as usize];
         blk.free = false;
         blk.sealed = false;
@@ -241,14 +257,20 @@ impl FtlDevice {
         blk.valid = 0;
         blk.slots.fill(u64::MAX);
         self.open[stream] = Some(id);
-        id
+        Ok(id)
     }
 
     /// Greedy device GC: migrate the dirtiest sealed block's valid pages
     /// (into stream 0's open block — real devices use a dedicated GC
     /// stream, which is what a separate stream id models) and erase it.
-    fn device_gc(&mut self) {
+    fn device_gc(&mut self) -> Result<(), ArrayError> {
         self.in_gc = true;
+        let result = self.device_gc_inner();
+        self.in_gc = false;
+        result
+    }
+
+    fn device_gc_inner(&mut self) -> Result<(), ArrayError> {
         self.stats.gc_passes += 1;
         while self.free.len() <= self.cfg.gc_low_water as usize + 1 {
             let victim = self
@@ -259,13 +281,11 @@ impl FtlDevice {
                 .max_by_key(|(_, b)| b.written - b.valid)
                 .map(|(i, _)| i as u32);
             let Some(victim) = victim else {
-                self.in_gc = false;
-                return;
+                return Ok(());
             };
             if self.blocks[victim as usize].written == self.blocks[victim as usize].valid {
                 // Only fully-valid blocks remain: migrating frees nothing.
-                self.in_gc = false;
-                return;
+                return Ok(());
             }
             // Collect still-valid pages, then migrate.
             let lpns: Vec<u64> = self.blocks[victim as usize]
@@ -281,7 +301,7 @@ impl FtlDevice {
                     self.stats.migrated_pages += 1;
                     // GC stream = stream 0 (mixed with its host traffic when
                     // streams are scarce; dedicated when plentiful).
-                    self.program(lpn, 0);
+                    self.program(lpn, 0)?;
                 }
             }
             let blk = &mut self.blocks[victim as usize];
@@ -292,7 +312,7 @@ impl FtlDevice {
             self.stats.erases += 1;
             self.free.push(victim);
         }
-        self.in_gc = false;
+        Ok(())
     }
 
     /// Erase-count spread across blocks: (min, max, mean) — the wear-
@@ -435,5 +455,17 @@ mod tests {
     fn rejects_out_of_range_lpn() {
         let mut d = FtlDevice::new(small());
         d.write_page(512, 0);
+    }
+
+    #[test]
+    fn try_write_reports_typed_errors() {
+        let mut d = FtlDevice::with_id(small(), 3);
+        assert_eq!(
+            d.try_write_page(512, 0),
+            Err(ArrayError::LpnOutOfRange { lpn: 512, capacity: 512 })
+        );
+        assert!(d.try_write_page(0, 0).is_ok());
+        assert!(d.try_write_pages(1, 8, 0).is_ok());
+        d.check_invariants();
     }
 }

@@ -83,7 +83,7 @@ impl FtlArray {
         Self {
             layout: Raid5Layout::new(cfg),
             stats: ArrayStats::new(cfg.num_devices),
-            devices: (0..cfg.num_devices).map(|_| FtlDevice::new(ftl_cfg)).collect(),
+            devices: (0..cfg.num_devices).map(|i| FtlDevice::with_id(ftl_cfg, i)).collect(),
             pages_per_chunk,
             chunks_per_segment,
             data_columns,

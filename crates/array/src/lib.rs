@@ -24,6 +24,8 @@
 
 pub mod config;
 pub mod counters;
+pub mod error;
+pub mod fault;
 pub mod ftl;
 pub mod ftl_sink;
 pub mod layout;
@@ -33,8 +35,10 @@ pub mod store;
 
 pub use config::ArrayConfig;
 pub use counters::{ArrayStats, DeviceCounters};
+pub use error::{ArrayError, ParityError};
+pub use fault::{ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress};
 pub use ftl::{FtlConfig, FtlDevice, FtlStats};
 pub use ftl_sink::FtlArray;
 pub use layout::{ChunkLocation, Raid5Layout};
-pub use sink::{ArraySink, ChunkFlush, CountingArray, Traffic};
+pub use sink::{ArraySink, ChunkFlush, CountingArray, FaultyArray, Traffic};
 pub use store::InMemoryArray;

@@ -8,9 +8,46 @@
 //! in practice (the config validates power-of-two-ish sizes upstream), but
 //! a byte tail is handled for generality.
 
-/// XOR `src` into `acc` in place. Panics if lengths differ.
+use crate::error::ParityError;
+
+/// XOR `src` into `acc` in place, validating operand lengths.
+pub fn try_xor_into(acc: &mut [u8], src: &[u8]) -> Result<(), ParityError> {
+    if acc.len() != src.len() {
+        return Err(ParityError::LengthMismatch { expected: acc.len(), got: src.len() });
+    }
+    xor_into_unchecked(acc, src);
+    Ok(())
+}
+
+/// Compute the parity chunk of a stripe, validating the inputs: the
+/// stripe must be non-empty and all chunks equal length.
+pub fn try_compute_parity(data: &[&[u8]]) -> Result<Vec<u8>, ParityError> {
+    let first = data.first().ok_or(ParityError::EmptyStripe)?;
+    let mut parity = first.to_vec();
+    for chunk in &data[1..] {
+        try_xor_into(&mut parity, chunk)?;
+    }
+    Ok(parity)
+}
+
+/// Reconstruct one missing chunk from the stripe's survivors, validating
+/// the inputs (see [`try_compute_parity`]; XOR is its own inverse, so the
+/// two operations are identical).
+pub fn try_reconstruct(survivors: &[&[u8]]) -> Result<Vec<u8>, ParityError> {
+    try_compute_parity(survivors)
+}
+
+/// XOR `src` into `acc` in place.
+///
+/// # Panics
+/// Panics if lengths differ; use [`try_xor_into`] on untrusted inputs.
 pub fn xor_into(acc: &mut [u8], src: &[u8]) {
     assert_eq!(acc.len(), src.len(), "parity operands must be equal length");
+    xor_into_unchecked(acc, src);
+}
+
+fn xor_into_unchecked(acc: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(acc.len(), src.len());
     // Word-wise main loop; chunks_exact keeps this autovectorizable.
     let words = acc.len() / 8;
     let (acc_head, acc_tail) = acc.split_at_mut(words * 8);
@@ -26,19 +63,20 @@ pub fn xor_into(acc: &mut [u8], src: &[u8]) {
 }
 
 /// Compute the parity chunk of a stripe from its data chunks.
-/// Panics if `data` is empty or the chunks have unequal lengths.
+///
+/// # Panics
+/// Panics if `data` is empty or the chunks have unequal lengths; use
+/// [`try_compute_parity`] on untrusted inputs.
 pub fn compute_parity(data: &[&[u8]]) -> Vec<u8> {
-    assert!(!data.is_empty(), "stripe must have at least one data chunk");
-    let mut parity = data[0].to_vec();
-    for chunk in &data[1..] {
-        xor_into(&mut parity, chunk);
-    }
-    parity
+    try_compute_parity(data).expect("malformed stripe")
 }
 
 /// Reconstruct one missing chunk from the surviving chunks of the stripe
 /// (the survivors must include the parity chunk unless the missing chunk
 /// *is* the parity chunk).
+///
+/// # Panics
+/// Panics on malformed input; use [`try_reconstruct`] on untrusted inputs.
 pub fn reconstruct(survivors: &[&[u8]]) -> Vec<u8> {
     compute_parity(survivors)
 }
@@ -99,5 +137,28 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut a = vec![0u8; 8];
         xor_into(&mut a, &[0u8; 9]);
+    }
+
+    #[test]
+    fn try_variants_reject_malformed_input() {
+        use crate::error::ParityError;
+        assert_eq!(try_compute_parity(&[]), Err(ParityError::EmptyStripe));
+        let a = [0u8; 8];
+        let b = [0u8; 9];
+        assert_eq!(
+            try_compute_parity(&[&a, &b]),
+            Err(ParityError::LengthMismatch { expected: 8, got: 9 })
+        );
+        let mut acc = vec![0u8; 4];
+        assert!(try_xor_into(&mut acc, &[1, 2, 3, 4]).is_ok());
+        assert_eq!(acc, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_and_panicking_agree() {
+        let chunks: Vec<Vec<u8>> = (0..3).map(|i| chunk(i, 256)).collect();
+        let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+        assert_eq!(try_compute_parity(&refs).unwrap(), compute_parity(&refs));
+        assert_eq!(try_reconstruct(&refs).unwrap(), reconstruct(&refs));
     }
 }

@@ -3,6 +3,8 @@
 
 use crate::config::ArrayConfig;
 use crate::counters::ArrayStats;
+use crate::error::ArrayError;
+use crate::fault::{ArrayHealth, FaultPlan, ReadOutcome, RebuildProgress};
 use crate::layout::{ChunkLocation, Raid5Layout};
 use serde::{Deserialize, Serialize};
 
@@ -73,6 +75,20 @@ pub trait ArraySink {
 
     /// Accounting snapshot.
     fn stats(&self) -> &ArrayStats;
+
+    /// Current array health. Sinks without fault modeling are always
+    /// healthy.
+    fn health(&self) -> ArrayHealth {
+        ArrayHealth::Healthy
+    }
+
+    /// Account (and, in fault-modeling sinks, fault-check) one chunk read
+    /// at a previously returned location. The default succeeds as a direct
+    /// read — sinks without fault modeling never fail a read.
+    fn read_chunk_at(&mut self, loc: ChunkLocation) -> Result<ReadOutcome, ArrayError> {
+        let _ = loc;
+        Ok(ReadOutcome::normal(self.config().chunk_bytes))
+    }
 }
 
 /// Accounting-only array model: maps appends through the RAID-5 layout and
@@ -104,6 +120,12 @@ impl CountingArray {
     pub fn layout(&self) -> &Raid5Layout {
         &self.layout
     }
+
+    /// Mutable counters, for wrappers that layer fault accounting on top
+    /// (see [`FaultyArray`]).
+    pub fn stats_mut(&mut self) -> &mut ArrayStats {
+        &mut self.stats
+    }
 }
 
 impl ArraySink for CountingArray {
@@ -132,7 +154,7 @@ impl ArraySink for CountingArray {
         // sequentially, so the stripe completes exactly when its last data
         // column is written.
         let k = cfg.data_columns() as u64;
-        if self.next_chunk_seq % k == 0 {
+        if self.next_chunk_seq.is_multiple_of(k) {
             let pdev = self.layout.parity_device(loc.stripe);
             let p = &mut self.stats.devices[pdev];
             p.parity_bytes += cfg.chunk_bytes;
@@ -148,6 +170,209 @@ impl ArraySink for CountingArray {
 
     fn stats(&self) -> &ArrayStats {
         &self.stats
+    }
+}
+
+/// Fault-aware accounting array: a [`CountingArray`] plus a deterministic
+/// [`FaultPlan`], degraded-read accounting, and an incremental rebuild
+/// driver. This is what the trace-driven fault-scenario simulator runs
+/// against — O(1) per chunk like [`CountingArray`], no data bytes stored
+/// (reconstruction is modeled by charging the survivor reads the RAID
+/// math implies; the byte-exactness of that math is proven separately by
+/// [`crate::store::InMemoryArray`] and the parity property tests).
+#[derive(Debug, Clone)]
+pub struct FaultyArray {
+    inner: CountingArray,
+    plan: FaultPlan,
+    /// Devices failed so far, in failure order.
+    failed: Vec<usize>,
+    /// Rebuild sweep state: next stripe to rebuild and the sweep's target.
+    rebuild_cursor: u64,
+    rebuild_total: u64,
+    rebuilding: bool,
+}
+
+impl FaultyArray {
+    /// Wrap an empty counting array with a fault plan.
+    pub fn new(cfg: ArrayConfig, plan: FaultPlan) -> Self {
+        Self {
+            inner: CountingArray::new(cfg),
+            plan,
+            failed: Vec::new(),
+            rebuild_cursor: 0,
+            rebuild_total: 0,
+            rebuilding: false,
+        }
+    }
+
+    /// Number of chunks flushed so far.
+    pub fn chunks_written(&self) -> u64 {
+        self.inner.chunks_written()
+    }
+
+    /// The fault plan (op counter, outstanding schedules).
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Mutable fault plan, for injecting faults mid-run.
+    pub fn plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.plan
+    }
+
+    /// Fail a device immediately (outside the plan's schedule).
+    pub fn fail_device(&mut self, device: usize) {
+        assert!(device < self.inner.config().num_devices, "no such device");
+        if !self.failed.contains(&device) {
+            self.failed.push(device);
+        }
+    }
+
+    /// Devices currently failed.
+    pub fn failed_devices(&self) -> &[usize] {
+        &self.failed
+    }
+
+    /// Begin an incremental rebuild of the (single) failed device onto a
+    /// spare. The sweep covers every stripe closed so far; stripes closed
+    /// after this point are written with the spare already in place and
+    /// need no sweep.
+    pub fn start_rebuild(&mut self) -> Result<RebuildProgress, ArrayError> {
+        match self.failed.as_slice() {
+            [] => Err(ArrayError::NotDegraded),
+            [_] => {
+                self.rebuilding = true;
+                self.rebuild_cursor = 0;
+                self.rebuild_total = self.inner.stats().stripes_completed;
+                Ok(self.rebuild_progress())
+            }
+            [_, second, ..] => {
+                let loc = ChunkLocation { stripe: 0, device: *second, column: 0 };
+                Err(ArrayError::DoubleFault { loc })
+            }
+        }
+    }
+
+    /// Advance the rebuild sweep by at most `max_stripes` stripes,
+    /// charging survivor reads and spare writes to the rebuild counters.
+    /// Completing the sweep returns the array to [`ArrayHealth::Healthy`].
+    pub fn rebuild_step(&mut self, max_stripes: u64) -> Result<RebuildProgress, ArrayError> {
+        if !self.rebuilding {
+            return Err(ArrayError::NotDegraded);
+        }
+        let device = self.failed[0];
+        let chunk = self.inner.config().chunk_bytes;
+        let survivors = (self.inner.config().num_devices - 1) as u64;
+        let end = self.rebuild_cursor.saturating_add(max_stripes).min(self.rebuild_total);
+        let stripes = end - self.rebuild_cursor;
+        let stats = self.inner.stats_mut();
+        stats.rebuild_read_bytes += stripes * survivors * chunk;
+        stats.rebuild_write_bytes += stripes * chunk;
+        stats.rebuilt_chunks += stripes;
+        for stripe in self.rebuild_cursor..end {
+            self.plan.clear_latent(device, stripe);
+        }
+        self.rebuild_cursor = end;
+        if self.rebuild_cursor == self.rebuild_total {
+            self.rebuilding = false;
+            self.failed.retain(|&d| d != device);
+        }
+        Ok(self.rebuild_progress())
+    }
+
+    /// Current sweep progress.
+    pub fn rebuild_progress(&self) -> RebuildProgress {
+        RebuildProgress {
+            stripes_done: self.rebuild_cursor,
+            stripes_total: self.rebuild_total,
+            complete: !self.rebuilding && self.rebuild_cursor >= self.rebuild_total,
+        }
+    }
+
+    /// Stripe `stripe` has parity on disk (appends close stripes in
+    /// order, so this is a simple cursor comparison).
+    fn stripe_complete(&self, stripe: u64) -> bool {
+        stripe < self.inner.stats().stripes_completed
+    }
+
+    fn apply_due_failures(&mut self, due: Vec<usize>) {
+        for d in due {
+            if !self.failed.contains(&d) {
+                self.failed.push(d);
+            }
+        }
+    }
+}
+
+impl ArraySink for FaultyArray {
+    fn write_chunk(&mut self, flush: ChunkFlush) -> ChunkLocation {
+        let due = self.plan.record_op();
+        self.apply_due_failures(due);
+        // Degraded writes still advance the layout: the chunk destined to
+        // the failed member is lost until rebuilt, but parity (written to
+        // a survivor) keeps it reconstructable, so accounting is
+        // unchanged.
+        let stripes_before = self.inner.stats().stripes_completed;
+        let loc = self.inner.write_chunk(flush);
+        // Rewrites refresh the media, clearing latent sector errors.
+        self.plan.clear_latent(loc.device, loc.stripe);
+        if self.inner.stats().stripes_completed > stripes_before {
+            let pdev = self.inner.layout().parity_device(loc.stripe);
+            self.plan.clear_latent(pdev, loc.stripe);
+        }
+        loc
+    }
+
+    fn config(&self) -> &ArrayConfig {
+        self.inner.config()
+    }
+
+    fn stats(&self) -> &ArrayStats {
+        self.inner.stats()
+    }
+
+    fn health(&self) -> ArrayHealth {
+        match self.failed.first() {
+            None => ArrayHealth::Healthy,
+            Some(&device) if self.rebuilding => ArrayHealth::Rebuilding { device },
+            Some(&device) => ArrayHealth::Degraded { device },
+        }
+    }
+
+    fn read_chunk_at(&mut self, loc: ChunkLocation) -> Result<ReadOutcome, ArrayError> {
+        let due = self.plan.record_op();
+        self.apply_due_failures(due);
+        let chunk = self.config().chunk_bytes;
+        let survivors = self.config().num_devices - 1;
+
+        if self.plan.transient_read_fires() {
+            return Err(ArrayError::TransientRead { loc });
+        }
+        let home_failed = self.failed.contains(&loc.device);
+        // During a rebuild the spare already holds (a) stripes the sweep
+        // has passed and (b) stripes closed after the sweep started
+        // (written directly to the spare).
+        let rebuilt_already = self.rebuilding
+            && (loc.stripe < self.rebuild_cursor || loc.stripe >= self.rebuild_total);
+        let latent = self.plan.is_latent(loc.device, loc.stripe);
+        if (home_failed && !rebuilt_already) || latent {
+            if self.failed.len() > 1 {
+                return Err(ArrayError::DoubleFault { loc });
+            }
+            if !home_failed && !self.failed.is_empty() {
+                // Latent sector on a healthy device while another device
+                // is down: the stripe is missing two members.
+                return Err(ArrayError::DoubleFault { loc });
+            }
+            if !self.stripe_complete(loc.stripe) {
+                return Err(ArrayError::Unreconstructable { loc });
+            }
+            let stats = self.inner.stats_mut();
+            stats.degraded_reads += 1;
+            stats.reconstructed_bytes += chunk * survivors as u64;
+            return Ok(ReadOutcome::reconstructed(chunk, survivors));
+        }
+        Ok(ReadOutcome::normal(chunk))
     }
 }
 
@@ -224,5 +449,116 @@ mod tests {
         let f = ChunkFlush { user_bytes: 1, gc_bytes: 2, shadow_bytes: 3, pad_bytes: 4, group: 9, seg: 0, chunk_in_seg: 0 };
         assert_eq!(f.total_bytes(), 10);
         assert_eq!(f.payload_bytes(), 6);
+    }
+
+    #[test]
+    fn default_sink_reads_always_succeed() {
+        let mut a = CountingArray::new(ArrayConfig::default());
+        let loc = a.write_chunk(full_chunk(0));
+        assert_eq!(a.health(), crate::fault::ArrayHealth::Healthy);
+        let out = a.read_chunk_at(loc).unwrap();
+        assert_eq!(out.mode, crate::fault::ReadMode::Normal);
+        assert_eq!(out.device_bytes_read, 65536);
+    }
+
+    #[test]
+    fn faulty_array_degraded_reads_and_rebuild() {
+        use crate::fault::{ArrayHealth, ReadMode};
+        // Fail device on the 7th op (after 2 full stripes of writes).
+        let plan = FaultPlan::new(42).fail_device_at(1, 7);
+        let mut a = FaultyArray::new(ArrayConfig::default(), plan);
+        let locs: Vec<_> = (0..6).map(|_| a.write_chunk(full_chunk(0))).collect();
+        assert_eq!(a.health(), ArrayHealth::Healthy);
+        a.write_chunk(full_chunk(0)); // 7th op: device 1 dies
+        assert_eq!(a.health(), ArrayHealth::Degraded { device: 1 });
+
+        // Reads to surviving devices are normal; reads to device 1 in
+        // closed stripes reconstruct.
+        let mut degraded = 0;
+        for &loc in &locs {
+            let out = a.read_chunk_at(loc).unwrap();
+            if loc.device == 1 {
+                assert_eq!(out.mode, ReadMode::Reconstructed);
+                assert_eq!(out.device_bytes_read, 3 * 65536);
+                degraded += 1;
+            } else {
+                assert_eq!(out.mode, ReadMode::Normal);
+            }
+        }
+        assert!(degraded > 0, "rotation must place some chunks on device 1");
+        assert_eq!(a.stats().degraded_reads, degraded);
+        assert_eq!(a.stats().reconstructed_bytes, degraded * 3 * 65536);
+
+        // Incremental rebuild sweeps the closed stripes.
+        a.start_rebuild().unwrap();
+        assert_eq!(a.health(), ArrayHealth::Rebuilding { device: 1 });
+        let p = a.rebuild_step(1).unwrap();
+        assert_eq!(p.stripes_done, 1);
+        assert!(!p.complete);
+        let p = a.rebuild_step(u64::MAX).unwrap();
+        assert!(p.complete);
+        assert_eq!(a.health(), ArrayHealth::Healthy);
+        assert_eq!(a.stats().rebuilt_chunks, p.stripes_total);
+        assert_eq!(a.stats().rebuild_write_bytes, p.stripes_total * 65536);
+        assert_eq!(a.stats().rebuild_read_bytes, p.stripes_total * 3 * 65536);
+
+        // Post-rebuild reads are normal again.
+        for &loc in &locs {
+            assert_eq!(a.read_chunk_at(loc).unwrap().mode, ReadMode::Normal);
+        }
+    }
+
+    #[test]
+    fn faulty_array_incomplete_stripe_unreconstructable() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let loc = a.write_chunk(full_chunk(0)); // stripe 0 still open
+        a.fail_device(loc.device);
+        assert_eq!(a.read_chunk_at(loc), Err(ArrayError::Unreconstructable { loc }));
+    }
+
+    #[test]
+    fn faulty_array_double_fault_errors() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let locs: Vec<_> = (0..3).map(|_| a.write_chunk(full_chunk(0))).collect();
+        a.fail_device(0);
+        a.fail_device(1);
+        let on_failed = locs.iter().find(|l| l.device <= 1).copied().unwrap();
+        assert!(matches!(a.read_chunk_at(on_failed), Err(ArrayError::DoubleFault { .. })));
+        assert!(matches!(a.start_rebuild(), Err(ArrayError::DoubleFault { .. })));
+    }
+
+    #[test]
+    fn faulty_array_transient_errors_fire() {
+        let plan = FaultPlan::new(9).with_transient_read_prob(0.5);
+        let mut a = FaultyArray::new(ArrayConfig::default(), plan);
+        let loc = a.write_chunk(full_chunk(0));
+        let mut transients = 0;
+        for _ in 0..64 {
+            if let Err(e) = a.read_chunk_at(loc) {
+                assert!(e.is_transient());
+                transients += 1;
+            }
+        }
+        assert!(transients > 10, "p=0.5 over 64 reads fired {transients}");
+    }
+
+    #[test]
+    fn faulty_array_latent_sector_reconstructs() {
+        use crate::fault::ReadMode;
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let locs: Vec<_> = (0..3).map(|_| a.write_chunk(full_chunk(0))).collect();
+        let victim = locs[0];
+        // Media degrades after the stripe was written and closed.
+        a.plan_mut().add_latent_sector(victim.device, victim.stripe);
+        let out = a.read_chunk_at(victim).unwrap();
+        assert_eq!(out.mode, ReadMode::Reconstructed);
+        assert_eq!(a.stats().degraded_reads, 1);
+    }
+
+    #[test]
+    fn rebuild_without_failure_is_error() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        assert_eq!(a.start_rebuild(), Err(ArrayError::NotDegraded));
+        assert_eq!(a.rebuild_step(1), Err(ArrayError::NotDegraded));
     }
 }

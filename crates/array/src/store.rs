@@ -7,6 +7,8 @@
 
 use crate::config::ArrayConfig;
 use crate::counters::ArrayStats;
+use crate::error::ArrayError;
+use crate::fault::{ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress};
 use crate::layout::{ChunkLocation, Raid5Layout};
 use crate::parity;
 use crate::sink::{ArraySink, ChunkFlush};
@@ -27,11 +29,22 @@ pub struct InMemoryArray {
     open_stripe: Vec<Bytes>,
     /// Devices marked failed; reads to them reconstruct from survivors.
     failed: Vec<bool>,
+    /// Deterministic fault schedule (empty by default).
+    plan: FaultPlan,
+    /// In-progress rebuild: target device and the sorted stripe worklist.
+    rebuild_target: Option<usize>,
+    rebuild_stripes: Vec<u64>,
+    rebuild_cursor: usize,
 }
 
 impl InMemoryArray {
     /// Create an empty array.
     pub fn new(cfg: ArrayConfig) -> Self {
+        Self::with_fault_plan(cfg, FaultPlan::default())
+    }
+
+    /// Create an empty array driven by a fault schedule.
+    pub fn with_fault_plan(cfg: ArrayConfig, plan: FaultPlan) -> Self {
         cfg.validate();
         Self {
             layout: Raid5Layout::new(cfg),
@@ -40,7 +53,21 @@ impl InMemoryArray {
             devices: vec![HashMap::new(); cfg.num_devices],
             open_stripe: Vec::with_capacity(cfg.data_columns()),
             failed: vec![false; cfg.num_devices],
+            plan,
+            rebuild_target: None,
+            rebuild_stripes: Vec::new(),
+            rebuild_cursor: 0,
         }
+    }
+
+    /// The fault plan's current state.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Mutable fault plan, for injecting faults mid-run.
+    pub fn plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.plan
     }
 
     /// Write one chunk of real bytes; returns its location. The caller is
@@ -51,9 +78,14 @@ impl InMemoryArray {
         assert_eq!(data.len() as u64, cfg.chunk_bytes, "sub-chunk write reached the array");
         assert_eq!(flush.total_bytes(), cfg.chunk_bytes, "flush accounting mismatch");
 
+        for d in self.plan.record_op() {
+            self.failed[d] = true;
+        }
         let loc = self.layout.locate(self.next_chunk_seq);
         self.next_chunk_seq += 1;
 
+        // A rewrite refreshes the chunk's media, clearing any latent error.
+        self.plan.clear_latent(loc.device, loc.stripe);
         self.devices[loc.device].insert(loc.stripe, data.clone());
         let dev = &mut self.stats.devices[loc.device];
         dev.data_bytes += flush.payload_bytes();
@@ -70,6 +102,7 @@ impl InMemoryArray {
             let refs: Vec<&[u8]> = self.open_stripe.iter().map(|b| b.as_ref()).collect();
             let parity_chunk = Bytes::from(parity::compute_parity(&refs));
             let pdev = self.layout.parity_device(loc.stripe);
+            self.plan.clear_latent(pdev, loc.stripe);
             self.devices[pdev].insert(loc.stripe, parity_chunk);
             let p = &mut self.stats.devices[pdev];
             p.parity_bytes += cfg.chunk_bytes;
@@ -103,19 +136,76 @@ impl InMemoryArray {
         Some(Bytes::from(parity::reconstruct(&survivors)))
     }
 
+    /// Fallible read with fault injection and degraded-read accounting:
+    /// consults the fault plan (transient errors, latent sectors, scheduled
+    /// failures), serves reads on failed devices by reconstruction, and
+    /// counts degraded traffic in [`ArrayStats`].
+    pub fn try_read_chunk(&mut self, loc: ChunkLocation) -> Result<(Bytes, ReadMode), ArrayError> {
+        for d in self.plan.record_op() {
+            self.failed[d] = true;
+        }
+        if self.plan.transient_read_fires() {
+            return Err(ArrayError::TransientRead { loc });
+        }
+        let direct_ok = !self.failed[loc.device] && !self.plan.is_latent(loc.device, loc.stripe);
+        if direct_ok {
+            return self.devices[loc.device]
+                .get(&loc.stripe)
+                .cloned()
+                .map(|b| (b, ReadMode::Normal))
+                .ok_or(ArrayError::MissingChunk { loc });
+        }
+        // Degraded read: XOR the surviving members of the stripe.
+        let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.layout.config().num_devices - 1);
+        for (dev, map) in self.devices.iter().enumerate() {
+            if dev == loc.device {
+                continue;
+            }
+            if self.failed[dev] || self.plan.is_latent(dev, loc.stripe) {
+                return Err(ArrayError::DoubleFault { loc });
+            }
+            match map.get(&loc.stripe) {
+                Some(b) => survivors.push(b.as_ref()),
+                None => return Err(ArrayError::Unreconstructable { loc }),
+            }
+        }
+        let bytes = Bytes::from(
+            parity::try_reconstruct(&survivors)
+                .map_err(|_| ArrayError::Unreconstructable { loc })?,
+        );
+        let survivor_bytes = survivors.len() as u64 * self.layout.config().chunk_bytes;
+        self.stats.degraded_reads += 1;
+        self.stats.reconstructed_bytes += survivor_bytes;
+        Ok((bytes, ReadMode::Reconstructed))
+    }
+
     /// Mark a device failed (degraded mode).
     pub fn fail_device(&mut self, device: usize) {
         self.failed[device] = true;
     }
 
-    /// Restore a previously failed device, rebuilding every chunk it held
-    /// from the survivors. Returns the number of chunks rebuilt, or `None`
-    /// if another device is also failed (double fault).
-    pub fn rebuild_device(&mut self, device: usize) -> Option<usize> {
-        if self.failed.iter().enumerate().any(|(d, &f)| f && d != device) {
-            return None;
+    /// Current health: rebuilding beats degraded beats healthy.
+    pub fn health_view(&self) -> ArrayHealth {
+        if let Some(device) = self.rebuild_target {
+            return ArrayHealth::Rebuilding { device };
         }
-        // Determine every stripe with any data: union of survivor stripes.
+        match self.failed.iter().position(|&f| f) {
+            Some(device) => ArrayHealth::Degraded { device },
+            None => ArrayHealth::Healthy,
+        }
+    }
+
+    /// Begin an incremental rebuild of `device` onto a fresh spare. The
+    /// worklist is every stripe any survivor holds; incomplete stripes are
+    /// skipped by the sweep (their chunks are lost — RAID-5 cannot
+    /// reconstruct without parity). Writes that arrive while rebuilding go
+    /// to the spare directly and are preserved.
+    pub fn start_rebuild(&mut self, device: usize) -> Result<RebuildProgress, ArrayError> {
+        if let Some(other) = self.failed.iter().enumerate().find(|&(d, &f)| f && d != device) {
+            let loc = ChunkLocation { stripe: 0, device: other.0, column: 0 };
+            return Err(ArrayError::DoubleFault { loc });
+        }
+        self.failed[device] = true; // replacing a healthy device drops it first
         let mut stripes: Vec<u64> = self
             .devices
             .iter()
@@ -125,8 +215,26 @@ impl InMemoryArray {
             .collect();
         stripes.sort_unstable();
         stripes.dedup();
-        let mut rebuilt = HashMap::new();
-        for stripe in stripes {
+        self.devices[device].clear(); // the spare starts empty
+        self.rebuild_target = Some(device);
+        self.rebuild_stripes = stripes;
+        self.rebuild_cursor = 0;
+        Ok(self.rebuild_progress())
+    }
+
+    /// Advance the rebuild sweep by at most `max_stripes` stripes. Each
+    /// rebuilt chunk reads the stripe's survivors and writes one chunk to
+    /// the spare, charged to the rebuild counters. Completing the sweep
+    /// returns the array to healthy.
+    pub fn rebuild_step(&mut self, max_stripes: usize) -> Result<RebuildProgress, ArrayError> {
+        let device = self.rebuild_target.ok_or(ArrayError::NotDegraded)?;
+        let chunk_bytes = self.layout.config().chunk_bytes;
+        let end = self.rebuild_cursor.saturating_add(max_stripes).min(self.rebuild_stripes.len());
+        for i in self.rebuild_cursor..end {
+            let stripe = self.rebuild_stripes[i];
+            if self.devices[device].contains_key(&stripe) {
+                continue; // written to the spare while rebuilding
+            }
             let mut survivors: Vec<&[u8]> = Vec::new();
             let mut complete = true;
             for (dev, map) in self.devices.iter().enumerate() {
@@ -141,14 +249,46 @@ impl InMemoryArray {
                     }
                 }
             }
-            if complete {
-                rebuilt.insert(stripe, Bytes::from(parity::reconstruct(&survivors)));
+            if !complete {
+                continue; // stripe never closed: chunk unrecoverable
             }
+            let rebuilt = Bytes::from(parity::reconstruct(&survivors));
+            let survivor_bytes = survivors.len() as u64 * chunk_bytes;
+            self.devices[device].insert(stripe, rebuilt);
+            self.plan.clear_latent(device, stripe);
+            self.stats.rebuild_read_bytes += survivor_bytes;
+            self.stats.rebuild_write_bytes += chunk_bytes;
+            self.stats.rebuilt_chunks += 1;
         }
-        let n = rebuilt.len();
-        self.devices[device] = rebuilt;
-        self.failed[device] = false;
-        Some(n)
+        self.rebuild_cursor = end;
+        if self.rebuild_cursor == self.rebuild_stripes.len() {
+            self.rebuild_target = None;
+            self.rebuild_stripes.clear();
+            self.rebuild_cursor = 0;
+            self.failed[device] = false;
+        }
+        Ok(self.rebuild_progress())
+    }
+
+    /// Current sweep progress.
+    pub fn rebuild_progress(&self) -> RebuildProgress {
+        RebuildProgress {
+            stripes_done: self.rebuild_cursor as u64,
+            stripes_total: self.rebuild_stripes.len() as u64,
+            complete: self.rebuild_target.is_none(),
+        }
+    }
+
+    /// Restore a previously failed device in one sweep, rebuilding every
+    /// chunk it held from the survivors. Returns the number of chunks
+    /// rebuilt, or `None` if another device is also failed (double fault).
+    pub fn rebuild_device(&mut self, device: usize) -> Option<usize> {
+        let before = self.stats.rebuilt_chunks;
+        self.start_rebuild(device).ok()?;
+        while self.rebuild_target.is_some() {
+            self.rebuild_step(usize::MAX).ok()?;
+        }
+        Some((self.stats.rebuilt_chunks - before) as usize)
     }
 
     /// Number of chunks appended so far.
@@ -171,6 +311,19 @@ impl ArraySink for InMemoryArray {
 
     fn stats(&self) -> &ArrayStats {
         &self.stats
+    }
+
+    fn health(&self) -> ArrayHealth {
+        self.health_view()
+    }
+
+    fn read_chunk_at(&mut self, loc: ChunkLocation) -> Result<ReadOutcome, ArrayError> {
+        let chunk_bytes = self.layout.config().chunk_bytes;
+        let survivors = self.layout.config().num_devices - 1;
+        self.try_read_chunk(loc).map(|(_, mode)| match mode {
+            ReadMode::Normal => ReadOutcome::normal(chunk_bytes),
+            ReadMode::Reconstructed => ReadOutcome::reconstructed(chunk_bytes, survivors),
+        })
     }
 }
 
@@ -262,5 +415,119 @@ mod tests {
         assert_eq!(a.stats().stripes_completed, 2);
         assert_eq!(a.stats().parity_bytes(), 2 * 65536);
         assert_eq!(a.stats().data_bytes(), 6 * 65536);
+    }
+
+    #[test]
+    fn try_read_typed_errors() {
+        use crate::error::ArrayError;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let loc = a.write_chunk_bytes(body(1), flush_full());
+        // Unwritten location.
+        let missing = ChunkLocation { stripe: 99, device: 0, column: 0 };
+        assert_eq!(a.try_read_chunk(missing), Err(ArrayError::MissingChunk { loc: missing }));
+        // Failed device before the stripe closed.
+        a.fail_device(loc.device);
+        assert_eq!(a.try_read_chunk(loc), Err(ArrayError::Unreconstructable { loc }));
+        // Second failure → double fault.
+        a.fail_device((loc.device + 1) % 4);
+        assert_eq!(a.try_read_chunk(loc), Err(ArrayError::DoubleFault { loc }));
+    }
+
+    #[test]
+    fn try_read_degraded_accounts_reconstruction() {
+        use crate::fault::ReadMode;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.fail_device(locs[0].device);
+        let (bytes, mode) = a.try_read_chunk(locs[0]).unwrap();
+        assert_eq!(mode, ReadMode::Reconstructed);
+        assert_eq!(bytes, body(0));
+        assert_eq!(a.stats().degraded_reads, 1);
+        assert_eq!(a.stats().reconstructed_bytes, 3 * 65536);
+    }
+
+    #[test]
+    fn scheduled_failure_fires_on_write_path() {
+        use crate::fault::ArrayHealth;
+        let plan = FaultPlan::new(5).fail_device_at(2, 4);
+        let mut a = InMemoryArray::with_fault_plan(ArrayConfig::default(), plan);
+        for i in 0..3 {
+            a.write_chunk_bytes(body(i), flush_full());
+        }
+        assert_eq!(a.health_view(), ArrayHealth::Healthy);
+        a.write_chunk_bytes(body(9), flush_full()); // 4th op
+        assert_eq!(a.health_view(), ArrayHealth::Degraded { device: 2 });
+    }
+
+    #[test]
+    fn latent_sector_read_reconstructs() {
+        use crate::fault::ReadMode;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let victim = locs[1];
+        // Media degrades after the stripe was written.
+        a.plan_mut().add_latent_sector(victim.device, victim.stripe);
+        let (bytes, mode) = a.try_read_chunk(victim).unwrap();
+        assert_eq!(mode, ReadMode::Reconstructed);
+        assert_eq!(bytes, body(1));
+        assert_eq!(a.stats().degraded_reads, 1);
+        // A rewrite of the same (device, stripe) slot clears the error.
+        a.plan_mut().clear_latent(victim.device, victim.stripe);
+        let (_, mode) = a.try_read_chunk(victim).unwrap();
+        assert_eq!(mode, ReadMode::Normal);
+    }
+
+    #[test]
+    fn incremental_rebuild_steps_to_completion() {
+        use crate::fault::ArrayHealth;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..9).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let victim = locs[0].device;
+        a.fail_device(victim);
+        let p = a.start_rebuild(victim).unwrap();
+        assert!(!p.complete);
+        assert_eq!(a.health_view(), ArrayHealth::Rebuilding { device: victim });
+        let mut steps = 0;
+        while !a.rebuild_step(1).unwrap().complete {
+            steps += 1;
+            assert!(steps < 100, "rebuild must terminate");
+        }
+        assert_eq!(a.health_view(), ArrayHealth::Healthy);
+        assert!(a.stats().rebuilt_chunks > 0);
+        assert_eq!(a.stats().rebuild_write_bytes, a.stats().rebuilt_chunks * 65536);
+        assert_eq!(a.stats().rebuild_read_bytes, a.stats().rebuilt_chunks * 3 * 65536);
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn writes_during_rebuild_land_on_spare_and_survive() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let victim = locs[0].device;
+        a.fail_device(victim);
+        a.start_rebuild(victim).unwrap();
+        // Write three more chunks mid-rebuild (one lands on the spare).
+        let new_locs: Vec<_> =
+            (10..13).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        while !a.rebuild_step(1).unwrap().complete {}
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8));
+        }
+        for (i, loc) in new_locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(10 + i as u8));
+        }
+    }
+
+    #[test]
+    fn sink_read_chunk_at_reports_reconstruction() {
+        use crate::fault::ReadMode;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.fail_device(locs[2].device);
+        let out = a.read_chunk_at(locs[2]).unwrap();
+        assert_eq!(out.mode, ReadMode::Reconstructed);
+        assert_eq!(out.device_bytes_read, 3 * 65536);
     }
 }

@@ -1,0 +1,6 @@
+//! Runs the fault-injection scenario (see DESIGN.md's fault model section).
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    adapt_bench::figures::faults::run(&cli);
+}

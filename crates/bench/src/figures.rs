@@ -224,11 +224,14 @@ pub mod fig8 {
 pub mod fig9 {
     use super::*;
 
+    /// One CDF series: `(suite, gc, scheme, points over padding ratio %)`.
+    pub type CdfSeries = (String, String, String, Vec<(f64, f64)>);
+
     /// JSON payload.
     #[derive(Serialize)]
     pub struct Report {
-        /// `(suite, gc, scheme, CDF points over padding ratio %)`.
-        pub cdfs: Vec<(String, String, String, Vec<(f64, f64)>)>,
+        /// CDF series per (suite, gc, scheme).
+        pub cdfs: Vec<CdfSeries>,
         /// ADAPT padding reduction vs each baseline per (suite, gc).
         pub adapt_padding_reductions: Vec<(String, String, String, f64)>,
     }
@@ -296,11 +299,14 @@ pub mod fig9 {
 pub mod fig10 {
     use super::*;
 
+    /// One scatter series: `(baseline, [(pad reduction %, wa reduction %)], r)`.
+    pub type ScatterSeries = (String, Vec<(f64, f64)>, f64);
+
     /// JSON payload.
     #[derive(Serialize)]
     pub struct Report {
-        /// `(baseline, [(pad reduction %, wa reduction %)], r)`.
-        pub scatter: Vec<(String, Vec<(f64, f64)>, f64)>,
+        /// Scatter series per baseline.
+        pub scatter: Vec<ScatterSeries>,
     }
 
     /// Summarize an existing sweep into Fig. 10.
@@ -698,6 +704,108 @@ pub mod ablation {
         println!("{}", render_table(&["variant", "overall WA", "pad ratio"], &rows));
         let report = Report { variants };
         let path = write_json(&cli.out_dir, "ablation", &report).expect("write report");
+        println!("wrote {path}\n");
+        report
+    }
+}
+
+/// Fault scenario — mid-trace device failure, degraded service via parity
+/// reconstruction, incremental rebuild onto a spare. Reports WA, padding,
+/// and durability-latency deltas between the healthy, degraded,
+/// rebuilding, and restored phases.
+pub mod faults {
+    use super::*;
+    use adapt_sim::faults::{run_fault_scenario, FaultScenario};
+    use adapt_sim::runner::requests_for;
+
+    /// One phase row: `(scheme, phase, records, wa, pad ratio, mean
+    /// latency µs, degraded reads, reconstructed bytes)`.
+    pub type PhaseRow = (String, String, u64, f64, f64, f64, u64, u64);
+
+    /// JSON payload.
+    #[derive(Serialize)]
+    pub struct Report {
+        /// Per-phase metrics for each scheme.
+        pub phases: Vec<PhaseRow>,
+        /// `(scheme, readable, reconstructed, buffered tail, lost)` from
+        /// the degraded-phase live-LBA sweep.
+        pub verify: Vec<(String, u64, u64, u64, u64)>,
+        /// `(scheme, rebuild bytes, rebuild host ops)`.
+        pub rebuild: Vec<(String, u64, u64)>,
+    }
+
+    /// Run the fault scenario for SepGC and ADAPT on one Ali volume.
+    pub fn run(cli: &Cli) -> Report {
+        let suite = eval_suite(SuiteKind::Ali, cli.volumes());
+        let vol = &suite.volumes[0];
+        let requests = requests_for(vol);
+        println!(
+            "Fault scenario — volume {} ({} blocks, {} requests), device 0 fails at 50%",
+            vol.id, vol.unique_blocks, requests
+        );
+        let mut phases = Vec::new();
+        let mut verify = Vec::new();
+        let mut rebuild = Vec::new();
+        let mut rows = Vec::new();
+        for scheme in [Scheme::SepGc, Scheme::Adapt] {
+            let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+            let scenario = FaultScenario::midpoint_failure(cfg, 0);
+            let r = run_fault_scenario(scheme, scenario, vol.trace(requests));
+            for p in &r.phases {
+                phases.push((
+                    scheme.name().to_string(),
+                    p.phase.clone(),
+                    p.records,
+                    p.wa(),
+                    p.padding_ratio(),
+                    p.mean_latency_us(),
+                    p.metrics.degraded_reads,
+                    p.metrics.reconstructed_bytes,
+                ));
+                rows.push(vec![
+                    scheme.name().to_string(),
+                    p.phase.clone(),
+                    format!("{}", p.records),
+                    format!("{:.3}", p.wa()),
+                    format!("{:.1}%", p.padding_ratio() * 100.0),
+                    format!("{:.1}", p.mean_latency_us()),
+                    format!("{}", p.metrics.degraded_reads),
+                    format!("{:.1}", p.metrics.reconstructed_bytes as f64 / (1 << 20) as f64),
+                ]);
+            }
+            verify.push((
+                scheme.name().to_string(),
+                r.verify.readable,
+                r.verify.reconstructed,
+                r.verify.buffered_tail,
+                r.verify.lost,
+            ));
+            rebuild.push((scheme.name().to_string(), r.rebuild_bytes, r.rebuild_ops));
+            assert_eq!(r.verify.lost, 0, "live data lost under single fault");
+        }
+        println!(
+            "{}",
+            render_table(
+                &["scheme", "phase", "records", "WA", "pad", "lat µs", "degr rd", "recon MiB"],
+                &rows
+            )
+        );
+        let mut vrows = Vec::new();
+        for (s, readable, recon, tail, lost) in &verify {
+            vrows.push(vec![
+                s.clone(),
+                format!("{readable}"),
+                format!("{recon}"),
+                format!("{tail}"),
+                format!("{lost}"),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["scheme", "readable", "reconstructed", "buffered tail", "lost"], &vrows)
+        );
+        let report = Report { phases, verify, rebuild };
+        let path = write_json(&cli.out_dir, "faults", &report).expect("write report");
         println!("wrote {path}\n");
         report
     }

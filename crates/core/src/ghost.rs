@@ -377,7 +377,7 @@ mod tests {
             let mut i = 0u64;
             for _ in 0..3000 {
                 i += 1;
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     g.write(i % 8, Some(100), i);
                 } else {
                     g.write(100 + (i % 64), Some(1_000_000), i);
@@ -420,7 +420,7 @@ mod tests {
             for i in 0..4000u64 {
                 // Alternate a rewrite-heavy set (interval ~2k bytes) and a
                 // cold tail (interval ~1M bytes); 100 µs apart each.
-                if i % 2 == 0 {
+                if i.is_multiple_of(2) {
                     g.write(i % 16, Some(2_000), i * 100);
                 } else {
                     g.write(1000 + (i % 500), Some(1_000_000), i * 100);

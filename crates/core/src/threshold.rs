@@ -272,7 +272,7 @@ mod tests {
         let mut i = 0u64;
         for _ in 0..400_000 {
             i += 1;
-            let lba = if i % 2 == 0 { i % 16 } else { 1000 + (i % 2000) };
+            let lba = if i.is_multiple_of(2) { i % 16 } else { 1000 + (i % 2000) };
             adopted |= a.on_user_write(lba, i);
             if adopted {
                 break;
@@ -286,7 +286,7 @@ mod tests {
     fn linear_refinement_after_interior_win() {
         let mut a = adapter();
         for i in 0..500_000u64 {
-            let lba = if i % 2 == 0 { i % 16 } else { 1000 + (i % 2000) };
+            let lba = if i.is_multiple_of(2) { i % 16 } else { 1000 + (i % 2000) };
             a.on_user_write(lba, i);
             if a.is_linear() {
                 break;
@@ -325,7 +325,7 @@ mod tests {
     fn thresholds_are_segment_quantized_in_linear_mode() {
         let mut a = adapter();
         for i in 0..800_000u64 {
-            let lba = if i % 2 == 0 { i % 16 } else { 1000 + (i % 2000) };
+            let lba = if i.is_multiple_of(2) { i % 16 } else { 1000 + (i % 2000) };
             a.on_user_write(lba, i);
         }
         if a.is_linear() {

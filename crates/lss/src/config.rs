@@ -33,6 +33,15 @@ pub struct LssConfig {
     /// dedicated threads, as the paper's prototype does (§4.4: "the number
     /// of background GC threads matches the number of client threads").
     pub background_gc: bool,
+    /// How many times a chunk read hitting a *transient* array error
+    /// (media retry, link hiccup) is retried before the error surfaces.
+    /// Persistent faults (failed device, double fault) never retry.
+    pub read_retry_limit: u32,
+    /// Simulated backoff before the first read retry, in microseconds;
+    /// doubles on each subsequent attempt. Accounted in
+    /// [`crate::LssMetrics::retry_backoff_us`] rather than advancing the
+    /// engine clock (retries must not perturb SLA deadlines).
+    pub retry_backoff_us: u64,
 }
 
 impl Default for LssConfig {
@@ -47,6 +56,8 @@ impl Default for LssConfig {
             gc_low_water: 12,
             gc_high_water: 18,
             background_gc: false,
+            read_retry_limit: 3,
+            retry_backoff_us: 50,
         }
     }
 }

@@ -31,6 +31,7 @@
 //! simulated time.
 
 use crate::config::LssConfig;
+use crate::error::EngineError;
 use crate::gc::GcSelection;
 use crate::gc_variants::VictimPolicy;
 use crate::group::{Group, PendingBlock};
@@ -41,7 +42,7 @@ use crate::placement::{
 };
 use crate::segment::{Segment, SegmentState};
 use crate::types::{GroupId, Lba, SegmentId, Slot};
-use adapt_array::{ArraySink, ChunkFlush, Traffic};
+use adapt_array::{ArrayHealth, ArraySink, ChunkFlush, ReadMode, Traffic};
 
 /// The log-structured storage engine. Generic over the placement policy
 /// (static dispatch: the policy decision sits on the per-block hot path)
@@ -73,6 +74,14 @@ pub struct Lss<P: PlacementPolicy, S: ArraySink> {
     next_flush_seq: u64,
     /// Scratch for victim slot scans (avoids per-pass allocation).
     gc_scratch: Vec<(u32, Slot)>,
+    /// Host block operations processed (writes, reads, trims) — the op
+    /// clock that time-to-rebuild is measured on.
+    ops_seen: u64,
+    /// Sink health observed at the previous host op (transition detector
+    /// for rebuild metrics).
+    last_health: ArrayHealth,
+    /// Op-clock value when the current rebuild was first observed.
+    rebuild_start_op: Option<u64>,
 }
 
 impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
@@ -136,6 +145,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             next_open_seq: 0,
             next_flush_seq: 0,
             gc_scratch: Vec::new(),
+            ops_seen: 0,
+            last_health: ArrayHealth::Healthy,
+            rebuild_start_op: None,
         }
     }
 
@@ -144,12 +156,23 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     // ------------------------------------------------------------------
 
     /// Process one host block write at time `ts_us`.
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_write`] to handle faults.
     pub fn write(&mut self, ts_us: u64, lba: Lba) {
-        self.advance_time(ts_us);
+        self.try_write(ts_us, lba).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::write`]: reports index corruption and
+    /// free-pool exhaustion as typed errors instead of panicking.
+    pub fn try_write(&mut self, ts_us: u64, lba: Lba) -> Result<(), EngineError> {
+        self.try_advance_time(ts_us)?;
+        self.note_host_op();
         self.metrics.host_write_bytes += self.cfg.block_bytes;
         self.user_bytes_clock += self.cfg.block_bytes;
 
-        self.retire_previous_version(lba);
+        self.retire_previous_version(lba)?;
 
         self.refresh_ctx();
         let g = self.policy.place_user(&self.ctx, lba);
@@ -158,22 +181,59 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.append_pending(
             g,
             PendingBlock { lba, traffic: Traffic::User, arrival_us: self.now_us, needs_sla: true },
-        );
+        )
     }
 
     /// Process a multi-block host write request.
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_write_request`].
     pub fn write_request(&mut self, ts_us: u64, lba: Lba, num_blocks: u32) {
+        self.try_write_request(ts_us, lba, num_blocks).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::write_request`].
+    pub fn try_write_request(
+        &mut self,
+        ts_us: u64,
+        lba: Lba,
+        num_blocks: u32,
+    ) -> Result<(), EngineError> {
         for i in 0..num_blocks as u64 {
-            self.write(ts_us, lba + i);
+            self.try_write(ts_us, lba + i)?;
         }
+        Ok(())
     }
 
     /// Process a host read. The array serves whole chunks (§2.2), so the
     /// fetch cost is the number of *distinct chunks* the live copies span;
     /// blocks still pending in an open-chunk buffer are served from RAM.
     /// Unwritten blocks read as zeroes (no array traffic).
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`] — e.g. an unreconstructable chunk on a
+    /// faulted array; use [`Lss::try_read_request`] to handle faults.
     pub fn read_request(&mut self, ts_us: u64, lba: Lba, num_blocks: u32) {
-        self.advance_time(ts_us);
+        self.try_read_request(ts_us, lba, num_blocks).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::read_request`]. Each chunk fetch is
+    /// routed through the sink's fault model: reads of chunks on a failed
+    /// device are served via parity reconstruction (accounted in
+    /// [`LssMetrics::degraded_reads`]), transient errors are retried up to
+    /// [`LssConfig::read_retry_limit`] times with exponential backoff, and
+    /// persistent faults (double fault, unreconstructable stripe) surface
+    /// as [`EngineError::Array`].
+    pub fn try_read_request(
+        &mut self,
+        ts_us: u64,
+        lba: Lba,
+        num_blocks: u32,
+    ) -> Result<(), EngineError> {
+        self.try_advance_time(ts_us)?;
+        self.note_host_op();
         self.metrics.host_read_bytes += num_blocks as u64 * self.cfg.block_bytes;
         // Distinct (segment, chunk-index) pairs touched by this request.
         let mut chunks: Vec<(SegmentId, u32)> = Vec::with_capacity(num_blocks as usize);
@@ -194,25 +254,85 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         }
         chunks.sort_unstable();
         chunks.dedup();
+        for &(seg, ci) in &chunks {
+            self.fetch_chunk(seg, ci)?;
+        }
         self.metrics.array_read_bytes += chunks.len() as u64 * self.cfg.chunk_bytes();
+        Ok(())
+    }
+
+    /// Fetch one chunk through the sink's fault model, retrying transient
+    /// errors with exponential backoff (simulated — accounted in metrics,
+    /// not the engine clock, so SLA deadlines are unperturbed).
+    fn fetch_chunk(&mut self, seg: SegmentId, chunk_idx: u32) -> Result<(), EngineError> {
+        // Chunks flushed before location tracking (or by exotic sinks) have
+        // no recorded location; they are accounted without a fault check.
+        let Some(&loc) = self.segments[seg as usize].chunk_locs.get(chunk_idx as usize)
+        else {
+            return Ok(());
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.sink.read_chunk_at(loc) {
+                Ok(outcome) => {
+                    if outcome.mode == ReadMode::Reconstructed {
+                        self.metrics.degraded_reads += 1;
+                        self.metrics.reconstructed_bytes += outcome.device_bytes_read;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < self.cfg.read_retry_limit => {
+                    self.metrics.retried_reads += 1;
+                    self.metrics.retry_backoff_us +=
+                        self.cfg.retry_backoff_us << attempt.min(16);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// TRIM/discard: invalidate `num_blocks` starting at `lba`. The freed
     /// slots become garbage immediately, cheapening future GC.
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_trim`].
     pub fn trim(&mut self, ts_us: u64, lba: Lba, num_blocks: u32) {
-        self.advance_time(ts_us);
+        self.try_trim(ts_us, lba, num_blocks).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::trim`].
+    pub fn try_trim(
+        &mut self,
+        ts_us: u64,
+        lba: Lba,
+        num_blocks: u32,
+    ) -> Result<(), EngineError> {
+        self.try_advance_time(ts_us)?;
+        self.note_host_op();
         for i in 0..num_blocks as u64 {
             if !matches!(self.index.get(lba + i), BlockEntry::Absent) {
-                self.retire_previous_version(lba + i);
+                self.retire_previous_version(lba + i)?;
                 self.metrics.trimmed_blocks += 1;
             }
         }
+        Ok(())
     }
 
     /// Advance simulated time, handling any SLA expiries strictly before
     /// `ts_us`. Reads (which bypass the write path) should call this so
     /// that coalescing deadlines fire at faithful instants.
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_advance_time`].
     pub fn advance_time(&mut self, ts_us: u64) {
+        self.try_advance_time(ts_us).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::advance_time`].
+    pub fn try_advance_time(&mut self, ts_us: u64) -> Result<(), EngineError> {
         loop {
             let next = self
                 .groups
@@ -222,22 +342,33 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             match next {
                 Some((deadline, gid)) if deadline <= ts_us => {
                     self.now_us = self.now_us.max(deadline);
-                    self.handle_sla_expiry(gid);
+                    self.handle_sla_expiry(gid)?;
                 }
                 _ => break,
             }
         }
         self.now_us = self.now_us.max(ts_us);
+        Ok(())
     }
 
     /// Flush every group's partial chunk (padding as needed). Call at the
     /// end of a trace so all buffered blocks reach the array.
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_flush_all`].
     pub fn flush_all(&mut self) {
+        self.try_flush_all().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::flush_all`].
+    pub fn try_flush_all(&mut self) -> Result<(), EngineError> {
         for gid in 0..self.groups.len() as GroupId {
             if !self.groups[gid as usize].pending.is_empty() {
-                self.flush_chunk(gid, &[], GroupId::MAX);
+                self.flush_chunk(gid, &[], GroupId::MAX)?;
             }
         }
+        Ok(())
     }
 
     /// Cumulative metrics.
@@ -280,6 +411,17 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         &self.sink
     }
 
+    /// Mutable access to the array sink — the fault-scenario driver uses
+    /// this to fail devices and to pump rebuild steps.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Host block operations processed so far (the op clock).
+    pub fn host_ops(&self) -> u64 {
+        self.ops_seen
+    }
+
     /// Current simulated time (µs).
     pub fn now_us(&self) -> u64 {
         self.now_us
@@ -302,20 +444,48 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
     /// Collect at most one victim segment (background-GC driver API).
     /// Returns `true` if a segment was reclaimed. No-op when nothing is
-    /// reclaimable.
+    /// reclaimable, or when GC is paused because the array is rebuilding
+    /// (rebuild I/O has priority; GC still runs if the pool is nearly dry).
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_gc_step`].
     pub fn gc_step(&mut self) -> bool {
+        self.try_gc_step().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Lss::gc_step`].
+    pub fn try_gc_step(&mut self) -> Result<bool, EngineError> {
         if self.in_gc {
-            return false;
+            return Ok(false);
+        }
+        if self.gc_paused_for_rebuild() {
+            self.metrics.gc_throttled += 1;
+            return Ok(false);
         }
         let Some(victim) = self.gc_select.select(&self.segments, self.user_bytes_clock)
         else {
-            return false;
+            return Ok(false);
         };
         self.in_gc = true;
         self.metrics.gc_passes += 1;
-        self.collect_segment(victim);
+        let result = self.collect_segment(victim);
         self.in_gc = false;
-        true
+        result.map(|()| true)
+    }
+
+    /// Graceful-degradation policy: while the array rebuilds a failed
+    /// device onto a spare, non-emergency GC yields the bandwidth. GC
+    /// resumes unconditionally when the free pool nears exhaustion (an
+    /// engine stall would be worse than a slower rebuild).
+    fn gc_paused_for_rebuild(&self) -> bool {
+        matches!(self.sink.health(), ArrayHealth::Rebuilding { .. })
+            && self.free.len() > self.emergency_free_level()
+    }
+
+    /// Free-pool level below which GC must run no matter what.
+    fn emergency_free_level(&self) -> usize {
+        (self.groups.len() + 1).max(3)
     }
 
     /// Approximate resident memory: block index plus policy state
@@ -393,8 +563,34 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     // Internals
     // ------------------------------------------------------------------
 
+    /// Count one host op and watch for sink health transitions: the op
+    /// clock bounds time-to-rebuild, and a Rebuilding→Healthy edge
+    /// snapshots the rebuild traffic the array reported.
+    fn note_host_op(&mut self) {
+        self.ops_seen += 1;
+        let health = self.sink.health();
+        if health == self.last_health {
+            return;
+        }
+        match health {
+            ArrayHealth::Rebuilding { .. } => {
+                if self.rebuild_start_op.is_none() {
+                    self.rebuild_start_op = Some(self.ops_seen);
+                }
+            }
+            ArrayHealth::Healthy => {
+                if let Some(start) = self.rebuild_start_op.take() {
+                    self.metrics.rebuild_ops += self.ops_seen.saturating_sub(start);
+                    self.metrics.rebuild_bytes = self.sink.stats().rebuild_bytes();
+                }
+            }
+            ArrayHealth::Degraded { .. } => {}
+        }
+        self.last_health = health;
+    }
+
     /// Invalidate whatever copy of `lba` currently exists.
-    fn retire_previous_version(&mut self, lba: Lba) {
+    fn retire_previous_version(&mut self, lba: Lba) -> Result<(), EngineError> {
         match self.index.get(lba) {
             BlockEntry::Absent => {}
             BlockEntry::Durable { seg, off } => {
@@ -403,9 +599,10 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             }
             BlockEntry::Pending { group, shadow } => {
                 let g = &mut self.groups[group as usize];
-                let pos = g
-                    .find_pending(lba)
-                    .expect("index says pending but buffer lacks the block");
+                let pos = g.find_pending(lba).ok_or_else(|| EngineError::IndexCorruption {
+                    lba,
+                    detail: "index says pending but buffer lacks the block".into(),
+                })?;
                 g.pending.swap_remove(pos);
                 g.recompute_pending_since();
                 self.metrics.buffer_absorbed_blocks += 1;
@@ -418,10 +615,11 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             }
         }
         self.index.set(lba, BlockEntry::Absent);
+        Ok(())
     }
 
     /// Append a block to a group's buffer; flush when the chunk fills.
-    fn append_pending(&mut self, gid: GroupId, block: PendingBlock) {
+    fn append_pending(&mut self, gid: GroupId, block: PendingBlock) -> Result<(), EngineError> {
         let lba = block.lba;
         let needs_sla = block.needs_sla;
         let arrival = block.arrival_us;
@@ -434,13 +632,14 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         }
         self.index.set(lba, BlockEntry::Pending { group: gid, shadow: None });
         if self.groups[gid as usize].pending.len() >= self.cfg.chunk_blocks as usize {
-            self.flush_chunk(gid, &[], GroupId::MAX);
+            self.flush_chunk(gid, &[], GroupId::MAX)?;
         }
+        Ok(())
     }
 
     /// SLA deadline fired for `gid`: ask the policy, then pad or
     /// shadow-append.
-    fn handle_sla_expiry(&mut self, gid: GroupId) {
+    fn handle_sla_expiry(&mut self, gid: GroupId) -> Result<(), EngineError> {
         debug_assert!(self.groups[gid as usize].pending_since_us.is_some());
         self.refresh_ctx();
         match self.policy.on_sla_expire(&self.ctx, gid) {
@@ -452,10 +651,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// Persist `home`'s unpersisted pending blocks as shadow slots inside
     /// `target`'s next chunk, flushing it immediately. Falls back to
     /// padding the home chunk when the move is impossible.
-    fn shadow_append(&mut self, home: GroupId, target: GroupId) {
+    fn shadow_append(&mut self, home: GroupId, target: GroupId) -> Result<(), EngineError> {
         if home == target || target as usize >= self.groups.len() {
-            self.flush_chunk(home, &[], GroupId::MAX);
-            return;
+            return self.flush_chunk(home, &[], GroupId::MAX);
         }
         let shadows: Vec<Lba> = self.groups[home as usize]
             .pending
@@ -468,23 +666,28 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         if shadows.is_empty() || shadows.len() > space {
             // Target cannot absorb every unpersisted block; SLA forces the
             // home chunk out with padding instead.
-            self.flush_chunk(home, &[], GroupId::MAX);
-            return;
+            return self.flush_chunk(home, &[], GroupId::MAX);
         }
         self.metrics.shadow_append_events += 1;
-        self.flush_chunk(target, &shadows, home);
+        self.flush_chunk(target, &shadows, home)?;
         // Home blocks are now persistent via their shadows: stop the timer.
         let g = &mut self.groups[home as usize];
         for p in &mut g.pending {
             p.needs_sla = false;
         }
         g.pending_since_us = None;
+        Ok(())
     }
 
     /// Flush `gid`'s pending buffer as one chunk, appending `shadows`
     /// (substitute copies of blocks still pending in `shadow_home`) and
     /// zero padding to reach chunk alignment.
-    fn flush_chunk(&mut self, gid: GroupId, shadows: &[Lba], shadow_home: GroupId) {
+    fn flush_chunk(
+        &mut self,
+        gid: GroupId,
+        shadows: &[Lba],
+        shadow_home: GroupId,
+    ) -> Result<(), EngineError> {
         let chunk_blocks = self.cfg.chunk_blocks;
         let block_bytes = self.cfg.block_bytes;
         // The open segment is allocated lazily: sealing happens eagerly but
@@ -493,8 +696,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         if self.groups[gid as usize].open_segment == SegmentId::MAX {
             // May run GC, which can append *more* blocks into this very
             // group's buffer — hence the bounded drain below rather than a
-            // wholesale take.
-            self.alloc_open_segment(gid);
+            // wholesale take. An out-of-space failure here leaves the
+            // pending blocks buffered and the engine consistent.
+            self.alloc_open_segment(gid)?;
         }
         let seg_id = self.groups[gid as usize].open_segment;
 
@@ -521,7 +725,10 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                     self.metrics.lazy_appends += 1;
                 }
             } else {
-                panic!("pending block {} lost its index entry", p.lba);
+                return Err(EngineError::IndexCorruption {
+                    lba: p.lba,
+                    detail: "pending block lost its index entry during flush".into(),
+                });
             }
             self.index.set(p.lba, BlockEntry::Durable { seg: seg_id, off });
             match p.traffic {
@@ -556,7 +763,12 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                             .record(self.now_us.saturating_sub(arrival));
                     }
                 }
-                other => panic!("shadow source {lba} in unexpected state {other:?}"),
+                other => {
+                    return Err(EngineError::IndexCorruption {
+                        lba,
+                        detail: format!("shadow source in unexpected state {other:?}"),
+                    });
+                }
             }
         }
         let payload = pending.len() + shadows.len();
@@ -587,7 +799,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         );
         self.segments[seg_id as usize].chunk_seqs.push(self.next_flush_seq);
         self.next_flush_seq += 1;
-        self.sink.write_chunk(ChunkFlush {
+        let loc = self.sink.write_chunk(ChunkFlush {
             user_bytes: user * block_bytes,
             gc_bytes: gc * block_bytes,
             shadow_bytes: shadow_cnt * block_bytes,
@@ -596,23 +808,25 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             seg: seg_id,
             chunk_in_seg,
         });
+        self.segments[seg_id as usize].chunk_locs.push(loc);
 
         // Seal and replace the open segment if it just filled.
         if self.segments[seg_id as usize].is_full() {
-            self.seal_segment(gid, seg_id);
+            self.seal_segment(gid, seg_id)?;
         }
 
         // GC during the allocation above may have left more than a full
         // chunk of pending blocks behind; flush the surplus too.
         if self.groups[gid as usize].pending.len() >= chunk_blocks as usize {
-            self.flush_chunk(gid, &[], GroupId::MAX);
+            self.flush_chunk(gid, &[], GroupId::MAX)?;
         }
+        Ok(())
     }
 
     /// Seal `seg_id`, notify the policy, and kick GC if the pool is low.
     /// The replacement open segment is allocated lazily at the next flush,
     /// so GC migrations triggered here can still route into this group.
-    fn seal_segment(&mut self, gid: GroupId, seg_id: SegmentId) {
+    fn seal_segment(&mut self, gid: GroupId, seg_id: SegmentId) -> Result<(), EngineError> {
         let seg = &mut self.segments[seg_id as usize];
         seg.seal();
         let meta = SegmentMeta {
@@ -627,16 +841,26 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.refresh_ctx();
         self.policy.on_segment_sealed(&self.ctx, &meta);
         if !self.in_gc && self.should_inline_gc() {
-            self.run_gc();
+            self.run_gc()?;
         }
+        Ok(())
     }
 
     /// Inline GC policy: always when foreground GC is configured; under
     /// background GC only as an emergency (the pool is nearly dry because
-    /// the GC threads fell behind).
-    fn should_inline_gc(&self) -> bool {
+    /// the GC threads fell behind). While the array rebuilds, only
+    /// emergency GC runs — the throttle that keeps GC traffic from
+    /// competing with reconstruction I/O.
+    fn should_inline_gc(&mut self) -> bool {
+        let emergency = self.free.len() <= self.emergency_free_level();
+        if !emergency && matches!(self.sink.health(), ArrayHealth::Rebuilding { .. }) {
+            if self.free.len() <= self.cfg.gc_low_water as usize {
+                self.metrics.gc_throttled += 1;
+            }
+            return false;
+        }
         if self.cfg.background_gc {
-            self.free.len() <= (self.groups.len() + 1).max(3)
+            emergency
         } else {
             self.free.len() <= self.cfg.gc_low_water as usize
         }
@@ -644,14 +868,14 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
     /// Take a segment from the free pool for `gid`, running GC first when
     /// the pool is low.
-    fn alloc_open_segment(&mut self, gid: GroupId) {
+    fn alloc_open_segment(&mut self, gid: GroupId) -> Result<(), EngineError> {
         if !self.in_gc && self.should_inline_gc() {
-            self.run_gc();
+            self.run_gc()?;
             // GC migrations flush through this very group; a nested flush
             // may already have allocated its open segment. Allocating again
             // would orphan that segment (open forever, invisible to GC).
             if self.groups[gid as usize].open_segment != SegmentId::MAX {
-                return;
+                return Ok(());
             }
         }
         let seg_id = match self.free.pop() {
@@ -673,35 +897,46 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                     .filter(|s| s.state == SegmentState::Open)
                     .count();
                 let valid: u64 = self.segments.iter().map(|s| s.valid_blocks as u64).sum();
-                panic!(
-                    "free-segment pool exhausted (total {} sealed {} sealed-with-garbage {} open {} valid-blocks {} in_gc {}): raise op_ratio or gc watermarks",
-                    self.segments.len(), sealed, sealed_garbage, open, valid, self.in_gc
-                );
+                return Err(EngineError::OutOfSpace {
+                    total_segments: self.segments.len(),
+                    sealed,
+                    sealed_with_garbage: sealed_garbage,
+                    open,
+                    valid_blocks: valid,
+                    in_gc: self.in_gc,
+                });
             }
         };
         self.segments[seg_id as usize].open(gid, self.user_bytes_clock, self.now_us);
         self.segments[seg_id as usize].open_seq = self.next_open_seq;
         self.next_open_seq += 1;
         self.groups[gid as usize].open_segment = seg_id;
+        Ok(())
     }
 
     /// One GC pass: reclaim victims until the free pool recovers.
-    fn run_gc(&mut self) {
+    fn run_gc(&mut self) -> Result<(), EngineError> {
         self.in_gc = true;
         self.metrics.gc_passes += 1;
+        let result = self.run_gc_inner();
+        self.in_gc = false;
+        result
+    }
+
+    fn run_gc_inner(&mut self) -> Result<(), EngineError> {
         while self.free.len() < self.cfg.gc_high_water as usize {
             let Some(victim_id) =
                 self.gc_select.select(&self.segments, self.user_bytes_clock)
             else {
                 break; // nothing reclaimable
             };
-            self.collect_segment(victim_id);
+            self.collect_segment(victim_id)?;
         }
-        self.in_gc = false;
+        Ok(())
     }
 
     /// Migrate a victim's live blocks and reclaim it.
-    fn collect_segment(&mut self, victim_id: SegmentId) {
+    fn collect_segment(&mut self, victim_id: SegmentId) -> Result<(), EngineError> {
         let (victim_group, created_user_bytes, valid_at_start) = {
             let v = &self.segments[victim_id as usize];
             debug_assert_eq!(v.state, SegmentState::Sealed);
@@ -726,24 +961,16 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         scratch.clear();
         scratch.extend(self.segments[victim_id as usize].written_slots());
         let mut migrated = 0u32;
+        let mut migration_result = Ok(());
         for &(off, slot) in &scratch {
-            match slot {
+            let append = match slot {
                 Slot::Block(lba) if self.index.is_live(lba, victim_id, off) => {
                     self.refresh_ctx();
                     let dest = self.policy.place_gc(&self.ctx, lba, &vm);
                     debug_assert!((dest as usize) < self.groups.len());
                     self.policy.on_gc_block_migrated(lba, victim_group, dest);
                     self.segments[victim_id as usize].valid_blocks -= 1;
-                    self.append_pending(
-                        dest,
-                        PendingBlock {
-                            lba,
-                            traffic: Traffic::Gc,
-                            arrival_us: self.now_us,
-                            needs_sla: false,
-                        },
-                    );
-                    migrated += 1;
+                    Some((dest, lba))
                 }
                 Slot::Shadow(lba) if self.index.is_live(lba, victim_id, off) => {
                     // A live substitute: its home copy is still buffered.
@@ -761,22 +988,30 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                     let dest = self.policy.place_gc(&self.ctx, lba, &vm);
                     self.policy.on_gc_block_migrated(lba, victim_group, dest);
                     self.segments[victim_id as usize].valid_blocks -= 1;
-                    self.append_pending(
-                        dest,
-                        PendingBlock {
-                            lba,
-                            traffic: Traffic::Gc,
-                            arrival_us: self.now_us,
-                            needs_sla: false,
-                        },
-                    );
-                    migrated += 1;
+                    Some((dest, lba))
                 }
-                _ => {}
+                _ => None,
+            };
+            if let Some((dest, lba)) = append {
+                let r = self.append_pending(
+                    dest,
+                    PendingBlock {
+                        lba,
+                        traffic: Traffic::Gc,
+                        arrival_us: self.now_us,
+                        needs_sla: false,
+                    },
+                );
+                if let Err(e) = r {
+                    migration_result = Err(e);
+                    break;
+                }
+                migrated += 1;
             }
         }
         self.gc_scratch = scratch;
         self.metrics.blocks_migrated += migrated as u64;
+        migration_result?;
 
         // Reclaim.
         let seg = &mut self.segments[victim_id as usize];
@@ -793,6 +1028,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         };
         self.refresh_ctx();
         self.policy.on_segment_reclaimed(&self.ctx, &info);
+        Ok(())
     }
 
     /// Rebuild the durable part of the block index by scanning segment
@@ -1110,10 +1346,8 @@ mod tests {
     #[test]
     fn policy_lifecycle_callbacks_fire() {
         let mut e = engine(TestPolicy::sepgc());
-        let mut ts = 0;
         for i in 0..5 * 4096u64 {
-            e.write(ts, scattered_lba(i, 4096));
-            ts += 1;
+            e.write(i, scattered_lba(i, 4096));
         }
         assert!(e.policy().seals > 0);
         assert!(e.policy().reclaims > 0);
@@ -1229,11 +1463,9 @@ mod tests {
             TestPolicy::sepgc(),
             CountingArray::new(cfg.array_config()),
         );
-        let mut ts = 0u64;
         let mut steps = 0u64;
         for i in 0..6 * 4096u64 {
-            e.write(ts, scattered_lba(i, 4096));
-            ts += 1;
+            e.write(i, scattered_lba(i, 4096));
             // A cooperating "GC thread": step whenever the pool runs low.
             while e.needs_gc() && e.gc_step() {
                 steps += 1;
@@ -1257,10 +1489,8 @@ mod tests {
         );
         // Never call gc_step: the emergency inline path must keep the
         // engine alive anyway.
-        let mut ts = 0u64;
         for i in 0..6 * 4096u64 {
-            e.write(ts, scattered_lba(i, 4096));
-            ts += 1;
+            e.write(i, scattered_lba(i, 4096));
         }
         assert!(e.metrics().segments_reclaimed > 0);
         e.check_invariants();
@@ -1359,6 +1589,144 @@ mod tests {
         }
         assert!(e.metrics().lazy_appends >= 1);
         assert_eq!(e.metrics().durability_latency.count(), 16);
+    }
+
+    #[test]
+    fn degraded_reads_served_via_reconstruction() {
+        use adapt_array::{FaultPlan, FaultyArray};
+        let cfg = small_cfg();
+        let mut e = Lss::new(
+            cfg,
+            GcSelection::Greedy,
+            TestPolicy::sepgc(),
+            FaultyArray::new(cfg.array_config(), FaultPlan::new(7)),
+        );
+        // Three dense chunks complete RAID-5 stripe 0 (3 data columns).
+        for i in 0..48u64 {
+            e.write(i, i);
+        }
+        // Chunk 0 (stripe 0, column 0) sits on device 0 under the
+        // left-symmetric layout. Fail it; reads must reconstruct.
+        e.sink_mut().fail_device(0);
+        e.try_read_request(100, 0, 16).expect("degraded read must succeed");
+        let m = e.metrics();
+        assert_eq!(m.degraded_reads, 1);
+        // Reconstruction fetched the 3 surviving chunks of the stripe.
+        assert_eq!(m.reconstructed_bytes, 3 * 64 * 1024);
+        assert_eq!(m.array_read_bytes, 64 * 1024);
+        // A chunk on a healthy device still reads directly.
+        e.try_read_request(101, 16, 16).expect("healthy read");
+        assert_eq!(e.metrics().degraded_reads, 1);
+    }
+
+    #[test]
+    fn transient_read_errors_retry_then_surface() {
+        use adapt_array::{ArrayError, FaultPlan, FaultyArray};
+        let cfg = small_cfg();
+        let plan = FaultPlan::new(3).with_transient_read_prob(1.0);
+        let mut e = Lss::new(
+            cfg,
+            GcSelection::Greedy,
+            TestPolicy::sepgc(),
+            FaultyArray::new(cfg.array_config(), plan),
+        );
+        for i in 0..16u64 {
+            e.write(i, i);
+        }
+        // Every attempt draws a transient error: the engine retries
+        // read_retry_limit times, then surfaces the fault.
+        let err = e.try_read_request(100, 0, 4).unwrap_err();
+        assert!(matches!(err, EngineError::Array(ArrayError::TransientRead { .. })));
+        assert!(err.is_transient());
+        let m = e.metrics();
+        assert_eq!(m.retried_reads, cfg.read_retry_limit as u64);
+        // Exponential backoff: 50 + 100 + 200 simulated µs.
+        assert_eq!(m.retry_backoff_us, 50 + 100 + 200);
+        // The failed fetch was not charged as array traffic served.
+        assert_eq!(m.degraded_reads, 0);
+    }
+
+    #[test]
+    fn gc_pauses_during_rebuild_and_resumes_after() {
+        use adapt_array::{ArrayHealth, FaultPlan, FaultyArray};
+        let mut cfg = small_cfg();
+        cfg.background_gc = true;
+        let mut e = Lss::new(
+            cfg,
+            GcSelection::Greedy,
+            TestPolicy::sepgc(),
+            FaultyArray::new(cfg.array_config(), FaultPlan::new(1)),
+        );
+        // Churn: plenty of sealed segments with garbage for GC to eat.
+        let mut ts = 0u64;
+        for lba in 0..4096u64 {
+            e.write(ts, lba);
+            ts += 1;
+        }
+        for i in 0..2 * 4096u64 {
+            e.write(ts, scattered_lba(i, 4096));
+            ts += 1;
+        }
+        // Enter rebuild: background GC steps must decline.
+        e.sink_mut().fail_device(1);
+        e.sink_mut().start_rebuild().unwrap();
+        assert!(matches!(e.sink().health(), ArrayHealth::Rebuilding { .. }));
+        assert!(!e.gc_step(), "GC must pause while rebuilding");
+        assert!(e.metrics().gc_throttled > 0);
+        let reclaimed_during = e.metrics().segments_reclaimed;
+        // Finish the rebuild; GC resumes.
+        e.sink_mut().rebuild_step(u64::MAX).unwrap();
+        assert_eq!(e.sink().health(), ArrayHealth::Healthy);
+        assert!(e.gc_step(), "GC must resume once healthy");
+        assert!(e.metrics().segments_reclaimed > reclaimed_during);
+        e.check_invariants();
+    }
+
+    #[test]
+    fn rebuild_metrics_capture_ops_and_bytes() {
+        use adapt_array::{FaultPlan, FaultyArray};
+        let cfg = small_cfg();
+        let mut e = Lss::new(
+            cfg,
+            GcSelection::Greedy,
+            TestPolicy::sepgc(),
+            FaultyArray::new(cfg.array_config(), FaultPlan::new(2)),
+        );
+        let mut ts = 0u64;
+        for lba in 0..1024u64 {
+            e.write(ts, lba);
+            ts += 1;
+        }
+        e.sink_mut().fail_device(0);
+        e.sink_mut().start_rebuild().unwrap();
+        // Ops observed while rebuilding count toward time-to-rebuild.
+        for lba in 0..64u64 {
+            e.write(ts, lba);
+            ts += 1;
+        }
+        e.sink_mut().rebuild_step(u64::MAX).unwrap();
+        // The healthy transition is noticed at the next host op.
+        e.write(ts, 0);
+        let m = e.metrics();
+        assert!(m.rebuild_ops >= 64, "rebuild_ops {}", m.rebuild_ops);
+        assert!(m.rebuild_bytes > 0);
+        assert_eq!(m.rebuild_bytes, e.sink().stats().rebuild_bytes());
+    }
+
+    #[test]
+    fn out_of_space_surfaces_as_typed_error() {
+        // An op_ratio large enough to pass validation but a workload the
+        // watermarks cannot sustain is hard to build without bypassing
+        // validate(); instead check the error formats correctly.
+        let e = EngineError::OutOfSpace {
+            total_segments: 40,
+            sealed: 39,
+            sealed_with_garbage: 0,
+            open: 1,
+            valid_blocks: 4992,
+            in_gc: true,
+        };
+        assert!(e.to_string().contains("raise op_ratio"));
     }
 
     #[test]

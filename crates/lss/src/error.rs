@@ -1,0 +1,125 @@
+//! Typed engine errors.
+//!
+//! The engine's data paths report failures instead of panicking: index
+//! corruption (an internal invariant broke), free-pool exhaustion (the
+//! configuration cannot sustain the workload), or an array-layer fault
+//! (device failure, unreconstructable stripe) bubbling up from the sink.
+//!
+//! After an [`EngineError::IndexCorruption`] the engine's internal state
+//! is suspect and the instance should be discarded; the other variants
+//! leave the engine consistent — `OutOfSpace` callers may TRIM and retry,
+//! and transient array errors (see [`EngineError::is_transient`]) are
+//! retried internally up to [`crate::LssConfig::read_retry_limit`].
+
+use crate::types::Lba;
+use adapt_array::ArrayError;
+
+/// Errors surfaced by the engine's fallible (`try_*`) entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An internal invariant between the block index, group buffers, and
+    /// segment slots broke. Engine state is undefined afterwards.
+    IndexCorruption {
+        /// The block whose bookkeeping is inconsistent.
+        lba: Lba,
+        /// What the engine expected versus what it found.
+        detail: String,
+    },
+    /// The free-segment pool is empty and GC cannot reclaim anything:
+    /// the configuration's over-provisioning or GC watermarks cannot
+    /// sustain the workload. The flush that needed the segment is left
+    /// unperformed (pending blocks stay buffered).
+    OutOfSpace {
+        /// Total physical segments.
+        total_segments: usize,
+        /// Segments currently sealed.
+        sealed: usize,
+        /// Sealed segments holding at least one garbage block.
+        sealed_with_garbage: usize,
+        /// Segments currently open.
+        open: usize,
+        /// Live blocks across all segments.
+        valid_blocks: u64,
+        /// Whether the failure happened inside a GC pass.
+        in_gc: bool,
+    },
+    /// The array sink failed a read or reconstruction.
+    Array(ArrayError),
+}
+
+impl EngineError {
+    /// Whether retrying the same operation may succeed (transient array
+    /// faults only; corruption and exhaustion are persistent).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Array(e) if e.is_transient())
+    }
+}
+
+impl From<ArrayError> for EngineError {
+    fn from(e: ArrayError) -> Self {
+        EngineError::Array(e)
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::IndexCorruption { lba, detail } => {
+                write!(f, "block index corruption at lba {lba}: {detail}")
+            }
+            EngineError::OutOfSpace {
+                total_segments,
+                sealed,
+                sealed_with_garbage,
+                open,
+                valid_blocks,
+                in_gc,
+            } => write!(
+                f,
+                "free-segment pool exhausted (total {total_segments} sealed {sealed} \
+                 sealed-with-garbage {sealed_with_garbage} open {open} valid-blocks \
+                 {valid_blocks} in_gc {in_gc}): raise op_ratio or gc watermarks"
+            ),
+            EngineError::Array(e) => write!(f, "array fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Array(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_array::ChunkLocation;
+
+    #[test]
+    fn transient_classification() {
+        let loc = ChunkLocation { stripe: 0, device: 1, column: 0 };
+        assert!(EngineError::from(ArrayError::TransientRead { loc }).is_transient());
+        assert!(!EngineError::from(ArrayError::DoubleFault { loc }).is_transient());
+        assert!(!EngineError::IndexCorruption { lba: 3, detail: "x".into() }.is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::OutOfSpace {
+            total_segments: 10,
+            sealed: 9,
+            sealed_with_garbage: 0,
+            open: 1,
+            valid_blocks: 1280,
+            in_gc: false,
+        };
+        let s = e.to_string();
+        assert!(s.contains("exhausted") && s.contains("op_ratio"));
+        let source = EngineError::Array(ArrayError::NotDegraded);
+        assert!(std::error::Error::source(&source).is_some());
+    }
+}

@@ -64,6 +64,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod gc;
 pub mod gc_variants;
 pub mod group;
@@ -76,6 +77,7 @@ pub mod types;
 
 pub use config::LssConfig;
 pub use engine::Lss;
+pub use error::EngineError;
 pub use gc::GcSelection;
 pub use latency::LatencyHistogram;
 pub use gc_variants::VictimPolicy;

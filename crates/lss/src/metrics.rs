@@ -68,6 +68,28 @@ pub struct LssMetrics {
     pub buffer_read_blocks: u64,
     /// Blocks invalidated by TRIM/discard commands.
     pub trimmed_blocks: u64,
+    /// Chunk reads served via parity reconstruction (array degraded or
+    /// the chunk's home device failed/latent).
+    pub degraded_reads: u64,
+    /// Survivor bytes fetched to reconstruct missing chunks (n-1 chunks
+    /// per degraded read).
+    pub reconstructed_bytes: u64,
+    /// Chunk-read attempts repeated after a transient array error.
+    pub retried_reads: u64,
+    /// Simulated microseconds spent backing off before read retries
+    /// (kept out of the engine clock so SLA deadlines are unperturbed).
+    pub retry_backoff_us: u64,
+    /// GC invocations declined or deferred because the array was
+    /// rebuilding (graceful-degradation policy: rebuild I/O has priority).
+    pub gc_throttled: u64,
+    /// Array bytes moved by the most recent completed rebuild (survivor
+    /// reads plus spare writes), snapshotted from the sink when the array
+    /// returns to healthy.
+    pub rebuild_bytes: u64,
+    /// Host operations (writes/reads/trims) processed between rebuild
+    /// start and completion — the paper-style "time to rebuild" measured
+    /// on the op clock. Accumulates across rebuilds.
+    pub rebuild_ops: u64,
     /// Time from each user block's arrival to its durability (full flush,
     /// padded flush, or shadow append), in µs.
     pub durability_latency: LatencyHistogram,

@@ -5,6 +5,7 @@
 //! written the segment seals and becomes a GC candidate.
 
 use crate::types::{GroupId, SegmentId, Slot};
+use adapt_array::ChunkLocation;
 
 /// Lifecycle state of a segment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,10 @@ pub struct Segment {
     /// Global flush-sequence number of each written chunk, in chunk order —
     /// the recovery journal: copies are ordered by (chunk seq, offset).
     pub chunk_seqs: Vec<u64>,
+    /// Array location of each written chunk, parallel to `chunk_seqs` —
+    /// lets the read path ask the sink for the exact stripe/device, so
+    /// degraded-mode reconstruction is accounted faithfully.
+    pub chunk_locs: Vec<ChunkLocation>,
     /// Byte-clock value when opened.
     pub created_user_bytes: u64,
     /// Wall clock (µs) when opened.
@@ -55,6 +60,7 @@ impl Segment {
             valid_blocks: 0,
             open_seq: 0,
             chunk_seqs: Vec::new(),
+            chunk_locs: Vec::new(),
             created_user_bytes: 0,
             created_ts_us: 0,
         }
@@ -67,6 +73,7 @@ impl Segment {
         self.filled = 0;
         self.valid_blocks = 0;
         self.chunk_seqs.clear();
+        self.chunk_locs.clear();
         for s in &mut self.slots {
             *s = Slot::Free.encode();
         }

@@ -52,7 +52,7 @@ impl ArraySink for ProtoSink {
         self.timeline.charge(loc.device, cfg.chunk_bytes);
 
         let k = cfg.data_columns() as u64;
-        if self.next_chunk_seq % k == 0 {
+        if self.next_chunk_seq.is_multiple_of(k) {
             let pdev = self.layout.parity_device(loc.stripe);
             let p = &mut self.stats.devices[pdev];
             p.parity_bytes += cfg.chunk_bytes;

@@ -71,7 +71,6 @@ impl ConsolidatedTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::requests_for;
     use crate::{replay_volume, ReplayConfig, Scheme};
     use adapt_lss::GcSelection;
     use adapt_trace::{SuiteKind, WorkloadSuite};

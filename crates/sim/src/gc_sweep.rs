@@ -126,7 +126,7 @@ mod tests {
         let cfg = ReplayConfig::for_volume(4096, GcSelection::Greedy);
         let greedy = replay_with_victim(
             Scheme::SepGc,
-            cfg.clone(),
+            cfg,
             VictimPolicy::Base(GcSelection::Greedy),
             trace(),
         );
@@ -145,7 +145,7 @@ mod tests {
         let cfg = ReplayConfig::for_volume(4096, GcSelection::Greedy);
         let greedy = replay_with_victim(
             Scheme::SepGc,
-            cfg.clone(),
+            cfg,
             VictimPolicy::Base(GcSelection::Greedy),
             trace(),
         );

@@ -11,6 +11,7 @@
 
 pub mod compare;
 pub mod consolidate;
+pub mod faults;
 pub mod gc_sweep;
 pub mod multistream;
 pub mod replay;
@@ -18,6 +19,7 @@ pub mod report;
 pub mod runner;
 pub mod scheme;
 
+pub use faults::{run_fault_scenario, FaultReport, FaultScenario, PhaseReport, VerifySweep};
 pub use replay::{replay_volume, ReplayConfig, VolumeResult, Warmup};
 pub use runner::{run_suite, run_suite_all_schemes, SuiteResult};
 pub use scheme::Scheme;

@@ -120,7 +120,7 @@ mod tests {
     #[test]
     fn pair_has_identical_array_traffic() {
         let cfg = ReplayConfig::for_volume(8 * 1024, GcSelection::Greedy);
-        let on = replay_multistream(Scheme::Adapt, cfg.clone(), true, trace(60_000));
+        let on = replay_multistream(Scheme::Adapt, cfg, true, trace(60_000));
         let off = replay_multistream(Scheme::Adapt, cfg, false, trace(60_000));
         assert!((on.array_wa - off.array_wa).abs() < 1e-9);
     }
@@ -128,7 +128,7 @@ mod tests {
     #[test]
     fn multistream_reduces_in_device_wa() {
         let cfg = ReplayConfig::for_volume(8 * 1024, GcSelection::Greedy);
-        let on = replay_multistream(Scheme::Adapt, cfg.clone(), true, trace(80_000));
+        let on = replay_multistream(Scheme::Adapt, cfg, true, trace(80_000));
         let off = replay_multistream(Scheme::Adapt, cfg, false, trace(80_000));
         assert!(on.in_device_wa >= 1.0 && off.in_device_wa >= 1.0);
         assert!(

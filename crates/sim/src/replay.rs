@@ -182,7 +182,7 @@ mod tests {
             let r = replay_volume(scheme, cfg(GcSelection::Greedy), 0, ycsb(5, 40_000));
             assert!(r.metrics.host_write_bytes > 0, "{:?}", scheme);
             let wa = r.wa();
-            assert!(wa >= 1.0 && wa < 20.0, "{:?}: wa {wa}", scheme.name());
+            assert!((1.0..20.0).contains(&wa), "{:?}: wa {wa}", scheme.name());
             assert_eq!(r.groups.len(), scheme.group_count());
             assert!(r.memory_bytes > 0);
         }

@@ -1,9 +1,13 @@
-//! Property-based tests for the in-device FTL model and the FTL-backed
-//! array sink.
+//! Property-based tests for the in-device FTL model, the FTL-backed
+//! array sink, and single-fault recovery on the byte-level array.
 
 use adapt_repro::array::ftl::{FtlConfig, FtlDevice};
-use adapt_repro::array::{ArrayConfig, ArraySink, ChunkFlush, FtlArray};
+use adapt_repro::array::{
+    ArrayConfig, ArraySink, ChunkFlush, ChunkLocation, FtlArray, InMemoryArray, ReadMode,
+};
+use bytes::Bytes;
 use proptest::prelude::*;
+use std::collections::HashMap;
 
 fn small_ftl(streams: usize) -> FtlConfig {
     FtlConfig {
@@ -70,6 +74,117 @@ proptest! {
             writes.len() as u64 * 64 * 1024
         );
         prop_assert!(a.in_device_wa() >= 1.0);
+    }
+}
+
+/// A flush record describing one full data chunk (no padding), placed at
+/// an arbitrary 8-chunk-segment physical address.
+fn full_chunk_flush(chunk_bytes: u64, seq: u64) -> ChunkFlush {
+    ChunkFlush {
+        user_bytes: chunk_bytes,
+        gc_bytes: 0,
+        shadow_bytes: 0,
+        pad_bytes: 0,
+        group: 0,
+        seg: (seq / 8) as u32,
+        chunk_in_seg: (seq % 8) as u32,
+    }
+}
+
+/// Deterministic pseudo-random chunk payload (xorshift over seed ⊕ index).
+fn chunk_payload(chunk_bytes: u64, seed: u64, i: u64) -> Bytes {
+    let mut x = (seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+    let body: Vec<u8> = (0..chunk_bytes)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect();
+    Bytes::from(body)
+}
+
+proptest! {
+    /// For any stripe width and chunk size, killing any one device leaves
+    /// every chunk of every complete stripe byte-exact readable via parity
+    /// reconstruction, and a full rebuild restores normal-mode reads.
+    #[test]
+    fn any_single_device_failure_reconstructs_byte_exact(
+        num_devices in 3usize..=8,
+        chunk_bytes in 1u64..=257,
+        stripes in 1u64..=5,
+        kill in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ArrayConfig::new(num_devices, chunk_bytes);
+        let mut a = InMemoryArray::new(cfg);
+        let total = stripes * cfg.data_columns() as u64;
+        let mut written: Vec<(ChunkLocation, Bytes)> = Vec::new();
+        for i in 0..total {
+            let body = chunk_payload(chunk_bytes, seed, i);
+            let loc = a.write_chunk_bytes(body.clone(), full_chunk_flush(chunk_bytes, i));
+            written.push((loc, body));
+        }
+        let failed = kill % num_devices;
+        a.fail_device(failed);
+        for (loc, expect) in &written {
+            let (got, mode) = a.try_read_chunk(*loc).expect("complete stripe reconstructs");
+            prop_assert_eq!(&got, expect);
+            let want =
+                if loc.device == failed { ReadMode::Reconstructed } else { ReadMode::Normal };
+            prop_assert_eq!(mode, want);
+        }
+        // Rebuild onto a spare: every complete stripe holds exactly one
+        // chunk (data or parity) on the failed device.
+        let rebuilt = a.rebuild_device(failed).expect("single fault is rebuildable");
+        prop_assert_eq!(rebuilt as u64, stripes);
+        for (loc, expect) in &written {
+            let (got, mode) = a.try_read_chunk(*loc).expect("rebuilt array reads directly");
+            prop_assert_eq!(&got, expect);
+            prop_assert_eq!(mode, ReadMode::Normal);
+        }
+    }
+
+    /// Parity stays consistent under log-structured overwrites: each
+    /// overwrite appends a new version (and re-derives parity for the new
+    /// stripe), and the latest version of every slot survives any single
+    /// device failure byte-exact — both degraded and after rebuild.
+    #[test]
+    fn parity_round_trips_under_random_overwrites(
+        num_devices in 3usize..=6,
+        chunk_bytes in 8u64..=128,
+        ops in prop::collection::vec((0u64..12, any::<u64>()), 4..60),
+        kill in 0usize..6,
+    ) {
+        let cfg = ArrayConfig::new(num_devices, chunk_bytes);
+        let mut a = InMemoryArray::new(cfg);
+        let mut latest: HashMap<u64, (ChunkLocation, Bytes)> = HashMap::new();
+        let mut seq = 0u64;
+        for (slot, fill_seed) in ops {
+            let body = chunk_payload(chunk_bytes, fill_seed, slot);
+            let loc = a.write_chunk_bytes(body.clone(), full_chunk_flush(chunk_bytes, seq));
+            latest.insert(slot, (loc, body));
+            seq += 1;
+        }
+        // Close the open stripe so every version has committed parity.
+        while !a.chunks_written().is_multiple_of(cfg.data_columns() as u64) {
+            let body = chunk_payload(chunk_bytes, 0xFEED, seq);
+            a.write_chunk_bytes(body, full_chunk_flush(chunk_bytes, seq));
+            seq += 1;
+        }
+        let failed = kill % num_devices;
+        a.fail_device(failed);
+        for (loc, expect) in latest.values() {
+            let got = a.read_chunk(*loc).expect("single failure is recoverable");
+            prop_assert_eq!(&got, expect);
+        }
+        a.rebuild_device(failed).expect("single fault is rebuildable");
+        for (loc, expect) in latest.values() {
+            let (got, mode) = a.try_read_chunk(*loc).expect("rebuilt array reads directly");
+            prop_assert_eq!(&got, expect);
+            prop_assert_eq!(mode, ReadMode::Normal);
+        }
     }
 }
 

@@ -24,7 +24,7 @@ fn exported_suite_replays_identically() {
 
     // Both streams drive the simulator to identical results.
     let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
-    let direct = replay_volume(Scheme::SepBit, cfg.clone(), 0, records.into_iter());
+    let direct = replay_volume(Scheme::SepBit, cfg, 0, records.into_iter());
     let roundtrip = replay_volume(Scheme::SepBit, cfg, 0, parsed.into_iter());
     assert_eq!(direct.metrics, roundtrip.metrics);
 }

@@ -1,0 +1,82 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points this
+//! workspace uses (`par_iter`, `into_par_iter`) degrade to sequential
+//! standard iterators. Downstream `.map().collect()` chains compile
+//! unchanged because the shim returns real `Iterator`s.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// `.par_iter()` — sequential fallback.
+pub trait IntoParallelRefIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// `.par_iter_mut()` — sequential fallback.
+pub trait IntoParallelRefMutIterator<'data> {
+    type Iter: Iterator;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.iter_mut()
+    }
+}
+
+/// `.into_par_iter()` — sequential fallback.
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Iter = std::ops::Range<u64>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_maps_and_collects() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let s: u32 = (0usize..4).into_par_iter().map(|x| x as u32).sum();
+        assert_eq!(s, 6);
+    }
+}

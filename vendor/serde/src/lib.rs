@@ -1,0 +1,235 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container image cannot reach crates.io, so the workspace vendors
+//! this minimal replacement. It keeps the two names the codebase imports —
+//! [`Serialize`] and [`Deserialize`] — and the derive macros behind them,
+//! but the serialization model is a plain JSON-shaped [`Value`] tree that
+//! the vendored `serde_json` renders. Only the features this workspace
+//! actually uses are implemented; anything else fails to compile rather
+//! than silently misbehaving.
+
+// Lets the `::serde::` paths the derive emits resolve inside this
+// crate's own test module.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization target of [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs (field declaration order).
+    Object(Vec<(String, Value)>),
+}
+
+/// Convert `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait: nothing in this workspace deserializes, but types still
+/// `#[derive(Deserialize)]` for source compatibility with real serde.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T, const N: usize> Deserialize for [T; N] {}
+
+macro_rules! impl_tuple_serialize {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name),+> Deserialize for ($($name,)+) {}
+    )*};
+}
+
+impl_tuple_serialize! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T> Deserialize for std::collections::BTreeSet<T> {}
+
+impl<K: std::fmt::Display, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Demo {
+        a: u64,
+        b: Vec<(u32, f64)>,
+        #[serde(skip)]
+        #[allow(dead_code)] // skipped by the derive, so never read
+        hidden: u8,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kinds {
+        Unit,
+        Tup(u32),
+        Named { x: u64, y: bool },
+    }
+
+    #[test]
+    fn derive_struct_emits_ordered_fields() {
+        let d = Demo { a: 7, b: vec![(1, 0.5)], hidden: 9 };
+        match d.to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].0, "a");
+                assert_eq!(fields[0].1, Value::UInt(7));
+                assert_eq!(fields[1].0, "b");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derive_enum_variants() {
+        assert_eq!(Kinds::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Kinds::Tup(3).to_value(),
+            Value::Object(vec![("Tup".into(), Value::UInt(3))])
+        );
+        match (Kinds::Named { x: 1, y: true }).to_value() {
+            Value::Object(outer) => {
+                assert_eq!(outer[0].0, "Named");
+                assert!(matches!(outer[0].1, Value::Object(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}
