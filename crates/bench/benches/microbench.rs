@@ -4,6 +4,8 @@
 //! * the RA identifier lookup (the paper's "overhead of nanoseconds"
 //!   claim in §3.4),
 //! * reuse-distance tree updates and ghost-set steps (§3.2 machinery),
+//! * GC victim selection: the bucketed index vs the naive full scan,
+//! * FxHash vs SipHash map lookups on LBA keys,
 //! * RAID-5 parity over a full stripe,
 //! * an end-to-end engine block write.
 
@@ -11,7 +13,9 @@ use adapt_core::demotion::RaIdentifier;
 use adapt_core::distance::DistanceTree;
 use adapt_core::ghost::GhostSet;
 use adapt_core::Adapt;
-use adapt_lss::{GcSelection, Lss, LssConfig, PlacementPolicy, PolicyCtx};
+use adapt_lss::segment::Segment;
+use adapt_lss::types::Slot;
+use adapt_lss::{FxHashMap, GcSelection, Lss, LssConfig, PlacementPolicy, PolicyCtx, SegmentBuckets};
 use adapt_placement::{Dac, Mida, SepBit, SepGc, Warcip};
 use adapt_array::{parity, CountingArray};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
@@ -98,6 +102,82 @@ fn bench_ghost_set(c: &mut Criterion) {
     });
 }
 
+/// A sealed-segment table with a spread of utilizations, as GC would see.
+fn sealed_table(n: u32, cap: u32) -> Vec<Segment> {
+    (0..n)
+        .map(|id| {
+            let mut s = Segment::new(id, cap);
+            s.open(0, id as u64 * 17, 0);
+            for i in 0..cap {
+                s.append_slot(Slot::Block(i as u64));
+            }
+            s.seal();
+            s.valid_blocks = (id * 31 + 7) % (cap + 1);
+            s
+        })
+        .collect()
+}
+
+fn bench_gc_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gc_select");
+    let segments = sealed_table(4096, 128);
+    for policy in [GcSelection::Greedy, GcSelection::CostBenefit] {
+        group.bench_function(&format!("naive_scan_4096/{}", policy.name()), |b| {
+            b.iter(|| black_box(policy.select(black_box(&segments), 1 << 30)));
+        });
+        group.bench_function(&format!("bucketed_4096/{}", policy.name()), |b| {
+            let mut buckets = SegmentBuckets::new(128, segments.len());
+            for s in &segments {
+                buckets.insert(s.id, s.valid_blocks, s.created_user_bytes);
+            }
+            b.iter(|| black_box(buckets.select(black_box(policy), 1 << 30)));
+        });
+    }
+    // The maintenance side of the bargain: one invalidate + membership churn.
+    group.bench_function("bucketed_churn_4096", |b| {
+        let mut buckets = SegmentBuckets::new(128, segments.len());
+        for s in &segments {
+            buckets.insert(s.id, s.valid_blocks, s.created_user_bytes);
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 4096;
+            if buckets.tracked_valid(i).unwrap_or(0) > 0 {
+                buckets.note_invalidate(i);
+            } else {
+                buckets.remove(i);
+                buckets.insert(i, (i * 31 + 7) % 129, i as u64 * 17);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_fxhash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lba_map_lookup");
+    let mut sip: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+    let mut fx: FxHashMap<u64, u32> = FxHashMap::default();
+    for lba in 0..65_536u64 {
+        sip.insert(lba * 7, lba as u32);
+        fx.insert(lba * 7, lba as u32);
+    }
+    group.bench_function("siphash", |b| {
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 7919) % 65_536;
+            black_box(sip.get(&(lba * 7)))
+        });
+    });
+    group.bench_function("fxhash", |b| {
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 7919) % 65_536;
+            black_box(fx.get(&(lba * 7)))
+        });
+    });
+    group.finish();
+}
+
 fn bench_parity(c: &mut Criterion) {
     let chunks: Vec<Vec<u8>> =
         (0..3).map(|i| vec![i as u8; 64 * 1024]).collect();
@@ -144,6 +224,8 @@ criterion_group!(
     bench_ra_identifier,
     bench_distance_tree,
     bench_ghost_set,
+    bench_gc_select,
+    bench_fxhash,
     bench_parity,
     bench_engine_write
 );

@@ -1,0 +1,23 @@
+//! `perf` — hot-path regression harness.
+//!
+//! Replays fixed seeded workloads (small/medium) through ADAPT + two
+//! baselines, prints ops/s and GC-selection time share, and writes
+//! `BENCH_perf.json` at the repo root (or `--out <dir>`). `--quick` (or
+//! `ADAPT_BENCH_QUICK=1`) runs a tiny smoke replay for CI.
+
+use adapt_bench::perf::{self, QUICK, WORKLOADS};
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    let workloads: &[perf::Workload] = if cli.quick { &[QUICK] } else { &WORKLOADS };
+    let report = perf::run(workloads, adapt_bench::perf_baseline::BASELINE);
+    for (key, s) in &report.speedup {
+        println!("perf {key:<28} speedup vs pre-change baseline: {s:.2}x");
+    }
+    // The trajectory file lives at the repo root by default (BENCH_* is
+    // the per-PR perf record); --out redirects for scratch runs.
+    let dir = if cli.out_dir == "results" { ".".to_string() } else { cli.out_dir };
+    let path = adapt_sim::report::write_json(&dir, "BENCH_perf", &report)
+        .expect("write BENCH_perf.json");
+    println!("wrote {path}");
+}

@@ -13,6 +13,8 @@
 //! EXPERIMENTS.md can be assembled mechanically.
 
 pub mod figures;
+pub mod perf;
+pub mod perf_baseline;
 pub mod sweep;
 
 use adapt_sim::Scheme;
@@ -25,13 +27,19 @@ pub struct Cli {
     pub scale: f64,
     /// Output directory for JSON reports.
     pub out_dir: String,
+    /// CI smoke mode: shrink workloads to seconds-scale. Set by `--quick`
+    /// or the `ADAPT_BENCH_QUICK` environment variable (any non-empty
+    /// value other than `0`).
+    pub quick: bool,
 }
 
 impl Cli {
-    /// Parse `--scale` and `--out` from `std::env::args`.
+    /// Parse `--scale`, `--out`, and `--quick` from `std::env::args`
+    /// (plus the `ADAPT_BENCH_QUICK` env var).
     pub fn parse() -> Self {
         let mut scale = 0.25;
         let mut out_dir = "results".to_string();
+        let mut quick = quick_from_env();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -47,18 +55,30 @@ impl Cli {
                     i += 1;
                     out_dir = args.get(i).expect("--out needs a path").clone();
                 }
-                other => panic!("unknown argument {other} (expected --scale/--out)"),
+                "--quick" => quick = true,
+                other => panic!("unknown argument {other} (expected --scale/--out/--quick)"),
             }
             i += 1;
         }
         assert!(scale > 0.0, "--scale must be positive");
-        Self { scale, out_dir }
+        if quick {
+            // One shared interpretation for every figure bin: the smallest
+            // scale the volume clamp admits. Bins with bespoke workloads
+            // (e.g. `perf`) additionally consult `quick` directly.
+            scale = f64::min(scale, 0.02);
+        }
+        Self { scale, out_dir, quick }
     }
 
     /// Volumes per suite at this scale (paper: 50).
     pub fn volumes(&self) -> usize {
         ((50.0 * self.scale).round() as usize).clamp(4, 50)
     }
+}
+
+/// Whether `ADAPT_BENCH_QUICK` requests smoke-sized runs.
+pub fn quick_from_env() -> bool {
+    std::env::var("ADAPT_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// Seed shared by every figure so suites are consistent across binaries.
@@ -89,7 +109,7 @@ mod tests {
 
     #[test]
     fn volumes_scale_and_clamp() {
-        let mk = |scale| Cli { scale, out_dir: String::new() };
+        let mk = |scale| Cli { scale, out_dir: String::new(), quick: false };
         assert_eq!(mk(1.0).volumes(), 50);
         assert_eq!(mk(0.25).volumes(), 13);
         assert_eq!(mk(0.01).volumes(), 4);

@@ -1,0 +1,267 @@
+//! The perf regression harness (`perf` bin).
+//!
+//! Replays fixed, seeded single-volume workloads through ADAPT and two
+//! baselines and records wall time, throughput, the share of wall time
+//! spent in GC victim selection, and peak resident structure sizes. The
+//! result lands in `BENCH_perf.json` at the repo root so every PR leaves
+//! a trajectory point behind.
+//!
+//! Two sizes: `small` (a quick sanity point) and `medium` (the regression
+//! gate — large enough that per-op engine cost dominates wall time, like
+//! the paper's §4 multi-capacity replays). Traces are fully materialized
+//! before the clock starts, so the measurement covers the engine only,
+//! not trace synthesis.
+//!
+//! The `baseline` section is a measurement of the *pre-optimization*
+//! engine (captured on the same machine before the incremental-GC /
+//! fxhash / buffer-pool changes landed) embedded as data; `current` is
+//! re-measured on every run and `speedup` is the per-run wall-time ratio
+//! against that baseline.
+
+use adapt_array::CountingArray;
+use adapt_lss::{GcSelection, Lss, LssConfig, PlacementPolicy};
+use adapt_sim::scheme::{with_policy, PolicyVisitor};
+use adapt_sim::{ReplayConfig, Scheme};
+use adapt_trace::arrival::ArrivalModel;
+use adapt_trace::ycsb::{AccessDistribution, YcsbConfig};
+use adapt_trace::TraceRecord;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One seeded replay workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Workload name ("small", "medium", "quick").
+    pub name: &'static str,
+    /// Logical volume size in 4 KiB blocks.
+    pub user_blocks: u64,
+    /// Overwrite blocks replayed on top of the initial full-volume fill
+    /// (the generator prepends `user_blocks` fill writes).
+    pub write_blocks: u64,
+    /// Zipf skew of the update stream.
+    pub zipf_alpha: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// The standard ladder: `small` for a fast signal, `medium` as the
+/// regression gate (≈4× capacity of overwrite traffic, enough segments
+/// that victim selection cost is visible).
+pub const WORKLOADS: [Workload; 2] = [
+    Workload {
+        name: "small",
+        user_blocks: 32 * 1024,
+        write_blocks: 3 * 32 * 1024,
+        zipf_alpha: 0.9,
+        seed: 0xADA7,
+    },
+    Workload {
+        name: "medium",
+        user_blocks: 256 * 1024,
+        write_blocks: 4 * 256 * 1024,
+        zipf_alpha: 0.9,
+        seed: 0xADA7,
+    },
+];
+
+/// The CI smoke workload (`--quick`): seconds even on a cold cache.
+pub const QUICK: Workload = Workload {
+    name: "quick",
+    user_blocks: 8 * 1024,
+    write_blocks: 2 * 8 * 1024,
+    zipf_alpha: 0.9,
+    seed: 0xADA7,
+};
+
+/// The schemes the harness tracks: ADAPT plus two baselines, and ADAPT
+/// again under Cost-Benefit so both victim-selection paths stay measured.
+pub const SCHEMES: [(Scheme, GcSelection); 4] = [
+    (Scheme::Adapt, GcSelection::Greedy),
+    (Scheme::Adapt, GcSelection::CostBenefit),
+    (Scheme::SepBit, GcSelection::Greedy),
+    (Scheme::SepGc, GcSelection::Greedy),
+];
+
+/// One measured replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// `workload/scheme/gc` key, e.g. `medium/ADAPT/Greedy`.
+    pub key: String,
+    /// Host write blocks replayed.
+    pub blocks: u64,
+    /// Wall time of the replay (ms).
+    pub wall_ms: f64,
+    /// Throughput in thousand block-writes per second.
+    pub kops_per_sec: f64,
+    /// Wall time inside GC victim selection (ms).
+    pub gc_select_ms: f64,
+    /// GC-selection share of wall time (0..1).
+    pub gc_select_share: f64,
+    /// GC passes run.
+    pub gc_passes: u64,
+    /// Write amplification over the whole replay.
+    pub wa: f64,
+    /// Resident index + policy structures at the end (bytes).
+    pub memory_bytes: u64,
+}
+
+/// A baseline row embedded as data: `(key, wall_ms, kops_per_sec,
+/// gc_select_share)` measured before the hot-path overhaul landed.
+pub type BaselineRow = (&'static str, f64, f64, f64);
+
+/// Key for a scheme/gc pair under a workload.
+pub fn key_of(w: &Workload, scheme: Scheme, gc: GcSelection) -> String {
+    format!("{}/{}/{}", w.name, scheme.name(), gc.name())
+}
+
+struct PerfVisitor<'a> {
+    cfg: LssConfig,
+    gc: GcSelection,
+    trace: &'a [TraceRecord],
+    key: String,
+}
+
+impl PolicyVisitor<Measurement> for PerfVisitor<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> Measurement {
+        let PerfVisitor { cfg, gc, trace, key } = self;
+        let mut engine = Lss::new(cfg, gc, policy, CountingArray::new(cfg.array_config()));
+        let start = Instant::now();
+        for rec in trace {
+            engine.write_request(rec.ts_us, rec.lba, rec.num_blocks);
+        }
+        engine.flush_all();
+        let wall = start.elapsed();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let gc_select_ms = engine.gc_select_nanos() as f64 / 1e6;
+        let blocks: u64 = trace.iter().map(|r| r.num_blocks as u64).sum();
+        Measurement {
+            key,
+            blocks,
+            wall_ms,
+            kops_per_sec: blocks as f64 / wall.as_secs_f64() / 1e3,
+            gc_select_ms,
+            gc_select_share: (gc_select_ms / wall_ms).min(1.0),
+            gc_passes: engine.metrics().gc_passes,
+            wa: engine.metrics().wa(),
+            memory_bytes: engine.memory_bytes() as u64,
+        }
+    }
+}
+
+/// Materialize a workload's trace (writes only, dense arrivals so the SLA
+/// path stays realistic without dominating).
+pub fn trace_of(w: &Workload) -> Vec<TraceRecord> {
+    YcsbConfig {
+        num_blocks: w.user_blocks,
+        num_updates: w.write_blocks,
+        zipf_alpha: w.zipf_alpha,
+        read_ratio: 0.0,
+        arrival: ArrivalModel::Fixed { gap_us: 2 },
+        blocks_per_request: 1,
+        distribution: AccessDistribution::Zipfian,
+        seed: w.seed,
+    }
+    .generator()
+    .collect()
+}
+
+/// Replay one workload under one scheme/GC pair and measure it.
+pub fn measure(w: &Workload, scheme: Scheme, gc: GcSelection) -> Measurement {
+    let cfg = ReplayConfig::for_volume(w.user_blocks, gc).lss;
+    let trace = trace_of(w);
+    with_policy(
+        scheme,
+        &cfg,
+        PerfVisitor { cfg, gc, trace: &trace, key: key_of(w, scheme, gc) },
+    )
+}
+
+/// The JSON payload written to `BENCH_perf.json`.
+#[derive(Debug, Serialize)]
+pub struct PerfReport {
+    /// Schema version of this file.
+    pub schema: u32,
+    /// What the baseline section is.
+    pub baseline_note: String,
+    /// Pre-optimization measurements `(key, wall_ms, kops_per_sec,
+    /// gc_select_share)`; empty until a baseline is recorded.
+    pub baseline: Vec<BaselineRow>,
+    /// Measurements from this run.
+    pub current: Vec<Measurement>,
+    /// Per-key wall-time speedup vs the baseline (baseline / current).
+    pub speedup: Vec<(String, f64)>,
+}
+
+/// Run the harness over `workloads` and assemble the report against the
+/// embedded `baseline` rows.
+pub fn run(workloads: &[Workload], baseline: &[BaselineRow]) -> PerfReport {
+    let mut current = Vec::new();
+    for w in workloads {
+        for &(scheme, gc) in &SCHEMES {
+            let m = measure(w, scheme, gc);
+            println!(
+                "perf {key:<28} {wall:>9.1} ms  {kops:>8.1} kops/s  gc-select {share:>5.1}%  wa {wa:.2}",
+                key = m.key,
+                wall = m.wall_ms,
+                kops = m.kops_per_sec,
+                share = m.gc_select_share * 100.0,
+                wa = m.wa,
+            );
+            current.push(m);
+        }
+    }
+    let speedup = current
+        .iter()
+        .filter_map(|m| {
+            baseline
+                .iter()
+                .find(|(k, ..)| *k == m.key)
+                .map(|&(_, wall, ..)| (m.key.clone(), wall / m.wall_ms))
+        })
+        .collect();
+    PerfReport {
+        schema: 1,
+        baseline_note: "pre-optimization engine (before incremental GC buckets, fxhash, \
+                        buffer pooling), measured on the same machine and workloads"
+            .to_string(),
+        baseline: baseline.to_vec(),
+        current,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurement_is_sane() {
+        let m = measure(&QUICK, Scheme::SepGc, GcSelection::Greedy);
+        // The generator prepends a full-volume fill before the updates.
+        assert_eq!(m.blocks, QUICK.user_blocks + QUICK.write_blocks);
+        assert!(m.wall_ms > 0.0);
+        assert!(m.kops_per_sec > 0.0);
+        assert!(m.wa >= 1.0);
+        assert!(m.gc_select_share >= 0.0 && m.gc_select_share <= 1.0);
+        assert!(m.memory_bytes > 0);
+    }
+
+    #[test]
+    fn keys_are_unique_per_scheme() {
+        let keys: Vec<String> =
+            SCHEMES.iter().map(|&(s, g)| key_of(&QUICK, s, g)).collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(keys.len(), dedup.len());
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let a = trace_of(&QUICK);
+        let b = trace_of(&QUICK);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.first(), b.first());
+        assert_eq!(a.last(), b.last());
+    }
+}

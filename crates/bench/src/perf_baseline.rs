@@ -1,0 +1,23 @@
+//! Pre-change baseline for the perf harness.
+//!
+//! These rows were measured by running the `perf` bin against the engine
+//! as it stood *before* the hot-path overhaul (full-scan GC victim
+//! selection, SipHash maps, per-chunk allocations), on the same machine
+//! and the same seeded workloads. They are embedded as data because the
+//! vendored `serde_json` is write-only (no parser to merge a previous
+//! `BENCH_perf.json`), and they define the denominator of the `speedup`
+//! section every future run reports.
+
+use crate::perf::BaselineRow;
+
+/// `(key, wall_ms, kops_per_sec, gc_select_share)` per workload/scheme.
+pub const BASELINE: &[BaselineRow] = &[
+    ("small/ADAPT/Greedy", 44.5, 2943.0, 0.046),
+    ("small/ADAPT/Cost-Benefit", 41.3, 3175.5, 0.059),
+    ("small/SepBIT/Greedy", 28.4, 4609.8, 0.047),
+    ("small/SepGC/Greedy", 17.0, 7715.5, 0.088),
+    ("medium/ADAPT/Greedy", 611.5, 2143.3, 0.152),
+    ("medium/ADAPT/Cost-Benefit", 647.6, 2023.9, 0.245),
+    ("medium/SepBIT/Greedy", 498.6, 2629.0, 0.184),
+    ("medium/SepGC/Greedy", 316.2, 4144.7, 0.307),
+];

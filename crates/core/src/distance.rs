@@ -9,9 +9,17 @@
 //! the count of marked positions after the block's previous position.
 //! The position line is compacted periodically so memory stays
 //! proportional to the number of live sampled blocks, not stream length.
+//!
+//! The tracker is additionally *capacity-bounded*: blocks whose last
+//! access is oldest are evicted (LRU over the position line) once the
+//! live set exceeds [`DistanceTree::with_capacity`]'s bound, so memory
+//! cannot grow with the footprint of the sampled address space. Eviction
+//! piggybacks on compaction — the entries are already position-sorted
+//! there — and drops an eighth of the capacity at a time, keeping the
+//! amortized cost per access O(1). An evicted block reads as a first
+//! access when it returns, exactly like a block never seen.
 
-use adapt_lss::Lba;
-use std::collections::HashMap;
+use adapt_lss::{FxHashMap, Lba};
 
 /// Fenwick (binary indexed) tree over positions with u32 counters.
 #[derive(Debug, Clone)]
@@ -22,6 +30,14 @@ struct Fenwick {
 impl Fenwick {
     fn new(n: usize) -> Self {
         Self { tree: vec![0; n + 1] }
+    }
+
+    /// Zero and resize in place, keeping the backing allocation when the
+    /// new size fits (compaction runs on every segment's worth of
+    /// accesses — reallocating there shows up in profiles).
+    fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0);
     }
 
     fn len(&self) -> usize {
@@ -49,12 +65,21 @@ impl Fenwick {
     }
 }
 
+/// Default cap on tracked blocks (see [`DistanceTree::with_capacity`]):
+/// generous enough that a fully sampled multi-GiB volume never evicts,
+/// small enough that memory stays bounded on any stream.
+pub const DEFAULT_MAX_BLOCKS: usize = 1 << 20;
+
 /// Streaming reuse-distance tracker.
 #[derive(Debug, Clone)]
 pub struct DistanceTree {
     fenwick: Fenwick,
-    last_pos: HashMap<Lba, usize>,
+    last_pos: FxHashMap<Lba, usize>,
     next_pos: usize,
+    /// Bound on the live set; oldest entries evict beyond it.
+    max_blocks: usize,
+    /// Reusable compaction buffer (position-sorted live entries).
+    scratch: Vec<(usize, Lba)>,
 }
 
 impl Default for DistanceTree {
@@ -64,16 +89,34 @@ impl Default for DistanceTree {
 }
 
 impl DistanceTree {
-    /// Create an empty tracker.
+    /// Create an empty tracker with the default block cap.
     pub fn new() -> Self {
-        Self { fenwick: Fenwick::new(1024), last_pos: HashMap::new(), next_pos: 0 }
+        Self::with_capacity(DEFAULT_MAX_BLOCKS)
+    }
+
+    /// Create an empty tracker that tracks at most `max_blocks` distinct
+    /// blocks, evicting least-recently-accessed entries beyond that.
+    pub fn with_capacity(max_blocks: usize) -> Self {
+        Self {
+            fenwick: Fenwick::new(1024),
+            last_pos: FxHashMap::default(),
+            next_pos: 0,
+            max_blocks: max_blocks.max(16),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The configured cap on tracked blocks.
+    pub fn capacity_blocks(&self) -> usize {
+        self.max_blocks
     }
 
     /// Record an access; returns the reuse distance (distinct intervening
-    /// blocks), or `None` for a first access.
+    /// blocks), or `None` for a first access (including a re-access after
+    /// capacity eviction).
     pub fn access(&mut self, lba: Lba) -> Option<u64> {
         if self.next_pos == self.fenwick.len() {
-            self.compact();
+            self.compact_keeping(self.max_blocks);
         }
         let pos = self.next_pos;
         self.next_pos += 1;
@@ -90,6 +133,11 @@ impl DistanceTree {
         };
         self.fenwick.add(pos, 1);
         self.last_pos.insert(lba, pos);
+        // Enforce the cap with slack: dropping an eighth at a time keeps
+        // the amortized eviction cost per access constant.
+        if self.last_pos.len() > self.max_blocks {
+            self.compact_keeping(self.max_blocks - self.max_blocks / 8);
+        }
         distance
     }
 
@@ -105,27 +153,32 @@ impl DistanceTree {
         }
     }
 
-    /// Rebuild the position line compactly: live blocks keep their order
-    /// but positions renumber 0..live.
-    fn compact(&mut self) {
-        let mut entries: Vec<(usize, Lba)> =
-            self.last_pos.iter().map(|(&l, &p)| (p, l)).collect();
+    /// Rebuild the position line compactly, keeping only the `keep` most
+    /// recently accessed blocks (the rest evict): surviving blocks keep
+    /// their order but positions renumber 0..live. Buffers are reused
+    /// across compactions, so steady state allocates nothing.
+    fn compact_keeping(&mut self, keep: usize) {
+        let mut entries = std::mem::take(&mut self.scratch);
+        entries.clear();
+        entries.extend(self.last_pos.iter().map(|(&l, &p)| (p, l)));
         entries.sort_unstable();
-        let live = entries.len();
-        let new_cap = (live * 2).max(1024);
-        self.fenwick = Fenwick::new(new_cap);
+        let evict = entries.len().saturating_sub(keep);
+        let live = entries.len() - evict;
+        self.fenwick.reset((live * 2).max(1024));
         self.last_pos.clear();
-        for (new_pos, (_, lba)) in entries.into_iter().enumerate() {
+        for (new_pos, &(_, lba)) in entries[evict..].iter().enumerate() {
             self.fenwick.add(new_pos, 1);
             self.last_pos.insert(lba, new_pos);
         }
         self.next_pos = live;
+        self.scratch = entries;
     }
 
     /// Approximate resident bytes (the paper budgets ~44 B per sampled
     /// block; a hash map entry plus the Fenwick slot lands in that range).
     pub fn memory_bytes(&self) -> usize {
         self.fenwick.tree.capacity() * 4
+            + self.scratch.capacity() * std::mem::size_of::<(usize, Lba)>()
             + self.last_pos.capacity() * (std::mem::size_of::<(Lba, usize)>() + 16)
     }
 }
@@ -204,6 +257,47 @@ mod tests {
         t.access(9);
         t.forget(9);
         assert_eq!(t.access(9), None);
+    }
+
+    #[test]
+    fn memory_stays_bounded_past_capacity() {
+        // Regression test: a never-repeating LBA stream 10× the block cap
+        // must not grow the tracker — before capacity bounding, last_pos
+        // grew with every distinct sampled LBA forever.
+        let cap = 1024usize;
+        let mut t = DistanceTree::with_capacity(cap);
+        let baseline = {
+            let mut warm = DistanceTree::with_capacity(cap);
+            for lba in 0..cap as u64 {
+                warm.access(lba);
+            }
+            warm.memory_bytes()
+        };
+        for lba in 0..10 * cap as u64 {
+            t.access(lba);
+        }
+        assert!(t.live_blocks() <= cap, "live {} > cap {cap}", t.live_blocks());
+        // Memory proportional to the cap (generous slack for hash-map load
+        // factor and the eviction hysteresis), not to the stream footprint.
+        assert!(
+            t.memory_bytes() <= 4 * baseline.max(1),
+            "memory {} vs warm baseline {baseline}",
+            t.memory_bytes()
+        );
+        // Evicted blocks read as first accesses when they return.
+        assert_eq!(t.access(0), None);
+    }
+
+    #[test]
+    fn eviction_drops_oldest_first() {
+        let mut t = DistanceTree::with_capacity(16);
+        for lba in 0..18u64 {
+            t.access(lba);
+        }
+        // The cap (16) was exceeded at the 17th insert: the oldest eighth
+        // was dropped, the most recent survive.
+        assert!(t.live_blocks() <= 16);
+        assert_eq!(t.access(17), Some(0), "newest block must survive eviction");
     }
 
     #[test]

@@ -25,8 +25,7 @@
 //! sparse traffic, thresholds that concentrate writes into one group pad
 //! less and win, while dense skewed traffic rewards genuine separation.
 
-use adapt_lss::Lba;
-use std::collections::HashMap;
+use adapt_lss::{FxHashMap, Lba};
 
 /// Sentinel marking a padding slot inside a ghost segment.
 const PAD: Lba = Lba::MAX;
@@ -75,7 +74,7 @@ pub struct GhostSet {
     /// Open chunk fill/timer per temperature.
     chunk: [OpenChunk; 2],
     /// LBA → segment currently holding its latest copy.
-    index: HashMap<Lba, u32>,
+    index: FxHashMap<Lba, u32>,
     /// Blocks written into the set.
     written: u64,
     /// Valid blocks discarded by GC.
@@ -110,7 +109,7 @@ impl GhostSet {
             free_slots: Vec::new(),
             open: [None, None],
             chunk: [OpenChunk::default(); 2],
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             written: 0,
             discarded: 0,
             padded: 0,
@@ -293,8 +292,10 @@ impl GhostSet {
             return; // nothing sealed yet; capacity will grow past the cap
         };
         self.gc_count += 1;
-        let blocks = std::mem::take(&mut self.segments[victim as usize].blocks);
-        for lba in blocks {
+        // Iterate the victim's slots in place (only `index`/`discarded`
+        // change here), so its block buffer keeps its allocation for the
+        // segment's next life instead of being dropped every GC.
+        for &lba in &self.segments[victim as usize].blocks {
             if lba != PAD && self.index.get(&lba) == Some(&victim) {
                 // A valid block: the real system would migrate it to a GC
                 // group; the ghost discards it and counts the rewrite.
@@ -303,6 +304,7 @@ impl GhostSet {
             }
         }
         let s = &mut self.segments[victim as usize];
+        s.blocks.clear();
         s.valid = 0;
         s.sealed = false;
         s.free = true;

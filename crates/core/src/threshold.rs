@@ -59,9 +59,15 @@ impl ThresholdAdapter {
     pub fn new(cfg: AdaptConfig, unit_bytes: u64, block_bytes: u64) -> Self {
         cfg.validate();
         let sampler = SpatialSampler::new(cfg.sample_rate);
+        // Bound the reuse-distance tracker by the sampled share of the
+        // volume (2× slack): within-volume workloads never evict, while a
+        // stream roaming an unbounded LBA space cannot grow it.
+        let sampled_cap = ((cfg.user_capacity_bytes / block_bytes.max(1)) as f64
+            * cfg.sample_rate
+            * 2.0) as usize;
         let mut adapter = Self {
             sampler,
-            tree: DistanceTree::new(),
+            tree: DistanceTree::with_capacity(sampled_cap.max(1024)),
             ghosts: Vec::new(),
             last_wa: Vec::new(),
             adopted: None,

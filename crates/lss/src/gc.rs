@@ -22,6 +22,23 @@ pub enum GcSelection {
     CostBenefit,
 }
 
+/// The LFS cost-benefit score of a sealed segment: `age · (1 − u) / 2u`
+/// with `u = valid / capacity` and `age` in byte-clock units. Fully
+/// garbage segments (`u == 0`) are free wins and score infinitely.
+///
+/// Shared by the naive scan below and the bucketed index
+/// ([`crate::gc_buckets::SegmentBuckets`]) so both paths compute
+/// bit-identical floats — the equivalence property test depends on that.
+#[inline]
+pub fn cost_benefit_score(valid: u32, capacity: u32, age_bytes: u64) -> f64 {
+    let u = valid as f64 / capacity as f64;
+    if u == 0.0 {
+        f64::INFINITY
+    } else {
+        age_bytes as f64 * (1.0 - u) / (2.0 * u)
+    }
+}
+
 impl GcSelection {
     /// Name used in reports.
     pub fn name(&self) -> &'static str {
@@ -50,15 +67,8 @@ impl GcSelection {
                 .map(|s| s.id),
             GcSelection::CostBenefit => candidates
                 .map(|s| {
-                    let u = s.valid_blocks as f64 / s.capacity() as f64;
-                    let age = now_user_bytes.saturating_sub(s.created_user_bytes) as f64;
-                    // u == 0 segments are free wins: score them infinitely.
-                    let score = if u == 0.0 {
-                        f64::INFINITY
-                    } else {
-                        age * (1.0 - u) / (2.0 * u)
-                    };
-                    (s.id, score)
+                    let age = now_user_bytes.saturating_sub(s.created_user_bytes);
+                    (s.id, cost_benefit_score(s.valid_blocks, s.capacity(), age))
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .map(|(id, _)| id),

@@ -69,6 +69,10 @@ pub struct Group {
     pub pad_chunks: u64,
     /// Eq. 1 sliding window over recent segments.
     window: VecDeque<SegmentWindowEntry>,
+    /// Running sum over `window` (exact u64 adds/subtracts on roll), so
+    /// [`Group::window_totals`] — called on every placement decision — is
+    /// O(1) instead of walking the deque.
+    window_sums: SegmentWindowEntry,
     /// Counters for the segment currently accumulating.
     current_entry: SegmentWindowEntry,
     /// EWMA of user-block inter-arrival gap (µs).
@@ -94,6 +98,7 @@ impl Group {
             chunks: 0,
             pad_chunks: 0,
             window: VecDeque::with_capacity(PAD_WINDOW_SEGMENTS + 1),
+            window_sums: SegmentWindowEntry::default(),
             current_entry: SegmentWindowEntry::default(),
             ewma_gap_us: f64::NAN,
             last_arrival_us: None,
@@ -139,24 +144,27 @@ impl Group {
 
     /// Roll the Eq. 1 window at segment seal.
     pub fn roll_window(&mut self) {
-        self.window.push_back(std::mem::take(&mut self.current_entry));
+        let entry = std::mem::take(&mut self.current_entry);
+        self.window_sums.blocks += entry.blocks;
+        self.window_sums.pad_chunks += entry.pad_chunks;
+        self.window_sums.pad_blocks += entry.pad_blocks;
+        self.window.push_back(entry);
         while self.window.len() > PAD_WINDOW_SEGMENTS {
-            self.window.pop_front();
+            let old = self.window.pop_front().unwrap();
+            self.window_sums.blocks -= old.blocks;
+            self.window_sums.pad_chunks -= old.pad_chunks;
+            self.window_sums.pad_blocks -= old.pad_blocks;
         }
     }
 
     /// Windowed totals `(V_i blocks, P_i padded chunks, pad blocks)`
     /// including the in-progress segment.
     pub fn window_totals(&self) -> (u64, u64, u64) {
-        let mut blocks = self.current_entry.blocks;
-        let mut pad_chunks = self.current_entry.pad_chunks;
-        let mut pad_blocks = self.current_entry.pad_blocks;
-        for e in &self.window {
-            blocks += e.blocks;
-            pad_chunks += e.pad_chunks;
-            pad_blocks += e.pad_blocks;
-        }
-        (blocks, pad_chunks, pad_blocks)
+        (
+            self.window_sums.blocks + self.current_entry.blocks,
+            self.window_sums.pad_chunks + self.current_entry.pad_chunks,
+            self.window_sums.pad_blocks + self.current_entry.pad_blocks,
+        )
     }
 
     /// Segments currently owned (sealed + the open one).

@@ -65,7 +65,9 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fxhash;
 pub mod gc;
+pub mod gc_buckets;
 pub mod gc_variants;
 pub mod group;
 pub mod index;
@@ -78,7 +80,9 @@ pub mod types;
 pub use config::LssConfig;
 pub use engine::Lss;
 pub use error::EngineError;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gc::GcSelection;
+pub use gc_buckets::SegmentBuckets;
 pub use latency::LatencyHistogram;
 pub use gc_variants::VictimPolicy;
 pub use metrics::{GroupTraffic, LssMetrics};

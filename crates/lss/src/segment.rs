@@ -35,6 +35,9 @@ pub struct Segment {
     pub valid_blocks: u32,
     /// Monotonic open-sequence number (diagnostics).
     pub open_seq: u64,
+    /// Index of this segment in its owner group's `sealed` list while
+    /// sealed (engine-maintained; makes victim detach O(1)).
+    pub group_pos: u32,
     /// Global flush-sequence number of each written chunk, in chunk order —
     /// the recovery journal: copies are ordered by (chunk seq, offset).
     pub chunk_seqs: Vec<u64>,
@@ -59,6 +62,7 @@ impl Segment {
             filled: 0,
             valid_blocks: 0,
             open_seq: 0,
+            group_pos: 0,
             chunk_seqs: Vec::new(),
             chunk_locs: Vec::new(),
             created_user_bytes: 0,
