@@ -58,16 +58,12 @@ impl fmt::Display for ArrayError {
             ArrayError::MissingChunk { loc } => {
                 write!(f, "chunk (stripe {}, device {}) was never written", loc.stripe, loc.device)
             }
-            ArrayError::TransientRead { loc } => write!(
-                f,
-                "transient read error at (stripe {}, device {})",
-                loc.stripe, loc.device
-            ),
-            ArrayError::LatentSector { loc } => write!(
-                f,
-                "latent sector error at (stripe {}, device {})",
-                loc.stripe, loc.device
-            ),
+            ArrayError::TransientRead { loc } => {
+                write!(f, "transient read error at (stripe {}, device {})", loc.stripe, loc.device)
+            }
+            ArrayError::LatentSector { loc } => {
+                write!(f, "latent sector error at (stripe {}, device {})", loc.stripe, loc.device)
+            }
             ArrayError::OutOfSpace { device } => {
                 write!(f, "device {device}: FTL free pool exhausted")
             }

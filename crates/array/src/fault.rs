@@ -97,11 +97,7 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan (no faults) with the given seed.
     pub fn new(seed: u64) -> Self {
-        Self {
-            seed,
-            rng_state: seed ^ 0x9e3779b97f4a7c15,
-            ..Default::default()
-        }
+        Self { seed, rng_state: seed ^ 0x9e3779b97f4a7c15, ..Default::default() }
     }
 
     /// Schedule `device` to fail permanently once `op` operations have
@@ -145,12 +141,8 @@ impl FaultPlan {
     /// failure op has now been reached.
     pub fn record_op(&mut self) -> Vec<usize> {
         self.ops += 1;
-        let due: Vec<usize> = self
-            .fail_at_op
-            .iter()
-            .filter(|&(_, &op)| op <= self.ops)
-            .map(|(&d, _)| d)
-            .collect();
+        let due: Vec<usize> =
+            self.fail_at_op.iter().filter(|&(_, &op)| op <= self.ops).map(|(&d, _)| d).collect();
         for d in &due {
             self.fail_at_op.remove(d);
         }

@@ -176,7 +176,12 @@ impl FtlDevice {
 
     /// Write a run of consecutive logical pages on one stream, returning
     /// a typed error on the first failing page.
-    pub fn try_write_pages(&mut self, lpn: u64, count: u32, stream: usize) -> Result<(), ArrayError> {
+    pub fn try_write_pages(
+        &mut self,
+        lpn: u64,
+        count: u32,
+        stream: usize,
+    ) -> Result<(), ArrayError> {
         for i in 0..count as u64 {
             self.try_write_page(lpn + i, stream)?;
         }
@@ -407,10 +412,7 @@ mod tests {
         };
         let multi = run(true);
         let single = run(false);
-        assert!(
-            multi < single,
-            "multi-stream {multi:.3} should beat single-stream {single:.3}"
-        );
+        assert!(multi < single, "multi-stream {multi:.3} should beat single-stream {single:.3}");
     }
 
     #[test]

@@ -70,8 +70,7 @@ impl FtlArray {
         let pages_per_block = (logical_pages / 192).clamp(8, 64) as u32;
         let gc_low_water = 4;
         let min_spare_blocks = (gc_low_water + streams as u32 + 4) as u64;
-        let min_op =
-            min_spare_blocks as f64 * pages_per_block as f64 / logical_pages as f64;
+        let min_op = min_spare_blocks as f64 * pages_per_block as f64 / logical_pages as f64;
         let ftl_cfg = FtlConfig {
             page_bytes: ftl_page_bytes,
             pages_per_block,

@@ -103,10 +103,8 @@ mod tests {
     fn columns_within_stripe_are_distinct_devices() {
         let l = layout();
         for stripe in 0..100u64 {
-            let mut devices: Vec<usize> = l
-                .stripe_chunks(stripe)
-                .map(|seq| l.locate(seq).device)
-                .collect();
+            let mut devices: Vec<usize> =
+                l.stripe_chunks(stripe).map(|seq| l.locate(seq).device).collect();
             devices.push(l.parity_device(stripe));
             devices.sort_unstable();
             assert_eq!(devices, vec![0, 1, 2, 3], "stripe {stripe}");

@@ -381,11 +381,27 @@ mod tests {
     use super::*;
 
     fn full_chunk(group: u8) -> ChunkFlush {
-        ChunkFlush { user_bytes: 65536, gc_bytes: 0, shadow_bytes: 0, pad_bytes: 0, group, seg: 0, chunk_in_seg: 0 }
+        ChunkFlush {
+            user_bytes: 65536,
+            gc_bytes: 0,
+            shadow_bytes: 0,
+            pad_bytes: 0,
+            group,
+            seg: 0,
+            chunk_in_seg: 0,
+        }
     }
 
     fn padded_chunk(pad: u64) -> ChunkFlush {
-        ChunkFlush { user_bytes: 65536 - pad, gc_bytes: 0, shadow_bytes: 0, pad_bytes: pad, group: 0, seg: 0, chunk_in_seg: 0 }
+        ChunkFlush {
+            user_bytes: 65536 - pad,
+            gc_bytes: 0,
+            shadow_bytes: 0,
+            pad_bytes: pad,
+            group: 0,
+            seg: 0,
+            chunk_in_seg: 0,
+        }
     }
 
     #[test]
@@ -446,7 +462,15 @@ mod tests {
 
     #[test]
     fn chunk_flush_byte_math() {
-        let f = ChunkFlush { user_bytes: 1, gc_bytes: 2, shadow_bytes: 3, pad_bytes: 4, group: 9, seg: 0, chunk_in_seg: 0 };
+        let f = ChunkFlush {
+            user_bytes: 1,
+            gc_bytes: 2,
+            shadow_bytes: 3,
+            pad_bytes: 4,
+            group: 9,
+            seg: 0,
+            chunk_in_seg: 0,
+        };
         assert_eq!(f.total_bytes(), 10);
         assert_eq!(f.payload_bytes(), 6);
     }

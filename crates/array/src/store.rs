@@ -332,7 +332,15 @@ mod tests {
     use super::*;
 
     fn flush_full() -> ChunkFlush {
-        ChunkFlush { user_bytes: 65536, gc_bytes: 0, shadow_bytes: 0, pad_bytes: 0, group: 0, seg: 0, chunk_in_seg: 0 }
+        ChunkFlush {
+            user_bytes: 65536,
+            gc_bytes: 0,
+            shadow_bytes: 0,
+            pad_bytes: 0,
+            group: 0,
+            seg: 0,
+            chunk_in_seg: 0,
+        }
     }
 
     fn body(seed: u8) -> Bytes {

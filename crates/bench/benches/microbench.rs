@@ -9,15 +9,17 @@
 //! * RAID-5 parity over a full stripe,
 //! * an end-to-end engine block write.
 
+use adapt_array::{parity, CountingArray};
 use adapt_core::demotion::RaIdentifier;
 use adapt_core::distance::DistanceTree;
 use adapt_core::ghost::GhostSet;
 use adapt_core::Adapt;
 use adapt_lss::segment::Segment;
 use adapt_lss::types::Slot;
-use adapt_lss::{FxHashMap, GcSelection, Lss, LssConfig, PlacementPolicy, PolicyCtx, SegmentBuckets};
+use adapt_lss::{
+    FxHashMap, GcSelection, Lss, LssConfig, PlacementPolicy, PolicyCtx, SegmentBuckets,
+};
 use adapt_placement::{Dac, Mida, SepBit, SepGc, Warcip};
-use adapt_array::{parity, CountingArray};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
@@ -179,8 +181,7 @@ fn bench_fxhash(c: &mut Criterion) {
 }
 
 fn bench_parity(c: &mut Criterion) {
-    let chunks: Vec<Vec<u8>> =
-        (0..3).map(|i| vec![i as u8; 64 * 1024]).collect();
+    let chunks: Vec<Vec<u8>> = (0..3).map(|i| vec![i as u8; 64 * 1024]).collect();
     let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
     c.bench_function("raid5_parity_64k_stripe", |b| {
         b.iter(|| black_box(parity::compute_parity(black_box(&refs))));

@@ -5,8 +5,8 @@
 use adapt_bench::{eval_suite, Cli};
 use adapt_lss::GcSelection;
 use adapt_sim::consolidate::consolidate;
-use adapt_sim::runner::requests_for;
 use adapt_sim::report::{render_table, write_json};
+use adapt_sim::runner::requests_for;
 use adapt_sim::{replay_volume, ReplayConfig, Scheme};
 use adapt_trace::SuiteKind;
 use serde::Serialize;
@@ -22,8 +22,7 @@ fn main() {
     let k = (cli.volumes() / 2).clamp(3, 10);
     let suite = eval_suite(SuiteKind::Ali, k);
     println!("Consolidation — {k} Ali volumes, solo vs shared log");
-    let per_vol: u64 =
-        suite.volumes.iter().map(requests_for).min().unwrap_or(10_000);
+    let per_vol: u64 = suite.volumes.iter().map(requests_for).min().unwrap_or(10_000);
     let mut cells = Vec::new();
     let mut rows = Vec::new();
     for scheme in [Scheme::SepBit, Scheme::Adapt] {
@@ -48,12 +47,9 @@ fn main() {
         let cfg = ReplayConfig::for_volume(merged.total_blocks, GcSelection::Greedy);
         let r = replay_volume(scheme, cfg, 0, merged.records.into_iter());
         let cons_wa = r.wa();
-        let cons_pad =
-            r.metrics.padded_chunks as f64 / r.metrics.chunks_flushed.max(1) as f64;
+        let cons_pad = r.metrics.padded_chunks as f64 / r.metrics.chunks_flushed.max(1) as f64;
 
-        for (dep, wa, pad) in
-            [("solo", solo_wa, solo_pad), ("consolidated", cons_wa, cons_pad)]
-        {
+        for (dep, wa, pad) in [("solo", solo_wa, solo_pad), ("consolidated", cons_wa, cons_pad)] {
             cells.push((scheme.name().to_string(), dep.to_string(), wa, pad));
             rows.push(vec![
                 scheme.name().to_string(),
@@ -63,10 +59,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "{}",
-        render_table(&["scheme", "deployment", "WA", "padded chunks"], &rows)
-    );
+    println!("{}", render_table(&["scheme", "deployment", "WA", "padded chunks"], &rows));
     let path = write_json(&cli.out_dir, "consolidation", &Report { cells }).expect("write");
     println!("wrote {path}");
 }

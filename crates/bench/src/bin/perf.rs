@@ -17,7 +17,7 @@ fn main() {
     // The trajectory file lives at the repo root by default (BENCH_* is
     // the per-PR perf record); --out redirects for scratch runs.
     let dir = if cli.out_dir == "results" { ".".to_string() } else { cli.out_dir };
-    let path = adapt_sim::report::write_json(&dir, "BENCH_perf", &report)
-        .expect("write BENCH_perf.json");
+    let path =
+        adapt_sim::report::write_json(&dir, "BENCH_perf", &report).expect("write BENCH_perf.json");
     println!("wrote {path}");
 }

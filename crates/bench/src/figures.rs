@@ -5,8 +5,7 @@ use crate::sweep::FullSweep;
 use crate::{eval_suite, Cli, FIGURE_SEED};
 use adapt_lss::GcSelection;
 use adapt_sim::compare::{
-    compare_volumes, overall_padding_reduction_pct, overall_wa_reduction_pct,
-    reduction_correlation,
+    compare_volumes, overall_padding_reduction_pct, overall_wa_reduction_pct, reduction_correlation,
 };
 use adapt_sim::report::{cdf_points, render_table, wa_table, write_json};
 use adapt_sim::runner::run_suite;
@@ -42,8 +41,7 @@ pub mod fig2 {
         let mut rows = Vec::new();
         for kind in SuiteKind::ALL {
             let suite = WorkloadSuite::generate_n(kind, FIGURE_SEED, population);
-            let rates: Vec<f64> =
-                suite.volumes.iter().map(|v| v.mean_rate_per_sec()).collect();
+            let rates: Vec<f64> = suite.volumes.iter().map(|v| v.mean_rate_per_sec()).collect();
             let ecdf = Ecdf::new(rates.clone());
             let below10 = ecdf.cdf(10.0);
             let above100 = 1.0 - ecdf.cdf(100.0);
@@ -115,15 +113,7 @@ pub mod fig3 {
                 }
             }
             for (g, (a, s)) in agg.iter().zip(&segs).enumerate() {
-                rows.push((
-                    scheme.name().to_string(),
-                    g as u8,
-                    a[0],
-                    a[1],
-                    a[2],
-                    a[3],
-                    *s,
-                ));
+                rows.push((scheme.name().to_string(), g as u8, a[0], a[1], a[2], a[3], *s));
                 let total: u64 = a.iter().sum();
                 if total == 0 {
                     continue;
@@ -243,8 +233,7 @@ pub mod fig9 {
         let mut reductions = Vec::new();
         let mut rows = Vec::new();
         for r in &sweep.results {
-            let samples: Vec<f64> =
-                r.padding_samples().iter().map(|p| p * 100.0).collect();
+            let samples: Vec<f64> = r.padding_samples().iter().map(|p| p * 100.0).collect();
             let ecdf = Ecdf::new(samples.clone());
             rows.push(vec![
                 r.suite.clone(),
@@ -262,10 +251,7 @@ pub mod fig9 {
         }
         println!(
             "{}",
-            render_table(
-                &["suite", "gc", "scheme", "median pad%", "%vol with pad<25%"],
-                &rows
-            )
+            render_table(&["suite", "gc", "scheme", "median pad%", "%vol with pad<25%"], &rows)
         );
         for kind in SuiteKind::ALL {
             for gc in [GcSelection::Greedy, GcSelection::CostBenefit] {
@@ -319,10 +305,8 @@ pub mod fig10 {
             let base = sweep.get(baseline, GcSelection::Greedy, "AliCloud").unwrap();
             let comps = compare_volumes(adapt, base);
             let r = reduction_correlation(&comps);
-            let points: Vec<(f64, f64)> = comps
-                .iter()
-                .map(|c| (c.padding_reduction_pct, c.wa_reduction_pct))
-                .collect();
+            let points: Vec<(f64, f64)> =
+                comps.iter().map(|c| (c.padding_reduction_pct, c.wa_reduction_pct)).collect();
             rows.push(vec![
                 baseline.name().to_string(),
                 format!("{r:.3}"),
@@ -333,10 +317,7 @@ pub mod fig10 {
         }
         println!(
             "{}",
-            render_table(
-                &["baseline", "corr(pad,WA)", "mean padΔ%", "mean WAΔ%"],
-                &rows
-            )
+            render_table(&["baseline", "corr(pad,WA)", "mean padΔ%", "mean WAΔ%"], &rows)
         );
         let report = Report { scatter };
         let path = write_json(&cli.out_dir, "figure10", &report).expect("write report");
@@ -376,9 +357,7 @@ pub mod fig11 {
         // Paper: 1 M blocks filled, WA measured over 10 M writes. Scaled.
         let blocks = ((1_000_000.0 * cli.scale) as u64).max(32 * 1024);
         let updates = ((10_000_000.0 * cli.scale) as u64).max(320 * 1024);
-        println!(
-            "Figure 11 — sensitivity (YCSB-A, {blocks} blocks, {updates} updates)"
-        );
+        println!("Figure 11 — sensitivity (YCSB-A, {blocks} blocks, {updates} updates)");
         let mut density = Vec::new();
         let mut rows = Vec::new();
         for intensity in
@@ -590,12 +569,7 @@ pub mod multistream {
                 let mut arr = 0.0;
                 for vol in &suite.volumes {
                     let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
-                    let r = replay_multistream(
-                        scheme,
-                        cfg,
-                        multi,
-                        vol.trace(requests_for(vol)),
-                    );
+                    let r = replay_multistream(scheme, cfg, multi, vol.trace(requests_for(vol)));
                     host += 1.0;
                     dev += r.in_device_wa;
                     arr += r.array_wa;
@@ -611,10 +585,7 @@ pub mod multistream {
                 ]);
             }
         }
-        println!(
-            "{}",
-            render_table(&["scheme", "streams", "array WA", "in-device WA"], &rows)
-        );
+        println!("{}", render_table(&["scheme", "streams", "array WA", "in-device WA"], &rows));
         let report = Report { cells };
         let path = write_json(&cli.out_dir, "multistream", &report).expect("write report");
         println!("wrote {path}\n");
@@ -660,10 +631,7 @@ pub mod latency {
                 format!("{:.1}%", within * 100.0),
             ]);
         }
-        println!(
-            "{}",
-            render_table(&["scheme", "mean µs", "p99≤ µs", "within 128 µs"], &rows)
-        );
+        println!("{}", render_table(&["scheme", "mean µs", "p99≤ µs", "within 128 µs"], &rows));
         let report = Report { cells };
         let path = write_json(&cli.out_dir, "latency", &report).expect("write report");
         println!("wrote {path}\n");
@@ -690,11 +658,7 @@ pub mod ablation {
         let mut rows = Vec::new();
         for scheme in Scheme::ABLATIONS {
             let r = run_suite(scheme, GcSelection::Greedy, &suite, None);
-            variants.push((
-                scheme.name().to_string(),
-                r.overall_wa(),
-                r.overall_padding_ratio(),
-            ));
+            variants.push((scheme.name().to_string(), r.overall_wa(), r.overall_padding_ratio()));
             rows.push(vec![
                 scheme.name().to_string(),
                 format!("{:.3}", r.overall_wa()),

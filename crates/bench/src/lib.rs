@@ -46,10 +46,8 @@ impl Cli {
             match args[i].as_str() {
                 "--scale" => {
                     i += 1;
-                    scale = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .expect("--scale needs a number");
+                    scale =
+                        args.get(i).and_then(|s| s.parse().ok()).expect("--scale needs a number");
                 }
                 "--out" => {
                     i += 1;

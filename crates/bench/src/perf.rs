@@ -169,11 +169,7 @@ pub fn trace_of(w: &Workload) -> Vec<TraceRecord> {
 pub fn measure(w: &Workload, scheme: Scheme, gc: GcSelection) -> Measurement {
     let cfg = ReplayConfig::for_volume(w.user_blocks, gc).lss;
     let trace = trace_of(w);
-    with_policy(
-        scheme,
-        &cfg,
-        PerfVisitor { cfg, gc, trace: &trace, key: key_of(w, scheme, gc) },
-    )
+    with_policy(scheme, &cfg, PerfVisitor { cfg, gc, trace: &trace, key: key_of(w, scheme, gc) })
 }
 
 /// The JSON payload written to `BENCH_perf.json`.
@@ -248,8 +244,7 @@ mod tests {
 
     #[test]
     fn keys_are_unique_per_scheme() {
-        let keys: Vec<String> =
-            SCHEMES.iter().map(|&(s, g)| key_of(&QUICK, s, g)).collect();
+        let keys: Vec<String> = SCHEMES.iter().map(|&(s, g)| key_of(&QUICK, s, g)).collect();
         let mut dedup = keys.clone();
         dedup.sort();
         dedup.dedup();

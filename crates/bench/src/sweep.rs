@@ -44,17 +44,12 @@ impl FullSweep {
 
     /// Find the result cell for a combination.
     pub fn get(&self, scheme: Scheme, gc: GcSelection, suite: &str) -> Option<&SuiteResult> {
-        self.results
-            .iter()
-            .find(|r| r.scheme == scheme && r.gc == gc && r.suite == suite)
+        self.results.iter().find(|r| r.scheme == scheme && r.gc == gc && r.suite == suite)
     }
 
     /// All results for one (gc, suite) combination, in paper scheme order.
     pub fn row(&self, gc: GcSelection, suite: &str) -> Vec<&SuiteResult> {
-        Scheme::PAPER
-            .iter()
-            .filter_map(|&s| self.get(s, gc, suite))
-            .collect()
+        Scheme::PAPER.iter().filter_map(|&s| self.get(s, gc, suite)).collect()
     }
 }
 
@@ -67,9 +62,7 @@ mod tests {
         let cli = Cli { scale: 0.08, out_dir: "/tmp/adapt-test".into(), quick: false };
         let sweep = FullSweep::run(&cli);
         assert_eq!(sweep.results.len(), 3 * 2 * 6);
-        let cell = sweep
-            .get(Scheme::Adapt, GcSelection::Greedy, "AliCloud")
-            .expect("cell exists");
+        let cell = sweep.get(Scheme::Adapt, GcSelection::Greedy, "AliCloud").expect("cell exists");
         assert!(cell.overall_wa() >= 1.0);
         assert_eq!(sweep.row(GcSelection::CostBenefit, "MSRC").len(), 6);
     }

@@ -61,9 +61,7 @@ impl AggregationCtl {
         // Mechanical feasibility: every unpersisted pending block must fit
         // in the cold group's open chunk (the engine enforces this too and
         // pads on violation; checking here keeps the accounting honest).
-        if hot.pending_blocks == 0
-            || hot.pending_blocks + cold.pending_blocks > hot.chunk_blocks
-        {
+        if hot.pending_blocks == 0 || hot.pending_blocks + cold.pending_blocks > hot.chunk_blocks {
             return SlaAction::Pad;
         }
 

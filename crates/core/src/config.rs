@@ -50,11 +50,9 @@ impl AdaptConfig {
     /// Configuration scaled to an engine config.
     pub fn for_engine(cfg: &LssConfig) -> Self {
         let sample_rate = 1.0 / 64.0;
-        let seg_blocks_scaled =
-            ((cfg.segment_blocks() as f64 * sample_rate).round() as u32).max(4);
+        let seg_blocks_scaled = ((cfg.segment_blocks() as f64 * sample_rate).round() as u32).max(4);
         let sampled_blocks = (cfg.user_blocks as f64 * sample_rate).ceil();
-        let ghost_capacity = ((sampled_blocks * (1.0 + cfg.op_ratio)
-            / seg_blocks_scaled as f64)
+        let ghost_capacity = ((sampled_blocks * (1.0 + cfg.op_ratio) / seg_blocks_scaled as f64)
             .ceil() as u32)
             .max(8);
         let ghost_chunk_blocks = (seg_blocks_scaled / 2).max(2).min(seg_blocks_scaled);

@@ -57,8 +57,7 @@ impl CascadingDiscriminator {
 
     /// Resident bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.filters.iter().map(|f| f.memory_bytes()).sum::<usize>()
-            + std::mem::size_of::<Self>()
+        self.filters.iter().map(|f| f.memory_bytes()).sum::<usize>() + std::mem::size_of::<Self>()
     }
 }
 

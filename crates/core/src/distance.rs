@@ -309,16 +309,13 @@ mod tests {
         for _ in 0..3000 {
             let lba = rng.next_bounded(200);
             // Naive reference: distinct LBAs after lba's last occurrence.
-            let expect = history
-                .iter()
-                .rposition(|&x| x == lba)
-                .map(|p| {
-                    let mut set = std::collections::HashSet::new();
-                    for &x in &history[p + 1..] {
-                        set.insert(x);
-                    }
-                    set.len() as u64
-                });
+            let expect = history.iter().rposition(|&x| x == lba).map(|p| {
+                let mut set = std::collections::HashSet::new();
+                for &x in &history[p + 1..] {
+                    set.insert(x);
+                }
+                set.len() as u64
+            });
             assert_eq!(t.access(lba), expect, "lba {lba}");
             history.push(lba);
         }

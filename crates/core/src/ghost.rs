@@ -434,10 +434,7 @@ mod tests {
         // separates hot/cold (two sparse groups → double padding).
         let single = run(1);
         let split = run(10_000);
-        assert!(
-            single < split,
-            "sparse: single-group {single} should beat split {split}"
-        );
+        assert!(single < split, "sparse: single-group {single} should beat split {split}");
     }
 
     #[test]

@@ -72,11 +72,7 @@ impl DistanceHistogram {
     /// The full curve as `(cache_blocks, miss_ratio)` points, one per
     /// power-of-two cache size up to the largest observed distance.
     pub fn curve(&self) -> Vec<(u64, f64)> {
-        let max_bucket = self
-            .buckets
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0);
+        let max_bucket = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
         (0..=max_bucket + 1)
             .map(|i| {
                 let size = 1u64 << i;

@@ -218,11 +218,7 @@ impl PlacementPolicy for Adapt {
             .get(Self::HOT as usize)
             .map(|g| g.window_pad_chunks > 0)
             .unwrap_or(true)
-            || ctx
-                .groups
-                .get(Self::COLD as usize)
-                .map(|g| g.window_pad_chunks > 0)
-                .unwrap_or(true);
+            || ctx.groups.get(Self::COLD as usize).map(|g| g.window_pad_chunks > 0).unwrap_or(true);
 
         // Proactive demotion: a block that repeatedly migrated back into
         // the same GC group belongs there from the start. Demote only when

@@ -32,11 +32,7 @@ impl SpatialSampler {
     /// Create a sampler with the given rate in `(0, 1]`.
     pub fn new(rate: f64) -> Self {
         assert!(rate > 0.0 && rate <= 1.0, "rate must be in (0,1], got {rate}");
-        let threshold = if rate >= 1.0 {
-            u64::MAX
-        } else {
-            (rate * u64::MAX as f64) as u64
-        };
+        let threshold = if rate >= 1.0 { u64::MAX } else { (rate * u64::MAX as f64) as u64 };
         Self { threshold, rate }
     }
 
@@ -74,10 +70,7 @@ mod tests {
             let n = 1_000_000u64;
             let hits = (0..n).filter(|&l| s.is_sampled(l)).count() as f64;
             let observed = hits / n as f64;
-            assert!(
-                (observed - rate).abs() / rate < 0.05,
-                "rate {rate}: observed {observed}"
-            );
+            assert!((observed - rate).abs() / rate < 0.05, "rate {rate}: observed {observed}");
         }
     }
 

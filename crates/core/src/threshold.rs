@@ -75,8 +75,8 @@ impl ThresholdAdapter {
             unit_bytes,
             block_bytes,
             bytes_since_adoption: 0,
-            adoption_trigger_bytes: (cfg.user_capacity_bytes as f64
-                * cfg.adoption_volume_frac) as u64,
+            adoption_trigger_bytes: (cfg.user_capacity_bytes as f64 * cfg.adoption_volume_frac)
+                as u64,
             writes_since_check: 0,
             cfg,
         };
@@ -109,8 +109,7 @@ impl ThresholdAdapter {
         self.bytes_since_adoption += (self.block_bytes as f64 * scale) as u64;
         let distance = self.tree.access(lba);
         // Scale the sampled reuse distance back to full-stream bytes.
-        let interval_bytes =
-            distance.map(|d| (d as f64 * scale * self.block_bytes as f64) as u64);
+        let interval_bytes = distance.map(|d| (d as f64 * scale * self.block_bytes as f64) as u64);
         for g in &mut self.ghosts {
             g.write(lba, interval_bytes, now_us);
         }

@@ -48,8 +48,8 @@ impl Default for LssConfig {
     fn default() -> Self {
         Self {
             block_bytes: 4096,
-            chunk_blocks: 16,   // 64 KiB chunks
-            segment_chunks: 8,  // 512 KiB segments
+            chunk_blocks: 16,  // 64 KiB chunks
+            segment_chunks: 8, // 512 KiB segments
             user_blocks: 16 * 1024,
             op_ratio: 0.28,
             sla_us: 100,

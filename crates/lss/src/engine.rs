@@ -113,12 +113,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     }
 
     /// Build an engine with any [`VictimPolicy`].
-    pub fn with_victim_policy(
-        cfg: LssConfig,
-        gc_select: VictimPolicy,
-        policy: P,
-        sink: S,
-    ) -> Self {
+    pub fn with_victim_policy(cfg: LssConfig, gc_select: VictimPolicy, policy: P, sink: S) -> Self {
         let num_groups = policy.groups().len();
         cfg.validate(num_groups);
         assert!(num_groups > 0 && num_groups <= u8::MAX as usize);
@@ -298,8 +293,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     fn fetch_chunk(&mut self, seg: SegmentId, chunk_idx: u32) -> Result<(), EngineError> {
         // Chunks flushed before location tracking (or by exotic sinks) have
         // no recorded location; they are accounted without a fault check.
-        let Some(&loc) = self.segments[seg as usize].chunk_locs.get(chunk_idx as usize)
-        else {
+        let Some(&loc) = self.segments[seg as usize].chunk_locs.get(chunk_idx as usize) else {
             return Ok(());
         };
         let mut attempt = 0u32;
@@ -314,8 +308,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 }
                 Err(e) if e.is_transient() && attempt < self.cfg.read_retry_limit => {
                     self.metrics.retried_reads += 1;
-                    self.metrics.retry_backoff_us +=
-                        self.cfg.retry_backoff_us << attempt.min(16);
+                    self.metrics.retry_backoff_us += self.cfg.retry_backoff_us << attempt.min(16);
                     attempt += 1;
                 }
                 Err(e) => return Err(e.into()),
@@ -334,12 +327,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     }
 
     /// Fallible variant of [`Lss::trim`].
-    pub fn try_trim(
-        &mut self,
-        ts_us: u64,
-        lba: Lba,
-        num_blocks: u32,
-    ) -> Result<(), EngineError> {
+    pub fn try_trim(&mut self, ts_us: u64, lba: Lba, num_blocks: u32) -> Result<(), EngineError> {
         self.try_advance_time(ts_us)?;
         self.note_host_op();
         for i in 0..num_blocks as u64 {
@@ -805,13 +793,10 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             match self.index.get(lba) {
                 BlockEntry::Pending { group, shadow: None } => {
                     debug_assert_eq!(group, shadow_home);
-                    self.index
-                        .set(lba, BlockEntry::Pending { group, shadow: Some((seg_id, off)) });
+                    self.index.set(lba, BlockEntry::Pending { group, shadow: Some((seg_id, off)) });
                     if let Some(pos) = self.groups[shadow_home as usize].find_pending(lba) {
                         let arrival = self.groups[shadow_home as usize].pending[pos].arrival_us;
-                        self.metrics
-                            .durability_latency
-                            .record(self.now_us.saturating_sub(arrival));
+                        self.metrics.durability_latency.record(self.now_us.saturating_sub(arrival));
                     }
                 }
                 other => {
@@ -843,12 +828,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             self.metrics.padded_chunks += 1;
         }
         // The chunk just written starts at slot `filled - chunk_blocks`.
-        let chunk_in_seg =
-            (self.segments[seg_id as usize].filled - chunk_blocks) / chunk_blocks;
-        debug_assert_eq!(
-            self.segments[seg_id as usize].chunk_seqs.len() as u32,
-            chunk_in_seg
-        );
+        let chunk_in_seg = (self.segments[seg_id as usize].filled - chunk_blocks) / chunk_blocks;
+        debug_assert_eq!(self.segments[seg_id as usize].chunk_seqs.len() as u32, chunk_in_seg);
         self.segments[seg_id as usize].chunk_seqs.push(self.next_flush_seq);
         self.next_flush_seq += 1;
         let loc = self.sink.write_chunk(ChunkFlush {
@@ -889,8 +870,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             created_ts_us: seg.created_ts_us,
         };
         self.buckets.insert(seg_id, valid, meta.created_user_bytes);
-        self.segments[seg_id as usize].group_pos =
-            self.groups[gid as usize].sealed.len() as u32;
+        self.segments[seg_id as usize].group_pos = self.groups[gid as usize].sealed.len() as u32;
         self.groups[gid as usize].sealed.push(seg_id);
         self.groups[gid as usize].roll_window();
         self.groups[gid as usize].open_segment = SegmentId::MAX;
@@ -937,21 +917,14 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         let seg_id = match self.free.pop() {
             Some(id) => id,
             None => {
-                let sealed = self
-                    .segments
-                    .iter()
-                    .filter(|s| s.state == SegmentState::Sealed)
-                    .count();
+                let sealed =
+                    self.segments.iter().filter(|s| s.state == SegmentState::Sealed).count();
                 let sealed_garbage = self
                     .segments
                     .iter()
                     .filter(|s| s.state == SegmentState::Sealed && s.garbage_blocks() > 0)
                     .count();
-                let open = self
-                    .segments
-                    .iter()
-                    .filter(|s| s.state == SegmentState::Open)
-                    .count();
+                let open = self.segments.iter().filter(|s| s.state == SegmentState::Open).count();
                 let valid: u64 = self.segments.iter().map(|s| s.valid_blocks as u64).sum();
                 return Err(EngineError::OutOfSpace {
                     total_segments: self.segments.len(),
@@ -1105,8 +1078,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// SLA exists precisely to bound that window.
     pub fn recover_index(&self) -> BlockIndex {
         let chunk_blocks = self.cfg.chunk_blocks;
-        let mut best: crate::FxHashMap<Lba, (u64, u32, SegmentId)> =
-            crate::FxHashMap::default();
+        let mut best: crate::FxHashMap<Lba, (u64, u32, SegmentId)> = crate::FxHashMap::default();
         for seg in &self.segments {
             if seg.state == SegmentState::Free {
                 continue;
@@ -1379,8 +1351,8 @@ mod tests {
         e.write(0, 42);
         e.advance_time(1_000); // shadow append happened
         e.write(2_000, 42); // overwrite: pending + shadow both die
-        // The rewritten block is sparse again, so it gets shadow-appended a
-        // second time at its own SLA deadline.
+                            // The rewritten block is sparse again, so it gets shadow-appended a
+                            // second time at its own SLA deadline.
         e.advance_time(100_000);
         e.flush_all();
         e.check_invariants();

@@ -53,14 +53,9 @@ impl GcSelection {
     /// exists or none has any garbage to reclaim... except that under
     /// pressure a fully-valid victim is still legal (it frees nothing, so
     /// we skip those: collecting them would loop forever).
-    pub fn select(
-        &self,
-        segments: &[Segment],
-        now_user_bytes: u64,
-    ) -> Option<SegmentId> {
-        let candidates = segments
-            .iter()
-            .filter(|s| s.state == SegmentState::Sealed && s.garbage_blocks() > 0);
+    pub fn select(&self, segments: &[Segment], now_user_bytes: u64) -> Option<SegmentId> {
+        let candidates =
+            segments.iter().filter(|s| s.state == SegmentState::Sealed && s.garbage_blocks() > 0);
         match self {
             GcSelection::Greedy => candidates
                 .max_by_key(|s| (s.garbage_blocks(), std::cmp::Reverse(s.id)))

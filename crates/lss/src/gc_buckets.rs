@@ -200,9 +200,7 @@ impl SegmentBuckets {
     fn select_greedy(&mut self) -> Option<SegmentId> {
         // Advance the cursor over drained buckets; it only ever moves down
         // when a segment enters a lower bucket, which resets it.
-        while self.min_occupied < self.buckets.len()
-            && self.buckets[self.min_occupied].is_empty()
-        {
+        while self.min_occupied < self.buckets.len() && self.buckets[self.min_occupied].is_empty() {
             self.min_occupied += 1;
         }
         // The full bucket (valid == capacity) holds no garbage.
@@ -248,12 +246,8 @@ impl SegmentBuckets {
             return 1.0;
         }
         let cap = self.capacity as f64;
-        let sum: f64 = self
-            .buckets
-            .iter()
-            .enumerate()
-            .map(|(v, b)| (v as f64 / cap) * b.len() as f64)
-            .sum();
+        let sum: f64 =
+            self.buckets.iter().enumerate().map(|(v, b)| (v as f64 / cap) * b.len() as f64).sum();
         sum / self.tracked as f64
     }
 
@@ -291,10 +285,13 @@ impl SegmentBuckets {
                 Oldest::Empty => assert!(b.is_empty(), "empty cache on non-empty bucket {v}"),
                 Oldest::Dirty => assert!(!b.is_empty(), "dirty cache on empty bucket {v}"),
                 Oldest::Known(c, id) => {
-                    let best = b
-                        .iter()
-                        .map(|&s| (self.created[s as usize], s))
-                        .reduce(|a, b| if better_cb(b, a) { b } else { a });
+                    let best = b.iter().map(|&s| (self.created[s as usize], s)).reduce(|a, b| {
+                        if better_cb(b, a) {
+                            b
+                        } else {
+                            a
+                        }
+                    });
                     assert_eq!(best, Some((c, id)), "stale oldest cache in bucket {v}");
                 }
             }
@@ -343,10 +340,7 @@ mod tests {
         let segs = vec![sealed(0, 8, 6, 0), sealed(1, 8, 2, 0), sealed(2, 8, 4, 0)];
         let mut b = tracking(&segs);
         assert_eq!(b.select(GcSelection::Greedy, 100), Some(1));
-        assert_eq!(
-            b.select(GcSelection::Greedy, 100),
-            GcSelection::Greedy.select(&segs, 100)
-        );
+        assert_eq!(b.select(GcSelection::Greedy, 100), GcSelection::Greedy.select(&segs, 100));
     }
 
     #[test]
@@ -354,10 +348,7 @@ mod tests {
         let segs = vec![sealed(0, 8, 2, 0), sealed(1, 8, 2, 0), sealed(2, 8, 2, 0)];
         let mut b = tracking(&segs);
         assert_eq!(b.select(GcSelection::Greedy, 100), Some(0));
-        assert_eq!(
-            b.select(GcSelection::Greedy, 100),
-            GcSelection::Greedy.select(&segs, 100)
-        );
+        assert_eq!(b.select(GcSelection::Greedy, 100), GcSelection::Greedy.select(&segs, 100));
     }
 
     #[test]
@@ -424,8 +415,7 @@ mod tests {
 
     #[test]
     fn histogram_and_mean_match_scan() {
-        let segs: Vec<Segment> =
-            (0..16).map(|i| sealed(i, 8, i % 9, i as u64)).collect();
+        let segs: Vec<Segment> = (0..16).map(|i| sealed(i, 8, i % 9, i as u64)).collect();
         let b = tracking(&segs);
         let mut h = [0u64; 10];
         let mut sum = 0.0;

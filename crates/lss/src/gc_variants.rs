@@ -111,8 +111,7 @@ impl VictimPolicy {
                 let mut best: Option<&Segment> = None;
                 for _ in 0..(*d).max(1) {
                     let pick = candidates[rng.bounded(candidates.len())];
-                    if best.map(|b| pick.garbage_blocks() > b.garbage_blocks()).unwrap_or(true)
-                    {
+                    if best.map(|b| pick.garbage_blocks() > b.garbage_blocks()).unwrap_or(true) {
                         best = Some(pick);
                     }
                 }
@@ -128,11 +127,7 @@ impl VictimPolicy {
                     return None;
                 }
                 sealed.sort_by_key(|s| s.created_user_bytes);
-                sealed
-                    .iter()
-                    .take((*w).max(1))
-                    .max_by_key(|s| s.garbage_blocks())
-                    .map(|s| s.id)
+                sealed.iter().take((*w).max(1)).max_by_key(|s| s.garbage_blocks()).map(|s| s.id)
             }
             VictimPolicy::Random { rng } => {
                 let candidates: Vec<SegmentId> = segments

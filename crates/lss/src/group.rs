@@ -179,12 +179,8 @@ impl Group {
 
     /// Recompute the SLA timer origin from the buffer contents.
     pub fn recompute_pending_since(&mut self) {
-        self.pending_since_us = self
-            .pending
-            .iter()
-            .filter(|p| p.needs_sla)
-            .map(|p| p.arrival_us)
-            .min();
+        self.pending_since_us =
+            self.pending.iter().filter(|p| p.needs_sla).map(|p| p.arrival_us).min();
     }
 
     /// Deadline (µs) at which this group's partial chunk must be handled,

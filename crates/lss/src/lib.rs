@@ -83,8 +83,8 @@ pub use error::EngineError;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gc::GcSelection;
 pub use gc_buckets::SegmentBuckets;
-pub use latency::LatencyHistogram;
 pub use gc_variants::VictimPolicy;
+pub use latency::LatencyHistogram;
 pub use metrics::{GroupTraffic, LssMetrics};
 pub use placement::{
     GroupKind, GroupSnapshot, PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta, SlaAction,

@@ -116,8 +116,7 @@ impl LssMetrics {
         if self.host_write_bytes == 0 {
             return 1.0;
         }
-        (self.user_bytes + self.gc_bytes + self.shadow_bytes) as f64
-            / self.host_write_bytes as f64
+        (self.user_bytes + self.gc_bytes + self.shadow_bytes) as f64 / self.host_write_bytes as f64
     }
 
     /// Padding share of all physically written bytes (Fig. 9's
@@ -179,11 +178,7 @@ mod tests {
 
     #[test]
     fn read_amplification_math() {
-        let m = LssMetrics {
-            host_read_bytes: 4096,
-            array_read_bytes: 65536,
-            ..Default::default()
-        };
+        let m = LssMetrics { host_read_bytes: 4096, array_read_bytes: 65536, ..Default::default() };
         assert!((m.read_amplification() - 16.0).abs() < 1e-12);
         assert_eq!(LssMetrics::default().read_amplification(), 1.0);
     }

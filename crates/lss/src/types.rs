@@ -77,7 +77,14 @@ mod tests {
 
     #[test]
     fn roundtrip_all_variants() {
-        for s in [Slot::Free, Slot::Pad, Slot::Block(0), Slot::Block(12345), Slot::Shadow(0), Slot::Shadow(987654321)] {
+        for s in [
+            Slot::Free,
+            Slot::Pad,
+            Slot::Block(0),
+            Slot::Block(12345),
+            Slot::Shadow(0),
+            Slot::Shadow(987654321),
+        ] {
             assert_eq!(Slot::decode(s.encode()), s);
         }
     }

@@ -18,9 +18,7 @@
 //! Group map: 0–1 user (classes 1–2), 2–5 GC (classes 3–6).
 
 use crate::lba_table::LbaTable;
-use adapt_lss::{
-    GroupId, GroupKind, Lba, PlacementPolicy, PolicyCtx, ReclaimInfo, VictimMeta,
-};
+use adapt_lss::{GroupId, GroupKind, Lba, PlacementPolicy, PolicyCtx, ReclaimInfo, VictimMeta};
 
 /// EWMA factor for the class-1 lifespan threshold.
 const EWMA_ALPHA: f64 = 0.5;
@@ -164,7 +162,7 @@ mod tests {
     fn bootstrap_sends_rewrites_to_class1() {
         let mut p = SepBit::new();
         assert_eq!(p.place_user(&ctx(0), 1), SepBit::CLASS2); // first write
-        // With ℓ = ∞ every inferred lifespan is "short".
+                                                              // With ℓ = ∞ every inferred lifespan is "short".
         assert_eq!(p.place_user(&ctx(10_000), 1), SepBit::CLASS1);
     }
 

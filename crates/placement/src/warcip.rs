@@ -52,9 +52,7 @@ impl Warcip {
         // evenly spaced in log2 space.
         let lo = (100.0f64).log2();
         let hi = (100_000_000.0f64).log2();
-        let centroids = (0..k)
-            .map(|i| lo + (hi - lo) * i as f64 / (k - 1) as f64)
-            .collect();
+        let centroids = (0..k).map(|i| lo + (hi - lo) * i as f64 / (k - 1) as f64).collect();
         Self { groups, last_write_us: LbaTable::default(), centroids }
     }
 

@@ -150,7 +150,11 @@ fn run_with_policy<P: PlacementPolicy + Send>(
                     while !done.load(Ordering::Relaxed) {
                         let collected = {
                             let mut e = engine.lock();
-                            if e.needs_gc() { e.gc_step() } else { false }
+                            if e.needs_gc() {
+                                e.gc_step()
+                            } else {
+                                false
+                            }
                         };
                         if !collected {
                             std::thread::sleep(Duration::from_micros(200));
@@ -174,8 +178,8 @@ fn run_with_policy<P: PlacementPolicy + Send>(
                     for i in 0..cfg.ops_per_client {
                         let ts = clock.load(Ordering::Relaxed);
                         let rank = zipf.sample(&mut rng);
-                        let lba = ((rank as u128 * scatter as u128)
-                            % cfg.num_blocks as u128) as u64;
+                        let lba =
+                            ((rank as u128 * scatter as u128) % cfg.num_blocks as u128) as u64;
                         if rng.next_f64() >= cfg.read_ratio {
                             // Sample 1-in-8 write latencies (lock + engine).
                             if i % 8 == 0 {

@@ -79,8 +79,7 @@ impl DeviceTimeline {
             b.store(0, Ordering::Relaxed);
         }
         // Epoch cannot be swapped without &mut; store the offset instead.
-        self.epoch_offset_ns
-            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.epoch_offset_ns.store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 

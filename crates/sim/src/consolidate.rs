@@ -34,12 +34,9 @@ pub fn consolidate(volumes: &[VolumeModel], requests_per_volume: u64) -> Consoli
         total_blocks += v.unique_blocks;
     }
     // k-way merge by timestamp (stable: volume order breaks ties).
-    let mut streams: Vec<std::iter::Peekable<_>> = volumes
-        .iter()
-        .map(|v| v.trace(requests_per_volume).peekable())
-        .collect();
-    let mut records =
-        Vec::with_capacity(volumes.len() * requests_per_volume as usize);
+    let mut streams: Vec<std::iter::Peekable<_>> =
+        volumes.iter().map(|v| v.trace(requests_per_volume).peekable()).collect();
+    let mut records = Vec::with_capacity(volumes.len() * requests_per_volume as usize);
     loop {
         let next = streams
             .iter_mut()

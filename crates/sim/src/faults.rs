@@ -15,8 +15,8 @@
 //! log-structured arrays hold the open stripe in controller NVRAM until
 //! its parity lands, so those blocks are buffer-served, not lost.
 
-use crate::scheme::{with_policy, PolicyVisitor, Scheme};
 use crate::replay::{ReplayConfig, Warmup};
+use crate::scheme::{with_policy, PolicyVisitor, Scheme};
 use adapt_array::{ArrayError, ArraySink, ArrayStats, FaultPlan, FaultyArray};
 use adapt_lss::{EngineError, Lss, LssMetrics, PlacementPolicy};
 use adapt_trace::TraceRecord;
@@ -170,8 +170,7 @@ fn run_with_policy<P: PlacementPolicy>(
     policy: P,
 ) -> FaultReport {
     let cfg = scenario.replay;
-    let plan = FaultPlan::new(scenario.seed)
-        .with_transient_read_prob(scenario.transient_read_prob);
+    let plan = FaultPlan::new(scenario.seed).with_transient_read_prob(scenario.transient_read_prob);
     let sink = FaultyArray::new(cfg.lss.array_config(), plan);
     let mut engine = Lss::new(cfg.lss, cfg.gc, policy, sink);
 
@@ -190,9 +189,9 @@ fn run_with_policy<P: PlacementPolicy>(
     let mut rebuild_ops_window = 0u64;
 
     let snapshot = |engine: &mut Lss<P, FaultyArray>,
-                        phases: &mut Vec<PhaseReport>,
-                        records: &mut u64,
-                        name: &str| {
+                    phases: &mut Vec<PhaseReport>,
+                    records: &mut u64,
+                    name: &str| {
         phases.push(PhaseReport {
             phase: name.to_string(),
             records: *records,
@@ -231,10 +230,7 @@ fn run_with_policy<P: PlacementPolicy>(
                     // the rebuild begins repairing the array.
                     verify = verify_live_lbas(&mut engine, cfg.lss.user_blocks);
                     snapshot(&mut engine, &mut phases, &mut phase_records, "degraded");
-                    engine
-                        .sink_mut()
-                        .start_rebuild()
-                        .expect("single-fault rebuild must start");
+                    engine.sink_mut().start_rebuild().expect("single-fault rebuild must start");
                     stage = Stage::Rebuilding;
                 }
             }
@@ -324,20 +320,12 @@ fn scheme_tag(name: &str) -> Scheme {
 }
 
 /// Run a fault scenario for one scheme over a trace.
-pub fn run_fault_scenario<I>(
-    scheme: Scheme,
-    scenario: FaultScenario,
-    trace: I,
-) -> FaultReport
+pub fn run_fault_scenario<I>(scheme: Scheme, scenario: FaultScenario, trace: I) -> FaultReport
 where
     I: Iterator<Item = TraceRecord>,
 {
     let trace: Vec<TraceRecord> = trace.collect();
-    let mut report = with_policy(
-        scheme,
-        &scenario.replay.lss,
-        FaultVisitor { scenario, trace },
-    );
+    let mut report = with_policy(scheme, &scenario.replay.lss, FaultVisitor { scenario, trace });
     report.scheme = scheme;
     report
 }
@@ -364,10 +352,7 @@ mod tests {
     }
 
     fn scenario() -> FaultScenario {
-        FaultScenario::midpoint_failure(
-            ReplayConfig::for_volume(8192, GcSelection::Greedy),
-            0,
-        )
+        FaultScenario::midpoint_failure(ReplayConfig::for_volume(8192, GcSelection::Greedy), 0)
     }
 
     #[test]
@@ -377,11 +362,7 @@ mod tests {
         assert_eq!(names, ["healthy", "degraded", "rebuilding", "restored"]);
         // Degraded phase actually served reconstructed reads.
         let degraded = r.phase("degraded").unwrap();
-        assert!(
-            degraded.metrics.degraded_reads > 0,
-            "no degraded reads: {:?}",
-            degraded.metrics
-        );
+        assert!(degraded.metrics.degraded_reads > 0, "no degraded reads: {:?}", degraded.metrics);
         assert!(degraded.metrics.reconstructed_bytes > 0);
         // Healthy phase saw none.
         assert_eq!(r.phase("healthy").unwrap().metrics.degraded_reads, 0);

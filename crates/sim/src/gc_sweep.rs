@@ -130,8 +130,7 @@ mod tests {
             VictimPolicy::Base(GcSelection::Greedy),
             trace(),
         );
-        let random =
-            replay_with_victim(Scheme::SepGc, cfg, VictimPolicy::random(3), trace());
+        let random = replay_with_victim(Scheme::SepGc, cfg, VictimPolicy::random(3), trace());
         assert!(
             greedy.metrics.wa() < random.metrics.wa(),
             "greedy {} vs random {}",

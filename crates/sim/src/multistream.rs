@@ -87,11 +87,7 @@ pub fn replay_multistream<I>(
 where
     I: Iterator<Item = TraceRecord>,
 {
-    let mut r = with_policy(
-        scheme,
-        &cfg.lss.clone(),
-        FtlVisitor { cfg, multi_stream, trace },
-    );
+    let mut r = with_policy(scheme, &cfg.lss.clone(), FtlVisitor { cfg, multi_stream, trace });
     r.scheme = scheme;
     r
 }

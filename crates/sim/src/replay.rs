@@ -44,8 +44,7 @@ impl ReplayConfig {
             ..Default::default()
         };
         let min_spare = (lss.gc_high_water + 8 + 4) as u64; // watermark + groups + margin
-        let min_op =
-            min_spare as f64 * lss.segment_blocks() as f64 / unique_blocks as f64;
+        let min_op = min_spare as f64 * lss.segment_blocks() as f64 / unique_blocks as f64;
         lss.op_ratio = lss.op_ratio.max(min_op * 1.05);
         Self { lss, gc, warmup: Warmup::CapacityOnce }
     }
@@ -137,12 +136,7 @@ fn scheme_of_name(name: &str) -> Scheme {
 
 /// Replay a trace through one scheme; the hot loop is monomorphized per
 /// policy.
-pub fn replay_volume<I>(
-    scheme: Scheme,
-    cfg: ReplayConfig,
-    volume_id: u32,
-    trace: I,
-) -> VolumeResult
+pub fn replay_volume<I>(scheme: Scheme, cfg: ReplayConfig, volume_id: u32, trace: I) -> VolumeResult
 where
     I: Iterator<Item = TraceRecord>,
 {
@@ -209,12 +203,8 @@ mod tests {
 
     #[test]
     fn ablation_tags_preserved() {
-        let r = replay_volume(
-            Scheme::AdaptNoAggregation,
-            cfg(GcSelection::Greedy),
-            3,
-            ycsb(5, 10_000),
-        );
+        let r =
+            replay_volume(Scheme::AdaptNoAggregation, cfg(GcSelection::Greedy), 3, ycsb(5, 10_000));
         assert_eq!(r.scheme, Scheme::AdaptNoAggregation);
         assert_eq!(r.volume_id, 3);
     }

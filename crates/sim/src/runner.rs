@@ -101,18 +101,12 @@ pub fn run_suite_all_schemes(
     suite: &WorkloadSuite,
     requests_cap: Option<u64>,
 ) -> Vec<SuiteResult> {
-    Scheme::PAPER
-        .iter()
-        .map(|&s| run_suite(s, gc, suite, requests_cap))
-        .collect()
+    Scheme::PAPER.iter().map(|&s| run_suite(s, gc, suite, requests_cap)).collect()
 }
 
 /// Generate all three suites at the standard seed used across figures.
 pub fn standard_suites(seed: u64, volumes_per_suite: usize) -> Vec<WorkloadSuite> {
-    SuiteKind::ALL
-        .iter()
-        .map(|&k| WorkloadSuite::generate_n(k, seed, volumes_per_suite))
-        .collect()
+    SuiteKind::ALL.iter().map(|&k| WorkloadSuite::generate_n(k, seed, volumes_per_suite)).collect()
 }
 
 #[cfg(test)]

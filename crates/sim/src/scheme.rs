@@ -35,14 +35,8 @@ pub enum Scheme {
 
 impl Scheme {
     /// The six schemes of the paper's main comparison, in figure order.
-    pub const PAPER: [Scheme; 6] = [
-        Scheme::SepGc,
-        Scheme::Mida,
-        Scheme::Dac,
-        Scheme::Warcip,
-        Scheme::SepBit,
-        Scheme::Adapt,
-    ];
+    pub const PAPER: [Scheme; 6] =
+        [Scheme::SepGc, Scheme::Mida, Scheme::Dac, Scheme::Warcip, Scheme::SepBit, Scheme::Adapt];
 
     /// The five baselines (everything but ADAPT variants).
     pub const BASELINES: [Scheme; 5] =
@@ -87,11 +81,7 @@ impl Scheme {
 /// Invoke `f` with a concrete policy instance for `scheme`, keeping the
 /// engine's hot loop monomorphized per policy type (no `dyn` dispatch on
 /// the per-block path).
-pub fn with_policy<R>(
-    scheme: Scheme,
-    lss: &LssConfig,
-    f: impl PolicyVisitor<R>,
-) -> R {
+pub fn with_policy<R>(scheme: Scheme, lss: &LssConfig, f: impl PolicyVisitor<R>) -> R {
     match scheme {
         Scheme::SepGc => f.visit(SepGc::new()),
         Scheme::Dac => f.visit(Dac::new()),

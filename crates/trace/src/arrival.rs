@@ -18,11 +18,7 @@ pub enum ArrivalModel {
     /// On/off bursty process: bursts of `burst_len` requests with
     /// `intra_gap_us` spacing, separated by `inter_gap_us` idle gaps.
     /// Models the diurnal/bursty volumes seen in cloud block traces.
-    Bursty {
-        burst_len: u32,
-        intra_gap_us: u64,
-        inter_gap_us: u64,
-    },
+    Bursty { burst_len: u32, intra_gap_us: u64, inter_gap_us: u64 },
 }
 
 impl ArrivalModel {
@@ -48,8 +44,7 @@ impl ArrivalModel {
             }
             ArrivalModel::Poisson { rate_per_sec } => rate_per_sec,
             ArrivalModel::Bursty { burst_len, intra_gap_us, inter_gap_us } => {
-                let cycle_us =
-                    (burst_len as u64).saturating_sub(1) * intra_gap_us + inter_gap_us;
+                let cycle_us = (burst_len as u64).saturating_sub(1) * intra_gap_us + inter_gap_us;
                 if cycle_us == 0 {
                     f64::INFINITY
                 } else {
@@ -124,20 +119,13 @@ mod tests {
             last = c.next_arrival();
         }
         let observed_rate = (n - 1) as f64 / (last as f64 / 1e6);
-        assert!(
-            (observed_rate - 1000.0).abs() / 1000.0 < 0.05,
-            "rate {observed_rate}"
-        );
+        assert!((observed_rate - 1000.0).abs() / 1000.0 < 0.05, "rate {observed_rate}");
     }
 
     #[test]
     fn bursty_structure() {
-        let mut c = ArrivalModel::Bursty {
-            burst_len: 3,
-            intra_gap_us: 10,
-            inter_gap_us: 1000,
-        }
-        .clock(3);
+        let mut c =
+            ArrivalModel::Bursty { burst_len: 3, intra_gap_us: 10, inter_gap_us: 1000 }.clock(3);
         let ts: Vec<u64> = (0..6).map(|_| c.next_arrival()).collect();
         assert_eq!(ts, vec![0, 10, 20, 1020, 1030, 1040]);
     }

@@ -120,7 +120,12 @@ impl<R: BufRead> TraceParser<R> {
 }
 
 /// Convert byte-granular fields to a block-granular record.
-fn normalize(ts_us: u64, offset_bytes: u64, size_bytes: u64, is_write: bool) -> Option<TraceRecord> {
+fn normalize(
+    ts_us: u64,
+    offset_bytes: u64,
+    size_bytes: u64,
+    is_write: bool,
+) -> Option<TraceRecord> {
     if size_bytes == 0 {
         return None;
     }
@@ -204,8 +209,7 @@ mod tests {
         let data = "\
 128166372003061629,usr,0,Write,8192,8192,1331\n\
 128166372013061629,usr,0,Read,0,4096,100\n";
-        let recs: Vec<_> =
-            TraceParser::new(Cursor::new(data), TraceFormat::Msrc).collect();
+        let recs: Vec<_> = TraceParser::new(Cursor::new(data), TraceFormat::Msrc).collect();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].op, OpType::Write);
         assert_eq!(recs[0].lba, 2); // 8192 / 4096
@@ -220,8 +224,8 @@ mod tests {
 dev1,W,4096,4096,1000\n\
 dev2,W,0,4096,1500\n\
 dev1,R,8192,16384,2000\n";
-        let mut p = TraceParser::new(Cursor::new(data), TraceFormat::Ali)
-            .with_device_filter("dev1");
+        let mut p =
+            TraceParser::new(Cursor::new(data), TraceFormat::Ali).with_device_filter("dev1");
         let recs: Vec<_> = p.by_ref().collect();
         assert_eq!(recs.len(), 2);
         assert_eq!(p.stats.parsed, 2);
@@ -233,8 +237,7 @@ dev1,R,8192,16384,2000\n";
     #[test]
     fn parses_tencent_sectors() {
         let data = "1538323200,8,16,1,1283\n";
-        let recs: Vec<_> =
-            TraceParser::new(Cursor::new(data), TraceFormat::Tencent).collect();
+        let recs: Vec<_> = TraceParser::new(Cursor::new(data), TraceFormat::Tencent).collect();
         assert_eq!(recs.len(), 1);
         // 8 sectors * 512 = 4096 bytes offset → block 1; 16 sectors = 8192
         // bytes spanning blocks 1..=2.
@@ -257,31 +260,25 @@ dev1,R,8192,16384,2000\n";
         // 1 byte at offset 4095 touches block 0 only; 2 bytes at 4095
         // touch blocks 0 and 1.
         let data = "d,W,4095,1,0\nd,W,4095,2,1\n";
-        let recs: Vec<_> =
-            TraceParser::new(Cursor::new(data), TraceFormat::Ali).collect();
+        let recs: Vec<_> = TraceParser::new(Cursor::new(data), TraceFormat::Ali).collect();
         assert_eq!((recs[0].lba, recs[0].num_blocks), (0, 1));
         assert_eq!((recs[1].lba, recs[1].num_blocks), (0, 2));
     }
 
     #[test]
     fn ali_roundtrip() {
-        let original = vec![
-            TraceRecord::write(0, 5, 3),
-            TraceRecord::read(1000, 0, 1),
-        ];
+        let original = vec![TraceRecord::write(0, 5, 3), TraceRecord::read(1000, 0, 1)];
         let mut buf = Vec::new();
         let n = write_ali_format(&mut buf, "vol0", original.clone()).unwrap();
         assert_eq!(n, 2);
-        let parsed: Vec<_> =
-            TraceParser::new(Cursor::new(buf), TraceFormat::Ali).collect();
+        let parsed: Vec<_> = TraceParser::new(Cursor::new(buf), TraceFormat::Ali).collect();
         assert_eq!(parsed, original);
     }
 
     #[test]
     fn zero_size_requests_dropped() {
         let data = "d,W,0,0,0\nd,W,0,4096,10\n";
-        let recs: Vec<_> =
-            TraceParser::new(Cursor::new(data), TraceFormat::Ali).collect();
+        let recs: Vec<_> = TraceParser::new(Cursor::new(data), TraceFormat::Ali).collect();
         assert_eq!(recs.len(), 1);
     }
 }

@@ -64,31 +64,20 @@ impl SizeDist {
     /// Sample a request size in blocks.
     pub fn sample(&self, rng: &mut Xoshiro256StarStar) -> u32 {
         let u = rng.next_f64();
-        let idx = self
-            .cum
-            .iter()
-            .position(|&c| u < c)
-            .unwrap_or(self.entries.len() - 1);
+        let idx = self.cum.iter().position(|&c| u < c).unwrap_or(self.entries.len() - 1);
         self.entries[idx].0
     }
 
     /// Mean request size in blocks.
     pub fn mean_blocks(&self) -> f64 {
         let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
-        self.entries
-            .iter()
-            .map(|&(b, w)| b as f64 * w / total)
-            .sum()
+        self.entries.iter().map(|&(b, w)| b as f64 * w / total).sum()
     }
 
     /// Probability that a request is at most `blocks` blocks long.
     pub fn prob_le(&self, blocks: u32) -> f64 {
         let total: f64 = self.entries.iter().map(|&(_, w)| w).sum();
-        self.entries
-            .iter()
-            .filter(|&&(b, _)| b <= blocks)
-            .map(|&(_, w)| w / total)
-            .sum()
+        self.entries.iter().filter(|&&(b, _)| b <= blocks).map(|&(_, w)| w / total).sum()
     }
 }
 

@@ -99,18 +99,10 @@ impl BoxStats {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let inliers: Vec<f64> = e
-            .samples()
-            .iter()
-            .copied()
-            .filter(|&x| x >= lo_fence && x <= hi_fence)
-            .collect();
-        let outliers = e
-            .samples()
-            .iter()
-            .copied()
-            .filter(|&x| x < lo_fence || x > hi_fence)
-            .collect();
+        let inliers: Vec<f64> =
+            e.samples().iter().copied().filter(|&x| x >= lo_fence && x <= hi_fence).collect();
+        let outliers =
+            e.samples().iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
         Self {
             // Clamp whiskers to the box: with tiny samples and extreme
             // outliers, the smallest inlier can exceed the *interpolated*
@@ -247,8 +239,8 @@ mod tests {
     #[test]
     fn trace_summary_counts() {
         let recs = vec![
-            TraceRecord::write(0, 0, 1),        // 4k
-            TraceRecord::write(1_000_000, 4, 2), // 8k
+            TraceRecord::write(0, 0, 1),          // 4k
+            TraceRecord::write(1_000_000, 4, 2),  // 8k
             TraceRecord::write(2_000_000, 8, 16), // 64k
             TraceRecord::read(3_000_000, 0, 1),
         ];

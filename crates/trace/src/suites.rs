@@ -201,9 +201,7 @@ impl WorkloadSuite {
             .map(|id| {
                 // Per-volume mean request rate, clamped to a sane range so a
                 // single extreme volume cannot dominate simulation cost.
-                let rate = rng
-                    .next_lognormal(cal.rate_mu, cal.rate_sigma)
-                    .clamp(0.2, 2_000.0);
+                let rate = rng.next_lognormal(cal.rate_mu, cal.rate_sigma).clamp(0.2, 2_000.0);
                 let arrival = if rng.next_f64() < cal.bursty_frac {
                     // Bursts of 8–32 requests at 20 µs spacing (VM flush
                     // behaviour documented for cloud block traces); the
@@ -211,23 +209,18 @@ impl WorkloadSuite {
                     // cycle_us = (len-1)*20 + inter_gap, rate = len*1e6/cycle.
                     let burst_len = 8u32 << rng.next_bounded(3); // 8, 16, 32
                     let cycle_us = (burst_len as f64 * 1e6 / rate).max(400.0) as u64;
-                    let inter =
-                        cycle_us.saturating_sub((burst_len as u64 - 1) * 20).max(1);
-                    ArrivalModel::Bursty {
-                        burst_len,
-                        intra_gap_us: 20,
-                        inter_gap_us: inter,
-                    }
+                    let inter = cycle_us.saturating_sub((burst_len as u64 - 1) * 20).max(1);
+                    ArrivalModel::Bursty { burst_len, intra_gap_us: 20, inter_gap_us: inter }
                 } else {
                     ArrivalModel::Poisson { rate_per_sec: rate }
                 };
                 let alpha = cal.alpha_lo + rng.next_f64() * (cal.alpha_hi - cal.alpha_lo);
-                let read_ratio = cal.read_ratio_lo
-                    + rng.next_f64() * (cal.read_ratio_hi - cal.read_ratio_lo);
+                let read_ratio =
+                    cal.read_ratio_lo + rng.next_f64() * (cal.read_ratio_hi - cal.read_ratio_lo);
                 let span = cal.max_blocks - cal.min_blocks;
                 let unique_blocks = cal.min_blocks + rng.next_bounded(span.max(1));
-                let update_frac = cal.update_frac_lo
-                    + rng.next_f64() * (cal.update_frac_hi - cal.update_frac_lo);
+                let update_frac =
+                    cal.update_frac_lo + rng.next_f64() * (cal.update_frac_hi - cal.update_frac_lo);
                 let once_prob =
                     cal.once_prob_lo + rng.next_f64() * (cal.once_prob_hi - cal.once_prob_lo);
                 VolumeModel {
@@ -278,18 +271,9 @@ mod tests {
             let s = WorkloadSuite::generate_n(kind, 17, 4000);
             let rates: Vec<f64> = s.volumes.iter().map(|v| v.mean_rate_per_sec()).collect();
             let below10 = rates.iter().filter(|&&r| r < 10.0).count() as f64 / rates.len() as f64;
-            let above100 =
-                rates.iter().filter(|&&r| r > 100.0).count() as f64 / rates.len() as f64;
-            assert!(
-                (0.70..=0.90).contains(&below10),
-                "{}: below10 {below10}",
-                kind.name()
-            );
-            assert!(
-                (0.01..=0.05).contains(&above100),
-                "{}: above100 {above100}",
-                kind.name()
-            );
+            let above100 = rates.iter().filter(|&&r| r > 100.0).count() as f64 / rates.len() as f64;
+            assert!((0.70..=0.90).contains(&below10), "{}: below10 {below10}", kind.name());
+            assert!((0.01..=0.05).contains(&above100), "{}: above100 {above100}", kind.name());
         }
     }
 

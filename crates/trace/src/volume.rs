@@ -118,11 +118,7 @@ impl Iterator for VolumeTrace {
         let lba = if nb as u64 >= n { 0 } else { lba.min(n - nb as u64) };
         self.prev_end = lba + nb as u64;
         let is_read = self.rng.next_f64() < self.model.read_ratio;
-        Some(if is_read {
-            TraceRecord::read(ts, lba, nb)
-        } else {
-            TraceRecord::write(ts, lba, nb)
-        })
+        Some(if is_read { TraceRecord::read(ts, lba, nb) } else { TraceRecord::write(ts, lba, nb) })
     }
 }
 
@@ -173,10 +169,7 @@ mod tests {
     #[test]
     fn read_ratio_approximated() {
         let n = 20_000;
-        let reads = model()
-            .trace(n)
-            .filter(|r| r.op == OpType::Read)
-            .count();
+        let reads = model().trace(n).filter(|r| r.op == OpType::Read).count();
         let frac = reads as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.02, "read frac {frac}");
     }

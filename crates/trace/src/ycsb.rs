@@ -90,7 +90,12 @@ pub struct YcsbConfig {
 impl YcsbConfig {
     /// YCSB-A defaults (50/50 read/update, Zipfian) at the given intensity
     /// and skew.
-    pub fn workload_a(num_blocks: u64, num_updates: u64, alpha: f64, intensity: TrafficIntensity) -> Self {
+    pub fn workload_a(
+        num_blocks: u64,
+        num_updates: u64,
+        alpha: f64,
+        intensity: TrafficIntensity,
+    ) -> Self {
         Self {
             num_blocks,
             num_updates,
@@ -231,8 +236,7 @@ impl Iterator for YcsbGenerator {
                 } else {
                     // Zipfian over recency: rank 0 = newest write.
                     let r = self.zipf.sample(&mut self.rng) as usize % self.recent.len();
-                    let newest =
-                        (self.recent_pos + self.recent.len() - 1) % self.recent.len();
+                    let newest = (self.recent_pos + self.recent.len() - 1) % self.recent.len();
                     self.recent[(newest + self.recent.len() - r) % self.recent.len()]
                 }
             }

@@ -70,8 +70,7 @@ impl ZipfGenerator {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let spread =
-            (self.eta * u - self.eta + 1.0).powf(1.0 / (1.0 - self.theta));
+        let spread = (self.eta * u - self.eta + 1.0).powf(1.0 / (1.0 - self.theta));
         let item = (self.n as f64 * spread) as u64;
         item.min(self.n - 1)
     }

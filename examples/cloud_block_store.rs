@@ -13,8 +13,7 @@ use adapt_repro::sim::Scheme;
 use adapt_repro::trace::{SuiteKind, WorkloadSuite};
 
 fn main() {
-    let volumes: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let volumes: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     println!("Generating an AliCloud-calibrated evaluation selection ({volumes} volumes)…");
     let suite = WorkloadSuite::evaluation_selection(SuiteKind::Ali, 2026, volumes, 20.0);
 
@@ -39,7 +38,10 @@ fn main() {
     );
 
     println!("\nPer-volume view (ADAPT vs SepBIT):");
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10}", "vol", "rate req/s", "ADAPT WA", "SepBIT WA", "padΔ%");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "vol", "rate req/s", "ADAPT WA", "SepBIT WA", "padΔ%"
+    );
     let comps = compare_volumes(&adapt, &sepbit);
     for ((va, vb), c) in adapt.volumes.iter().zip(&sepbit.volumes).zip(&comps) {
         let rate = suite.volumes[va.volume_id as usize].mean_rate_per_sec();

@@ -10,8 +10,7 @@ use adapt_repro::proto::{run_throughput, ThroughputConfig};
 use adapt_repro::sim::Scheme;
 
 fn main() {
-    let clients: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let clients: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
     println!("Prototype throughput, {clients} clients, YCSB-A, 4×RAID-5\n");
     println!("{:>8} {:>12} {:>8} {:>12}", "scheme", "ops/s", "WA", "policy KiB");
     for scheme in [Scheme::SepGc, Scheme::Warcip, Scheme::SepBit, Scheme::Adapt] {

@@ -9,9 +9,7 @@ use adapt_repro::sim::{run_fault_scenario, FaultReport, FaultScenario, ReplayCon
 use adapt_repro::trace::{SuiteKind, VolumeModel, WorkloadSuite};
 
 fn volume() -> VolumeModel {
-    WorkloadSuite::evaluation_selection(SuiteKind::Ali, 7, 1, 20.0)
-        .volumes
-        .remove(0)
+    WorkloadSuite::evaluation_selection(SuiteKind::Ali, 7, 1, 20.0).volumes.remove(0)
 }
 
 fn run(scheme: Scheme, vol: &VolumeModel) -> FaultReport {
@@ -28,11 +26,7 @@ fn no_data_loss_with_device_failure_at_half_trace() {
     for scheme in [Scheme::SepGc, Scheme::Adapt] {
         let r = run(scheme, &vol);
         let names: Vec<&str> = r.phases.iter().map(|p| p.phase.as_str()).collect();
-        assert_eq!(
-            names,
-            ["healthy", "degraded", "rebuilding", "restored"],
-            "{scheme:?} phases"
-        );
+        assert_eq!(names, ["healthy", "degraded", "rebuilding", "restored"], "{scheme:?} phases");
         assert_eq!(r.verify.lost, 0, "{scheme:?} lost data: {:?}", r.verify);
         // The sweep classifies every user LBA exactly once.
         assert_eq!(

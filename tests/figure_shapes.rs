@@ -22,11 +22,7 @@ fn adapt_beats_temperature_baselines_on_ali() {
     let adapt = run_suite(Scheme::Adapt, GcSelection::Greedy, &suite, None).overall_wa();
     for baseline in [Scheme::Mida, Scheme::Dac, Scheme::Warcip, Scheme::SepBit] {
         let wa = run_suite(baseline, GcSelection::Greedy, &suite, None).overall_wa();
-        assert!(
-            adapt < wa,
-            "{}: ADAPT {adapt:.3} should beat {wa:.3}",
-            baseline.name()
-        );
+        assert!(adapt < wa, "{}: ADAPT {adapt:.3} should beat {wa:.3}", baseline.name());
     }
     let sepgc = run_suite(Scheme::SepGc, GcSelection::Greedy, &suite, None).overall_wa();
     assert!(adapt < sepgc * 1.03, "ADAPT {adapt:.3} vs SepGC {sepgc:.3}");
@@ -37,9 +33,7 @@ fn adapt_beats_temperature_baselines_on_ali() {
 #[test]
 fn adapt_padding_below_sepbit_and_multigroup() {
     let suite = mini_suite(SuiteKind::Tencent);
-    let pad = |s| {
-        run_suite(s, GcSelection::Greedy, &suite, None).overall_padding_ratio()
-    };
+    let pad = |s| run_suite(s, GcSelection::Greedy, &suite, None).overall_padding_ratio();
     let adapt = pad(Scheme::Adapt);
     assert!(adapt <= pad(Scheme::SepBit) + 0.01);
     assert!(adapt < pad(Scheme::Warcip));
@@ -51,9 +45,7 @@ fn adapt_padding_below_sepbit_and_multigroup() {
 #[test]
 fn multigroup_schemes_pad_more_than_sepgc() {
     let suite = mini_suite(SuiteKind::Ali);
-    let pad = |s| {
-        run_suite(s, GcSelection::Greedy, &suite, None).overall_padding_ratio()
-    };
+    let pad = |s| run_suite(s, GcSelection::Greedy, &suite, None).overall_padding_ratio();
     let sepgc = pad(Scheme::SepGc);
     assert!(pad(Scheme::Warcip) > sepgc);
     assert!(pad(Scheme::Dac) > sepgc);

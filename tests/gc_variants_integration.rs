@@ -6,12 +6,18 @@ use adapt_repro::lss::{GcSelection, Lss, LssConfig, VictimPolicy};
 use adapt_repro::placement::SepGc;
 use adapt_repro::sim::gc_sweep::{replay_with_victim, victim_family};
 use adapt_repro::sim::{ReplayConfig, Scheme};
+use adapt_repro::trace::arrival::ArrivalModel;
 use adapt_repro::trace::rng::mix64;
 use adapt_repro::trace::ycsb::{AccessDistribution, YcsbConfig};
-use adapt_repro::trace::arrival::ArrivalModel;
 
 fn cfg() -> LssConfig {
-    LssConfig { user_blocks: 4096, op_ratio: 0.9, gc_low_water: 8, gc_high_water: 10, ..Default::default() }
+    LssConfig {
+        user_blocks: 4096,
+        op_ratio: 0.9,
+        gc_low_water: 8,
+        gc_high_water: 10,
+        ..Default::default()
+    }
 }
 
 fn workload(e: &mut Lss<impl adapt_repro::lss::PlacementPolicy, CountingArray>) {
@@ -89,10 +95,7 @@ fn adapt_runs_under_every_victim_policy_via_sweep_api() {
     }
     // All finite and sane; Random is never the best.
     assert!(was.iter().all(|(_, wa)| *wa >= 1.0 && *wa < 30.0), "{was:?}");
-    let best = was
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .unwrap();
+    let best = was.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
     assert_ne!(best.0, "Random", "{was:?}");
 }
 

@@ -176,7 +176,12 @@ proptest! {
 /// Build a sealed segment with `valid` of `cap` blocks valid, created at
 /// byte-clock `created` (mirrors the engine: sealed segments are always
 /// fully written; validity decays afterwards).
-fn sealed_segment(id: u32, cap: u32, valid: u32, created: u64) -> adapt_repro::lss::segment::Segment {
+fn sealed_segment(
+    id: u32,
+    cap: u32,
+    valid: u32,
+    created: u64,
+) -> adapt_repro::lss::segment::Segment {
     use adapt_repro::lss::types::Slot;
     let mut s = adapt_repro::lss::segment::Segment::new(id, cap);
     s.open(0, created, 0);

@@ -33,12 +33,8 @@ fn invariants_hold_after_real_workload_for_every_policy() {
     let cfg = small_cfg();
     macro_rules! check {
         ($policy:expr) => {{
-            let mut e = Lss::new(
-                cfg,
-                GcSelection::Greedy,
-                $policy,
-                CountingArray::new(cfg.array_config()),
-            );
+            let mut e =
+                Lss::new(cfg, GcSelection::Greedy, $policy, CountingArray::new(cfg.array_config()));
             for rec in ycsb(60_000, TrafficIntensity::Medium).generator() {
                 e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
             }
@@ -77,10 +73,7 @@ fn engine_and_array_accounting_agree() {
     assert_eq!(m.pad_bytes, stats.pad_bytes());
     assert_eq!(m.chunks_flushed, stats.full_chunks + stats.padded_chunks);
     // One parity chunk per completed stripe.
-    assert_eq!(
-        stats.parity_bytes(),
-        stats.stripes_completed * cfg.chunk_bytes()
-    );
+    assert_eq!(stats.parity_bytes(), stats.stripes_completed * cfg.chunk_bytes());
 }
 
 /// Group-level traffic must sum to the engine totals.
@@ -149,12 +142,8 @@ fn inmemory_array_matches_counting_array() {
 #[test]
 fn device_failure_and_rebuild_after_workload() {
     let cfg = small_cfg();
-    let mut e = Lss::new(
-        cfg,
-        GcSelection::Greedy,
-        SepGc::new(),
-        InMemoryArray::new(cfg.array_config()),
-    );
+    let mut e =
+        Lss::new(cfg, GcSelection::Greedy, SepGc::new(), InMemoryArray::new(cfg.array_config()));
     for rec in ycsb(10_000, TrafficIntensity::Heavy).generator() {
         e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
     }
@@ -207,11 +196,6 @@ fn replay_is_deterministic_end_to_end() {
 fn warmup_blocks_window() {
     let mut cfg = ReplayConfig::for_volume(8 * 1024, GcSelection::Greedy);
     cfg.warmup = Warmup::Blocks(8 * 1024);
-    let r = replay_volume(
-        Scheme::SepGc,
-        cfg,
-        0,
-        ycsb(5_000, TrafficIntensity::Heavy).generator(),
-    );
+    let r = replay_volume(Scheme::SepGc, cfg, 0, ycsb(5_000, TrafficIntensity::Heavy).generator());
     assert_eq!(r.metrics.host_write_bytes, 5_000 * 4096);
 }

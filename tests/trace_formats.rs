@@ -18,8 +18,7 @@ fn exported_suite_replays_identically() {
     // Export to the Ali dialect and parse back.
     let mut buf = Vec::new();
     write_ali_format(&mut buf, "vol0", records.iter().copied()).unwrap();
-    let parsed: Vec<_> =
-        TraceParser::new(Cursor::new(buf), TraceFormat::Ali).collect();
+    let parsed: Vec<_> = TraceParser::new(Cursor::new(buf), TraceFormat::Ali).collect();
     assert_eq!(parsed, records);
 
     // Both streams drive the simulator to identical results.
@@ -60,8 +59,7 @@ fn device_filter_isolates_one_volume() {
         data.push_str(&format!("volA,W,{},4096,{}\n", i * 4096, i * 10));
         data.push_str(&format!("volB,W,{},4096,{}\n", i * 4096, i * 10 + 5));
     }
-    let mut p = TraceParser::new(Cursor::new(data), TraceFormat::Ali)
-        .with_device_filter("volB");
+    let mut p = TraceParser::new(Cursor::new(data), TraceFormat::Ali).with_device_filter("volB");
     let records: Vec<_> = p.by_ref().collect();
     assert_eq!(records.len(), 50);
     assert_eq!(p.stats.skipped, 50);
