@@ -1,5 +1,6 @@
 //! Per-device and array-wide traffic accounting.
 
+use crate::fault::ScrubStep;
 use serde::{Deserialize, Serialize};
 
 /// Byte counters for one member device.
@@ -44,6 +45,32 @@ pub struct ArrayStats {
     pub rebuild_write_bytes: u64,
     /// Chunks restored onto the replacement device.
     pub rebuilt_chunks: u64,
+    /// Chunks whose checksum the scrub driver verified.
+    #[serde(default)]
+    pub chunks_scrubbed: u64,
+    /// Bytes read off devices by the scrub driver.
+    #[serde(default)]
+    pub scrub_read_bytes: u64,
+    /// Checksum mismatches detected (on read or by scrub).
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Mismatched chunks repaired from survivors and rewritten in place.
+    #[serde(default)]
+    pub corruptions_healed: u64,
+    /// Mismatched chunks that could not be repaired.
+    #[serde(default)]
+    pub corruptions_unrecoverable: u64,
+    /// Bytes written back by heal rewrites (mismatch + latent repairs).
+    #[serde(default)]
+    pub heal_write_bytes: u64,
+    /// Sum over detections of ops elapsed between corruption injection
+    /// and detection. Divide by `corruptions_detected` for the mean.
+    #[serde(default)]
+    pub detection_latency_ops: u64,
+    /// Latent sector errors repaired by the scrub driver (rewritten
+    /// before they could pair with a device failure).
+    #[serde(default)]
+    pub scrub_latent_repaired: u64,
 }
 
 impl ArrayStats {
@@ -84,6 +111,27 @@ impl ArrayStats {
     /// Total bytes moved by the rebuild sweep (reads + writes).
     pub fn rebuild_bytes(&self) -> u64 {
         self.rebuild_read_bytes + self.rebuild_write_bytes
+    }
+
+    /// Fold one scrub step's deltas into the cumulative totals.
+    pub fn fold_scrub_step(&mut self, step: &ScrubStep) {
+        self.chunks_scrubbed += step.chunks_scrubbed;
+        self.scrub_read_bytes += step.read_bytes;
+        self.corruptions_detected += step.detected;
+        self.corruptions_healed += step.healed;
+        self.corruptions_unrecoverable += step.unrecoverable;
+        self.heal_write_bytes += step.heal_write_bytes;
+        self.detection_latency_ops += step.detection_latency_ops;
+        self.scrub_latent_repaired += step.latent_repaired;
+    }
+
+    /// Mean ops between corruption injection and detection (0 when
+    /// nothing was detected).
+    pub fn mean_detection_latency_ops(&self) -> f64 {
+        if self.corruptions_detected == 0 {
+            return 0.0;
+        }
+        self.detection_latency_ops as f64 / self.corruptions_detected as f64
     }
 
     /// Coefficient of variation of per-device total bytes (0 = perfectly
@@ -142,5 +190,14 @@ mod tests {
         let s = ArrayStats::new(0);
         assert_eq!(s.pad_fraction(), 0.0);
         assert_eq!(s.device_imbalance(), 0.0);
+        assert_eq!(s.mean_detection_latency_ops(), 0.0);
+    }
+
+    #[test]
+    fn detection_latency_mean() {
+        let mut s = ArrayStats::new(1);
+        s.corruptions_detected = 4;
+        s.detection_latency_ops = 100;
+        assert!((s.mean_detection_latency_ops() - 25.0).abs() < 1e-12);
     }
 }

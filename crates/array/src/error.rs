@@ -25,6 +25,9 @@ pub enum ArrayError {
     /// A latent sector error: the chunk's media is unreadable on its home
     /// device until rewritten, but survivors can reconstruct it.
     LatentSector { loc: ChunkLocation },
+    /// The chunk failed its checksum and the stripe survivors could not
+    /// produce a copy that verifies (a second fault hides the truth).
+    ChecksumMismatch { loc: ChunkLocation },
     /// A device's FTL ran out of free erase blocks.
     OutOfSpace { device: usize },
     /// A logical page number beyond the device's capacity.
@@ -64,6 +67,11 @@ impl fmt::Display for ArrayError {
             ArrayError::LatentSector { loc } => {
                 write!(f, "latent sector error at (stripe {}, device {})", loc.stripe, loc.device)
             }
+            ArrayError::ChecksumMismatch { loc } => write!(
+                f,
+                "checksum mismatch at (stripe {}, device {}) and survivors cannot repair it",
+                loc.stripe, loc.device
+            ),
             ArrayError::OutOfSpace { device } => {
                 write!(f, "device {device}: FTL free pool exhausted")
             }
@@ -116,5 +124,17 @@ mod tests {
         let loc = ChunkLocation { stripe: 0, device: 0, column: 0 };
         assert!(ArrayError::TransientRead { loc }.is_transient());
         assert!(!ArrayError::DoubleFault { loc }.is_transient());
+        assert!(
+            !ArrayError::ChecksumMismatch { loc }.is_transient(),
+            "retrying re-reads the same corrupted media"
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_display_names_location() {
+        let loc = ChunkLocation { stripe: 9, device: 1, column: 0 };
+        let msg = ArrayError::ChecksumMismatch { loc }.to_string();
+        assert!(msg.contains("checksum"), "{msg}");
+        assert!(msg.contains("stripe 9"), "{msg}");
     }
 }

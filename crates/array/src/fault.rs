@@ -37,6 +37,9 @@ pub enum ReadMode {
     Normal,
     /// Reconstructed by XOR-ing the stripe's survivors.
     Reconstructed,
+    /// The direct read failed its checksum; the chunk was rebuilt from
+    /// stripe survivors, re-verified, and rewritten in place.
+    Healed,
 }
 
 /// Result of a successful chunk read.
@@ -59,6 +62,12 @@ impl ReadOutcome {
     pub fn reconstructed(chunk_bytes: u64, survivors: usize) -> Self {
         Self { mode: ReadMode::Reconstructed, device_bytes_read: chunk_bytes * survivors as u64 }
     }
+
+    /// A checksum-mismatch repair: the bad chunk plus `survivors` chunks
+    /// were read to rebuild and re-verify it.
+    pub fn healed(chunk_bytes: u64, survivors: usize) -> Self {
+        Self { mode: ReadMode::Healed, device_bytes_read: chunk_bytes * (survivors as u64 + 1) }
+    }
 }
 
 /// Progress of an incremental rebuild sweep.
@@ -70,6 +79,56 @@ pub struct RebuildProgress {
     pub stripes_total: u64,
     /// Whether the sweep has finished and the array is healthy again.
     pub complete: bool,
+}
+
+/// Progress of an incremental scrub pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubProgress {
+    /// Stripes verified so far in the current pass.
+    pub stripes_done: u64,
+    /// Stripes the pass will visit in total.
+    pub stripes_total: u64,
+    /// Whether the current pass has finished.
+    pub complete: bool,
+}
+
+/// What one [`crate::ArraySink::scrub_step`] call accomplished — the
+/// per-step deltas the engine folds into its own metrics windows (the
+/// array's [`crate::ArrayStats`] carry the cumulative totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubStep {
+    /// Stripes whose chunks were verified this step.
+    pub stripes_scrubbed: u64,
+    /// Chunks (data + parity) whose checksums were verified this step.
+    pub chunks_scrubbed: u64,
+    /// Bytes read off devices to verify them.
+    pub read_bytes: u64,
+    /// Checksum mismatches (silent corruptions) detected this step.
+    pub detected: u64,
+    /// Mismatched chunks repaired from stripe survivors and rewritten.
+    pub healed: u64,
+    /// Mismatched chunks that could not be repaired (a second fault in
+    /// the same stripe).
+    pub unrecoverable: u64,
+    /// Latent sector errors repaired by rewriting the chunk.
+    pub latent_repaired: u64,
+    /// Bytes written back by repairs (healed + latent rewrites).
+    pub heal_write_bytes: u64,
+    /// Sum over detections of ops elapsed since each corruption was
+    /// injected (detection latency, op clock).
+    pub detection_latency_ops: u64,
+    /// The step did nothing because a rebuild is in flight (rebuild I/O
+    /// has priority; scrub resumes after).
+    pub paused_for_rebuild: bool,
+    /// The pass covered its last stripe during this step.
+    pub pass_complete: bool,
+}
+
+impl ScrubStep {
+    /// A step that declined to run because the array is rebuilding.
+    pub fn paused() -> Self {
+        Self { paused_for_rebuild: true, ..Default::default() }
+    }
 }
 
 /// Deterministic, seedable fault schedule.
@@ -88,6 +147,12 @@ pub struct FaultPlan {
     transient_read_prob: f64,
     /// (device, stripe) pairs whose media is unreadable until rewritten.
     latent_sectors: BTreeSet<(usize, u64)>,
+    /// Scheduled silent corruptions: (op, device, stripe) — the chunk at
+    /// (device, stripe) silently flips bits once `op` operations have
+    /// been observed. Unlike latent sectors, the device still serves the
+    /// chunk; only a checksum can tell.
+    #[serde(default)]
+    corrupt_at_op: Vec<(u64, usize, u64)>,
     /// Operations observed so far.
     ops: u64,
     /// Deterministic RNG state (derived from `seed`).
@@ -125,6 +190,39 @@ impl FaultPlan {
     /// after the data was written).
     pub fn add_latent_sector(&mut self, device: usize, stripe: u64) {
         self.latent_sectors.insert((device, stripe));
+    }
+
+    /// Schedule a silent corruption of the chunk at (device, stripe)
+    /// once `op` operations have been observed.
+    pub fn with_corruption_at(mut self, op: u64, device: usize, stripe: u64) -> Self {
+        self.corrupt_at_op.push((op, device, stripe));
+        self
+    }
+
+    /// Schedule a silent corruption on an existing plan.
+    pub fn add_corruption_at(&mut self, op: u64, device: usize, stripe: u64) {
+        self.corrupt_at_op.push((op, device, stripe));
+    }
+
+    /// Drain corruption events whose scheduled op has been reached.
+    /// Arrays call this right after [`Self::record_op`] and flip bytes in
+    /// (or mark as corrupted) each returned (device, stripe).
+    pub fn take_due_corruptions(&mut self) -> Vec<(usize, u64)> {
+        let mut due = Vec::new();
+        self.corrupt_at_op.retain(|&(op, device, stripe)| {
+            if op <= self.ops {
+                due.push((device, stripe));
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Corruption events not yet injected.
+    pub fn pending_corruptions(&self) -> usize {
+        self.corrupt_at_op.len()
     }
 
     /// The seed this plan was built with.
@@ -238,5 +336,31 @@ mod tests {
         let recon = ReadOutcome::reconstructed(65536, 3);
         assert_eq!(recon.device_bytes_read, 3 * 65536);
         assert_eq!(recon.mode, ReadMode::Reconstructed);
+        let healed = ReadOutcome::healed(65536, 3);
+        assert_eq!(healed.device_bytes_read, 4 * 65536, "bad chunk + survivors");
+        assert_eq!(healed.mode, ReadMode::Healed);
+    }
+
+    #[test]
+    fn corruption_fires_at_scheduled_op() {
+        let mut p = FaultPlan::new(5).with_corruption_at(2, 1, 10).with_corruption_at(4, 3, 20);
+        assert_eq!(p.pending_corruptions(), 2);
+        p.record_op();
+        assert!(p.take_due_corruptions().is_empty());
+        p.record_op();
+        assert_eq!(p.take_due_corruptions(), vec![(1, 10)]);
+        assert_eq!(p.pending_corruptions(), 1);
+        p.record_op();
+        p.record_op();
+        assert_eq!(p.take_due_corruptions(), vec![(3, 20)]);
+        assert!(p.take_due_corruptions().is_empty(), "each event fires once");
+    }
+
+    #[test]
+    fn scrub_step_paused_marker() {
+        let step = ScrubStep::paused();
+        assert!(step.paused_for_rebuild);
+        assert_eq!(step.stripes_scrubbed, 0);
+        assert!(!step.pass_complete);
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod config;
 pub mod counters;
+pub mod crc;
 pub mod error;
 pub mod fault;
 pub mod ftl;
@@ -35,8 +36,11 @@ pub mod store;
 
 pub use config::ArrayConfig;
 pub use counters::{ArrayStats, DeviceCounters};
+pub use crc::crc32c;
 pub use error::{ArrayError, ParityError};
-pub use fault::{ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress};
+pub use fault::{
+    ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress, ScrubStep,
+};
 pub use ftl::{FtlConfig, FtlDevice, FtlStats};
 pub use ftl_sink::FtlArray;
 pub use layout::{ChunkLocation, Raid5Layout};

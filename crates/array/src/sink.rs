@@ -4,9 +4,12 @@
 use crate::config::ArrayConfig;
 use crate::counters::ArrayStats;
 use crate::error::ArrayError;
-use crate::fault::{ArrayHealth, FaultPlan, ReadOutcome, RebuildProgress};
+use crate::fault::{
+    ArrayHealth, FaultPlan, ReadOutcome, RebuildProgress, ScrubProgress, ScrubStep,
+};
 use crate::layout::{ChunkLocation, Raid5Layout};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Category of bytes inside a flushed chunk, for accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -88,6 +91,14 @@ pub trait ArraySink {
     fn read_chunk_at(&mut self, loc: ChunkLocation) -> Result<ReadOutcome, ArrayError> {
         let _ = loc;
         Ok(ReadOutcome::normal(self.config().chunk_bytes))
+    }
+
+    /// Advance the background scrub by at most `max_stripes` stripes.
+    /// Sinks without integrity modeling return `None` (no scrub to run);
+    /// the engine pumps this once per host op when scrubbing is enabled.
+    fn scrub_step(&mut self, max_stripes: usize) -> Option<ScrubStep> {
+        let _ = max_stripes;
+        None
     }
 }
 
@@ -190,6 +201,15 @@ pub struct FaultyArray {
     rebuild_cursor: u64,
     rebuild_total: u64,
     rebuilding: bool,
+    /// Silently corrupted chunks, (device, stripe) → op at injection.
+    /// Modeled like latent sectors but invisible without a checksum: reads
+    /// still "succeed" — only verify-on-read or a scrub pass notices.
+    corrupted: BTreeMap<(usize, u64), u64>,
+    /// Chunks already reported unrecoverable (counted once, not per read).
+    known_bad: BTreeSet<(usize, u64)>,
+    /// Scrub sweep state: next stripe to verify and the pass's extent.
+    scrub_cursor: u64,
+    scrub_total: u64,
 }
 
 impl FaultyArray {
@@ -202,6 +222,10 @@ impl FaultyArray {
             rebuild_cursor: 0,
             rebuild_total: 0,
             rebuilding: false,
+            corrupted: BTreeMap::new(),
+            known_bad: BTreeSet::new(),
+            scrub_cursor: 0,
+            scrub_total: 0,
         }
     }
 
@@ -302,12 +326,124 @@ impl FaultyArray {
             }
         }
     }
+
+    fn apply_due_corruptions(&mut self) {
+        for (d, s) in self.plan.take_due_corruptions() {
+            self.inject_corruption(d, s);
+        }
+    }
+
+    /// Mark the chunk at (device, stripe) silently corrupt. Modeled — no
+    /// bytes are stored, so corruption is a flag plus the injection op for
+    /// detection-latency accounting. Only chunks in closed stripes can
+    /// corrupt meaningfully; returns false otherwise.
+    pub fn inject_corruption(&mut self, device: usize, stripe: u64) -> bool {
+        if device >= self.inner.config().num_devices || !self.stripe_complete(stripe) {
+            return false;
+        }
+        self.corrupted.insert((device, stripe), self.plan.ops());
+        true
+    }
+
+    /// Injected corruptions not yet detected.
+    pub fn outstanding_corruptions(&self) -> usize {
+        self.corrupted.len()
+    }
+
+    /// Chunks reported unrecoverable so far.
+    pub fn unrecoverable_chunks(&self) -> usize {
+        self.known_bad.len()
+    }
+
+    /// Is there a second fault in `stripe` besides the chunk on `device`
+    /// (failed member, latent sector, or another corrupt chunk)? If so,
+    /// survivors cannot honestly repair that chunk.
+    fn stripe_has_second_fault(&self, device: usize, stripe: u64) -> bool {
+        let n = self.inner.config().num_devices;
+        (0..n).filter(|&d| d != device).any(|d| {
+            self.failed.contains(&d)
+                || self.plan.is_latent(d, stripe)
+                || self.corrupted.contains_key(&(d, stripe))
+                || self.known_bad.contains(&(d, stripe))
+        })
+    }
+
+    /// Advance the background scrub by at most `max_stripes` stripes,
+    /// verifying every chunk (data + parity) of each visited stripe
+    /// against its checksum, repairing corrupt chunks from survivors, and
+    /// rewriting latent sectors before they can pair with a device failure
+    /// into a double fault. Pauses while a rebuild is in flight; restarts
+    /// a fresh pass after the previous one completes.
+    pub fn scrub_step(&mut self, max_stripes: u64) -> ScrubStep {
+        if self.rebuilding {
+            return ScrubStep::paused();
+        }
+        if self.scrub_cursor >= self.scrub_total {
+            self.scrub_total = self.inner.stats().stripes_completed;
+            self.scrub_cursor = 0;
+            if self.scrub_total == 0 {
+                return ScrubStep::default();
+            }
+        }
+        let chunk = self.inner.config().chunk_bytes;
+        let n = self.inner.config().num_devices;
+        let survivors = (n - 1) as u64;
+        let ops = self.plan.ops();
+        let mut step = ScrubStep::default();
+        let end = self.scrub_cursor.saturating_add(max_stripes).min(self.scrub_total);
+        for stripe in self.scrub_cursor..end {
+            step.stripes_scrubbed += 1;
+            for device in 0..n {
+                if self.failed.contains(&device) || self.known_bad.contains(&(device, stripe)) {
+                    continue;
+                }
+                if self.plan.is_latent(device, stripe) {
+                    if !self.stripe_has_second_fault(device, stripe) {
+                        self.plan.clear_latent(device, stripe);
+                        step.latent_repaired += 1;
+                        step.read_bytes += survivors * chunk;
+                        step.heal_write_bytes += chunk;
+                    }
+                    continue;
+                }
+                step.chunks_scrubbed += 1;
+                step.read_bytes += chunk;
+                let Some(at) = self.corrupted.remove(&(device, stripe)) else {
+                    continue;
+                };
+                step.detected += 1;
+                step.detection_latency_ops += ops.saturating_sub(at);
+                if self.stripe_has_second_fault(device, stripe) {
+                    step.unrecoverable += 1;
+                    self.known_bad.insert((device, stripe));
+                } else {
+                    step.healed += 1;
+                    step.read_bytes += survivors * chunk;
+                    step.heal_write_bytes += chunk;
+                }
+            }
+        }
+        self.scrub_cursor = end;
+        step.pass_complete = self.scrub_total > 0 && self.scrub_cursor >= self.scrub_total;
+        self.inner.stats_mut().fold_scrub_step(&step);
+        step
+    }
+
+    /// Current scrub-pass progress.
+    pub fn scrub_progress(&self) -> ScrubProgress {
+        ScrubProgress {
+            stripes_done: self.scrub_cursor,
+            stripes_total: self.scrub_total,
+            complete: self.scrub_cursor >= self.scrub_total,
+        }
+    }
 }
 
 impl ArraySink for FaultyArray {
     fn write_chunk(&mut self, flush: ChunkFlush) -> ChunkLocation {
         let due = self.plan.record_op();
         self.apply_due_failures(due);
+        self.apply_due_corruptions();
         // Degraded writes still advance the layout: the chunk destined to
         // the failed member is lost until rebuilt, but parity (written to
         // a survivor) keeps it reconstructable, so accounting is
@@ -342,6 +478,7 @@ impl ArraySink for FaultyArray {
     fn read_chunk_at(&mut self, loc: ChunkLocation) -> Result<ReadOutcome, ArrayError> {
         let due = self.plan.record_op();
         self.apply_due_failures(due);
+        self.apply_due_corruptions();
         let chunk = self.config().chunk_bytes;
         let survivors = self.config().num_devices - 1;
 
@@ -367,12 +504,60 @@ impl ArraySink for FaultyArray {
             if !self.stripe_complete(loc.stripe) {
                 return Err(ArrayError::Unreconstructable { loc });
             }
+            // Verify the survivors feeding the reconstruction: a silently
+            // corrupt survivor would XOR garbage into the answer, and it
+            // cannot be repaired without the missing member.
+            let n = self.inner.config().num_devices;
+            if let Some(bad) =
+                (0..n).find(|&d| d != loc.device && self.known_bad.contains(&(d, loc.stripe)))
+            {
+                let loc = ChunkLocation { stripe: loc.stripe, device: bad, column: 0 };
+                return Err(ArrayError::ChecksumMismatch { loc });
+            }
+            if let Some(bad) =
+                (0..n).find(|&d| d != loc.device && self.corrupted.contains_key(&(d, loc.stripe)))
+            {
+                let at = self.corrupted.remove(&(bad, loc.stripe)).unwrap();
+                self.known_bad.insert((bad, loc.stripe));
+                let ops = self.plan.ops();
+                let stats = self.inner.stats_mut();
+                stats.corruptions_detected += 1;
+                stats.detection_latency_ops += ops.saturating_sub(at);
+                stats.corruptions_unrecoverable += 1;
+                let loc = ChunkLocation { stripe: loc.stripe, device: bad, column: 0 };
+                return Err(ArrayError::ChecksumMismatch { loc });
+            }
             let stats = self.inner.stats_mut();
             stats.degraded_reads += 1;
             stats.reconstructed_bytes += chunk * survivors as u64;
             return Ok(ReadOutcome::reconstructed(chunk, survivors));
         }
+        // Direct read: verify against the stored checksum.
+        if self.known_bad.contains(&(loc.device, loc.stripe)) {
+            return Err(ArrayError::ChecksumMismatch { loc });
+        }
+        if let Some(at) = self.corrupted.remove(&(loc.device, loc.stripe)) {
+            let ops = self.plan.ops();
+            let second_fault = self.stripe_has_second_fault(loc.device, loc.stripe);
+            let stats = self.inner.stats_mut();
+            stats.corruptions_detected += 1;
+            stats.detection_latency_ops += ops.saturating_sub(at);
+            if second_fault {
+                stats.corruptions_unrecoverable += 1;
+                self.known_bad.insert((loc.device, loc.stripe));
+                return Err(ArrayError::ChecksumMismatch { loc });
+            }
+            // Parity-guided repair: reconstruct from survivors, re-verify,
+            // rewrite the healed chunk in place.
+            stats.corruptions_healed += 1;
+            stats.heal_write_bytes += chunk;
+            return Ok(ReadOutcome::healed(chunk, survivors));
+        }
         Ok(ReadOutcome::normal(chunk))
+    }
+
+    fn scrub_step(&mut self, max_stripes: usize) -> Option<ScrubStep> {
+        Some(FaultyArray::scrub_step(self, max_stripes as u64))
     }
 }
 
@@ -584,5 +769,143 @@ mod tests {
         let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
         assert_eq!(a.start_rebuild(), Err(ArrayError::NotDegraded));
         assert_eq!(a.rebuild_step(1), Err(ArrayError::NotDegraded));
+    }
+
+    #[test]
+    fn corrupt_read_is_detected_and_healed() {
+        use crate::fault::ReadMode;
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let locs: Vec<_> = (0..3).map(|_| a.write_chunk(full_chunk(0))).collect();
+        assert!(a.inject_corruption(locs[0].device, locs[0].stripe));
+        let out = a.read_chunk_at(locs[0]).unwrap();
+        assert_eq!(out.mode, ReadMode::Healed);
+        assert_eq!(out.device_bytes_read, 4 * 65536, "bad chunk + 3 survivors");
+        assert_eq!(a.stats().corruptions_detected, 1);
+        assert_eq!(a.stats().corruptions_healed, 1);
+        assert_eq!(a.stats().heal_write_bytes, 65536);
+        assert_eq!(a.outstanding_corruptions(), 0);
+        // Healed in place: the next read is clean.
+        assert_eq!(a.read_chunk_at(locs[0]).unwrap().mode, ReadMode::Normal);
+    }
+
+    #[test]
+    fn corruption_in_open_stripe_is_rejected() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let loc = a.write_chunk(full_chunk(0));
+        assert!(!a.inject_corruption(loc.device, loc.stripe), "stripe not closed yet");
+    }
+
+    #[test]
+    fn corruption_plus_failed_device_is_unrecoverable() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let locs: Vec<_> = (0..3).map(|_| a.write_chunk(full_chunk(0))).collect();
+        a.inject_corruption(locs[0].device, locs[0].stripe);
+        let other = locs.iter().find(|l| l.device != locs[0].device).unwrap();
+        a.fail_device(other.device);
+        // Direct read of the corrupt chunk: repair needs the failed member.
+        let err = a.read_chunk_at(locs[0]).unwrap_err();
+        assert!(matches!(err, ArrayError::ChecksumMismatch { .. }), "{err}");
+        assert_eq!(a.stats().corruptions_unrecoverable, 1);
+        assert!(!err.is_transient());
+        // The verdict is sticky: re-reads fail without re-counting.
+        let err = a.read_chunk_at(locs[0]).unwrap_err();
+        assert!(matches!(err, ArrayError::ChecksumMismatch { .. }));
+        assert_eq!(a.stats().corruptions_detected, 1);
+    }
+
+    #[test]
+    fn degraded_read_detects_corrupt_survivor() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let locs: Vec<_> = (0..3).map(|_| a.write_chunk(full_chunk(0))).collect();
+        a.fail_device(locs[0].device);
+        a.inject_corruption(locs[1].device, locs[1].stripe);
+        let err = a.read_chunk_at(locs[0]).unwrap_err();
+        match err {
+            ArrayError::ChecksumMismatch { loc } => assert_eq!(loc.device, locs[1].device),
+            other => panic!("expected checksum mismatch, got {other}"),
+        }
+        assert_eq!(a.stats().corruptions_unrecoverable, 1);
+    }
+
+    #[test]
+    fn scrub_detects_heals_and_paces() {
+        // 9 chunks = 3 closed stripes; corrupt one data chunk and the
+        // parity of another stripe.
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        for _ in 0..9 {
+            a.write_chunk(full_chunk(0));
+        }
+        let pdev = a.inner.layout().parity_device(1);
+        assert!(a.inject_corruption(0, 0));
+        assert!(a.inject_corruption(pdev, 1));
+        let step = FaultyArray::scrub_step(&mut a, 1);
+        assert_eq!(step.stripes_scrubbed, 1);
+        assert_eq!(step.detected, 1);
+        assert_eq!(step.healed, 1);
+        assert!(!step.pass_complete);
+        let step = FaultyArray::scrub_step(&mut a, u64::MAX);
+        assert_eq!(step.stripes_scrubbed, 2);
+        assert_eq!(step.detected, 1, "parity corruption found");
+        assert!(step.pass_complete);
+        assert_eq!(a.stats().corruptions_detected, 2);
+        assert_eq!(a.stats().corruptions_healed, 2);
+        assert_eq!(a.stats().chunks_scrubbed, 12, "3 stripes × 4 chunks");
+        assert_eq!(a.outstanding_corruptions(), 0);
+        // A fresh pass starts automatically and finds nothing.
+        let step = FaultyArray::scrub_step(&mut a, u64::MAX);
+        assert_eq!(step.stripes_scrubbed, 3);
+        assert_eq!(step.detected, 0);
+    }
+
+    #[test]
+    fn scrub_pauses_for_rebuild() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        for _ in 0..6 {
+            a.write_chunk(full_chunk(0));
+        }
+        a.fail_device(1);
+        a.start_rebuild().unwrap();
+        let step = FaultyArray::scrub_step(&mut a, u64::MAX);
+        assert!(step.paused_for_rebuild);
+        a.rebuild_step(u64::MAX).unwrap();
+        let step = FaultyArray::scrub_step(&mut a, u64::MAX);
+        assert!(!step.paused_for_rebuild);
+        assert!(step.pass_complete);
+    }
+
+    #[test]
+    fn scrub_repairs_latent_before_double_fault() {
+        let mut a = FaultyArray::new(ArrayConfig::default(), FaultPlan::new(0));
+        let locs: Vec<_> = (0..3).map(|_| a.write_chunk(full_chunk(0))).collect();
+        a.plan_mut().add_latent_sector(locs[0].device, locs[0].stripe);
+        let step = FaultyArray::scrub_step(&mut a, u64::MAX);
+        assert_eq!(step.latent_repaired, 1);
+        assert_eq!(a.plan().latent_count(), 0);
+        assert_eq!(a.stats().scrub_latent_repaired, 1);
+        // Device failure after the repair: single fault, read succeeds.
+        a.fail_device(locs[1].device);
+        assert!(a.read_chunk_at(locs[1]).is_ok());
+    }
+
+    #[test]
+    fn scheduled_corruption_latency_counted_by_scrub() {
+        let plan = FaultPlan::new(1).with_corruption_at(6, 0, 0);
+        let mut a = FaultyArray::new(ArrayConfig::default(), plan);
+        for _ in 0..9 {
+            a.write_chunk(full_chunk(0)); // corruption fires on op 6
+        }
+        assert_eq!(a.outstanding_corruptions(), 1);
+        let step = FaultyArray::scrub_step(&mut a, u64::MAX);
+        assert_eq!(step.detected, 1);
+        // Injected at op 6, scrubbed after op 9.
+        assert_eq!(step.detection_latency_ops, 3);
+        assert_eq!(a.stats().mean_detection_latency_ops(), 3.0);
+    }
+
+    #[test]
+    fn default_sink_has_no_scrub() {
+        let mut a = CountingArray::new(ArrayConfig::default());
+        a.write_chunk(full_chunk(0));
+        assert!(ArraySink::scrub_step(&mut a, 8).is_none());
     }
 }

@@ -7,13 +7,16 @@
 
 use crate::config::ArrayConfig;
 use crate::counters::ArrayStats;
+use crate::crc;
 use crate::error::ArrayError;
-use crate::fault::{ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress};
+use crate::fault::{
+    ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress, ScrubStep,
+};
 use crate::layout::{ChunkLocation, Raid5Layout};
 use crate::parity;
 use crate::sink::{ArraySink, ChunkFlush};
 use bytes::Bytes;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// A byte-level RAID-5 array held in memory.
 #[derive(Debug)]
@@ -35,6 +38,18 @@ pub struct InMemoryArray {
     rebuild_target: Option<usize>,
     rebuild_stripes: Vec<u64>,
     rebuild_cursor: usize,
+    /// Device id → (stripe → CRC32C recorded when the chunk was written).
+    /// Survives device failure and rebuild: it defines what the chunk's
+    /// contents *should* be, independent of the media holding them.
+    checksums: Vec<HashMap<u64, u32>>,
+    /// (device, stripe) → op counter at injection, for detection latency.
+    corruption_injected_at: HashMap<(usize, u64), u64>,
+    /// Chunks already reported unrecoverable (so a scrub pass does not
+    /// re-count them every revisit).
+    known_bad: BTreeSet<(usize, u64)>,
+    /// Sorted stripe worklist of the current scrub pass.
+    scrub_worklist: Vec<u64>,
+    scrub_cursor: usize,
 }
 
 impl InMemoryArray {
@@ -57,6 +72,11 @@ impl InMemoryArray {
             rebuild_target: None,
             rebuild_stripes: Vec::new(),
             rebuild_cursor: 0,
+            checksums: vec![HashMap::new(); cfg.num_devices],
+            corruption_injected_at: HashMap::new(),
+            known_bad: BTreeSet::new(),
+            scrub_worklist: Vec::new(),
+            scrub_cursor: 0,
         }
     }
 
@@ -81,11 +101,17 @@ impl InMemoryArray {
         for d in self.plan.record_op() {
             self.failed[d] = true;
         }
+        for (d, s) in self.plan.take_due_corruptions() {
+            self.inject_corruption(d, s);
+        }
         let loc = self.layout.locate(self.next_chunk_seq);
         self.next_chunk_seq += 1;
 
         // A rewrite refreshes the chunk's media, clearing any latent error.
         self.plan.clear_latent(loc.device, loc.stripe);
+        self.checksums[loc.device].insert(loc.stripe, crc::crc32c(&data));
+        self.corruption_injected_at.remove(&(loc.device, loc.stripe));
+        self.known_bad.remove(&(loc.device, loc.stripe));
         self.devices[loc.device].insert(loc.stripe, data.clone());
         let dev = &mut self.stats.devices[loc.device];
         dev.data_bytes += flush.payload_bytes();
@@ -103,6 +129,9 @@ impl InMemoryArray {
             let parity_chunk = Bytes::from(parity::compute_parity(&refs));
             let pdev = self.layout.parity_device(loc.stripe);
             self.plan.clear_latent(pdev, loc.stripe);
+            self.checksums[pdev].insert(loc.stripe, crc::crc32c(&parity_chunk));
+            self.corruption_injected_at.remove(&(pdev, loc.stripe));
+            self.known_bad.remove(&(pdev, loc.stripe));
             self.devices[pdev].insert(loc.stripe, parity_chunk);
             let p = &mut self.stats.devices[pdev];
             p.parity_bytes += cfg.chunk_bytes;
@@ -136,26 +165,53 @@ impl InMemoryArray {
         Some(Bytes::from(parity::reconstruct(&survivors)))
     }
 
-    /// Fallible read with fault injection and degraded-read accounting:
-    /// consults the fault plan (transient errors, latent sectors, scheduled
-    /// failures), serves reads on failed devices by reconstruction, and
-    /// counts degraded traffic in [`ArrayStats`].
+    /// Fallible read with fault injection, verify-on-read, and
+    /// degraded-read accounting: consults the fault plan (transient
+    /// errors, latent sectors, scheduled failures and corruptions),
+    /// checks every returned chunk against its stored CRC32C, repairs
+    /// checksum mismatches in place from stripe survivors, serves reads
+    /// on failed devices by reconstruction, and counts the traffic in
+    /// [`ArrayStats`].
     pub fn try_read_chunk(&mut self, loc: ChunkLocation) -> Result<(Bytes, ReadMode), ArrayError> {
         for d in self.plan.record_op() {
             self.failed[d] = true;
         }
+        for (d, s) in self.plan.take_due_corruptions() {
+            self.inject_corruption(d, s);
+        }
         if self.plan.transient_read_fires() {
             return Err(ArrayError::TransientRead { loc });
         }
+        let chunk_bytes = self.layout.config().chunk_bytes;
         let direct_ok = !self.failed[loc.device] && !self.plan.is_latent(loc.device, loc.stripe);
         if direct_ok {
-            return self.devices[loc.device]
+            let bytes = self.devices[loc.device]
                 .get(&loc.stripe)
                 .cloned()
-                .map(|b| (b, ReadMode::Normal))
-                .ok_or(ArrayError::MissingChunk { loc });
+                .ok_or(ArrayError::MissingChunk { loc })?;
+            if self.verifies(loc.device, loc.stripe, &bytes) {
+                return Ok((bytes, ReadMode::Normal));
+            }
+            // Checksum mismatch: parity-guided repair from survivors.
+            self.note_detection(loc.device, loc.stripe);
+            return match self.try_repair(loc.device, loc.stripe) {
+                Some((healed, _survivors)) => {
+                    self.devices[loc.device].insert(loc.stripe, healed.clone());
+                    self.known_bad.remove(&(loc.device, loc.stripe));
+                    self.stats.corruptions_healed += 1;
+                    self.stats.heal_write_bytes += chunk_bytes;
+                    Ok((healed, ReadMode::Healed))
+                }
+                None => {
+                    self.stats.corruptions_unrecoverable += 1;
+                    self.known_bad.insert((loc.device, loc.stripe));
+                    Err(ArrayError::ChecksumMismatch { loc })
+                }
+            };
         }
-        // Degraded read: XOR the surviving members of the stripe.
+        // Degraded read: XOR the surviving members of the stripe, verifying
+        // each survivor — a corrupt survivor would reconstruct garbage.
+        let mut corrupt_survivor = None;
         let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.layout.config().num_devices - 1);
         for (dev, map) in self.devices.iter().enumerate() {
             if dev == loc.device {
@@ -165,18 +221,108 @@ impl InMemoryArray {
                 return Err(ArrayError::DoubleFault { loc });
             }
             match map.get(&loc.stripe) {
-                Some(b) => survivors.push(b.as_ref()),
+                Some(b) => {
+                    let stored = self.checksums[dev].get(&loc.stripe).copied();
+                    if stored.is_some_and(|sum| crc::crc32c(b) != sum) {
+                        corrupt_survivor =
+                            Some(ChunkLocation { stripe: loc.stripe, device: dev, column: 0 });
+                    }
+                    survivors.push(b.as_ref());
+                }
                 None => return Err(ArrayError::Unreconstructable { loc }),
             }
+        }
+        if let Some(bad) = corrupt_survivor {
+            // The survivor cannot be repaired without the failed member:
+            // a silent corruption paired with a device failure is fatal.
+            self.note_detection(bad.device, bad.stripe);
+            self.stats.corruptions_unrecoverable += 1;
+            self.known_bad.insert((bad.device, bad.stripe));
+            return Err(ArrayError::ChecksumMismatch { loc: bad });
         }
         let bytes = Bytes::from(
             parity::try_reconstruct(&survivors)
                 .map_err(|_| ArrayError::Unreconstructable { loc })?,
         );
-        let survivor_bytes = survivors.len() as u64 * self.layout.config().chunk_bytes;
+        let survivor_bytes = (self.layout.config().num_devices - 1) as u64 * chunk_bytes;
+        if !self.verifies(loc.device, loc.stripe, &bytes) {
+            self.note_detection(loc.device, loc.stripe);
+            self.stats.corruptions_unrecoverable += 1;
+            self.known_bad.insert((loc.device, loc.stripe));
+            return Err(ArrayError::ChecksumMismatch { loc });
+        }
         self.stats.degraded_reads += 1;
         self.stats.reconstructed_bytes += survivor_bytes;
         Ok((bytes, ReadMode::Reconstructed))
+    }
+
+    /// Does `bytes` match the CRC recorded for (device, stripe)? Chunks
+    /// written before checksumming existed (none in practice) pass.
+    fn verifies(&self, device: usize, stripe: u64, bytes: &[u8]) -> bool {
+        match self.checksums[device].get(&stripe) {
+            Some(&sum) => crc::crc32c(bytes) == sum,
+            None => true,
+        }
+    }
+
+    /// Account one detection: bump the counter and, if the corruption was
+    /// injected by the plan, record ops elapsed since injection.
+    fn note_detection(&mut self, device: usize, stripe: u64) {
+        self.stats.corruptions_detected += 1;
+        if let Some(at) = self.corruption_injected_at.remove(&(device, stripe)) {
+            self.stats.detection_latency_ops += self.plan.ops().saturating_sub(at);
+        }
+    }
+
+    /// Rebuild the chunk at (device, stripe) from its stripe survivors,
+    /// verifying every survivor's CRC and re-verifying the reconstruction
+    /// against the target's stored CRC. Returns the verified bytes and the
+    /// survivor count, or `None` when any second fault (failed/latent/
+    /// corrupt/missing survivor) makes honest repair impossible.
+    fn try_repair(&self, device: usize, stripe: u64) -> Option<(Bytes, usize)> {
+        let expect = *self.checksums[device].get(&stripe)?;
+        let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.devices.len() - 1);
+        for (dev, map) in self.devices.iter().enumerate() {
+            if dev == device {
+                continue;
+            }
+            if self.failed[dev] || self.plan.is_latent(dev, stripe) {
+                return None;
+            }
+            let b = map.get(&stripe)?;
+            if let Some(&sum) = self.checksums[dev].get(&stripe) {
+                if crc::crc32c(b) != sum {
+                    return None; // survivor is silently corrupt too
+                }
+            }
+            survivors.push(b.as_ref());
+        }
+        let rebuilt = parity::try_reconstruct(&survivors).ok()?;
+        if crc::crc32c(&rebuilt) != expect {
+            return None;
+        }
+        Some((Bytes::from(rebuilt), survivors.len()))
+    }
+
+    /// Silently flip bytes in the stored chunk at (device, stripe) — the
+    /// device keeps serving it as if nothing happened; only the checksum
+    /// can tell. Returns false if the chunk was never written.
+    pub fn inject_corruption(&mut self, device: usize, stripe: u64) -> bool {
+        let Some(bytes) = self.devices[device].get(&stripe) else {
+            return false;
+        };
+        let mut v = bytes.to_vec();
+        let mid = v.len() / 2;
+        v[0] ^= 0xA5;
+        v[mid] ^= 0x5A;
+        self.devices[device].insert(stripe, Bytes::from(v));
+        self.corruption_injected_at.insert((device, stripe), self.plan.ops());
+        true
+    }
+
+    /// Injected corruptions not yet detected.
+    pub fn outstanding_corruptions(&self) -> usize {
+        self.corruption_injected_at.len()
     }
 
     /// Mark a device failed (degraded mode).
@@ -254,8 +400,18 @@ impl InMemoryArray {
             }
             let rebuilt = Bytes::from(parity::reconstruct(&survivors));
             let survivor_bytes = survivors.len() as u64 * chunk_bytes;
+            if !self.verifies(device, stripe, &rebuilt) {
+                // A silently corrupt survivor poisoned the reconstruction;
+                // writing it would launder bad data into a "fresh" spare.
+                self.note_detection(device, stripe);
+                self.stats.corruptions_unrecoverable += 1;
+                self.known_bad.insert((device, stripe));
+                self.stats.rebuild_read_bytes += survivor_bytes;
+                continue;
+            }
             self.devices[device].insert(stripe, rebuilt);
             self.plan.clear_latent(device, stripe);
+            self.known_bad.remove(&(device, stripe));
             self.stats.rebuild_read_bytes += survivor_bytes;
             self.stats.rebuild_write_bytes += chunk_bytes;
             self.stats.rebuilt_chunks += 1;
@@ -295,6 +451,99 @@ impl InMemoryArray {
     pub fn chunks_written(&self) -> u64 {
         self.next_chunk_seq
     }
+
+    /// Advance the background scrub by at most `max_stripes` stripes.
+    ///
+    /// A pass walks every written stripe in order, re-reads each chunk
+    /// (data and parity alike) on live devices, and verifies it against
+    /// its stored CRC32C. Mismatches are repaired from stripe survivors
+    /// and rewritten in place; latent sector errors are rewritten before
+    /// they can pair with a device failure into a double fault. The scrub
+    /// yields to an in-flight rebuild and restarts a fresh pass after the
+    /// previous one completes, so it runs continuously when pumped.
+    pub fn scrub_step(&mut self, max_stripes: usize) -> ScrubStep {
+        if self.rebuild_target.is_some() {
+            return ScrubStep::paused();
+        }
+        if self.scrub_cursor >= self.scrub_worklist.len() {
+            let mut stripes: Vec<u64> =
+                self.devices.iter().flat_map(|m| m.keys().copied()).collect();
+            stripes.sort_unstable();
+            stripes.dedup();
+            self.scrub_worklist = stripes;
+            self.scrub_cursor = 0;
+        }
+        let chunk_bytes = self.layout.config().chunk_bytes;
+        let num_devices = self.devices.len();
+        let mut step = ScrubStep::default();
+        let end = self.scrub_cursor.saturating_add(max_stripes).min(self.scrub_worklist.len());
+        for i in self.scrub_cursor..end {
+            let stripe = self.scrub_worklist[i];
+            step.stripes_scrubbed += 1;
+            for device in 0..num_devices {
+                if self.failed[device]
+                    || self.known_bad.contains(&(device, stripe))
+                    || !self.devices[device].contains_key(&stripe)
+                {
+                    continue;
+                }
+                if self.plan.is_latent(device, stripe) {
+                    // Unreadable media with intact redundancy: rewrite the
+                    // chunk from survivors while we still can.
+                    if let Some((rebuilt, n)) = self.try_repair(device, stripe) {
+                        self.devices[device].insert(stripe, rebuilt);
+                        self.plan.clear_latent(device, stripe);
+                        step.latent_repaired += 1;
+                        step.read_bytes += n as u64 * chunk_bytes;
+                        step.heal_write_bytes += chunk_bytes;
+                    }
+                    continue;
+                }
+                step.chunks_scrubbed += 1;
+                step.read_bytes += chunk_bytes;
+                let clean = {
+                    let bytes = &self.devices[device][&stripe];
+                    match self.checksums[device].get(&stripe) {
+                        Some(&sum) => crc::crc32c(bytes) == sum,
+                        None => true,
+                    }
+                };
+                if clean {
+                    continue;
+                }
+                step.detected += 1;
+                if let Some(at) = self.corruption_injected_at.remove(&(device, stripe)) {
+                    step.detection_latency_ops += self.plan.ops().saturating_sub(at);
+                }
+                match self.try_repair(device, stripe) {
+                    Some((rebuilt, n)) => {
+                        self.devices[device].insert(stripe, rebuilt);
+                        step.healed += 1;
+                        step.read_bytes += n as u64 * chunk_bytes;
+                        step.heal_write_bytes += chunk_bytes;
+                    }
+                    None => {
+                        step.unrecoverable += 1;
+                        self.known_bad.insert((device, stripe));
+                    }
+                }
+            }
+        }
+        self.scrub_cursor = end;
+        step.pass_complete =
+            !self.scrub_worklist.is_empty() && self.scrub_cursor >= self.scrub_worklist.len();
+        self.stats.fold_scrub_step(&step);
+        step
+    }
+
+    /// Current scrub-pass progress.
+    pub fn scrub_progress(&self) -> ScrubProgress {
+        ScrubProgress {
+            stripes_done: self.scrub_cursor as u64,
+            stripes_total: self.scrub_worklist.len() as u64,
+            complete: self.scrub_cursor >= self.scrub_worklist.len(),
+        }
+    }
 }
 
 impl ArraySink for InMemoryArray {
@@ -323,7 +572,12 @@ impl ArraySink for InMemoryArray {
         self.try_read_chunk(loc).map(|(_, mode)| match mode {
             ReadMode::Normal => ReadOutcome::normal(chunk_bytes),
             ReadMode::Reconstructed => ReadOutcome::reconstructed(chunk_bytes, survivors),
+            ReadMode::Healed => ReadOutcome::healed(chunk_bytes, survivors),
         })
+    }
+
+    fn scrub_step(&mut self, max_stripes: usize) -> Option<ScrubStep> {
+        Some(InMemoryArray::scrub_step(self, max_stripes))
     }
 }
 
@@ -537,5 +791,142 @@ mod tests {
         let out = a.read_chunk_at(locs[2]).unwrap();
         assert_eq!(out.mode, ReadMode::Reconstructed);
         assert_eq!(out.device_bytes_read, 3 * 65536);
+    }
+
+    #[test]
+    fn corrupted_read_heals_in_place() {
+        use crate::fault::ReadMode;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        assert!(a.inject_corruption(locs[1].device, locs[1].stripe));
+        let (bytes, mode) = a.try_read_chunk(locs[1]).unwrap();
+        assert_eq!(mode, ReadMode::Healed);
+        assert_eq!(bytes, body(1), "healed contents bit-identical to pre-corruption");
+        assert_eq!(a.stats().corruptions_detected, 1);
+        assert_eq!(a.stats().corruptions_healed, 1);
+        assert_eq!(a.stats().heal_write_bytes, 65536);
+        // The rewrite stuck: the next read is clean and direct.
+        let (_, mode) = a.try_read_chunk(locs[1]).unwrap();
+        assert_eq!(mode, ReadMode::Normal);
+        assert_eq!(a.stats().corruptions_detected, 1, "no re-detection after heal");
+    }
+
+    #[test]
+    fn corrupted_parity_healed_by_scrub() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        for i in 0..3 {
+            a.write_chunk_bytes(body(i), flush_full());
+        }
+        let pdev = a.layout.parity_device(0);
+        assert!(a.inject_corruption(pdev, 0));
+        let step = a.scrub_step(usize::MAX);
+        assert_eq!(step.detected, 1);
+        assert_eq!(step.healed, 1);
+        assert!(step.pass_complete);
+        assert_eq!(a.outstanding_corruptions(), 0);
+        // Parity is good again: a degraded read still reconstructs.
+        let loc = ChunkLocation { stripe: 0, device: (pdev + 1) % 4, column: 0 };
+        a.fail_device(loc.device);
+        let got = a.read_chunk(loc).unwrap();
+        assert_eq!(crc::crc32c(&got), a.checksums[loc.device][&0]);
+    }
+
+    #[test]
+    fn corruption_plus_device_failure_is_unrecoverable() {
+        use crate::error::ArrayError;
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.inject_corruption(locs[0].device, locs[0].stripe);
+        a.fail_device(locs[1].device);
+        // Direct read of the corrupt chunk: repair needs the failed member.
+        let err = a.try_read_chunk(locs[0]).unwrap_err();
+        assert!(matches!(err, ArrayError::ChecksumMismatch { .. }), "{err}");
+        assert_eq!(a.stats().corruptions_unrecoverable, 1);
+        // Degraded read of the failed member: corrupt survivor detected.
+        let err = a.try_read_chunk(locs[1]).unwrap_err();
+        assert!(matches!(err, ArrayError::ChecksumMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn scheduled_corruption_fires_and_latency_is_counted() {
+        let plan = FaultPlan::new(3).with_corruption_at(3, 0, 0);
+        let mut a = InMemoryArray::with_fault_plan(ArrayConfig::default(), plan);
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        assert_eq!(a.outstanding_corruptions(), 1, "fired on the 3rd op");
+        let victim = locs.iter().find(|l| l.device == 0).unwrap();
+        // Two clean reads of other chunks, then hit the corrupt one.
+        for loc in locs.iter().filter(|l| l.device != 0) {
+            a.try_read_chunk(*loc).unwrap();
+        }
+        let (bytes, mode) = a.try_read_chunk(*victim).unwrap();
+        assert_eq!(mode, ReadMode::Healed);
+        assert_eq!(crc::crc32c(&bytes), a.checksums[victim.device][&victim.stripe]);
+        // Injected at op 3, detected at op 6 (3 writes + 3 reads).
+        assert_eq!(a.stats().detection_latency_ops, 3);
+        assert_eq!(a.stats().mean_detection_latency_ops(), 3.0);
+    }
+
+    #[test]
+    fn scrub_repairs_latent_sectors() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.plan_mut().add_latent_sector(locs[0].device, locs[0].stripe);
+        let step = a.scrub_step(usize::MAX);
+        assert_eq!(step.latent_repaired, 1);
+        assert_eq!(a.plan().latent_count(), 0);
+        // Now a device failure is a single fault, not a double fault.
+        a.fail_device(locs[1].device);
+        assert!(a.try_read_chunk(locs[1]).is_ok());
+    }
+
+    #[test]
+    fn scrub_pauses_during_rebuild_and_resumes() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..6).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let victim = locs[0].device;
+        a.fail_device(victim);
+        a.start_rebuild(victim).unwrap();
+        let step = a.scrub_step(usize::MAX);
+        assert!(step.paused_for_rebuild);
+        assert_eq!(step.chunks_scrubbed, 0);
+        while !a.rebuild_step(1).unwrap().complete {}
+        let step = a.scrub_step(usize::MAX);
+        assert!(!step.paused_for_rebuild);
+        assert!(step.chunks_scrubbed > 0);
+        assert!(step.pass_complete);
+    }
+
+    #[test]
+    fn scrub_paces_in_increments() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        for i in 0..9 {
+            a.write_chunk_bytes(body(i), flush_full());
+        }
+        // 9 data chunks over 3 data columns = 3 complete stripes.
+        let step = a.scrub_step(1);
+        assert_eq!(step.stripes_scrubbed, 1);
+        assert!(!step.pass_complete);
+        let p = a.scrub_progress();
+        assert_eq!(p.stripes_done, 1);
+        assert_eq!(p.stripes_total, 3);
+        let step = a.scrub_step(2);
+        assert!(step.pass_complete);
+        assert_eq!(a.stats().chunks_scrubbed, 12, "3 stripes × 4 chunks");
+        assert_eq!(a.stats().scrub_read_bytes, 12 * 65536);
+        // The next step starts a fresh pass (continuous scrubbing).
+        let step = a.scrub_step(usize::MAX);
+        assert_eq!(step.stripes_scrubbed, 3);
+    }
+
+    #[test]
+    fn rebuild_refuses_to_launder_corrupt_survivor() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.inject_corruption(locs[1].device, locs[1].stripe);
+        let victim = locs[0].device;
+        a.fail_device(victim);
+        a.rebuild_device(victim);
+        assert_eq!(a.stats().corruptions_unrecoverable, 1);
+        assert_eq!(a.stats().rebuilt_chunks, 0, "poisoned stripe not rebuilt");
     }
 }

@@ -1,0 +1,7 @@
+//! Runs the scrub/silent-corruption scenario (see DESIGN.md's integrity
+//! section). Asserts 100% detection and single-fault healing.
+
+fn main() {
+    let cli = adapt_bench::Cli::parse();
+    adapt_bench::figures::scrub::run(&cli);
+}

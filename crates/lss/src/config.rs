@@ -42,6 +42,14 @@ pub struct LssConfig {
     /// [`crate::LssMetrics::retry_backoff_us`] rather than advancing the
     /// engine clock (retries must not perturb SLA deadlines).
     pub retry_backoff_us: u64,
+    /// Background scrub pacing: stripes verified per host operation
+    /// (0 disables scrubbing, the default). Paced exactly like the rebuild
+    /// driver — a bounded amount of background work piggybacks on every
+    /// host op, so scrub bandwidth scales with (and never outruns)
+    /// foreground traffic. The scrub always yields to an in-flight
+    /// rebuild.
+    #[serde(default)]
+    pub scrub_stripes_per_op: u64,
 }
 
 impl Default for LssConfig {
@@ -58,6 +66,7 @@ impl Default for LssConfig {
             background_gc: false,
             read_retry_limit: 3,
             retry_backoff_us: 50,
+            scrub_stripes_per_op: 0,
         }
     }
 }

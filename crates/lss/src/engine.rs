@@ -43,7 +43,7 @@ use crate::placement::{
 };
 use crate::segment::{Segment, SegmentState};
 use crate::types::{GroupId, Lba, SegmentId, Slot};
-use adapt_array::{ArrayHealth, ArraySink, ChunkFlush, ReadMode, Traffic};
+use adapt_array::{ArrayHealth, ArraySink, ChunkFlush, ReadMode, ScrubStep, Traffic};
 
 /// The log-structured storage engine. Generic over the placement policy
 /// (static dispatch: the policy decision sits on the per-block hot path)
@@ -300,9 +300,18 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         loop {
             match self.sink.read_chunk_at(loc) {
                 Ok(outcome) => {
-                    if outcome.mode == ReadMode::Reconstructed {
-                        self.metrics.degraded_reads += 1;
-                        self.metrics.reconstructed_bytes += outcome.device_bytes_read;
+                    match outcome.mode {
+                        ReadMode::Normal => {}
+                        ReadMode::Reconstructed => {
+                            self.metrics.degraded_reads += 1;
+                            self.metrics.reconstructed_bytes += outcome.device_bytes_read;
+                        }
+                        ReadMode::Healed => {
+                            // The array caught a checksum mismatch on this
+                            // chunk and repaired it in place before
+                            // returning — the data served is verified.
+                            self.metrics.healed_reads += 1;
+                        }
                     }
                     return Ok(());
                 }
@@ -592,9 +601,17 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
     /// Count one host op and watch for sink health transitions: the op
     /// clock bounds time-to-rebuild, and a Rebuilding→Healthy edge
-    /// snapshots the rebuild traffic the array reported.
+    /// snapshots the rebuild traffic the array reported. When scrubbing
+    /// is enabled, each host op also pumps one paced scrub step — the
+    /// same piggyback pattern the rebuild driver uses, so background
+    /// verification scales with foreground traffic.
     fn note_host_op(&mut self) {
         self.ops_seen += 1;
+        if self.cfg.scrub_stripes_per_op > 0 {
+            if let Some(step) = self.sink.scrub_step(self.cfg.scrub_stripes_per_op as usize) {
+                self.fold_scrub_step(&step);
+            }
+        }
         let health = self.sink.health();
         if health == self.last_health {
             return;
@@ -614,6 +631,25 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             ArrayHealth::Degraded { .. } => {}
         }
         self.last_health = health;
+    }
+
+    /// Fold one scrub step's deltas into the engine metrics.
+    fn fold_scrub_step(&mut self, step: &ScrubStep) {
+        let m = &mut self.metrics;
+        m.chunks_scrubbed += step.chunks_scrubbed;
+        m.scrub_read_bytes += step.read_bytes;
+        m.corruptions_detected += step.detected;
+        m.corruptions_healed += step.healed;
+        m.corruptions_unrecoverable += step.unrecoverable;
+        m.heal_write_bytes += step.heal_write_bytes;
+        m.detection_latency_ops += step.detection_latency_ops;
+        m.scrub_latent_repaired += step.latent_repaired;
+        if step.paused_for_rebuild {
+            m.scrub_paused += 1;
+        }
+        if step.pass_complete {
+            m.scrub_passes += 1;
+        }
     }
 
     /// Decrement a segment's valid count, keeping the bucket index in
@@ -1106,8 +1142,17 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
     /// Verify that crash recovery reproduces the live index's durable
     /// view: every `Durable` entry and every pending block's shadow copy
-    /// must be found by the scan at the same location. Panics on drift.
+    /// must be found by the scan at the same location. Panics on drift;
+    /// use [`Lss::try_check_recovery`] to report drift instead.
     pub fn check_recovery(&self) {
+        self.try_check_recovery().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`Lss::check_recovery`]: returns
+    /// [`EngineError::IndexCorruption`] describing the first drifting LBA
+    /// instead of aborting, so scenario runners can report recovery drift
+    /// as a failure mode rather than crash mid-replay.
+    pub fn try_check_recovery(&self) -> Result<(), EngineError> {
         let recovered = self.recover_index();
         for lba in 0..self.index.len() as Lba {
             let expect = match self.index.get(lba) {
@@ -1116,13 +1161,18 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 _ => None,
             };
             if let Some((seg, off)) = expect {
-                assert_eq!(
-                    recovered.get(lba),
-                    BlockEntry::Durable { seg, off },
-                    "recovery drift for lba {lba}"
-                );
+                let got = recovered.get(lba);
+                if got != (BlockEntry::Durable { seg, off }) {
+                    return Err(EngineError::IndexCorruption {
+                        lba,
+                        detail: format!(
+                            "recovery drift: live index has (seg {seg}, off {off}), scan found {got:?}"
+                        ),
+                    });
+                }
             }
         }
+        Ok(())
     }
 
     /// Refresh the scratch policy context from engine state.

@@ -108,6 +108,18 @@ mod tests {
     }
 
     #[test]
+    fn checksum_mismatch_is_persistent() {
+        // Retrying a checksum mismatch re-reads the same corrupted media:
+        // the engine must surface it, never spin in the retry loop.
+        let loc = ChunkLocation { stripe: 4, device: 2, column: 1 };
+        let e = EngineError::from(ArrayError::ChecksumMismatch { loc });
+        assert!(!e.is_transient());
+        let s = e.to_string();
+        assert!(s.contains("checksum") && s.contains("stripe 4"), "{s}");
+        assert!(std::error::Error::source(&e).is_some(), "array cause preserved");
+    }
+
+    #[test]
     fn display_is_informative() {
         let e = EngineError::OutOfSpace {
             total_segments: 10,

@@ -90,6 +90,41 @@ pub struct LssMetrics {
     /// start and completion — the paper-style "time to rebuild" measured
     /// on the op clock. Accumulates across rebuilds.
     pub rebuild_ops: u64,
+    /// Chunks whose checksum the background scrub verified.
+    #[serde(default)]
+    pub chunks_scrubbed: u64,
+    /// Bytes read off devices by the scrub driver.
+    #[serde(default)]
+    pub scrub_read_bytes: u64,
+    /// Checksum mismatches detected by scrub steps the engine pumped.
+    #[serde(default)]
+    pub corruptions_detected: u64,
+    /// Mismatched chunks scrub repaired from survivors and rewrote.
+    #[serde(default)]
+    pub corruptions_healed: u64,
+    /// Mismatched chunks scrub could not repair (second fault in stripe).
+    #[serde(default)]
+    pub corruptions_unrecoverable: u64,
+    /// Bytes written back by scrub repairs (mismatch + latent rewrites).
+    #[serde(default)]
+    pub heal_write_bytes: u64,
+    /// Sum over scrub detections of ops between injection and detection.
+    #[serde(default)]
+    pub detection_latency_ops: u64,
+    /// Latent sector errors the scrub rewrote before they could pair with
+    /// a device failure into a double fault.
+    #[serde(default)]
+    pub scrub_latent_repaired: u64,
+    /// Full scrub passes completed over the array.
+    #[serde(default)]
+    pub scrub_passes: u64,
+    /// Scrub steps that yielded because a rebuild was in flight.
+    #[serde(default)]
+    pub scrub_paused: u64,
+    /// Chunk reads that came back healed: the read path detected a
+    /// checksum mismatch and repaired the chunk in place from survivors.
+    #[serde(default)]
+    pub healed_reads: u64,
     /// Time from each user block's arrival to its durability (full flush,
     /// padded flush, or shadow append), in µs.
     pub durability_latency: LatencyHistogram,

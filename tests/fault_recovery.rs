@@ -4,7 +4,9 @@
 //! the open-stripe buffer — and (b) the rebuild accounting balances
 //! exactly against the array geometry.
 
-use adapt_repro::lss::GcSelection;
+use adapt_repro::array::{ArrayError, ArraySink, FaultPlan, FaultyArray};
+use adapt_repro::lss::{EngineError, GcSelection, Lss, LssConfig};
+use adapt_repro::placement::SepBit;
 use adapt_repro::sim::{run_fault_scenario, FaultReport, FaultScenario, ReplayConfig, Scheme};
 use adapt_repro::trace::{SuiteKind, VolumeModel, WorkloadSuite};
 
@@ -68,4 +70,85 @@ fn rebuild_counters_balance() {
     assert!(r.rebuild_ops > 0, "time-to-rebuild not measured");
     let engine_seen = r.phases.iter().map(|p| p.metrics.rebuild_bytes).max().unwrap_or(0);
     assert_eq!(engine_seen, r.rebuild_bytes, "engine metric disagrees with array stats");
+}
+
+/// Build a small engine on a fault-modeling sink, write every LBA once,
+/// and flush, so the array holds closed stripes for every block.
+fn small_engine(scrub_stripes_per_op: u64) -> Lss<SepBit, FaultyArray> {
+    let cfg = LssConfig {
+        user_blocks: 2048,
+        op_ratio: 1.5,
+        gc_low_water: 8,
+        gc_high_water: 10,
+        scrub_stripes_per_op,
+        ..Default::default()
+    };
+    let sink = FaultyArray::new(cfg.array_config(), FaultPlan::new(7));
+    let mut e = Lss::new(cfg, GcSelection::Greedy, SepBit::new(), sink);
+    for lba in 0..2048 {
+        e.write(lba, lba);
+    }
+    e.flush_all();
+    assert!(e.sink().stats().stripes_completed > 0);
+    e
+}
+
+/// Latent sector errors plus a device failure on *another* device are a
+/// double fault: the stripe is missing two members, and the engine must
+/// surface a typed, persistent error through its read path — not panic,
+/// and not return garbage.
+#[test]
+fn latent_plus_device_failure_surfaces_typed_double_fault() {
+    let mut e = small_engine(0); // scrub disabled: latents stay latent
+    let stripes = e.sink().stats().stripes_completed;
+    for stripe in 0..stripes {
+        e.sink_mut().plan_mut().add_latent_sector(0, stripe);
+    }
+    e.sink_mut().fail_device(1);
+
+    let mut double_faults = 0u64;
+    let mut served = 0u64;
+    for lba in 0..2048 {
+        match e.try_read_request(0, lba, 1) {
+            Ok(()) => served += 1,
+            Err(err @ EngineError::Array(ArrayError::DoubleFault { .. })) => {
+                assert!(!err.is_transient(), "double faults must not be retried");
+                double_faults += 1;
+            }
+            Err(other) => panic!("expected DoubleFault, got {other}"),
+        }
+    }
+    assert!(double_faults > 0, "no read hit the latent+failed double fault");
+    assert!(served > 0, "unaffected stripes must still be served");
+}
+
+/// The same fault sequence, but the paced background scrub completes a
+/// pass (repairing every latent sector) before the device fails: what was
+/// a double fault becomes an ordinary single-fault degraded read, and no
+/// LBA is lost.
+#[test]
+fn completed_scrub_prevents_the_double_fault() {
+    let mut e = small_engine(4); // scrub runs 4 stripes per host op
+    let stripes = e.sink().stats().stripes_completed;
+    for stripe in 0..stripes {
+        e.sink_mut().plan_mut().add_latent_sector(0, stripe);
+    }
+    // Drive host ops until the scrub has swept a full pass over the
+    // latent sectors (reads of healthy chunks pump the scrub too). Two
+    // more completed passes guarantee one pass started after injection.
+    let passes_at_injection = e.metrics().scrub_passes;
+    let mut ts = 0;
+    while e.metrics().scrub_passes < passes_at_injection + 2 {
+        e.try_read_request(ts, ts % 2048, 1).expect("latent-only reads reconstruct");
+        ts += 1;
+        assert!(ts < 100_000, "scrub never completed a pass");
+    }
+    assert!(e.metrics().scrub_latent_repaired > 0, "scrub repaired nothing");
+    assert_eq!(e.sink().plan().latent_count(), 0, "latent sectors survived the scrub");
+
+    e.sink_mut().fail_device(1);
+    for lba in 0..2048 {
+        e.try_read_request(ts, lba, 1)
+            .unwrap_or_else(|err| panic!("lba {lba} lost after scrub: {err}"));
+    }
 }
