@@ -34,6 +34,7 @@ fn ctx() -> PolicyCtx {
         groups: vec![Default::default(); 8],
         segment_blocks: 128,
         block_bytes: 4096,
+        events_enabled: false,
     }
 }
 
@@ -194,12 +195,10 @@ fn bench_engine_write(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let cfg = cfg();
-                let mut e = Lss::new(
-                    cfg,
-                    GcSelection::Greedy,
-                    Adapt::new(&cfg),
-                    CountingArray::new(cfg.array_config()),
-                );
+                let mut e = Lss::builder(Adapt::new(&cfg), CountingArray::new(cfg.array_config()))
+                    .config(cfg)
+                    .gc_select(GcSelection::Greedy)
+                    .build();
                 for lba in 0..16_384u64 {
                     e.write(lba, lba);
                 }

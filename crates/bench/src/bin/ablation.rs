@@ -1,6 +1,5 @@
 //! Regenerates the paper's ablation (see DESIGN.md's experiment index).
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::ablation::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::ablation::run);
 }

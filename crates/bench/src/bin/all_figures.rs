@@ -5,17 +5,18 @@ use adapt_bench::figures;
 use adapt_bench::sweep::FullSweep;
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    figures::fig2::run(&cli);
-    figures::fig3::run(&cli);
-    let sweep = FullSweep::run(&cli);
-    figures::fig8::from_sweep(&cli, &sweep);
-    figures::fig9::from_sweep(&cli, &sweep);
-    figures::fig10::from_sweep(&cli, &sweep);
-    figures::fig11::run(&cli);
-    figures::fig12::run(&cli);
-    figures::ablation::run(&cli);
-    figures::gc_selection::run(&cli);
-    figures::multistream::run(&cli);
-    figures::latency::run(&cli);
+    adapt_bench::harness::figure_main(|cli| {
+        figures::fig2::run(cli);
+        figures::fig3::run(cli);
+        let sweep = FullSweep::run(cli);
+        figures::fig8::from_sweep(cli, &sweep);
+        figures::fig9::from_sweep(cli, &sweep);
+        figures::fig10::from_sweep(cli, &sweep);
+        figures::fig11::run(cli);
+        figures::fig12::run(cli);
+        figures::ablation::run(cli);
+        figures::gc_selection::run(cli);
+        figures::multistream::run(cli);
+        figures::latency::run(cli);
+    });
 }

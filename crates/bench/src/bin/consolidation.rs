@@ -2,12 +2,13 @@
 //! log-structured store, as production arrays do. Reports padding and WA
 //! for solo-per-volume vs consolidated deployment under ADAPT and SepBIT.
 
-use adapt_bench::{eval_suite, Cli};
+use adapt_bench::eval_suite;
+use adapt_bench::harness::{figure_main, replay_observed, write_report};
 use adapt_lss::GcSelection;
 use adapt_sim::consolidate::consolidate;
-use adapt_sim::report::{render_table, write_json};
+use adapt_sim::report::render_table;
 use adapt_sim::runner::requests_for;
-use adapt_sim::{replay_volume, ReplayConfig, Scheme};
+use adapt_sim::{ReplayConfig, Scheme};
 use adapt_trace::SuiteKind;
 use serde::Serialize;
 
@@ -18,48 +19,51 @@ struct Report {
 }
 
 fn main() {
-    let cli = Cli::parse();
-    let k = (cli.volumes() / 2).clamp(3, 10);
-    let suite = eval_suite(SuiteKind::Ali, k);
-    println!("Consolidation — {k} Ali volumes, solo vs shared log");
-    let per_vol: u64 = suite.volumes.iter().map(requests_for).min().unwrap_or(10_000);
-    let mut cells = Vec::new();
-    let mut rows = Vec::new();
-    for scheme in [Scheme::SepBit, Scheme::Adapt] {
-        // Solo: one engine per volume.
-        let mut host = 0u64;
-        let mut phys = 0u64;
-        let mut padded = 0u64;
-        let mut chunks = 0u64;
-        for v in &suite.volumes {
-            let cfg = ReplayConfig::for_volume(v.unique_blocks, GcSelection::Greedy);
-            let r = replay_volume(scheme, cfg, v.id, v.trace(per_vol));
-            host += r.metrics.host_write_bytes;
-            phys += r.metrics.physical_bytes();
-            padded += r.metrics.padded_chunks;
-            chunks += r.metrics.chunks_flushed;
-        }
-        let solo_wa = phys as f64 / host.max(1) as f64;
-        let solo_pad = padded as f64 / chunks.max(1) as f64;
+    figure_main(|cli| {
+        let k = (cli.volumes() / 2).clamp(3, 10);
+        let suite = eval_suite(SuiteKind::Ali, k);
+        println!("Consolidation — {k} Ali volumes, solo vs shared log");
+        let per_vol: u64 = suite.volumes.iter().map(requests_for).min().unwrap_or(10_000);
+        let mut cells = Vec::new();
+        let mut rows = Vec::new();
+        for scheme in [Scheme::SepBit, Scheme::Adapt] {
+            // Solo: one engine per volume.
+            let mut host = 0u64;
+            let mut phys = 0u64;
+            let mut padded = 0u64;
+            let mut chunks = 0u64;
+            for v in &suite.volumes {
+                let cfg = ReplayConfig::for_volume(v.unique_blocks, GcSelection::Greedy);
+                let run = format!("consolidation-solo-{}-v{}", scheme.name(), v.id);
+                let r = replay_observed(cli, &run, scheme, cfg, v.id, v.trace(per_vol));
+                host += r.metrics.host_write_bytes;
+                phys += r.metrics.physical_bytes();
+                padded += r.metrics.padded_chunks;
+                chunks += r.metrics.chunks_flushed;
+            }
+            let solo_wa = phys as f64 / host.max(1) as f64;
+            let solo_pad = padded as f64 / chunks.max(1) as f64;
 
-        // Consolidated: one engine over the merged stream.
-        let merged = consolidate(&suite.volumes, per_vol);
-        let cfg = ReplayConfig::for_volume(merged.total_blocks, GcSelection::Greedy);
-        let r = replay_volume(scheme, cfg, 0, merged.records.into_iter());
-        let cons_wa = r.wa();
-        let cons_pad = r.metrics.padded_chunks as f64 / r.metrics.chunks_flushed.max(1) as f64;
+            // Consolidated: one engine over the merged stream.
+            let merged = consolidate(&suite.volumes, per_vol);
+            let cfg = ReplayConfig::for_volume(merged.total_blocks, GcSelection::Greedy);
+            let run = format!("consolidation-shared-{}", scheme.name());
+            let r = replay_observed(cli, &run, scheme, cfg, 0, merged.records.into_iter());
+            let cons_wa = r.wa();
+            let cons_pad = r.metrics.padded_chunks as f64 / r.metrics.chunks_flushed.max(1) as f64;
 
-        for (dep, wa, pad) in [("solo", solo_wa, solo_pad), ("consolidated", cons_wa, cons_pad)] {
-            cells.push((scheme.name().to_string(), dep.to_string(), wa, pad));
-            rows.push(vec![
-                scheme.name().to_string(),
-                dep.to_string(),
-                format!("{wa:.3}"),
-                format!("{:.1}%", pad * 100.0),
-            ]);
+            for (dep, wa, pad) in [("solo", solo_wa, solo_pad), ("consolidated", cons_wa, cons_pad)]
+            {
+                cells.push((scheme.name().to_string(), dep.to_string(), wa, pad));
+                rows.push(vec![
+                    scheme.name().to_string(),
+                    dep.to_string(),
+                    format!("{wa:.3}"),
+                    format!("{:.1}%", pad * 100.0),
+                ]);
+            }
         }
-    }
-    println!("{}", render_table(&["scheme", "deployment", "WA", "padded chunks"], &rows));
-    let path = write_json(&cli.out_dir, "consolidation", &Report { cells }).expect("write");
-    println!("wrote {path}");
+        println!("{}", render_table(&["scheme", "deployment", "WA", "padded chunks"], &rows));
+        write_report(cli, "consolidation", &Report { cells });
+    });
 }

@@ -1,6 +1,5 @@
 //! Runs the fault-injection scenario (see DESIGN.md's fault model section).
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::faults::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::faults::run);
 }

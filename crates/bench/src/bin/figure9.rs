@@ -1,6 +1,5 @@
 //! Regenerates the paper's Figure 9 (see DESIGN.md's experiment index).
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::fig9::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::fig9::run);
 }

@@ -1,6 +1,5 @@
 //! Regenerates the GC victim-selection sweep (extension experiment).
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::gc_selection::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::gc_selection::run);
 }

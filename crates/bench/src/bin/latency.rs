@@ -1,6 +1,5 @@
 //! Regenerates the durability-latency (SLA compliance) experiment.
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::latency::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::latency::run);
 }

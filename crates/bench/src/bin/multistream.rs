@@ -1,6 +1,5 @@
 //! Regenerates the multi-stream / in-device WA experiment (§3.1 claim).
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::multistream::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::multistream::run);
 }

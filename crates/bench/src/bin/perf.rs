@@ -4,20 +4,32 @@
 //! baselines, prints ops/s and GC-selection time share, and writes
 //! `BENCH_perf.json` at the repo root (or `--out <dir>`). `--quick` (or
 //! `ADAPT_BENCH_QUICK=1`) runs a tiny smoke replay for CI.
+//!
+//! `--events` (or `ADAPT_BENCH_EVENTS=1`) re-runs the same workloads with
+//! the structured event stream enabled and writes the result as
+//! `BENCH_perf_events.json` instead, so the observability overhead has
+//! its own trajectory file and the disabled-path regression gate stays
+//! untouched.
 
 use adapt_bench::perf::{self, QUICK, WORKLOADS};
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    let workloads: &[perf::Workload] = if cli.quick { &[QUICK] } else { &WORKLOADS };
-    let report = perf::run(workloads, adapt_bench::perf_baseline::BASELINE);
-    for (key, s) in &report.speedup {
-        println!("perf {key:<28} speedup vs pre-change baseline: {s:.2}x");
-    }
-    // The trajectory file lives at the repo root by default (BENCH_* is
-    // the per-PR perf record); --out redirects for scratch runs.
-    let dir = if cli.out_dir == "results" { ".".to_string() } else { cli.out_dir };
-    let path =
-        adapt_sim::report::write_json(&dir, "BENCH_perf", &report).expect("write BENCH_perf.json");
-    println!("wrote {path}");
+    adapt_bench::harness::figure_main(|cli| {
+        let workloads: &[perf::Workload] = if cli.quick { &[QUICK] } else { &WORKLOADS };
+        let report = perf::run_with_events(
+            workloads,
+            adapt_bench::perf_baseline::BASELINE,
+            cli.event_config(),
+        );
+        for (key, s) in &report.speedup {
+            println!("perf {key:<28} speedup vs pre-change baseline: {s:.2}x");
+        }
+        // The trajectory file lives at the repo root by default (BENCH_* is
+        // the per-PR perf record); --out redirects for scratch runs.
+        let dir = if cli.out_dir == "results" { ".".to_string() } else { cli.out_dir.clone() };
+        let name = if report.events_enabled { "BENCH_perf_events" } else { "BENCH_perf" };
+        let path = adapt_sim::report::write_json(&dir, name, &report)
+            .unwrap_or_else(|e| panic!("write {name}.json: {e}"));
+        println!("wrote {path}");
+    });
 }

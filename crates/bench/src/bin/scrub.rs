@@ -2,6 +2,5 @@
 //! section). Asserts 100% detection and single-fault healing.
 
 fn main() {
-    let cli = adapt_bench::Cli::parse();
-    adapt_bench::figures::scrub::run(&cli);
+    adapt_bench::harness::figure_main(adapt_bench::figures::scrub::run);
 }

@@ -1,15 +1,16 @@
 //! One module per figure of the paper's evaluation. Every `run` prints the
 //! figure's series as text tables and writes a JSON report.
 
+use crate::harness::write_report;
 use crate::sweep::FullSweep;
 use crate::{eval_suite, Cli, FIGURE_SEED};
 use adapt_lss::GcSelection;
 use adapt_sim::compare::{
     compare_volumes, overall_padding_reduction_pct, overall_wa_reduction_pct, reduction_correlation,
 };
-use adapt_sim::report::{cdf_points, render_table, wa_table, write_json};
+use adapt_sim::report::{cdf_points, render_table, wa_table};
 use adapt_sim::runner::run_suite;
-use adapt_sim::{replay_volume, ReplayConfig, Scheme};
+use adapt_sim::{ReplayConfig, Scheme};
 use adapt_trace::stats::{Ecdf, TraceSummary};
 use adapt_trace::ycsb::{AccessDistribution, TrafficIntensity, YcsbConfig};
 use adapt_trace::{SuiteKind, WorkloadSuite};
@@ -72,8 +73,7 @@ pub mod fig2 {
             )
         );
         let report = Report { rate_cdfs, size_marginals, rate_marginals };
-        let path = write_json(&cli.out_dir, "figure2", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure2", &report);
         report
     }
 }
@@ -137,8 +137,7 @@ pub mod fig3 {
             )
         );
         let report = Report { groups: rows };
-        let path = write_json(&cli.out_dir, "figure3", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure3", &report);
         report
     }
 }
@@ -198,8 +197,7 @@ pub mod fig8 {
         println!("ADAPT overall-WA reduction vs baselines:");
         println!("{}", render_table(&["suite", "gc", "baseline", "WA reduction"], &rows));
         let report = Report { cells, adapt_reductions };
-        let path = write_json(&cli.out_dir, "figure8", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure8", &report);
         report
     }
 
@@ -268,8 +266,7 @@ pub mod fig9 {
             }
         }
         let report = Report { cdfs, adapt_padding_reductions: reductions };
-        let path = write_json(&cli.out_dir, "figure9", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure9", &report);
         report
     }
 
@@ -320,8 +317,7 @@ pub mod fig10 {
             render_table(&["baseline", "corr(pad,WA)", "mean padΔ%", "mean WAΔ%"], &rows)
         );
         let report = Report { scatter };
-        let path = write_json(&cli.out_dir, "figure10", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure10", &report);
         report
     }
 
@@ -346,9 +342,9 @@ pub mod fig11 {
         pub skew: Vec<(f64, String, f64)>,
     }
 
-    fn ycsb_run(scheme: Scheme, cfg: &YcsbConfig) -> f64 {
+    fn ycsb_run(cli: &Cli, run: &str, scheme: Scheme, cfg: &YcsbConfig) -> f64 {
         let replay = ReplayConfig::for_volume(cfg.num_blocks, GcSelection::Greedy);
-        let r = replay_volume(scheme, replay, 0, cfg.generator());
+        let r = crate::harness::replay_observed(cli, run, scheme, replay, 0, cfg.generator());
         r.wa()
     }
 
@@ -374,7 +370,8 @@ pub mod fig11 {
                     distribution: AccessDistribution::Zipfian,
                     seed: FIGURE_SEED,
                 };
-                let wa = ycsb_run(scheme, &cfg);
+                let run = format!("figure11-{}-{}", intensity.name(), scheme.name());
+                let wa = ycsb_run(cli, &run, scheme, &cfg);
                 density.push((intensity.name().to_string(), scheme.name().to_string(), wa));
                 rows.push(vec![
                     intensity.name().to_string(),
@@ -399,7 +396,8 @@ pub mod fig11 {
                     distribution: AccessDistribution::Zipfian,
                     seed: FIGURE_SEED,
                 };
-                let wa = ycsb_run(scheme, &cfg);
+                let run = format!("figure11-a{alpha:.2}-{}", scheme.name());
+                let wa = ycsb_run(cli, &run, scheme, &cfg);
                 skew.push((alpha, scheme.name().to_string(), wa));
                 rows.push(vec![
                     format!("{alpha:.2}"),
@@ -410,8 +408,7 @@ pub mod fig11 {
         }
         println!("{}", render_table(&["alpha", "scheme", "WA"], &rows));
         let report = Report { density, skew };
-        let path = write_json(&cli.out_dir, "figure11", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure11", &report);
         report
     }
 }
@@ -482,8 +479,7 @@ pub mod fig12 {
             println!("ADAPT policy-memory overhead vs SepBIT: {overhead:+.1}%");
         }
         let report = Report { throughput, memory };
-        let path = write_json(&cli.out_dir, "figure12", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "figure12", &report);
         report
     }
 }
@@ -535,8 +531,7 @@ pub mod gc_selection {
         }
         println!("{}", render_table(&["victim policy", "scheme", "overall WA"], &rows));
         let report = Report { cells };
-        let path = write_json(&cli.out_dir, "gc_selection", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "gc_selection", &report);
         report
     }
 }
@@ -587,8 +582,7 @@ pub mod multistream {
         }
         println!("{}", render_table(&["scheme", "streams", "array WA", "in-device WA"], &rows));
         let report = Report { cells };
-        let path = write_json(&cli.out_dir, "multistream", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "multistream", &report);
         report
     }
 }
@@ -633,8 +627,7 @@ pub mod latency {
         }
         println!("{}", render_table(&["scheme", "mean µs", "p99≤ µs", "within 128 µs"], &rows));
         let report = Report { cells };
-        let path = write_json(&cli.out_dir, "latency", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "latency", &report);
         report
     }
 }
@@ -667,8 +660,7 @@ pub mod ablation {
         }
         println!("{}", render_table(&["variant", "overall WA", "pad ratio"], &rows));
         let report = Report { variants };
-        let path = write_json(&cli.out_dir, "ablation", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "ablation", &report);
         report
     }
 }
@@ -769,8 +761,7 @@ pub mod faults {
             render_table(&["scheme", "readable", "reconstructed", "buffered tail", "lost"], &vrows)
         );
         let report = Report { phases, verify, rebuild };
-        let path = write_json(&cli.out_dir, "faults", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "faults", &report);
         report
     }
 }
@@ -883,8 +874,7 @@ pub mod scrub {
             )
         );
         let report = Report { schemes };
-        let path = write_json(&cli.out_dir, "scrub", &report).expect("write report");
-        println!("wrote {path}\n");
+        write_report(cli, "scrub", &report);
         report
     }
 }

@@ -1,0 +1,115 @@
+//! Shared entry point and report plumbing for the figure binaries.
+//!
+//! Every binary in `src/bin/` used to repeat the same skeleton: parse the
+//! common CLI, run the experiment, serialize the payload with
+//! `write_json`, print the canonical `wrote <path>` line. This module
+//! centralizes that skeleton:
+//!
+//! * [`figure_main`] — the whole `fn main` of a figure binary.
+//! * [`write_report`] — the serialize-and-announce tail every figure
+//!   module shares.
+//! * [`replay_observed`] — a replay that honours the CLI's `--events`
+//!   switch and, when capture is on, drops a per-run telemetry report
+//!   (`<out>/<run>.report.json`) next to the figure JSON.
+
+use crate::Cli;
+use adapt_sim::report::{write_json, write_run_report, RunReport};
+use adapt_sim::{replay_volume, ReplayConfig, Scheme, VolumeResult};
+use adapt_trace::TraceRecord;
+use serde::Serialize;
+
+/// The entire `main` of a figure binary: parse the shared CLI and hand it
+/// to the figure's `run`.
+pub fn figure_main<R>(run: impl FnOnce(&Cli) -> R) {
+    let cli = Cli::parse();
+    run(&cli);
+}
+
+/// Serialize a figure payload under the CLI's output directory and print
+/// the canonical `wrote <path>` line; returns the path.
+pub fn write_report<T: Serialize>(cli: &Cli, name: &str, report: &T) -> String {
+    let path = write_json(&cli.out_dir, name, report).expect("write report");
+    println!("wrote {path}\n");
+    path
+}
+
+/// Replay one volume with the CLI's event configuration. When `--events`
+/// is set the engine records the structured event stream and the full
+/// telemetry snapshot is written as `<out>/<run>.report.json`.
+pub fn replay_observed<I>(
+    cli: &Cli,
+    run: &str,
+    scheme: Scheme,
+    cfg: ReplayConfig,
+    volume_id: u32,
+    trace: I,
+) -> VolumeResult
+where
+    I: Iterator<Item = TraceRecord>,
+{
+    let result = replay_volume(scheme, cfg.with_events(cli.event_config()), volume_id, trace);
+    if let Some(report) = RunReport::from_volume(run, &result) {
+        let path = write_run_report(&cli.out_dir, &report).expect("write run report");
+        println!("telemetry {path}");
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_lss::GcSelection;
+    use adapt_trace::arrival::ArrivalModel;
+    use adapt_trace::ycsb::{AccessDistribution, YcsbConfig};
+
+    fn cli(events: bool, out_dir: &std::path::Path) -> Cli {
+        Cli { scale: 0.1, out_dir: out_dir.to_str().unwrap().to_string(), quick: true, events }
+    }
+
+    fn trace() -> impl Iterator<Item = TraceRecord> {
+        YcsbConfig {
+            num_blocks: 4096,
+            num_updates: 20_000,
+            zipf_alpha: 0.9,
+            read_ratio: 0.0,
+            arrival: ArrivalModel::Fixed { gap_us: 5 },
+            blocks_per_request: 1,
+            distribution: AccessDistribution::Zipfian,
+            seed: 3,
+        }
+        .generator()
+    }
+
+    #[test]
+    fn observed_replay_writes_telemetry_only_when_asked() {
+        let dir = std::env::temp_dir().join("adapt-harness-test");
+        let cfg = ReplayConfig::for_volume(4096, GcSelection::Greedy);
+
+        let quiet = replay_observed(&cli(false, &dir), "h-off", Scheme::SepGc, cfg, 0, trace());
+        assert!(quiet.telemetry.is_none());
+        assert!(!dir.join("h-off.report.json").exists());
+
+        let loud = replay_observed(&cli(true, &dir), "h-on", Scheme::SepGc, cfg, 0, trace());
+        let snap = loud.telemetry.as_ref().expect("snapshot captured");
+        assert!(snap.events.emitted > 0);
+        // Same trace, same config: the measured metrics must not shift
+        // when observation is switched on.
+        assert_eq!(quiet.metrics, loud.metrics);
+        let path = dir.join("h-on.report.json");
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_report_lands_in_out_dir() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        let dir = std::env::temp_dir().join("adapt-harness-test");
+        let path = write_report(&cli(false, &dir), "unit", &T { x: 1 });
+        assert!(path.ends_with("unit.json"));
+        assert!(std::path::Path::new(&path).exists());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -13,10 +13,12 @@
 //! EXPERIMENTS.md can be assembled mechanically.
 
 pub mod figures;
+pub mod harness;
 pub mod perf;
 pub mod perf_baseline;
 pub mod sweep;
 
+use adapt_lss::EventConfig;
 use adapt_sim::Scheme;
 use adapt_trace::{SuiteKind, WorkloadSuite};
 
@@ -31,15 +33,21 @@ pub struct Cli {
     /// or the `ADAPT_BENCH_QUICK` environment variable (any non-empty
     /// value other than `0`).
     pub quick: bool,
+    /// Capture the structured event stream and write per-run telemetry
+    /// reports next to the figure JSON. Set by `--events` or the
+    /// `ADAPT_BENCH_EVENTS` environment variable.
+    pub events: bool,
 }
 
 impl Cli {
-    /// Parse `--scale`, `--out`, and `--quick` from `std::env::args`
-    /// (plus the `ADAPT_BENCH_QUICK` env var).
+    /// Parse `--scale`, `--out`, `--quick`, and `--events` from
+    /// `std::env::args` (plus the `ADAPT_BENCH_QUICK` / `ADAPT_BENCH_EVENTS`
+    /// env vars).
     pub fn parse() -> Self {
         let mut scale = 0.25;
         let mut out_dir = "results".to_string();
         let mut quick = quick_from_env();
+        let mut events = events_from_env();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -54,7 +62,10 @@ impl Cli {
                     out_dir = args.get(i).expect("--out needs a path").clone();
                 }
                 "--quick" => quick = true,
-                other => panic!("unknown argument {other} (expected --scale/--out/--quick)"),
+                "--events" => events = true,
+                other => {
+                    panic!("unknown argument {other} (expected --scale/--out/--quick/--events)")
+                }
             }
             i += 1;
         }
@@ -65,18 +76,32 @@ impl Cli {
             // (e.g. `perf`) additionally consult `quick` directly.
             scale = f64::min(scale, 0.02);
         }
-        Self { scale, out_dir, quick }
+        Self { scale, out_dir, quick, events }
     }
 
     /// Volumes per suite at this scale (paper: 50).
     pub fn volumes(&self) -> usize {
         ((50.0 * self.scale).round() as usize).clamp(4, 50)
     }
+
+    /// The engine event configuration this invocation selects.
+    pub fn event_config(&self) -> EventConfig {
+        if self.events {
+            EventConfig::enabled()
+        } else {
+            EventConfig::default()
+        }
+    }
 }
 
 /// Whether `ADAPT_BENCH_QUICK` requests smoke-sized runs.
 pub fn quick_from_env() -> bool {
     std::env::var("ADAPT_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Whether `ADAPT_BENCH_EVENTS` requests event-stream capture.
+pub fn events_from_env() -> bool {
+    std::env::var("ADAPT_BENCH_EVENTS").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// Seed shared by every figure so suites are consistent across binaries.
@@ -107,7 +132,7 @@ mod tests {
 
     #[test]
     fn volumes_scale_and_clamp() {
-        let mk = |scale| Cli { scale, out_dir: String::new(), quick: false };
+        let mk = |scale| Cli { scale, out_dir: String::new(), quick: false, events: false };
         assert_eq!(mk(1.0).volumes(), 50);
         assert_eq!(mk(0.25).volumes(), 13);
         assert_eq!(mk(0.01).volumes(), 4);

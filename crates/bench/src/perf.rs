@@ -19,7 +19,7 @@
 //! against that baseline.
 
 use adapt_array::CountingArray;
-use adapt_lss::{GcSelection, Lss, LssConfig, PlacementPolicy};
+use adapt_lss::{EventConfig, GcSelection, Lss, LssConfig, PlacementPolicy};
 use adapt_sim::scheme::{with_policy, PolicyVisitor};
 use adapt_sim::{ReplayConfig, Scheme};
 use adapt_trace::arrival::ArrivalModel;
@@ -103,6 +103,8 @@ pub struct Measurement {
     pub wa: f64,
     /// Resident index + policy structures at the end (bytes).
     pub memory_bytes: u64,
+    /// Structured events emitted (0 when capture is disabled).
+    pub events_emitted: u64,
 }
 
 /// A baseline row embedded as data: `(key, wall_ms, kops_per_sec,
@@ -117,14 +119,19 @@ pub fn key_of(w: &Workload, scheme: Scheme, gc: GcSelection) -> String {
 struct PerfVisitor<'a> {
     cfg: LssConfig,
     gc: GcSelection,
+    events: EventConfig,
     trace: &'a [TraceRecord],
     key: String,
 }
 
 impl PolicyVisitor<Measurement> for PerfVisitor<'_> {
     fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> Measurement {
-        let PerfVisitor { cfg, gc, trace, key } = self;
-        let mut engine = Lss::new(cfg, gc, policy, CountingArray::new(cfg.array_config()));
+        let PerfVisitor { cfg, gc, events, trace, key } = self;
+        let mut engine = Lss::builder(policy, CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .gc_select(gc)
+            .events(events)
+            .build();
         let start = Instant::now();
         for rec in trace {
             engine.write_request(rec.ts_us, rec.lba, rec.num_blocks);
@@ -144,6 +151,7 @@ impl PolicyVisitor<Measurement> for PerfVisitor<'_> {
             gc_passes: engine.metrics().gc_passes,
             wa: engine.metrics().wa(),
             memory_bytes: engine.memory_bytes() as u64,
+            events_emitted: engine.events().emitted(),
         }
     }
 }
@@ -165,11 +173,24 @@ pub fn trace_of(w: &Workload) -> Vec<TraceRecord> {
     .collect()
 }
 
-/// Replay one workload under one scheme/GC pair and measure it.
+/// Replay one workload under one scheme/GC pair and measure it, with
+/// event capture disabled (the regression-gate configuration).
 pub fn measure(w: &Workload, scheme: Scheme, gc: GcSelection) -> Measurement {
+    measure_with_events(w, scheme, gc, EventConfig::default())
+}
+
+/// Replay one workload under one scheme/GC pair with an explicit event
+/// configuration, so the observability overhead itself can be measured.
+pub fn measure_with_events(
+    w: &Workload,
+    scheme: Scheme,
+    gc: GcSelection,
+    events: EventConfig,
+) -> Measurement {
     let cfg = ReplayConfig::for_volume(w.user_blocks, gc).lss;
     let trace = trace_of(w);
-    with_policy(scheme, &cfg, PerfVisitor { cfg, gc, trace: &trace, key: key_of(w, scheme, gc) })
+    let key = key_of(w, scheme, gc);
+    with_policy(scheme, &cfg, PerfVisitor { cfg, gc, events, trace: &trace, key })
 }
 
 /// The JSON payload written to `BENCH_perf.json`.
@@ -186,15 +207,28 @@ pub struct PerfReport {
     pub current: Vec<Measurement>,
     /// Per-key wall-time speedup vs the baseline (baseline / current).
     pub speedup: Vec<(String, f64)>,
+    /// Whether the structured event stream was captured during this run.
+    /// The regression gate compares disabled-path runs only; enabled-path
+    /// reports exist to bound the observability overhead.
+    pub events_enabled: bool,
 }
 
-/// Run the harness over `workloads` and assemble the report against the
-/// embedded `baseline` rows.
+/// Run the harness over `workloads` with events disabled (the regression
+/// gate) and assemble the report against the embedded `baseline` rows.
 pub fn run(workloads: &[Workload], baseline: &[BaselineRow]) -> PerfReport {
+    run_with_events(workloads, baseline, EventConfig::default())
+}
+
+/// Run the harness over `workloads` with an explicit event configuration.
+pub fn run_with_events(
+    workloads: &[Workload],
+    baseline: &[BaselineRow],
+    events: EventConfig,
+) -> PerfReport {
     let mut current = Vec::new();
     for w in workloads {
         for &(scheme, gc) in &SCHEMES {
-            let m = measure(w, scheme, gc);
+            let m = measure_with_events(w, scheme, gc, events);
             println!(
                 "perf {key:<28} {wall:>9.1} ms  {kops:>8.1} kops/s  gc-select {share:>5.1}%  wa {wa:.2}",
                 key = m.key,
@@ -223,6 +257,7 @@ pub fn run(workloads: &[Workload], baseline: &[BaselineRow]) -> PerfReport {
         baseline: baseline.to_vec(),
         current,
         speedup,
+        events_enabled: events.enabled,
     }
 }
 
@@ -240,6 +275,19 @@ mod tests {
         assert!(m.wa >= 1.0);
         assert!(m.gc_select_share >= 0.0 && m.gc_select_share <= 1.0);
         assert!(m.memory_bytes > 0);
+    }
+
+    #[test]
+    fn event_capture_leaves_workload_metrics_untouched() {
+        let off = measure(&QUICK, Scheme::SepGc, GcSelection::Greedy);
+        let on =
+            measure_with_events(&QUICK, Scheme::SepGc, GcSelection::Greedy, EventConfig::enabled());
+        assert_eq!(off.events_emitted, 0);
+        assert!(on.events_emitted > 0);
+        // Wall time may shift; the workload-derived numbers must not.
+        assert_eq!(off.wa, on.wa);
+        assert_eq!(off.gc_passes, on.gc_passes);
+        assert_eq!(off.blocks, on.blocks);
     }
 
     #[test]

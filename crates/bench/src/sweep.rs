@@ -59,7 +59,8 @@ mod tests {
 
     #[test]
     fn tiny_sweep_is_complete_and_indexable() {
-        let cli = Cli { scale: 0.08, out_dir: "/tmp/adapt-test".into(), quick: false };
+        let cli =
+            Cli { scale: 0.08, out_dir: "/tmp/adapt-test".into(), quick: false, events: false };
         let sweep = FullSweep::run(&cli);
         assert_eq!(sweep.results.len(), 3 * 2 * 6);
         let cell = sweep.get(Scheme::Adapt, GcSelection::Greedy, "AliCloud").expect("cell exists");

@@ -31,8 +31,10 @@
 //!
 //! let cfg = LssConfig { user_blocks: 8 * 1024, op_ratio: 0.5, ..Default::default() };
 //! let policy = Adapt::new(&cfg); // or Adapt::with_config for ablations
-//! let mut engine = Lss::new(cfg, GcSelection::Greedy, policy,
-//!                           CountingArray::new(cfg.array_config()));
+//! let mut engine = Lss::builder(policy, CountingArray::new(cfg.array_config()))
+//!     .config(cfg)
+//!     .gc_select(GcSelection::Greedy)
+//!     .build();
 //! for lba in 0..1024u64 {
 //!     engine.write(lba, lba % 512); // skewed overwrites
 //! }

@@ -25,8 +25,8 @@ use crate::config::AdaptConfig;
 use crate::demotion::RaIdentifier;
 use crate::threshold::ThresholdAdapter;
 use adapt_lss::{
-    GroupId, GroupKind, Lba, LssConfig, PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta,
-    SlaAction, VictimMeta,
+    GroupId, GroupKind, Lba, LssConfig, PlacementPolicy, PolicyCtx, PolicyEvent, ReclaimInfo,
+    SegmentMeta, SlaAction, VictimMeta,
 };
 use adapt_placement::LbaTable;
 
@@ -80,6 +80,9 @@ pub struct Adapt {
     demotions: u64,
     /// Threshold adoptions performed.
     adoptions: u64,
+    /// Observability events buffered for the engine's event stream
+    /// (populated only while [`PolicyCtx::events_enabled`] is set).
+    pending_events: Vec<PolicyEvent>,
 }
 
 impl Adapt {
@@ -127,6 +130,18 @@ impl Adapt {
             padding_present: true,
             demotions: 0,
             adoptions: 0,
+            pending_events: Vec::new(),
+        }
+    }
+
+    /// The hot/cold threshold as a byte count for event records
+    /// (`u64::MAX` encodes "infinite — everything is cold-startable").
+    fn threshold_bytes_for_events(&self) -> u64 {
+        let t = self.effective_threshold();
+        if t.is_finite() {
+            t as u64
+        } else {
+            u64::MAX
         }
     }
 
@@ -212,13 +227,30 @@ impl PlacementPolicy for Adapt {
         // Feed the density/popularity tracking pipeline.
         if self.cfg.enable_adaptation && self.adapter.on_user_write(lba, ctx.now_us) {
             self.adoptions += 1;
+            if ctx.events_enabled {
+                self.pending_events.push(PolicyEvent::ThresholdAdopted {
+                    threshold_bytes: self.adapter.threshold().unwrap_or(0),
+                    linear: self.adapter.is_linear(),
+                    candidates: self.adapter.candidates().len() as u32,
+                });
+            }
         }
+        let padding_was_present = self.padding_present;
         self.padding_present = ctx
             .groups
             .get(Self::HOT as usize)
             .map(|g| g.window_pad_chunks > 0)
             .unwrap_or(true)
             || ctx.groups.get(Self::COLD as usize).map(|g| g.window_pad_chunks > 0).unwrap_or(true);
+        if ctx.events_enabled && padding_was_present != self.padding_present {
+            // The governing regime flipped: the ghost-adapted threshold
+            // takes over when padding is a live cost, and yields to the
+            // lifespan estimate when chunks fill on their own.
+            self.pending_events.push(PolicyEvent::GhostOutcome {
+                adapted_governs: self.cfg.enable_adaptation && self.padding_present,
+                effective_threshold_bytes: self.threshold_bytes_for_events(),
+            });
+        }
 
         // Proactive demotion: a block that repeatedly migrated back into
         // the same GC group belongs there from the start. Demote only when
@@ -231,6 +263,9 @@ impl PlacementPolicy for Adapt {
             if let Some(gc_group) = self.ra.check(lba) {
                 if ctx.groups[gc_group as usize].pending_blocks > 0 {
                     self.demotions += 1;
+                    if ctx.events_enabled {
+                        self.pending_events.push(PolicyEvent::Demotion { lba, group: gc_group });
+                    }
                     self.last_write_bytes.set(lba, ctx.user_bytes + 1);
                     return gc_group;
                 }
@@ -292,6 +327,10 @@ impl PlacementPolicy for Adapt {
             + self.adapter.memory_bytes()
             + self.ra.memory_bytes()
             + std::mem::size_of::<Self>()
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<PolicyEvent>) {
+        out.append(&mut self.pending_events);
     }
 }
 
@@ -461,5 +500,31 @@ mod tests {
         }
         assert_eq!(p.adoptions(), 0);
         assert!(p.effective_threshold().is_infinite());
+    }
+
+    #[test]
+    fn events_buffer_only_when_enabled_and_drain_clears() {
+        let cfg = lss();
+        // Disabled: the padding-regime flip happens but nothing buffers.
+        let mut p = Adapt::new(&cfg);
+        p.place_user(&ctx(0), 1);
+        let mut out = Vec::new();
+        p.drain_events(&mut out);
+        assert!(out.is_empty());
+
+        // Enabled: a fresh policy records the flip (padding_present starts
+        // true; the default ctx has no window padding, so it turns false).
+        let mut p = Adapt::new(&cfg);
+        let mut c = ctx(0);
+        c.events_enabled = true;
+        p.place_user(&c, 1);
+        p.drain_events(&mut out);
+        assert!(
+            matches!(out.as_slice(), [PolicyEvent::GhostOutcome { adapted_governs: false, .. }]),
+            "{out:?}"
+        );
+        out.clear();
+        p.drain_events(&mut out);
+        assert!(out.is_empty(), "drain must clear the buffer");
     }
 }

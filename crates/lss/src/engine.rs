@@ -32,6 +32,7 @@
 
 use crate::config::LssConfig;
 use crate::error::EngineError;
+use crate::events::{EventKind, EventRecorder, GaugeSample, PolicyEvent};
 use crate::gc::GcSelection;
 use crate::gc_buckets::SegmentBuckets;
 use crate::gc_variants::VictimPolicy;
@@ -42,6 +43,7 @@ use crate::placement::{
     PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta, SlaAction, VictimMeta,
 };
 use crate::segment::{Segment, SegmentState};
+use crate::telemetry::TelemetrySnapshot;
 use crate::types::{GroupId, Lba, SegmentId, Slot};
 use adapt_array::{ArrayHealth, ArraySink, ChunkFlush, ReadMode, ScrubStep, Traffic};
 
@@ -102,18 +104,46 @@ pub struct Lss<P: PlacementPolicy, S: ArraySink> {
     /// Cost-Benefit victim selection (and the utilization statistics)
     /// without scanning the segment table.
     buckets: SegmentBuckets,
+    /// Structured event stream. Disabled by default; every
+    /// instrumentation site is behind one branch on
+    /// [`EventRecorder::enabled`], so the disabled hot path is unchanged.
+    events: EventRecorder,
+    /// Scratch for draining policy-side events (avoids per-op allocation).
+    policy_event_buf: Vec<PolicyEvent>,
 }
 
 impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
+    /// Start a fluent [`EngineBuilder`](crate::EngineBuilder) from the two
+    /// required parts: the placement policy and the array sink. Everything
+    /// else (config, GC selection, event capture) has named setters with
+    /// sensible defaults.
+    pub fn builder(policy: P, sink: S) -> crate::EngineBuilder<P, S> {
+        crate::EngineBuilder::new(policy, sink)
+    }
+
     /// Build an engine with one of the paper's two GC policies (Greedy or
-    /// Cost-Benefit). For the extended victim-selection family see
-    /// [`Lss::with_victim_policy`].
+    /// Cost-Benefit).
+    #[deprecated(since = "0.4.0", note = "use Lss::builder(policy, sink) instead")]
     pub fn new(cfg: LssConfig, gc_select: GcSelection, policy: P, sink: S) -> Self {
         Self::with_victim_policy(cfg, VictimPolicy::Base(gc_select), policy, sink)
     }
 
-    /// Build an engine with any [`VictimPolicy`].
+    /// Build an engine with any [`VictimPolicy`] and events disabled.
+    /// Prefer [`Lss::builder`] with
+    /// [`victim_policy`](crate::EngineBuilder::victim_policy).
     pub fn with_victim_policy(cfg: LssConfig, gc_select: VictimPolicy, policy: P, sink: S) -> Self {
+        Self::with_recorder(cfg, gc_select, policy, sink, EventRecorder::disabled())
+    }
+
+    /// Build an engine around a pre-configured event recorder (the
+    /// builder's terminal step).
+    pub(crate) fn with_recorder(
+        cfg: LssConfig,
+        gc_select: VictimPolicy,
+        policy: P,
+        sink: S,
+        events: EventRecorder,
+    ) -> Self {
         let num_groups = policy.groups().len();
         cfg.validate(num_groups);
         assert!(num_groups > 0 && num_groups <= u8::MAX as usize);
@@ -138,6 +168,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             segment_blocks: cfg.segment_blocks(),
             block_bytes: cfg.block_bytes,
             groups: vec![Default::default(); num_groups],
+            events_enabled: events.enabled(),
             ..Default::default()
         };
         // Open segments are allocated lazily at each group's first flush:
@@ -168,6 +199,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             rebuild_start_op: None,
             gc_select_ns: 0,
             buckets: SegmentBuckets::new(cfg.segment_blocks(), total as usize),
+            events,
+            policy_event_buf: Vec::new(),
         }
     }
 
@@ -311,6 +344,13 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                             // chunk and repaired it in place before
                             // returning — the data served is verified.
                             self.metrics.healed_reads += 1;
+                            if self.events.enabled() {
+                                self.events.record(
+                                    self.now_us,
+                                    self.ops_seen,
+                                    EventKind::ChecksumHeal { seg, chunk_in_seg: chunk_idx },
+                                );
+                            }
                         }
                     }
                     return Ok(());
@@ -458,6 +498,50 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// Monotonic host-byte clock.
     pub fn user_bytes_clock(&self) -> u64 {
         self.user_bytes_clock
+    }
+
+    /// The structured event stream (ring contents, gauge series, totals).
+    pub fn events(&self) -> &EventRecorder {
+        &self.events
+    }
+
+    /// Mutable access to the event recorder (attach a JSONL sink, flush).
+    pub fn events_mut(&mut self) -> &mut EventRecorder {
+        &mut self.events
+    }
+
+    /// One unified, serializable snapshot of everything the stack
+    /// measures: engine metrics and derived rates, per-group traffic,
+    /// array counters and health, utilization statistics, latency
+    /// percentiles, and — when events are enabled — event totals and the
+    /// gauge time series. Takes `&mut self` so buffered policy events and
+    /// the JSONL sink are drained first.
+    pub fn telemetry(&mut self) -> TelemetrySnapshot {
+        if self.events.enabled() {
+            self.drain_policy_events();
+            let _ = self.events.flush();
+        }
+        TelemetrySnapshot {
+            host_ops: self.ops_seen,
+            now_us: self.now_us,
+            user_bytes_clock: self.user_bytes_clock,
+            wa: self.metrics.wa(),
+            wa_gc_only: self.metrics.wa_gc_only(),
+            padding_ratio: self.metrics.padding_ratio(),
+            read_amplification: self.metrics.read_amplification(),
+            groups: self.group_traffic(),
+            array: self.sink.stats().clone(),
+            health: self.sink.health(),
+            free_segments: self.free.len() as u32,
+            total_segments: self.segments.len() as u32,
+            utilization_histogram: self.buckets.histogram10(),
+            mean_sealed_utilization: self.buckets.mean_utilization(),
+            memory_bytes: self.memory_bytes() as u64,
+            durability_latency: self.metrics.durability_latency.summary(),
+            events: self.events.stats(),
+            gauges: self.events.gauges().to_vec(),
+            lss: self.metrics.clone(),
+        }
     }
 
     /// Free segments currently available.
@@ -612,25 +696,83 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 self.fold_scrub_step(&step);
             }
         }
+        if self.events.enabled() {
+            self.pump_events();
+        }
         let health = self.sink.health();
         if health == self.last_health {
             return;
         }
         match health {
-            ArrayHealth::Rebuilding { .. } => {
+            ArrayHealth::Rebuilding { device } => {
                 if self.rebuild_start_op.is_none() {
                     self.rebuild_start_op = Some(self.ops_seen);
+                    if self.events.enabled() {
+                        self.events.record(
+                            self.now_us,
+                            self.ops_seen,
+                            EventKind::RebuildStart { device: device as u32 },
+                        );
+                    }
                 }
             }
             ArrayHealth::Healthy => {
                 if let Some(start) = self.rebuild_start_op.take() {
-                    self.metrics.rebuild_ops += self.ops_seen.saturating_sub(start);
+                    let ops = self.ops_seen.saturating_sub(start);
+                    self.metrics.rebuild_ops += ops;
                     self.metrics.rebuild_bytes = self.sink.stats().rebuild_bytes();
+                    if self.events.enabled() {
+                        self.events.record(
+                            self.now_us,
+                            self.ops_seen,
+                            EventKind::RebuildComplete { ops, bytes: self.metrics.rebuild_bytes },
+                        );
+                    }
                 }
             }
             ArrayHealth::Degraded { .. } => {}
         }
         self.last_health = health;
+    }
+
+    /// Events-on bookkeeping for one host op: drain policy-side events and
+    /// sample the gauge time series on its op cadence. Out of line so the
+    /// events-off hot path pays only the guard branch.
+    #[cold]
+    fn pump_events(&mut self) {
+        self.drain_policy_events();
+        let interval = self.events.config().gauge_interval_ops;
+        if interval > 0 && self.ops_seen.is_multiple_of(interval) {
+            let sample = self.gauge_sample();
+            self.events.record_gauge(sample);
+        }
+    }
+
+    /// Move events the policy buffered during its callbacks into the
+    /// engine's recorder, stamped with the current clocks.
+    fn drain_policy_events(&mut self) {
+        let mut buf = std::mem::take(&mut self.policy_event_buf);
+        buf.clear();
+        self.policy.drain_events(&mut buf);
+        for &ev in &buf {
+            self.events.record(self.now_us, self.ops_seen, EventKind::Policy(ev));
+        }
+        self.policy_event_buf = buf;
+    }
+
+    /// One gauge sample of the engine's key load indicators.
+    fn gauge_sample(&self) -> GaugeSample {
+        GaugeSample {
+            op: self.ops_seen,
+            now_us: self.now_us,
+            wa_so_far: self.metrics.wa(),
+            free_segments: self.free.len() as u32,
+            gc_backlog_segments: (self.cfg.gc_high_water as usize).saturating_sub(self.free.len())
+                as u32,
+            mean_utilization: self.buckets.mean_utilization(),
+            group_pending_blocks: self.groups.iter().map(|g| g.pending.len() as u32).collect(),
+            group_segments: self.groups.iter().map(|g| g.segment_count()).collect(),
+        }
     }
 
     /// Fold one scrub step's deltas into the engine metrics.
@@ -649,6 +791,25 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         }
         if step.pass_complete {
             m.scrub_passes += 1;
+        }
+        if self.events.enabled() {
+            if step.healed > 0 || step.latent_repaired > 0 {
+                self.events.record(
+                    self.now_us,
+                    self.ops_seen,
+                    EventKind::ScrubHeal {
+                        healed: step.healed,
+                        latent_repaired: step.latent_repaired,
+                    },
+                );
+            }
+            if step.pass_complete {
+                self.events.record(
+                    self.now_us,
+                    self.ops_seen,
+                    EventKind::ScrubPass { chunks_scrubbed: self.metrics.chunks_scrubbed },
+                );
+            }
         }
     }
 
@@ -742,6 +903,13 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             return self.flush_chunk(home, &[], GroupId::MAX);
         }
         self.metrics.shadow_append_events += 1;
+        if self.events.enabled() {
+            self.events.record(
+                self.now_us,
+                self.ops_seen,
+                EventKind::ShadowAppend { home, target, blocks: shadows.len() as u32 },
+            );
+        }
         let flushed = self.flush_chunk(target, &shadows, home);
         self.shadow_scratch = shadows;
         flushed?;
@@ -765,6 +933,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     ) -> Result<(), EngineError> {
         let chunk_blocks = self.cfg.chunk_blocks;
         let block_bytes = self.cfg.block_bytes;
+        let lazy_before = self.metrics.lazy_appends;
         // The open segment is allocated lazily: sealing happens eagerly but
         // replacement waits until the group actually needs space again (so
         // GC triggered by a seal can route blocks into this group safely).
@@ -862,6 +1031,27 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.metrics.chunks_flushed += 1;
         if pad > 0 {
             self.metrics.padded_chunks += 1;
+        }
+        if self.events.enabled() {
+            let lazy = (self.metrics.lazy_appends - lazy_before) as u32;
+            if lazy > 0 {
+                self.events.record(
+                    self.now_us,
+                    self.ops_seen,
+                    EventKind::LazyAppend { group: gid, blocks: lazy },
+                );
+            }
+            if pad > 0 {
+                self.events.record(
+                    self.now_us,
+                    self.ops_seen,
+                    EventKind::PaddedFlush {
+                        group: gid,
+                        payload_blocks: payload as u32,
+                        pad_blocks: pad as u32,
+                    },
+                );
+            }
         }
         // The chunk just written starts at slot `filled - chunk_blocks`.
         let chunk_in_seg = (self.segments[seg_id as usize].filled - chunk_blocks) / chunk_blocks;
@@ -1087,6 +1277,19 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         seg.reset();
         self.free.push(victim_id);
         self.metrics.segments_reclaimed += 1;
+        if self.events.enabled() {
+            self.events.record(
+                self.now_us,
+                self.ops_seen,
+                EventKind::GcCollect {
+                    victim: victim_id,
+                    group: victim_group,
+                    valid_blocks: valid_at_start,
+                    segment_blocks: self.cfg.segment_blocks(),
+                    migrated,
+                },
+            );
+        }
         let info = ReclaimInfo {
             seg: victim_id,
             group: victim_group,
@@ -1268,7 +1471,7 @@ mod tests {
 
     fn engine(policy: TestPolicy) -> Lss<TestPolicy, CountingArray> {
         let cfg = small_cfg();
-        Lss::new(cfg, GcSelection::Greedy, policy, CountingArray::new(cfg.array_config()))
+        Lss::builder(policy, CountingArray::new(cfg.array_config())).config(cfg).build()
     }
 
     #[test]
@@ -1538,12 +1741,9 @@ mod tests {
     fn background_gc_steps_keep_pool_healthy() {
         let mut cfg = small_cfg();
         cfg.background_gc = true;
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
-            TestPolicy::sepgc(),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .build();
         let mut steps = 0u64;
         for i in 0..6 * 4096u64 {
             e.write(i, scattered_lba(i, 4096));
@@ -1562,12 +1762,9 @@ mod tests {
     fn emergency_inline_gc_saves_a_lagging_background_collector() {
         let mut cfg = small_cfg();
         cfg.background_gc = true;
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
-            TestPolicy::sepgc(),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .build();
         // Never call gc_step: the emergency inline path must keep the
         // engine alive anyway.
         for i in 0..6 * 4096u64 {
@@ -1676,12 +1873,12 @@ mod tests {
     fn degraded_reads_served_via_reconstruction() {
         use adapt_array::{FaultPlan, FaultyArray};
         let cfg = small_cfg();
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
+        let mut e = Lss::builder(
             TestPolicy::sepgc(),
             FaultyArray::new(cfg.array_config(), FaultPlan::new(7)),
-        );
+        )
+        .config(cfg)
+        .build();
         // Three dense chunks complete RAID-5 stripe 0 (3 data columns).
         for i in 0..48u64 {
             e.write(i, i);
@@ -1705,12 +1902,9 @@ mod tests {
         use adapt_array::{ArrayError, FaultPlan, FaultyArray};
         let cfg = small_cfg();
         let plan = FaultPlan::new(3).with_transient_read_prob(1.0);
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
-            TestPolicy::sepgc(),
-            FaultyArray::new(cfg.array_config(), plan),
-        );
+        let mut e = Lss::builder(TestPolicy::sepgc(), FaultyArray::new(cfg.array_config(), plan))
+            .config(cfg)
+            .build();
         for i in 0..16u64 {
             e.write(i, i);
         }
@@ -1732,12 +1926,12 @@ mod tests {
         use adapt_array::{ArrayHealth, FaultPlan, FaultyArray};
         let mut cfg = small_cfg();
         cfg.background_gc = true;
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
+        let mut e = Lss::builder(
             TestPolicy::sepgc(),
             FaultyArray::new(cfg.array_config(), FaultPlan::new(1)),
-        );
+        )
+        .config(cfg)
+        .build();
         // Churn: plenty of sealed segments with garbage for GC to eat.
         let mut ts = 0u64;
         for lba in 0..4096u64 {
@@ -1767,12 +1961,12 @@ mod tests {
     fn rebuild_metrics_capture_ops_and_bytes() {
         use adapt_array::{FaultPlan, FaultyArray};
         let cfg = small_cfg();
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
+        let mut e = Lss::builder(
             TestPolicy::sepgc(),
             FaultyArray::new(cfg.array_config(), FaultPlan::new(2)),
-        );
+        )
+        .config(cfg)
+        .build();
         let mut ts = 0u64;
         for lba in 0..1024u64 {
             e.write(ts, lba);
@@ -1808,6 +2002,50 @@ mod tests {
             in_gc: true,
         };
         assert!(e.to_string().contains("raise op_ratio"));
+    }
+
+    #[test]
+    fn event_stream_reconciles_and_keeps_metrics_bit_identical() {
+        use crate::events::EventConfig;
+        let run = |on: bool| {
+            let cfg = small_cfg();
+            let mut e =
+                Lss::builder(TestPolicy::with_shadow(), CountingArray::new(cfg.array_config()))
+                    .config(cfg)
+                    .events(EventConfig {
+                        enabled: on,
+                        ring_capacity: 128,
+                        gauge_interval_ops: 1000,
+                    })
+                    .build();
+            let mut ts = 0u64;
+            for lba in 0..4096u64 {
+                e.write(ts, lba);
+                ts += 1;
+            }
+            for i in 0..4 * 4096u64 {
+                e.write(ts, scattered_lba(i, 4096));
+                ts += 1;
+            }
+            // A lone straggler exercises the shadow-append path.
+            e.write(ts + 10_000, 4095);
+            e.advance_time(ts + 200_000);
+            e.flush_all();
+            e
+        };
+        let mut off = run(false);
+        let mut on = run(true);
+        assert_eq!(off.metrics(), on.metrics(), "events must not perturb the replay");
+        assert_eq!(off.telemetry().events.emitted, 0);
+        let snap = on.telemetry();
+        let m = &snap.lss;
+        // Event totals survive ring wraparound, so they reconcile exactly
+        // with the engine's own counters.
+        assert_eq!(snap.events.kind_total("gc_collect"), m.segments_reclaimed);
+        assert_eq!(snap.events.kind_total("padded_flush"), m.padded_chunks);
+        assert_eq!(snap.events.kind_total("shadow_append"), m.shadow_append_events);
+        assert!(snap.events.distinct_kinds() >= 3, "{:?}", snap.events.kinds);
+        assert!(!snap.gauges.is_empty(), "gauge series sampled");
     }
 
     #[test]

@@ -95,6 +95,21 @@ impl LatencyHistogram {
         within as f64 / self.count as f64
     }
 
+    /// Conservative percentile summary (p50/p95/p99/p999 bucket upper
+    /// bounds) plus count/mean/max — the latency section of
+    /// [`TelemetrySnapshot`](crate::TelemetrySnapshot).
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_us: self.mean_us(),
+            p50_us: self.quantile_upper_us(0.50),
+            p95_us: self.quantile_upper_us(0.95),
+            p99_us: self.quantile_upper_us(0.99),
+            p999_us: self.quantile_upper_us(0.999),
+            max_us: self.max_us,
+        }
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -111,9 +126,89 @@ impl LatencyHistogram {
     }
 }
 
+/// Extracted percentile summary of a [`LatencyHistogram`]. Percentiles
+/// are bucket upper bounds: for a sample at latency `x`, the reported
+/// quantile `q` satisfies `x ≤ p_q < 2x` (log₂ buckets), i.e. a
+/// conservative over-estimate within one bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency (µs, exact).
+    pub mean_us: f64,
+    /// p50 upper bound (µs).
+    pub p50_us: u64,
+    /// p95 upper bound (µs).
+    pub p95_us: u64,
+    /// p99 upper bound (µs).
+    pub p99_us: u64,
+    /// p99.9 upper bound (µs).
+    pub p999_us: u64,
+    /// Maximum latency (µs, exact).
+    pub max_us: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Brute-force quantile over the raw samples: value at index
+    /// `ceil(n·q) - 1` of the sorted list (the definition
+    /// `quantile_upper_us` over-approximates at bucket resolution).
+    fn brute_quantile(samples: &[u64], q: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1) - 1;
+        sorted[rank]
+    }
+
+    /// Upper bound of the log₂ bucket that `us` lands in.
+    fn bucket_upper(us: u64) -> u64 {
+        if us == 0 {
+            0
+        } else {
+            1u64 << (64 - us.leading_zeros())
+        }
+    }
+
+    #[test]
+    fn percentiles_bracket_brute_force_reference() {
+        // A skewed mixture: mostly fast, a heavy tail — the shape where
+        // naive means hide the tail and percentiles matter.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        for i in 0..5000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = x >> 33;
+            samples.push(match i % 100 {
+                0..=89 => r % 64,         // fast path
+                90..=98 => 100 + r % 900, // slow tail
+                _ => 5_000 + r % 50_000,  // outliers
+            });
+        }
+        let mut h = LatencyHistogram::default();
+        for &s in &samples {
+            h.record(s);
+        }
+        let s = h.summary();
+        for (q, got) in [(0.50, s.p50_us), (0.95, s.p95_us), (0.99, s.p99_us), (0.999, s.p999_us)] {
+            let truth = brute_quantile(&samples, q);
+            // The histogram reports the upper bound of the bucket holding
+            // the true quantile: never below the truth, and no more than
+            // one log₂ bucket above it.
+            assert!(got >= truth, "p{q}: got {got} < true {truth}");
+            assert!(got <= bucket_upper(truth), "p{q}: got {got} > bucket({truth})");
+        }
+        assert_eq!(s.count, samples.len() as u64);
+        assert_eq!(s.max_us, *samples.iter().max().unwrap());
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        assert!((s.mean_us - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_histogram_is_zeroes() {
+        assert_eq!(LatencyHistogram::default().summary(), LatencySummary::default());
+    }
 
     #[test]
     fn records_and_means() {

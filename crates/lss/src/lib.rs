@@ -46,8 +46,10 @@
 //!
 //! let cfg = LssConfig { user_blocks: 8 * 1024, op_ratio: 0.5, ..Default::default() };
 //! let policy = Simple(vec![GroupKind::User, GroupKind::Gc]);
-//! let mut engine = Lss::new(cfg, GcSelection::Greedy, policy,
-//!                           CountingArray::new(cfg.array_config()));
+//! let mut engine = Lss::builder(policy, CountingArray::new(cfg.array_config()))
+//!     .config(cfg)
+//!     .gc_select(GcSelection::Greedy)
+//!     .build();
 //!
 //! // Sixteen back-to-back 4 KiB writes fill exactly one 64 KiB chunk.
 //! for lba in 0..16 {
@@ -62,9 +64,11 @@
 //! assert_eq!(engine.metrics().padded_chunks, 1);
 //! ```
 
+pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod events;
 pub mod fxhash;
 pub mod gc;
 pub mod gc_buckets;
@@ -75,19 +79,26 @@ pub mod latency;
 pub mod metrics;
 pub mod placement;
 pub mod segment;
+pub mod telemetry;
 pub mod types;
 
+pub use builder::EngineBuilder;
 pub use config::LssConfig;
 pub use engine::Lss;
 pub use error::EngineError;
+pub use events::{
+    EngineEvent, EventConfig, EventKind, EventRecorder, EventStats, GaugeSample, PolicyEvent,
+    EVENT_KINDS, KIND_LABELS,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gc::GcSelection;
 pub use gc_buckets::SegmentBuckets;
 pub use gc_variants::VictimPolicy;
-pub use latency::LatencyHistogram;
+pub use latency::{LatencyHistogram, LatencySummary};
 pub use metrics::{GroupTraffic, LssMetrics};
 pub use placement::{
     GroupKind, GroupSnapshot, PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta, SlaAction,
     VictimMeta,
 };
+pub use telemetry::TelemetrySnapshot;
 pub use types::{GroupId, Lba, SegmentId};

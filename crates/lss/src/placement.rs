@@ -7,6 +7,7 @@
 //! lifecycle events so lifespan-based policies (SepBIT, ADAPT) can learn
 //! segment lifespans.
 
+use crate::events::PolicyEvent;
 use crate::types::{GroupId, Lba, SegmentId};
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +103,10 @@ pub struct PolicyCtx {
     pub segment_blocks: u32,
     /// Block size in bytes.
     pub block_bytes: u64,
+    /// Whether the engine's structured event stream is recording. Policies
+    /// buffer [`PolicyEvent`]s for [`PlacementPolicy::drain_events`] only
+    /// when set, keeping the disabled path allocation-free.
+    pub events_enabled: bool,
 }
 
 impl PolicyCtx {
@@ -201,6 +206,12 @@ pub trait PlacementPolicy {
     fn memory_bytes(&self) -> usize {
         0
     }
+
+    /// Move any buffered observability events into `out`. The engine calls
+    /// this once per host op while its event stream is recording (see
+    /// [`PolicyCtx::events_enabled`]); policies without instrumentation
+    /// keep the default no-op.
+    fn drain_events(&mut self, _out: &mut Vec<PolicyEvent>) {}
 }
 
 #[cfg(test)]

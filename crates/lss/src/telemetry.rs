@@ -1,0 +1,135 @@
+//! Unified telemetry: one serializable snapshot of everything the stack
+//! measures.
+//!
+//! Before this module, callers stitched together `Engine::metrics()`,
+//! array counter getters, utilization histograms, and scrub/rebuild state
+//! by hand — every scenario runner slightly differently. A
+//! [`TelemetrySnapshot`] merges all of it: engine [`LssMetrics`], array
+//! [`ArrayStats`] (per-device counters), array health, latency percentile
+//! summaries, event-stream totals, and the gauge time series, plus the
+//! derived rates every report wants (WA, padding ratio, read
+//! amplification). [`Lss::telemetry`](crate::Lss::telemetry) builds one;
+//! `sim`'s run-report pipeline serializes it under `results/`.
+
+use crate::events::{EventStats, GaugeSample};
+use crate::latency::LatencySummary;
+use crate::metrics::{GroupTraffic, LssMetrics};
+use adapt_array::{ArrayHealth, ArrayStats};
+use serde::{Deserialize, Serialize};
+
+/// One unified, serializable view of the whole stack's state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Host-op clock at snapshot time.
+    pub host_ops: u64,
+    /// Simulated time (µs) at snapshot time.
+    pub now_us: u64,
+    /// Monotonic host-byte clock (never reset).
+    pub user_bytes_clock: u64,
+    /// Engine metrics over the current measurement window.
+    pub lss: LssMetrics,
+    /// Derived: write amplification including padding.
+    pub wa: f64,
+    /// Derived: GC-only write amplification (padding excluded).
+    pub wa_gc_only: f64,
+    /// Derived: padding share of physical writes.
+    pub padding_ratio: f64,
+    /// Derived: array bytes fetched per host byte read.
+    pub read_amplification: f64,
+    /// Per-group lifetime traffic split.
+    pub groups: Vec<GroupTraffic>,
+    /// Array-layer counters (per-device byte/chunk accounting, rebuild
+    /// and scrub totals).
+    pub array: ArrayStats,
+    /// Array health at snapshot time.
+    pub health: ArrayHealth,
+    /// Free segments remaining in the pool.
+    pub free_segments: u32,
+    /// Total segments the engine manages.
+    pub total_segments: u32,
+    /// Sealed-segment utilization histogram (ten 10%-wide buckets).
+    pub utilization_histogram: [u64; 10],
+    /// Mean valid fraction across sealed segments.
+    pub mean_sealed_utilization: f64,
+    /// Resident index + policy memory (bytes).
+    pub memory_bytes: u64,
+    /// Durability-latency percentile summary (p50/p95/p99/p999).
+    pub durability_latency: LatencySummary,
+    /// Event-stream totals (empty when events are disabled).
+    pub events: EventStats,
+    /// Gauge time series (empty when events are disabled).
+    pub gauges: Vec<GaugeSample>,
+}
+
+impl TelemetrySnapshot {
+    /// Events emitted per million host ops — the event-derived rate view
+    /// (0 when events were disabled or no ops ran).
+    pub fn events_per_mop(&self) -> f64 {
+        if self.host_ops == 0 {
+            return 0.0;
+        }
+        self.events.emitted as f64 * 1e6 / self.host_ops as f64
+    }
+
+    /// Physical device imbalance: max/mean of per-device total bytes
+    /// (1.0 = perfectly balanced).
+    pub fn device_imbalance(&self) -> f64 {
+        let totals: Vec<u64> = self.array.devices.iter().map(|d| d.total_bytes()).collect();
+        let max = totals.iter().copied().max().unwrap_or(0);
+        let sum: u64 = totals.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max as f64 * totals.len() as f64 / sum as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            host_ops: 1000,
+            now_us: 5000,
+            user_bytes_clock: 4096,
+            lss: LssMetrics::default(),
+            wa: 1.0,
+            wa_gc_only: 1.0,
+            padding_ratio: 0.0,
+            read_amplification: 1.0,
+            groups: vec![],
+            array: ArrayStats::new(4),
+            health: ArrayHealth::Healthy,
+            free_segments: 10,
+            total_segments: 40,
+            utilization_histogram: [0; 10],
+            mean_sealed_utilization: 1.0,
+            memory_bytes: 0,
+            durability_latency: LatencySummary::default(),
+            events: EventStats { emitted: 500, dropped: 0, kinds: vec![] },
+            gauges: vec![],
+        }
+    }
+
+    #[test]
+    fn event_rate_scales_by_ops() {
+        let s = snapshot();
+        assert!((s.events_per_mop() - 500_000.0).abs() < 1e-6);
+        let empty = TelemetrySnapshot { host_ops: 0, ..snapshot() };
+        assert_eq!(empty.events_per_mop(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_idle_array_is_one() {
+        assert_eq!(snapshot().device_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn snapshot_serializes_round() {
+        let s = snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"wa\""));
+        assert!(json.contains("\"health\""));
+    }
+}

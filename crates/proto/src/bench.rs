@@ -122,7 +122,7 @@ fn run_with_policy<P: PlacementPolicy + Send>(
     let array_cfg = lss.array_config();
     let timeline = Arc::new(DeviceTimeline::new(array_cfg.num_devices, cfg.device_bytes_per_sec));
     let sink = ProtoSink::new(array_cfg, timeline.clone());
-    let mut engine = Lss::new(lss, cfg.gc, policy, sink);
+    let mut engine = Lss::builder(policy, sink).config(lss).gc_select(cfg.gc).build();
 
     // Pre-fill (dense, untimed).
     for lba in 0..cfg.num_blocks {

@@ -105,6 +105,7 @@ mod tests {
             },
             groups: vec![],
             memory_bytes: 0,
+            telemetry: None,
         }
     }
 

@@ -172,7 +172,8 @@ fn run_with_policy<P: PlacementPolicy>(
     let cfg = scenario.replay;
     let plan = FaultPlan::new(scenario.seed).with_transient_read_prob(scenario.transient_read_prob);
     let sink = FaultyArray::new(cfg.lss.array_config(), plan);
-    let mut engine = Lss::new(cfg.lss, cfg.gc, policy, sink);
+    let mut engine =
+        Lss::builder(policy, sink).config(cfg.lss).gc_select(cfg.gc).events(cfg.events).build();
 
     let total = trace.len() as u64;
     let fail_at = ((total as f64) * scenario.fail_at_frac.clamp(0.0, 1.0)) as u64;

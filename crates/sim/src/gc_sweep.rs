@@ -43,7 +43,11 @@ impl<I: Iterator<Item = TraceRecord>> PolicyVisitor<LssMetrics> for SweepVisitor
     fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> LssMetrics {
         let SweepVisitor { cfg, victim, trace } = self;
         let sink = CountingArray::new(cfg.lss.array_config());
-        let mut engine = Lss::with_victim_policy(cfg.lss, victim, policy, sink);
+        let mut engine = Lss::builder(policy, sink)
+            .config(cfg.lss)
+            .victim_policy(victim)
+            .events(cfg.events)
+            .build();
         let warmup_bytes = match cfg.warmup {
             Warmup::None => 0,
             Warmup::CapacityOnce => cfg.lss.user_blocks * cfg.lss.block_bytes,

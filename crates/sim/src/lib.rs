@@ -22,6 +22,7 @@ pub mod scrub;
 
 pub use faults::{run_fault_scenario, FaultReport, FaultScenario, PhaseReport, VerifySweep};
 pub use replay::{replay_volume, ReplayConfig, VolumeResult, Warmup};
+pub use report::{write_run_report, RunReport};
 pub use runner::{run_suite, run_suite_all_schemes, SuiteResult};
 pub use scheme::Scheme;
 pub use scrub::{run_scrub_scenario, ScrubReport, ScrubScenario};

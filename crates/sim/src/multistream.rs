@@ -46,7 +46,8 @@ impl<I: Iterator<Item = TraceRecord>> PolicyVisitor<MultiStreamResult> for FtlVi
             groups + 1, // one stream per group + the device-GC stream
             multi_stream,
         );
-        let mut engine = Lss::new(cfg.lss, cfg.gc, policy, sink);
+        let mut engine =
+            Lss::builder(policy, sink).config(cfg.lss).gc_select(cfg.gc).events(cfg.events).build();
         let warmup_bytes = match cfg.warmup {
             Warmup::None => 0,
             Warmup::CapacityOnce => cfg.lss.user_blocks * cfg.lss.block_bytes,

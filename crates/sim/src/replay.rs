@@ -2,7 +2,10 @@
 
 use crate::scheme::{with_policy, PolicyVisitor, Scheme};
 use adapt_array::CountingArray;
-use adapt_lss::{GcSelection, GroupTraffic, Lss, LssConfig, LssMetrics, PlacementPolicy};
+use adapt_lss::{
+    EventConfig, GcSelection, GroupTraffic, Lss, LssConfig, LssMetrics, PlacementPolicy,
+    TelemetrySnapshot,
+};
 use adapt_trace::TraceRecord;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +30,10 @@ pub struct ReplayConfig {
     pub gc: GcSelection,
     /// Warm-up handling.
     pub warmup: Warmup,
+    /// Structured-event capture (disabled by default; when enabled the
+    /// replay result carries a full [`TelemetrySnapshot`]).
+    #[serde(default)]
+    pub events: EventConfig,
 }
 
 impl ReplayConfig {
@@ -46,7 +53,13 @@ impl ReplayConfig {
         let min_spare = (lss.gc_high_water + 8 + 4) as u64; // watermark + groups + margin
         let min_op = min_spare as f64 * lss.segment_blocks() as f64 / unique_blocks as f64;
         lss.op_ratio = lss.op_ratio.max(min_op * 1.05);
-        Self { lss, gc, warmup: Warmup::CapacityOnce }
+        Self { lss, gc, warmup: Warmup::CapacityOnce, events: EventConfig::default() }
+    }
+
+    /// Same configuration with structured-event capture turned on.
+    pub fn with_events(mut self, events: EventConfig) -> Self {
+        self.events = events;
+        self
     }
 }
 
@@ -65,6 +78,10 @@ pub struct VolumeResult {
     pub groups: Vec<GroupTraffic>,
     /// Policy + index resident memory at the end (bytes).
     pub memory_bytes: u64,
+    /// Full telemetry snapshot, populated when the replay ran with
+    /// structured events enabled (`None` otherwise, keeping the default
+    /// result payload small).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl VolumeResult {
@@ -89,7 +106,8 @@ impl<I: Iterator<Item = TraceRecord>> PolicyVisitor<VolumeResult> for ReplayVisi
     fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> VolumeResult {
         let ReplayVisitor { cfg, trace, volume_id } = self;
         let sink = CountingArray::new(cfg.lss.array_config());
-        let mut engine = Lss::new(cfg.lss, cfg.gc, policy, sink);
+        let mut engine =
+            Lss::builder(policy, sink).config(cfg.lss).gc_select(cfg.gc).events(cfg.events).build();
         let warmup_bytes = match cfg.warmup {
             Warmup::None => 0,
             Warmup::CapacityOnce => cfg.lss.user_blocks * cfg.lss.block_bytes,
@@ -110,6 +128,7 @@ impl<I: Iterator<Item = TraceRecord>> PolicyVisitor<VolumeResult> for ReplayVisi
             }
         }
         engine.flush_all();
+        let telemetry = cfg.events.enabled.then(|| engine.telemetry());
         VolumeResult {
             scheme: scheme_of_name(engine.policy().name()),
             gc: cfg.gc,
@@ -117,6 +136,7 @@ impl<I: Iterator<Item = TraceRecord>> PolicyVisitor<VolumeResult> for ReplayVisi
             metrics: engine.metrics().clone(),
             groups: engine.group_traffic(),
             memory_bytes: engine.memory_bytes() as u64,
+            telemetry,
         }
     }
 }

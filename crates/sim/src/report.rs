@@ -1,6 +1,8 @@
 //! Human-readable and JSON reporting of experiment results.
 
+use crate::replay::VolumeResult;
 use crate::runner::SuiteResult;
+use adapt_lss::TelemetrySnapshot;
 use adapt_trace::stats::Ecdf;
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -72,6 +74,59 @@ pub fn cdf_points(samples: &[f64], points: usize) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// One experiment run distilled for tooling: run identity, headline
+/// numbers pulled up to the top level for cheap filtering, and the full
+/// [`TelemetrySnapshot`] underneath for anything deeper.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Run label; also the output file stem (`results/<run>.report.json`).
+    pub run: String,
+    /// Headline: write amplification including padding.
+    pub wa: f64,
+    /// Headline: padding share of physical writes.
+    pub padding_ratio: f64,
+    /// Headline: array bytes fetched per host byte read.
+    pub read_amplification: f64,
+    /// Headline: events emitted per million host ops.
+    pub events_per_mop: f64,
+    /// Headline: number of distinct event kinds observed.
+    pub distinct_event_kinds: usize,
+    /// Headline: gauge samples captured.
+    pub gauge_samples: usize,
+    /// The full snapshot.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl RunReport {
+    /// Build a report from a snapshot.
+    pub fn new(run: impl Into<String>, telemetry: TelemetrySnapshot) -> Self {
+        Self {
+            run: run.into(),
+            wa: telemetry.wa,
+            padding_ratio: telemetry.padding_ratio,
+            read_amplification: telemetry.read_amplification,
+            events_per_mop: telemetry.events_per_mop(),
+            distinct_event_kinds: telemetry.events.distinct_kinds(),
+            gauge_samples: telemetry.gauges.len(),
+            telemetry,
+        }
+    }
+
+    /// Build a report from a replay result, if it captured telemetry
+    /// (i.e. the replay ran with events enabled).
+    pub fn from_volume(run: impl Into<String>, result: &VolumeResult) -> Option<Self> {
+        result.telemetry.clone().map(|t| Self::new(run, t))
+    }
+}
+
+/// Write a per-run report as `dir/<run>.report.json`; returns the path.
+pub fn write_run_report(dir: &str, report: &RunReport) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let path = format!("{dir}/{}.report.json", report.run);
+    std::fs::write(&path, to_json(report))?;
+    Ok(path)
+}
+
 /// Serialize any result payload as pretty JSON.
 pub fn to_json<T: Serialize>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("result types serialize infallibly")
@@ -113,6 +168,48 @@ mod tests {
     #[test]
     fn cdf_points_empty_ok() {
         assert!(cdf_points(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn run_report_pipeline_writes_json() {
+        use crate::replay::{replay_volume, ReplayConfig};
+        use crate::scheme::Scheme;
+        use adapt_lss::{EventConfig, GcSelection};
+        use adapt_trace::arrival::ArrivalModel;
+        use adapt_trace::ycsb::{AccessDistribution, YcsbConfig};
+
+        let trace = |seed| {
+            YcsbConfig {
+                num_blocks: 4096,
+                num_updates: 20_000,
+                zipf_alpha: 0.9,
+                read_ratio: 0.0,
+                arrival: ArrivalModel::Fixed { gap_us: 5 },
+                blocks_per_request: 1,
+                distribution: AccessDistribution::Zipfian,
+                seed,
+            }
+            .generator()
+        };
+        // Without events the replay carries no snapshot, so no report.
+        let quiet = ReplayConfig::for_volume(4096, GcSelection::Greedy);
+        let r = replay_volume(Scheme::SepGc, quiet, 0, trace(11));
+        assert!(RunReport::from_volume("quiet", &r).is_none());
+
+        let loud = quiet.with_events(EventConfig::enabled());
+        let r = replay_volume(Scheme::SepGc, loud, 0, trace(11));
+        let report = RunReport::from_volume("unit-run", &r).expect("telemetry captured");
+        assert!(report.telemetry.events.emitted > 0);
+        assert!(report.distinct_event_kinds > 0);
+        assert_eq!(report.wa, r.wa());
+
+        let dir = std::env::temp_dir().join("adapt-report-test");
+        let path = write_run_report(dir.to_str().unwrap(), &report).unwrap();
+        assert!(path.ends_with("unit-run.report.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"run\": \"unit-run\""));
+        assert!(body.contains("\"gauges\""));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -177,7 +177,8 @@ fn run_with_policy<P: PlacementPolicy>(
     let mut cfg = scenario.replay;
     cfg.lss.scrub_stripes_per_op = scenario.scrub_stripes_per_op;
     let sink = FaultyArray::new(cfg.lss.array_config(), FaultPlan::new(scenario.seed));
-    let mut engine = Lss::new(cfg.lss, cfg.gc, policy, sink);
+    let mut engine =
+        Lss::builder(policy, sink).config(cfg.lss).gc_select(cfg.gc).events(cfg.events).build();
 
     let total = trace.len() as u64;
     let bursts = scenario.bursts.max(1) as u64;

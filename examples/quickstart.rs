@@ -8,7 +8,7 @@
 
 use adapt_repro::adapt::Adapt;
 use adapt_repro::array::{ArraySink, CountingArray};
-use adapt_repro::lss::{GcSelection, Lss, LssConfig};
+use adapt_repro::lss::{EventConfig, GcSelection, Lss, LssConfig};
 use adapt_repro::trace::ycsb::{AccessDistribution, TrafficIntensity, YcsbConfig};
 
 fn main() {
@@ -17,10 +17,15 @@ fn main() {
     let cfg = LssConfig { user_blocks: 32 * 1024, op_ratio: 0.28, ..Default::default() };
 
     // 2. Pick a placement policy (ADAPT here; see `adapt_placement` for the
-    //    baselines) and an array sink (accounting-only RAID-5).
+    //    baselines) and an array sink (accounting-only RAID-5). Event
+    //    capture is opt-in; it feeds the telemetry snapshot below.
     let policy = Adapt::new(&cfg);
     let sink = CountingArray::new(cfg.array_config());
-    let mut engine = Lss::new(cfg, GcSelection::Greedy, policy, sink);
+    let mut engine = Lss::builder(policy, sink)
+        .config(cfg)
+        .gc_select(GcSelection::Greedy)
+        .events(EventConfig::enabled())
+        .build();
 
     // 3. Drive it with a workload. YCSB-A-shaped: fill once, then Zipfian
     //    updates at medium intensity (some chunks fill, some pad).
@@ -45,7 +50,8 @@ fn main() {
     }
     engine.flush_all();
 
-    // 4. Inspect the results.
+    // 4. Inspect the results — one unified snapshot, then the raw metrics.
+    let telemetry = engine.telemetry();
     let m = engine.metrics();
     println!("host writes      : {:>10} bytes", m.host_write_bytes);
     println!("user flushed     : {:>10} bytes", m.user_bytes);
@@ -71,4 +77,11 @@ fn main() {
         stats.parity_bytes(),
         stats.device_imbalance()
     );
+    println!(
+        "events           : {:>10} emitted across {} kinds, {} gauge samples",
+        telemetry.events.emitted,
+        telemetry.events.distinct_kinds(),
+        telemetry.gauges.len()
+    );
+    println!("durability p99   : {:>10} µs", telemetry.durability_latency.p99_us);
 }

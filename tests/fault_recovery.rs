@@ -84,7 +84,8 @@ fn small_engine(scrub_stripes_per_op: u64) -> Lss<SepBit, FaultyArray> {
         ..Default::default()
     };
     let sink = FaultyArray::new(cfg.array_config(), FaultPlan::new(7));
-    let mut e = Lss::new(cfg, GcSelection::Greedy, SepBit::new(), sink);
+    let mut e =
+        Lss::builder(SepBit::new(), sink).config(cfg).gc_select(GcSelection::Greedy).build();
     for lba in 0..2048 {
         e.write(lba, lba);
     }

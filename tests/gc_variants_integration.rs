@@ -36,12 +36,10 @@ fn workload(e: &mut Lss<impl adapt_repro::lss::PlacementPolicy, CountingArray>) 
 fn every_victim_policy_satisfies_engine_invariants() {
     for victim in victim_family(42) {
         let cfg = cfg();
-        let mut e = Lss::with_victim_policy(
-            cfg,
-            victim.clone(),
-            SepGc::new(),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(SepGc::new(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .victim_policy(victim.clone())
+            .build();
         workload(&mut e);
         e.check_invariants();
         e.flush_all();
@@ -55,12 +53,10 @@ fn victim_policy_ordering_matches_theory() {
     // Greedy ≤ d-choices ≤ Random on WA for a uniform-overwrite workload.
     let wa_of = |victim: VictimPolicy| {
         let cfg = cfg();
-        let mut e = Lss::with_victim_policy(
-            cfg,
-            victim,
-            SepGc::new(),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(SepGc::new(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .victim_policy(victim)
+            .build();
         workload(&mut e);
         e.flush_all();
         e.metrics().wa()
@@ -102,12 +98,10 @@ fn adapt_runs_under_every_victim_policy_via_sweep_api() {
 #[test]
 fn adapt_with_windowed_greedy_stays_consistent() {
     let cfg = cfg();
-    let mut e = Lss::with_victim_policy(
-        cfg,
-        VictimPolicy::windowed_greedy(),
-        Adapt::new(&cfg),
-        CountingArray::new(cfg.array_config()),
-    );
+    let mut e = Lss::builder(Adapt::new(&cfg), CountingArray::new(cfg.array_config()))
+        .config(cfg)
+        .victim_policy(VictimPolicy::windowed_greedy())
+        .build();
     workload(&mut e);
     e.check_invariants();
 }

@@ -3,7 +3,7 @@
 
 use adapt_repro::adapt::Adapt;
 use adapt_repro::array::{parity, ArraySink, CountingArray};
-use adapt_repro::lss::{GcSelection, Lss, LssConfig};
+use adapt_repro::lss::{EventConfig, GcSelection, Lss, LssConfig};
 use adapt_repro::placement::SepBit;
 use adapt_repro::trace::stats::{BoxStats, Ecdf};
 use adapt_repro::trace::ZipfGenerator;
@@ -93,12 +93,10 @@ proptest! {
             ..Default::default()
         };
         let _ = seed;
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
-            Adapt::new(&cfg),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(Adapt::new(&cfg), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .gc_select(GcSelection::Greedy)
+            .build();
         let mut ts = 0u64;
         for (lba, gap) in ops {
             ts += gap;
@@ -129,12 +127,10 @@ proptest! {
             gc_high_water: 10,
             ..Default::default()
         };
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::CostBenefit,
-            SepBit::new(),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(SepBit::new(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .gc_select(GcSelection::CostBenefit)
+            .build();
         let mut ts = 0u64;
         for (lba, gap) in ops {
             ts += gap;
@@ -143,6 +139,50 @@ proptest! {
         e.check_invariants();
         e.flush_all();
         e.check_invariants();
+    }
+
+    /// The telemetry snapshot always reconciles with the metrics it
+    /// summarizes: after an arbitrary write sequence with events on from
+    /// the start, the embedded metrics are bit-identical to
+    /// `Engine::metrics()` and the per-kind event totals match the
+    /// counters they narrate (per-kind totals survive ring wraparound).
+    #[test]
+    fn telemetry_snapshot_reconciles_with_metrics(
+        ops in prop::collection::vec((0u64..2048, 0u64..400), 50..400),
+        ring_idx in 0usize..3,
+    ) {
+        let ring = [8u32, 64, 4096][ring_idx];
+        let cfg = LssConfig {
+            user_blocks: 2048,
+            op_ratio: 1.5,
+            gc_low_water: 8,
+            gc_high_water: 10,
+            ..Default::default()
+        };
+        let events = EventConfig { enabled: true, ring_capacity: ring, gauge_interval_ops: 256 };
+        let mut e = Lss::builder(Adapt::new(&cfg), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .gc_select(GcSelection::Greedy)
+            .events(events)
+            .build();
+        let mut ts = 0u64;
+        for (lba, gap) in ops {
+            ts += gap;
+            e.write(ts, lba);
+        }
+        e.flush_all();
+        let snap = e.telemetry();
+        let m = e.metrics();
+        prop_assert_eq!(&snap.lss, m);
+        prop_assert!((snap.wa - m.wa()).abs() < 1e-12);
+        prop_assert_eq!(snap.events.kind_total("gc_collect"), m.segments_reclaimed);
+        prop_assert_eq!(snap.events.kind_total("padded_flush"), m.padded_chunks);
+        prop_assert_eq!(snap.events.kind_total("shadow_append"), m.shadow_append_events);
+        // The ring never holds more than its capacity, while the totals
+        // keep counting past it.
+        let retained: u64 = snap.events.emitted - snap.events.dropped;
+        prop_assert!(retained <= ring as u64);
+        prop_assert!(snap.gauges.iter().all(|g| g.op <= snap.host_ops));
     }
 
     /// WA is always ≥ the no-GC lower bound after a full flush **when no
@@ -159,12 +199,10 @@ proptest! {
             gc_high_water: 10,
             ..Default::default()
         };
-        let mut e = Lss::new(
-            cfg,
-            GcSelection::Greedy,
-            SepBit::new(),
-            CountingArray::new(cfg.array_config()),
-        );
+        let mut e = Lss::builder(SepBit::new(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .gc_select(GcSelection::Greedy)
+            .build();
         for lba in 0..count.min(2048) {
             e.write(lba, lba);
         }

@@ -33,8 +33,10 @@ fn invariants_hold_after_real_workload_for_every_policy() {
     let cfg = small_cfg();
     macro_rules! check {
         ($policy:expr) => {{
-            let mut e =
-                Lss::new(cfg, GcSelection::Greedy, $policy, CountingArray::new(cfg.array_config()));
+            let mut e = Lss::builder($policy, CountingArray::new(cfg.array_config()))
+                .config(cfg)
+                .gc_select(GcSelection::Greedy)
+                .build();
             for rec in ycsb(60_000, TrafficIntensity::Medium).generator() {
                 e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
             }
@@ -57,12 +59,10 @@ fn invariants_hold_after_real_workload_for_every_policy() {
 #[test]
 fn engine_and_array_accounting_agree() {
     let cfg = small_cfg();
-    let mut e = Lss::new(
-        cfg,
-        GcSelection::CostBenefit,
-        SepBit::new(),
-        CountingArray::new(cfg.array_config()),
-    );
+    let mut e = Lss::builder(SepBit::new(), CountingArray::new(cfg.array_config()))
+        .config(cfg)
+        .gc_select(GcSelection::CostBenefit)
+        .build();
     for rec in ycsb(40_000, TrafficIntensity::Light).generator() {
         e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
     }
@@ -80,12 +80,10 @@ fn engine_and_array_accounting_agree() {
 #[test]
 fn group_traffic_is_conserved() {
     let cfg = small_cfg();
-    let mut e = Lss::new(
-        cfg,
-        GcSelection::Greedy,
-        Adapt::new(&cfg),
-        CountingArray::new(cfg.array_config()),
-    );
+    let mut e = Lss::builder(Adapt::new(&cfg), CountingArray::new(cfg.array_config()))
+        .config(cfg)
+        .gc_select(GcSelection::Greedy)
+        .build();
     for rec in ycsb(50_000, TrafficIntensity::Medium).generator() {
         e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
     }
@@ -106,24 +104,20 @@ fn inmemory_array_matches_counting_array() {
     let cfg = small_cfg();
     let run = |use_bytes: bool| {
         if use_bytes {
-            let mut e = Lss::new(
-                cfg,
-                GcSelection::Greedy,
-                SepGc::new(),
-                InMemoryArray::new(cfg.array_config()),
-            );
+            let mut e = Lss::builder(SepGc::new(), InMemoryArray::new(cfg.array_config()))
+                .config(cfg)
+                .gc_select(GcSelection::Greedy)
+                .build();
             for rec in ycsb(20_000, TrafficIntensity::Medium).generator() {
                 e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
             }
             e.flush_all();
             (e.metrics().clone(), e.sink().stats().clone())
         } else {
-            let mut e = Lss::new(
-                cfg,
-                GcSelection::Greedy,
-                SepGc::new(),
-                CountingArray::new(cfg.array_config()),
-            );
+            let mut e = Lss::builder(SepGc::new(), CountingArray::new(cfg.array_config()))
+                .config(cfg)
+                .gc_select(GcSelection::Greedy)
+                .build();
             for rec in ycsb(20_000, TrafficIntensity::Medium).generator() {
                 e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
             }
@@ -142,8 +136,10 @@ fn inmemory_array_matches_counting_array() {
 #[test]
 fn device_failure_and_rebuild_after_workload() {
     let cfg = small_cfg();
-    let mut e =
-        Lss::new(cfg, GcSelection::Greedy, SepGc::new(), InMemoryArray::new(cfg.array_config()));
+    let mut e = Lss::builder(SepGc::new(), InMemoryArray::new(cfg.array_config()))
+        .config(cfg)
+        .gc_select(GcSelection::Greedy)
+        .build();
     for rec in ycsb(10_000, TrafficIntensity::Heavy).generator() {
         e.write_request(rec.ts_us, rec.lba, rec.num_blocks);
     }
