@@ -7,6 +7,8 @@
 //! * GC victim selection: the bucketed index vs the naive full scan,
 //! * FxHash vs SipHash map lookups on LBA keys,
 //! * RAID-5 parity over a full stripe,
+//! * CRC32C over a 64 KiB chunk: SSE4.2 hardware vs slicing-by-8 software,
+//! * the work-stealing pool at jobs=1 vs all cores on a synthetic sweep,
 //! * an end-to-end engine block write.
 
 use adapt_array::{parity, CountingArray};
@@ -189,6 +191,47 @@ fn bench_parity(c: &mut Criterion) {
     });
 }
 
+fn bench_crc32c(c: &mut Criterion) {
+    use adapt_array::crc;
+    let mut group = c.benchmark_group("crc32c_64k_chunk");
+    let data = {
+        let mut v = vec![0u8; 64 * 1024];
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = (i * 31 + 7) as u8;
+        }
+        v
+    };
+    let label = if crc::hw_available() { "hardware_sse42" } else { "hardware_unavailable" };
+    group.bench_function(label, |b| b.iter(|| black_box(crc::crc32c(black_box(&data)))));
+    group.bench_function("software_slicing8", |b| {
+        b.iter(|| black_box(crc::crc32c_soft(black_box(&data))))
+    });
+    group.finish();
+}
+
+fn bench_par_sweep(c: &mut Criterion) {
+    // Scaling of the pool itself on an embarrassingly parallel kernel:
+    // 64 seeded pseudo-replay cells at jobs=1 vs all cores.
+    use rayon::prelude::*;
+    let kernel = |seed: u64| {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        for _ in 0..200_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        x
+    };
+    let mut group = c.benchmark_group("par_sweep_64_cells");
+    group.bench_function("jobs_1", |b| {
+        b.iter(|| rayon::with_jobs(1, || (0u64..64).into_par_iter().map(kernel).sum::<u64>()))
+    });
+    group.bench_function("jobs_all", |b| {
+        b.iter(|| (0u64..64).into_par_iter().map(kernel).sum::<u64>())
+    });
+    group.finish();
+}
+
 fn bench_engine_write(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_block_write");
     group.bench_function("adapt_dense", |b| {
@@ -227,6 +270,8 @@ criterion_group!(
     bench_gc_select,
     bench_fxhash,
     bench_parity,
+    bench_crc32c,
+    bench_par_sweep,
     bench_engine_write
 );
 criterion_main!(benches);

@@ -10,19 +10,41 @@
 //! `BENCH_perf_events.json` instead, so the observability overhead has
 //! its own trajectory file and the disabled-path regression gate stays
 //! untouched.
+//!
+//! Gate runs additionally record a `sweep` section: a seeded multi-volume
+//! suite sweep timed at `jobs = 1` vs `jobs = N` on the work-stealing
+//! pool, asserting the two results are bit-identical.
 
 use adapt_bench::perf::{self, QUICK, WORKLOADS};
 
 fn main() {
     adapt_bench::harness::figure_main(|cli| {
         let workloads: &[perf::Workload] = if cli.quick { &[QUICK] } else { &WORKLOADS };
-        let report = perf::run_with_events(
+        let mut report = perf::run_with_events(
             workloads,
             adapt_bench::perf_baseline::BASELINE,
             cli.event_config(),
         );
         for (key, s) in &report.speedup {
             println!("perf {key:<28} speedup vs pre-change baseline: {s:.2}x");
+        }
+        if !report.events_enabled {
+            // Parallel-scaling record: the same seeded suite sweep at
+            // jobs=1 vs jobs=N, with a bit-identical result check.
+            let sweep = perf::measure_sweep(cli.quick);
+            println!(
+                "perf sweep {suite}x{vols:<2} jobs=1 {seq:>9.1} ms  jobs={jobs} {par:>9.1} ms  \
+                 speedup {speedup:.2}x  bit-identical {ident}",
+                suite = sweep.suite,
+                vols = sweep.volumes,
+                seq = sweep.wall_ms_jobs1,
+                jobs = sweep.jobs,
+                par = sweep.wall_ms_jobs_n,
+                speedup = sweep.speedup,
+                ident = sweep.bit_identical,
+            );
+            assert!(sweep.bit_identical, "parallel sweep must be schedule-independent");
+            report.sweep = Some(sweep);
         }
         // The trajectory file lives at the repo root by default (BENCH_* is
         // the per-PR perf record); --out redirects for scratch runs.

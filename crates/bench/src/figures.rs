@@ -488,7 +488,7 @@ pub mod fig12 {
 /// family (supports the §4.2 "universality" discussion).
 pub mod gc_selection {
     use super::*;
-    use adapt_sim::gc_sweep::{replay_with_victim, victim_family};
+    use adapt_sim::gc_sweep::{sweep_grid, victim_family};
     use adapt_sim::runner::requests_for;
 
     /// JSON payload.
@@ -498,36 +498,27 @@ pub mod gc_selection {
         pub cells: Vec<(String, String, f64)>,
     }
 
-    /// Run the sweep over a few Ali volumes.
+    /// Run the sweep over a few Ali volumes. The whole
+    /// `(victim × scheme × volume)` grid fans out on the pool at once.
     pub fn run(cli: &Cli) -> Report {
         let volumes = (cli.volumes() / 2).max(3);
         let suite = eval_suite(SuiteKind::Ali, volumes);
         println!("GC-selection sweep — Ali suite, {volumes} volumes");
+        let schemes = [Scheme::SepGc, Scheme::SepBit, Scheme::Adapt];
+        let victims = victim_family(FIGURE_SEED);
+        let grid = sweep_grid(&schemes, &victims, &suite.volumes, requests_for);
+        // Aggregate the flattened victim-major grid back into per-(victim,
+        // scheme) overall-WA cells, volumes innermost.
         let mut cells = Vec::new();
         let mut rows = Vec::new();
-        for victim in victim_family(FIGURE_SEED) {
-            for scheme in [Scheme::SepGc, Scheme::SepBit, Scheme::Adapt] {
-                let mut host = 0u64;
-                let mut phys = 0u64;
-                for vol in &suite.volumes {
-                    let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
-                    let cell = replay_with_victim(
-                        scheme,
-                        cfg,
-                        victim.clone(),
-                        vol.trace(requests_for(vol)),
-                    );
-                    host += cell.metrics.host_write_bytes;
-                    phys += cell.metrics.physical_bytes();
-                }
-                let wa = phys as f64 / host.max(1) as f64;
-                cells.push((victim.name().to_string(), scheme.name().to_string(), wa));
-                rows.push(vec![
-                    victim.name().to_string(),
-                    scheme.name().to_string(),
-                    format!("{wa:.3}"),
-                ]);
-            }
+        for (i, chunk) in grid.chunks(suite.volumes.len()).enumerate() {
+            let victim = victims[i / schemes.len()].name();
+            let scheme = schemes[i % schemes.len()].name();
+            let host: u64 = chunk.iter().map(|c| c.metrics.host_write_bytes).sum();
+            let phys: u64 = chunk.iter().map(|c| c.metrics.physical_bytes()).sum();
+            let wa = phys as f64 / host.max(1) as f64;
+            cells.push((victim.to_string(), scheme.to_string(), wa));
+            rows.push(vec![victim.to_string(), scheme.to_string(), format!("{wa:.3}")]);
         }
         println!("{}", render_table(&["victim policy", "scheme", "overall WA"], &rows));
         let report = Report { cells };

@@ -63,7 +63,13 @@ mod tests {
     use adapt_trace::ycsb::{AccessDistribution, YcsbConfig};
 
     fn cli(events: bool, out_dir: &std::path::Path) -> Cli {
-        Cli { scale: 0.1, out_dir: out_dir.to_str().unwrap().to_string(), quick: true, events }
+        Cli {
+            scale: 0.1,
+            out_dir: out_dir.to_str().unwrap().to_string(),
+            quick: true,
+            events,
+            jobs: None,
+        }
     }
 
     fn trace() -> impl Iterator<Item = TraceRecord> {

@@ -8,6 +8,10 @@
 //!   by `f`; default 0.25 for minutes-scale runs, `--scale 1` reproduces
 //!   the paper-sized configuration.
 //! * `--out <dir>` — where JSON reports land (default `results/`).
+//! * `--jobs <n>` — worker threads for the parallel sweep engine (also
+//!   the `ADAPT_JOBS` environment variable; default: all cores). Results
+//!   are bit-identical at any job count — the knob only changes
+//!   wall-clock.
 //!
 //! Figures print their series as aligned text tables *and* write JSON so
 //! EXPERIMENTS.md can be assembled mechanically.
@@ -37,17 +41,22 @@ pub struct Cli {
     /// reports next to the figure JSON. Set by `--events` or the
     /// `ADAPT_BENCH_EVENTS` environment variable.
     pub events: bool,
+    /// Explicit worker-thread count for the parallel sweep engine
+    /// (`--jobs N`; `None` = `ADAPT_JOBS` or all cores). Already installed
+    /// into the pool by [`Cli::parse`]; kept here for display.
+    pub jobs: Option<usize>,
 }
 
 impl Cli {
-    /// Parse `--scale`, `--out`, `--quick`, and `--events` from
+    /// Parse `--scale`, `--out`, `--quick`, `--events`, and `--jobs` from
     /// `std::env::args` (plus the `ADAPT_BENCH_QUICK` / `ADAPT_BENCH_EVENTS`
-    /// env vars).
+    /// env vars; `ADAPT_JOBS` is resolved inside the pool itself).
     pub fn parse() -> Self {
         let mut scale = 0.25;
         let mut out_dir = "results".to_string();
         let mut quick = quick_from_env();
         let mut events = events_from_env();
+        let mut jobs = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -61,10 +70,22 @@ impl Cli {
                     i += 1;
                     out_dir = args.get(i).expect("--out needs a path").clone();
                 }
+                "--jobs" => {
+                    i += 1;
+                    let n: usize = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .expect("--jobs needs a positive integer");
+                    jobs = Some(n);
+                }
                 "--quick" => quick = true,
                 "--events" => events = true,
                 other => {
-                    panic!("unknown argument {other} (expected --scale/--out/--quick/--events)")
+                    panic!(
+                        "unknown argument {other} \
+                         (expected --scale/--out/--quick/--events/--jobs)"
+                    )
                 }
             }
             i += 1;
@@ -76,7 +97,10 @@ impl Cli {
             // (e.g. `perf`) additionally consult `quick` directly.
             scale = f64::min(scale, 0.02);
         }
-        Self { scale, out_dir, quick, events }
+        if let Some(n) = jobs {
+            rayon::set_jobs(n);
+        }
+        Self { scale, out_dir, quick, events, jobs }
     }
 
     /// Volumes per suite at this scale (paper: 50).
@@ -132,7 +156,8 @@ mod tests {
 
     #[test]
     fn volumes_scale_and_clamp() {
-        let mk = |scale| Cli { scale, out_dir: String::new(), quick: false, events: false };
+        let mk =
+            |scale| Cli { scale, out_dir: String::new(), quick: false, events: false, jobs: None };
         assert_eq!(mk(1.0).volumes(), 50);
         assert_eq!(mk(0.25).volumes(), 13);
         assert_eq!(mk(0.01).volumes(), 4);

@@ -20,11 +20,12 @@
 
 use adapt_array::CountingArray;
 use adapt_lss::{EventConfig, GcSelection, Lss, LssConfig, PlacementPolicy};
+use adapt_sim::runner::run_suite;
 use adapt_sim::scheme::{with_policy, PolicyVisitor};
 use adapt_sim::{ReplayConfig, Scheme};
 use adapt_trace::arrival::ArrivalModel;
 use adapt_trace::ycsb::{AccessDistribution, YcsbConfig};
-use adapt_trace::TraceRecord;
+use adapt_trace::{SuiteKind, TraceRecord, WorkloadSuite};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -193,6 +194,62 @@ pub fn measure_with_events(
     with_policy(scheme, &cfg, PerfVisitor { cfg, gc, events, trace: &trace, key })
 }
 
+/// Parallel-scaling measurement of a suite sweep: the same seeded
+/// multi-volume sweep timed at `jobs = 1` (the exact sequential path) and
+/// at `jobs = N`, with the speedup and a bit-identical check of the two
+/// result payloads. This is the regression record for the work-stealing
+/// pool itself — the single-point gate entries above it are unaffected.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepScaling {
+    /// Suite swept ("AliCloud").
+    pub suite: String,
+    /// Volumes in the sweep.
+    pub volumes: usize,
+    /// Trace length per volume.
+    pub requests_per_volume: u64,
+    /// Parallel job count measured (the machine's effective job count,
+    /// floored at 2 so the pool path is exercised even on one core).
+    pub jobs: usize,
+    /// Wall time of the sweep at `jobs = 1` (ms).
+    pub wall_ms_jobs1: f64,
+    /// Wall time of the same sweep at `jobs = N` (ms).
+    pub wall_ms_jobs_n: f64,
+    /// `wall_ms_jobs1 / wall_ms_jobs_n`.
+    pub speedup: f64,
+    /// Whether the two sweeps serialized to byte-identical JSON (the
+    /// pool's determinism contract; must always be true).
+    pub bit_identical: bool,
+}
+
+/// Time the suite sweep at `jobs = 1` vs `jobs = N` and verify the
+/// results are bit-identical. `quick` shrinks the sweep to CI-smoke size.
+pub fn measure_sweep(quick: bool) -> SweepScaling {
+    let (volumes, requests_per_volume) = if quick { (3, 4_000) } else { (12, 30_000) };
+    let suite = WorkloadSuite::generate_n(SuiteKind::Ali, 0xADA7, volumes);
+    let jobs = rayon::current_num_threads().max(2);
+    let timed = |jobs| {
+        rayon::with_jobs(jobs, || {
+            let t0 = Instant::now();
+            let r =
+                run_suite(Scheme::Adapt, GcSelection::Greedy, &suite, Some(requests_per_volume));
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            (wall_ms, serde_json::to_string(&r).expect("serialize sweep"))
+        })
+    };
+    let (wall_ms_jobs1, seq) = timed(1);
+    let (wall_ms_jobs_n, par) = timed(jobs);
+    SweepScaling {
+        suite: suite.kind.name().to_string(),
+        volumes,
+        requests_per_volume,
+        jobs,
+        wall_ms_jobs1,
+        wall_ms_jobs_n,
+        speedup: wall_ms_jobs1 / wall_ms_jobs_n,
+        bit_identical: seq == par,
+    }
+}
+
 /// The JSON payload written to `BENCH_perf.json`.
 #[derive(Debug, Serialize)]
 pub struct PerfReport {
@@ -211,6 +268,10 @@ pub struct PerfReport {
     /// The regression gate compares disabled-path runs only; enabled-path
     /// reports exist to bound the observability overhead.
     pub events_enabled: bool,
+    /// Parallel-scaling record for the sweep engine (`jobs = 1` vs
+    /// `jobs = N` over a medium suite sweep). Populated by the `perf` bin
+    /// on gate runs; `None` for events-enabled overhead runs.
+    pub sweep: Option<SweepScaling>,
 }
 
 /// Run the harness over `workloads` with events disabled (the regression
@@ -258,6 +319,7 @@ pub fn run_with_events(
         current,
         speedup,
         events_enabled: events.enabled,
+        sweep: None,
     }
 }
 
@@ -297,6 +359,15 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(keys.len(), dedup.len());
+    }
+
+    #[test]
+    fn sweep_scaling_is_bit_identical_and_positive() {
+        let s = measure_sweep(true);
+        assert!(s.bit_identical, "jobs=1 and jobs={} sweeps must match exactly", s.jobs);
+        assert!(s.wall_ms_jobs1 > 0.0 && s.wall_ms_jobs_n > 0.0);
+        assert!(s.jobs >= 2);
+        assert!(s.speedup > 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use adapt_lss::GcSelection;
 use adapt_sim::runner::{run_suite, SuiteResult};
 use adapt_sim::Scheme;
 use adapt_trace::SuiteKind;
+use rayon::prelude::*;
 
 /// Results of the full sweep, indexable by (scheme, gc, suite).
 #[derive(Debug, Clone, Default)]
@@ -17,28 +18,39 @@ pub struct FullSweep {
 impl FullSweep {
     /// Run the sweep at the CLI's scale. This is the expensive call every
     /// WA figure shares; progress is printed per (scheme, gc, suite) cell.
+    ///
+    /// The whole `(suite × gc × scheme)` grid fans out on the pool (the
+    /// per-volume fan-out inside [`run_suite`] then runs sequentially on
+    /// its worker — the outermost parallel call owns the machine). Cell
+    /// results come back in the fixed suite-major grid order; only the
+    /// progress lines interleave by completion.
     pub fn run(cli: &Cli) -> Self {
         let volumes = cli.volumes();
-        let mut results = Vec::new();
-        for kind in SuiteKind::ALL {
-            let suite = eval_suite(kind, volumes);
-            for gc in [GcSelection::Greedy, GcSelection::CostBenefit] {
-                for scheme in Scheme::PAPER {
-                    let t0 = std::time::Instant::now();
-                    let r = run_suite(scheme, gc, &suite, None);
-                    eprintln!(
-                        "[sweep] {:<12} {:<12} {:<8} wa={:.3} pad={:.1}% ({:.1}s)",
-                        kind.name(),
-                        gc.name(),
-                        scheme.name(),
-                        r.overall_wa(),
-                        r.overall_padding_ratio() * 100.0,
-                        t0.elapsed().as_secs_f64()
-                    );
-                    results.push(r);
-                }
-            }
-        }
+        let suites: Vec<_> = SuiteKind::ALL.iter().map(|&k| eval_suite(k, volumes)).collect();
+        let cells: Vec<(usize, GcSelection, Scheme)> = (0..suites.len())
+            .flat_map(|si| {
+                [GcSelection::Greedy, GcSelection::CostBenefit]
+                    .into_iter()
+                    .flat_map(move |gc| Scheme::PAPER.into_iter().map(move |s| (si, gc, s)))
+            })
+            .collect();
+        let results: Vec<SuiteResult> = cells
+            .into_par_iter()
+            .map(|(si, gc, scheme)| {
+                let t0 = std::time::Instant::now();
+                let r = run_suite(scheme, gc, &suites[si], None);
+                eprintln!(
+                    "[sweep] {:<12} {:<12} {:<8} wa={:.3} pad={:.1}% ({:.1}s)",
+                    suites[si].kind.name(),
+                    gc.name(),
+                    scheme.name(),
+                    r.overall_wa(),
+                    r.overall_padding_ratio() * 100.0,
+                    t0.elapsed().as_secs_f64()
+                );
+                r
+            })
+            .collect();
         Self { results }
     }
 
@@ -59,8 +71,13 @@ mod tests {
 
     #[test]
     fn tiny_sweep_is_complete_and_indexable() {
-        let cli =
-            Cli { scale: 0.08, out_dir: "/tmp/adapt-test".into(), quick: false, events: false };
+        let cli = Cli {
+            scale: 0.08,
+            out_dir: "/tmp/adapt-test".into(),
+            quick: false,
+            events: false,
+            jobs: None,
+        };
         let sweep = FullSweep::run(&cli);
         assert_eq!(sweep.results.len(), 3 * 2 * 6);
         let cell = sweep.get(Scheme::Adapt, GcSelection::Greedy, "AliCloud").expect("cell exists");

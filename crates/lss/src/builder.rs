@@ -1,11 +1,12 @@
 //! Fluent construction of the engine.
 //!
-//! [`Lss::new`]'s four positional arguments grew organically (config, GC
-//! selection, policy, sink) and every new knob — victim-policy variants,
-//! event capture, JSONL sinks — would have widened them further. The
-//! builder names each piece, defaults everything but the two genuinely
-//! required parts (the placement policy and the array sink), and funnels
-//! all construction through one validating `build()`:
+//! The old `Lss::new`'s four positional arguments (config, GC selection,
+//! policy, sink) grew organically, and every new knob — victim-policy
+//! variants, event capture, JSONL sinks — would have widened them
+//! further; that constructor is gone. The builder names each piece,
+//! defaults everything but the two genuinely required parts (the
+//! placement policy and the array sink), and funnels all construction
+//! through one validating `build()`:
 //!
 //! ```
 //! use adapt_lss::{EventConfig, GcSelection, Lss, LssConfig};
@@ -171,14 +172,5 @@ mod tests {
     fn build_validates_config() {
         let bad = LssConfig { user_blocks: 0, ..Default::default() };
         Lss::builder(OneGroup, CountingArray::new(bad.array_config())).config(bad).build();
-    }
-
-    #[test]
-    fn deprecated_shim_still_constructs() {
-        let cfg = cfg();
-        #[allow(deprecated)]
-        let e =
-            Lss::new(cfg, GcSelection::Greedy, OneGroup, CountingArray::new(cfg.array_config()));
-        assert!(!e.events().enabled());
     }
 }

@@ -33,7 +33,6 @@
 use crate::config::LssConfig;
 use crate::error::EngineError;
 use crate::events::{EventKind, EventRecorder, GaugeSample, PolicyEvent};
-use crate::gc::GcSelection;
 use crate::gc_buckets::SegmentBuckets;
 use crate::gc_variants::VictimPolicy;
 use crate::group::{Group, PendingBlock};
@@ -119,13 +118,6 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// sensible defaults.
     pub fn builder(policy: P, sink: S) -> crate::EngineBuilder<P, S> {
         crate::EngineBuilder::new(policy, sink)
-    }
-
-    /// Build an engine with one of the paper's two GC policies (Greedy or
-    /// Cost-Benefit).
-    #[deprecated(since = "0.4.0", note = "use Lss::builder(policy, sink) instead")]
-    pub fn new(cfg: LssConfig, gc_select: GcSelection, policy: P, sink: S) -> Self {
-        Self::with_victim_policy(cfg, VictimPolicy::Base(gc_select), policy, sink)
     }
 
     /// Build an engine with any [`VictimPolicy`] and events disabled.

@@ -2,6 +2,7 @@
 //! reduction percentages of §4.2.
 
 use crate::runner::SuiteResult;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// One volume's pairwise comparison (ADAPT vs a baseline).
@@ -21,9 +22,9 @@ pub struct VolumeComparison {
 /// baseline.
 pub fn compare_volumes(a: &SuiteResult, b: &SuiteResult) -> Vec<VolumeComparison> {
     assert_eq!(a.volumes.len(), b.volumes.len(), "suites must match");
-    a.volumes
-        .iter()
-        .zip(&b.volumes)
+    let pairs: Vec<_> = a.volumes.iter().zip(&b.volumes).collect();
+    pairs
+        .into_par_iter()
         .map(|(va, vb)| {
             debug_assert_eq!(va.volume_id, vb.volume_id);
             let wa_a = va.wa();

@@ -9,6 +9,7 @@
 //! paper's design targets.
 
 use adapt_trace::{TraceRecord, VolumeModel};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// The merged workload: one record stream over a combined address space.
@@ -33,9 +34,14 @@ pub fn consolidate(volumes: &[VolumeModel], requests_per_volume: u64) -> Consoli
         bases.push(total_blocks);
         total_blocks += v.unique_blocks;
     }
+    // Trace synthesis dominates the merge cost, and each volume's stream
+    // is independently seeded — materialize them on the pool, then run
+    // the (inherently sequential) k-way merge over the buffered streams.
+    let traces: Vec<Vec<TraceRecord>> =
+        volumes.par_iter().map(|v| v.trace(requests_per_volume).collect()).collect();
     // k-way merge by timestamp (stable: volume order breaks ties).
     let mut streams: Vec<std::iter::Peekable<_>> =
-        volumes.iter().map(|v| v.trace(requests_per_volume).peekable()).collect();
+        traces.into_iter().map(|t| t.into_iter().peekable()).collect();
     let mut records = Vec::with_capacity(volumes.len() * requests_per_volume as usize);
     loop {
         let next = streams

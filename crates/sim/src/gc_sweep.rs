@@ -7,7 +7,8 @@ use crate::replay::{ReplayConfig, Warmup};
 use crate::scheme::{with_policy, PolicyVisitor, Scheme};
 use adapt_array::CountingArray;
 use adapt_lss::{GcSelection, Lss, LssMetrics, PlacementPolicy, VictimPolicy};
-use adapt_trace::TraceRecord;
+use adapt_trace::{TraceRecord, VolumeModel};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// Construct every member of the victim-policy family with deterministic
@@ -85,6 +86,34 @@ where
     GcSweepCell { scheme, victim: name, metrics }
 }
 
+/// Replay a full `(victim policy × scheme × volume)` grid in parallel on
+/// the work-stealing pool.
+///
+/// Cells come back flattened in deterministic victim-major order
+/// (`victims[0]` × `schemes[0]` × `volumes[0..]`, then the next scheme,
+/// …), independent of schedule: each cell's replay is seeded by its
+/// volume model and the pool preserves input ordering, so the grid is
+/// bit-identical at any job count. `requests` maps a volume to its trace
+/// length (e.g. [`crate::runner::requests_for`]).
+pub fn sweep_grid(
+    schemes: &[Scheme],
+    victims: &[VictimPolicy],
+    volumes: &[VolumeModel],
+    requests: impl Fn(&VolumeModel) -> u64 + Sync,
+) -> Vec<GcSweepCell> {
+    let cells: Vec<(&VictimPolicy, Scheme, &VolumeModel)> = victims
+        .iter()
+        .flat_map(|v| schemes.iter().flat_map(move |&s| volumes.iter().map(move |vol| (v, s, vol))))
+        .collect();
+    cells
+        .into_par_iter()
+        .map(|(victim, scheme, vol)| {
+            let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+            replay_with_victim(scheme, cfg, victim.clone(), vol.trace(requests(vol)))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +170,28 @@ mod tests {
             greedy.metrics.wa(),
             random.metrics.wa()
         );
+    }
+
+    #[test]
+    fn sweep_grid_order_and_results_match_sequential() {
+        use adapt_trace::{SuiteKind, WorkloadSuite};
+        let suite = WorkloadSuite::generate_n(SuiteKind::Ali, 11, 2);
+        let schemes = [Scheme::SepGc, Scheme::Adapt];
+        let victims = victim_family(11);
+        let requests = |_: &VolumeModel| 3_000u64;
+        let grid = sweep_grid(&schemes, &victims, &suite.volumes, requests);
+        assert_eq!(grid.len(), victims.len() * schemes.len() * suite.volumes.len());
+        // Spot-check one cell against a direct sequential replay, and the
+        // victim-major ordering of the flattened grid: victim 1, scheme 1,
+        // volume 1.
+        let idx = schemes.len() * suite.volumes.len() + suite.volumes.len() + 1;
+        let cell = &grid[idx];
+        assert_eq!(cell.victim, victims[1].name());
+        assert_eq!(cell.scheme, Scheme::Adapt);
+        let vol = &suite.volumes[1];
+        let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+        let direct = replay_with_victim(Scheme::Adapt, cfg, victims[1].clone(), vol.trace(3_000));
+        assert_eq!(cell.metrics, direct.metrics);
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //! aggregated into the figures of the paper's evaluation (§4).
 //!
 //! The per-volume runs of a sweep are independent, so [`runner`] fans them
-//! out across cores with Rayon — a full Fig. 8 sweep is
-//! `6 schemes × 2 GC policies × 3 suites × 50 volumes = 1800` simulations.
+//! out across cores on the vendored work-stealing pool (`vendor/rayon`) —
+//! a full Fig. 8 sweep is `6 schemes × 2 GC policies × 3 suites × 50
+//! volumes = 1800` simulations. Each replay point seeds its own RNG, so
+//! sweep results are bit-identical at any `--jobs` count (see [`runner`]'s
+//! determinism contract).
 
 pub mod compare;
 pub mod consolidate;

@@ -1,4 +1,14 @@
-//! Parallel suite sweeps (Rayon fan-out over volumes).
+//! Parallel suite sweeps: a real fan-out of per-volume replays across the
+//! vendored work-stealing pool (see `vendor/rayon`).
+//!
+//! # Determinism contract
+//!
+//! Every replay point seeds its own RNG from the volume model
+//! (`VolumeModel::seed`), and the pool writes each volume's result into
+//! its input-order slot. Together that makes a sweep's output
+//! **bit-identical at any job count or schedule** — `--jobs 1`,
+//! `--jobs 64`, and any interleaving in between produce byte-for-byte the
+//! same `SuiteResult` JSON. Tests assert this (`tests/parallel_sweep.rs`).
 
 use crate::replay::{replay_volume, ReplayConfig, VolumeResult};
 use crate::scheme::Scheme;
@@ -68,6 +78,10 @@ impl SuiteResult {
 ///
 /// `requests_cap` bounds the trace length per volume (None = derived from
 /// `DEFAULT_CAPACITY_MULTIPLE`).
+///
+/// Each volume is an independent replay with its own per-volume seed, and
+/// the pool preserves input ordering, so the result is schedule-independent
+/// (see the module docs' determinism contract).
 pub fn run_suite(
     scheme: Scheme,
     gc: GcSelection,

@@ -1,0 +1,65 @@
+//! The parallel sweep engine's two load-bearing guarantees, asserted
+//! end-to-end through the real stack:
+//!
+//! 1. **Determinism** — a suite sweep serializes to byte-identical JSON at
+//!    `jobs = 1`, `jobs = 2`, and `jobs = available_parallelism`. Every
+//!    replay point seeds its own RNG and the pool preserves input
+//!    ordering, so the schedule cannot leak into the results.
+//! 2. **Panic identity** — a panicking sweep point surfaces as a panic on
+//!    the caller naming the failing item, never a deadlock or torn output.
+
+use adapt_repro::lss::GcSelection;
+use adapt_repro::sim::runner::run_suite;
+use adapt_repro::sim::Scheme;
+use adapt_repro::trace::{SuiteKind, WorkloadSuite};
+
+fn sweep_json(suite: &WorkloadSuite, scheme: Scheme, gc: GcSelection) -> String {
+    serde_json::to_string(&run_suite(scheme, gc, suite, Some(5_000))).expect("serialize")
+}
+
+#[test]
+fn suite_sweep_is_bit_identical_across_job_counts() {
+    let suite = WorkloadSuite::generate_n(SuiteKind::Ali, 42, 6);
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    for (scheme, gc) in
+        [(Scheme::Adapt, GcSelection::Greedy), (Scheme::SepBit, GcSelection::CostBenefit)]
+    {
+        let seq = rayon::with_jobs(1, || sweep_json(&suite, scheme, gc));
+        let two = rayon::with_jobs(2, || sweep_json(&suite, scheme, gc));
+        let all = rayon::with_jobs(avail, || sweep_json(&suite, scheme, gc));
+        assert_eq!(seq, two, "{scheme:?}/{gc:?}: jobs=1 vs jobs=2");
+        assert_eq!(seq, all, "{scheme:?}/{gc:?}: jobs=1 vs jobs={avail}");
+    }
+}
+
+#[test]
+fn consolidation_is_bit_identical_across_job_counts() {
+    // `consolidate` materializes per-volume traces on the pool before the
+    // sequential merge; the merged stream must not depend on the schedule.
+    use adapt_repro::sim::consolidate::consolidate;
+    let suite = WorkloadSuite::generate_n(SuiteKind::Tencent, 7, 4);
+    let seq = rayon::with_jobs(1, || consolidate(&suite.volumes, 2_000));
+    let par = rayon::with_jobs(4, || consolidate(&suite.volumes, 2_000));
+    assert_eq!(seq.records, par.records);
+    assert_eq!(seq.bases, par.bases);
+}
+
+#[test]
+fn panicking_sweep_point_names_the_point() {
+    use rayon::prelude::*;
+    let result = std::panic::catch_unwind(|| {
+        rayon::with_jobs(4, || {
+            let _: Vec<u64> = (0u64..32)
+                .into_par_iter()
+                .map(|vol| if vol == 11 { panic!("replay of volume {vol} failed") } else { vol })
+                .collect();
+        })
+    });
+    let payload = result.expect_err("panic must reach the caller");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("11"), "panic names the failing sweep point: {msg}");
+}

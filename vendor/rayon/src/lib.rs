@@ -1,75 +1,359 @@
-//! Offline stand-in for `rayon`: the parallel-iterator entry points this
-//! workspace uses (`par_iter`, `into_par_iter`) degrade to sequential
-//! standard iterators. Downstream `.map().collect()` chains compile
-//! unchanged because the shim returns real `Iterator`s.
+//! Offline stand-in for `rayon` backed by a real thread pool.
+//!
+//! The parallel-iterator entry points this workspace uses (`par_iter`,
+//! `par_iter_mut`, `into_par_iter`) fan work out across OS threads via a
+//! chunk-stealing scheduler: workers claim contiguous index ranges from a
+//! shared atomic cursor, so load-balancing is dynamic (a worker stuck on a
+//! slow item does not stall the others) while the output order stays
+//! exactly the input order — results land in per-index slots, never in
+//! completion order.
+//!
+//! Guarantees relied on by the sweep harness upstairs:
+//!
+//! * **Ordering** — `collect()` returns results in input order regardless
+//!   of schedule, so seeded per-item computations are bit-identical at any
+//!   job count.
+//! * **Panic policy** — if a closure panics, the remaining workers stop at
+//!   the next claim, all threads are joined, and the panic is re-raised on
+//!   the caller naming the input index of the failing item (no hangs, no
+//!   torn output — the partial results are dropped).
+//! * **Jobs knob** — worker count resolves, in priority order: a
+//!   [`with_jobs`] scope on the calling thread, a process-wide
+//!   [`set_jobs`] override (the `--jobs` CLI flag), the `ADAPT_JOBS`
+//!   environment variable, then [`std::thread::available_parallelism`].
+//!   `jobs = 1` is an exact sequential fast path: the closures run on the
+//!   calling thread with no pool machinery at all.
+//! * **No nested oversubscription** — a parallel call made from inside a
+//!   pool worker runs sequentially; the outermost fan-out owns the
+//!   machine.
+
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
-/// `.par_iter()` — sequential fallback.
+// ---------------------------------------------------------------------------
+// Job-count resolution
+// ---------------------------------------------------------------------------
+
+/// Process-wide override installed by [`set_jobs`] (0 = unset).
+static GLOBAL_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Caller-scoped override installed by [`with_jobs`] (0 = unset).
+    static LOCAL_JOBS: Cell<usize> = const { Cell::new(0) };
+    /// True on pool worker threads: nested parallel calls degrade to the
+    /// sequential fast path instead of oversubscribing the machine.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// `ADAPT_JOBS` from the environment, parsed once (0 = unset/invalid).
+fn env_jobs() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("ADAPT_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// The worker count the next parallel call will use. Resolution order:
+/// [`with_jobs`] scope > [`set_jobs`] > `ADAPT_JOBS` > available
+/// parallelism.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_JOBS.with(Cell::get);
+    if local > 0 {
+        return local;
+    }
+    let global = GLOBAL_JOBS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    let env = env_jobs();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Install a process-wide job-count override (the `--jobs N` flag).
+/// `0` clears the override.
+pub fn set_jobs(n: usize) {
+    GLOBAL_JOBS.store(n, Ordering::Relaxed);
+}
+
+/// Run `f` with the calling thread's job count pinned to `n`. Scoped and
+/// panic-safe; parallel calls made by other threads are unaffected, which
+/// keeps concurrently running tests independent.
+pub fn with_jobs<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            LOCAL_JOBS.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(LOCAL_JOBS.with(|c| c.replace(n)));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// A per-index slot shared across workers. Safety contract: the claim
+/// protocol (a strictly increasing shared cursor) hands each index to
+/// exactly one worker, so no slot is ever accessed concurrently.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn new(v: Option<T>) -> Self {
+        Slot(UnsafeCell::new(v))
+    }
+}
+
+/// Render a panic payload for re-raising with the failing index attached.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Apply `f` to every item, in parallel, returning results in input order.
+///
+/// This is the single execution primitive behind every adapter: items are
+/// claimed in chunks off a shared atomic cursor by `jobs` scoped worker
+/// threads. A panicking item aborts the remaining work and is re-raised on
+/// the caller, naming the item's input index.
+fn par_execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = current_num_threads().clamp(1, n.max(1));
+    if jobs <= 1 || n <= 1 || IN_POOL.with(Cell::get) {
+        // Exact sequential fast path: same closure applications in the
+        // same order on the calling thread.
+        return items.into_iter().map(f).collect();
+    }
+
+    let input: Vec<Slot<T>> = items.into_iter().map(|t| Slot::new(Some(t))).collect();
+    let output: Vec<Slot<R>> = (0..n).map(|_| Slot::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    // Chunked claiming: big enough to amortize the shared cursor on fine
+    // items, small enough (≥ 4 claims per worker) to keep stealing
+    // effective on coarse, uneven ones.
+    let chunk = (n / (jobs * 4)).clamp(1, 64);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for idx in start..(start + chunk).min(n) {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // SAFETY: `idx` comes from a strictly increasing
+                        // fetch_add claim, so this worker has exclusive
+                        // access to input[idx] and output[idx].
+                        let item = unsafe { (*input[idx].0.get()).take().expect("claimed once") };
+                        match catch_unwind(AssertUnwindSafe(|| f(item))) {
+                            Ok(r) => unsafe { *output[idx].0.get() = Some(r) },
+                            Err(payload) => {
+                                let mut slot = failure.lock().unwrap();
+                                if slot.is_none() {
+                                    *slot = Some((idx, panic_message(payload.as_ref())));
+                                }
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((idx, msg)) = failure.into_inner().unwrap() {
+        panic!("parallel task for item {idx} panicked: {msg}");
+    }
+    output.into_iter().map(|s| s.0.into_inner().expect("no abort, so every slot filled")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-iterator facade
+// ---------------------------------------------------------------------------
+
+/// An indexed set of items awaiting a parallel transformation.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Lazily attach the per-item transformation; it runs on the pool at
+    /// the terminal operation (`collect`/`sum`/`for_each`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Apply `f` to every item (unordered side effects, parallel).
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_execute(self.items, f);
+    }
+
+    /// Collect the items themselves, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items behind this iterator.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there is nothing to iterate.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sum the items on the pool.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T>,
+    {
+        par_execute(self.items, |t| t).into_iter().sum()
+    }
+}
+
+/// A [`ParIter`] with a pending `map` transformation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Run the map on the pool and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_execute(self.items, self.f).into_iter().collect()
+    }
+
+    /// Run the map on the pool and sum the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<R>,
+    {
+        par_execute(self.items, self.f).into_iter().sum()
+    }
+
+    /// Run the map for its side effects.
+    pub fn for_each(self) {
+        par_execute(self.items, self.f);
+    }
+}
+
+/// `.par_iter()` — parallel iteration over `&T` items.
 pub trait IntoParallelRefIterator<'data> {
-    type Iter: Iterator;
-    fn par_iter(&'data self) -> Self::Iter;
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
     }
 }
 
 impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-    type Iter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> Self::Iter {
-        self.iter()
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter { items: self.iter().collect() }
     }
 }
 
-/// `.par_iter_mut()` — sequential fallback.
+/// `.par_iter_mut()` — parallel iteration over `&mut T` items.
 pub trait IntoParallelRefMutIterator<'data> {
-    type Iter: Iterator;
-    fn par_iter_mut(&'data mut self) -> Self::Iter;
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
 }
 
 impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for Vec<T> {
-    type Iter = std::slice::IterMut<'data, T>;
-    fn par_iter_mut(&'data mut self) -> Self::Iter {
-        self.iter_mut()
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter { items: self.iter_mut().collect() }
     }
 }
 
-/// `.into_par_iter()` — sequential fallback.
+impl<'data, T: 'data + Send> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    fn par_iter_mut(&'data mut self) -> ParIter<&'data mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+/// `.into_par_iter()` — parallel iteration over owned items.
 pub trait IntoParallelIterator {
-    type Iter: Iterator;
-    fn into_par_iter(self) -> Self::Iter;
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
 impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<usize> {
-    type Iter = std::ops::Range<usize>;
-    fn into_par_iter(self) -> Self::Iter {
-        self
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
     }
 }
 
 impl IntoParallelIterator for std::ops::Range<u64> {
-    type Iter = std::ops::Range<u64>;
-    fn into_par_iter(self) -> Self::Iter {
-        self
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::AtomicU64;
 
     #[test]
     fn par_iter_maps_and_collects() {
@@ -78,5 +362,101 @@ mod tests {
         assert_eq!(doubled, vec![2, 4, 6]);
         let s: u32 = (0usize..4).into_par_iter().map(|x| x as u32).sum();
         assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn ordering_is_input_order_at_any_job_count() {
+        let expect: Vec<u64> = (0..4096).map(|i| i * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 61] {
+            let got: Vec<u64> =
+                with_jobs(jobs, || (0u64..4096).into_par_iter().map(|i| i * 3 + 1).collect());
+            assert_eq!(got, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_actually_runs_closures_on_worker_threads() {
+        let caller = std::thread::current().id();
+        let off_caller = AtomicU64::new(0);
+        with_jobs(4, || {
+            (0usize..64).into_par_iter().for_each(|_| {
+                if std::thread::current().id() != caller {
+                    off_caller.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        // With 4 workers and 64 items, at least some items must have run
+        // off the calling thread (all of them, with this executor).
+        assert!(off_caller.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn jobs_one_is_sequential_on_caller() {
+        let caller = std::thread::current().id();
+        with_jobs(1, || {
+            (0usize..16).into_par_iter().for_each(|_| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        });
+    }
+
+    #[test]
+    fn panicking_item_surfaces_with_its_index_and_no_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            with_jobs(4, || {
+                let _: Vec<u32> = (0usize..100)
+                    .into_par_iter()
+                    .map(|i| {
+                        if i == 37 {
+                            panic!("boom at sweep point {i}");
+                        }
+                        i as u32
+                    })
+                    .collect();
+            })
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("37"), "panic names the failing item: {msg}");
+        assert!(msg.contains("boom"), "panic keeps the original message: {msg}");
+        // The pool is not poisoned: subsequent parallel calls still work.
+        let v: Vec<usize> = with_jobs(4, || (0usize..8).into_par_iter().map(|i| i).collect());
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete_sequentially() {
+        let sums: Vec<u64> = with_jobs(4, || {
+            (0u64..8)
+                .into_par_iter()
+                .map(|i| (0u64..100).into_par_iter().map(move |j| i + j).sum::<u64>())
+                .collect()
+        });
+        let expect: Vec<u64> = (0..8).map(|i| (0..100).map(|j| i + j).sum()).collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn with_jobs_restores_on_exit_and_panic() {
+        assert_eq!(LOCAL_JOBS.with(Cell::get), 0);
+        with_jobs(3, || assert_eq!(current_num_threads(), 3));
+        assert_eq!(LOCAL_JOBS.with(Cell::get), 0);
+        let _ = std::panic::catch_unwind(|| with_jobs(5, || panic!("x")));
+        assert_eq!(LOCAL_JOBS.with(Cell::get), 0);
+    }
+
+    #[test]
+    fn par_iter_mut_updates_in_place() {
+        let mut v: Vec<u64> = (0..257).collect();
+        with_jobs(4, || v.par_iter_mut().for_each(|x| *x *= 2));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u32> = vec![9u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![10]);
     }
 }
