@@ -35,6 +35,38 @@ pub enum ArrayError {
     /// A rebuild was requested while no device is failed, or targeting a
     /// healthy device.
     NotDegraded,
+    /// The durable backend failed outside RAID semantics (power loss,
+    /// filesystem error, or an unrepairable record during recovery).
+    Storage { failure: StorageFailure },
+}
+
+/// Why a durable backend operation failed. A small `Copy` classification:
+/// rich context (paths, offsets) lives in the backend's own error type
+/// (`file_sink::FileSinkError`); this is what crosses the sink trait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageFailure {
+    /// Simulated power loss: the write budget ran out.
+    PowerLoss,
+    /// A real filesystem error.
+    Io,
+    /// A record or superblock failed CRC/shape validation.
+    BadRecord,
+    /// Recovery needed a record that neither disk nor WAL can supply.
+    MissingRecord,
+    /// The sink does not support this durability operation.
+    Unsupported,
+}
+
+impl fmt::Display for StorageFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageFailure::PowerLoss => write!(f, "simulated power loss"),
+            StorageFailure::Io => write!(f, "filesystem I/O error"),
+            StorageFailure::BadRecord => write!(f, "corrupt on-disk record"),
+            StorageFailure::MissingRecord => write!(f, "unrecoverable missing record"),
+            StorageFailure::Unsupported => write!(f, "operation unsupported by this sink"),
+        }
+    }
 }
 
 impl ArrayError {
@@ -79,6 +111,7 @@ impl fmt::Display for ArrayError {
                 write!(f, "LPN {lpn} beyond device capacity {capacity}")
             }
             ArrayError::NotDegraded => write!(f, "rebuild requested but no device is failed"),
+            ArrayError::Storage { failure } => write!(f, "durable backend failure: {failure}"),
         }
     }
 }

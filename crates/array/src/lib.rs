@@ -27,9 +27,11 @@ pub mod counters;
 pub mod crc;
 pub mod error;
 pub mod fault;
+pub mod file_sink;
 pub mod ftl;
 pub mod ftl_sink;
 pub mod layout;
+pub mod media;
 pub mod parity;
 pub mod sink;
 pub mod store;
@@ -37,12 +39,16 @@ pub mod store;
 pub use config::ArrayConfig;
 pub use counters::{ArrayStats, DeviceCounters};
 pub use crc::crc32c;
-pub use error::{ArrayError, ParityError};
+pub use error::{ArrayError, ParityError, StorageFailure};
 pub use fault::{
     ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress, ScrubStep,
 };
+pub use file_sink::{FileArraySink, FileSinkError, FileSinkOptions};
 pub use ftl::{FtlConfig, FtlDevice, FtlStats};
 pub use ftl_sink::FtlArray;
 pub use layout::{ChunkLocation, Raid5Layout};
-pub use sink::{ArraySink, ChunkFlush, CountingArray, FaultyArray, Traffic};
+pub use media::{atomic_replace, MediaError, MediaFile, PowerBudget, WriteTag};
+pub use sink::{
+    ArraySink, ChunkFlush, CountingArray, FaultyArray, RecoveredFlush, SinkReconcile, Traffic,
+};
 pub use store::InMemoryArray;

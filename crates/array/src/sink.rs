@@ -67,6 +67,32 @@ impl ChunkFlush {
     }
 }
 
+/// A chunk-flush digest recovered from the WAL tail, used by durable
+/// sinks to restore records that were still in the volatile write cache
+/// when power failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveredFlush {
+    /// Global chunk sequence number (equals the engine's flush sequence).
+    pub chunk_seq: u64,
+    /// The flush as originally issued.
+    pub flush: ChunkFlush,
+}
+
+/// What a durable sink did to reconcile its on-disk state with the
+/// recovered log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SinkReconcile {
+    /// CRC-valid records found on disk.
+    pub records_scanned: u64,
+    /// Scanned records confirmed by the recovered log and kept.
+    pub records_reused: u64,
+    /// Records lost to the crash and rewritten from WAL digests.
+    pub records_restored: u64,
+    /// Scanned records beyond the durable log (unacknowledged tail),
+    /// truncated away.
+    pub records_discarded: u64,
+}
+
 /// Receiver of chunk-granular flushes.
 pub trait ArraySink {
     /// Accept one chunk write. Implementations must reject (panic in debug)
@@ -99,6 +125,27 @@ pub trait ArraySink {
     fn scrub_step(&mut self, max_stripes: usize) -> Option<ScrubStep> {
         let _ = max_stripes;
         None
+    }
+
+    /// Make everything accepted so far durable ahead of a checkpoint.
+    /// Volatile sinks have nothing to do.
+    fn sync_for_checkpoint(&mut self) -> Result<(), ArrayError> {
+        Ok(())
+    }
+
+    /// Reconcile the sink with a recovered log: `next_chunk_seq` chunk
+    /// flushes are proven durable, and `tail` carries WAL digests for the
+    /// most recent of them (anything a checkpoint already covered was
+    /// synced at checkpoint time and must still be on disk). Sinks that
+    /// don't support crash recovery return
+    /// [`StorageFailure::Unsupported`](crate::error::StorageFailure).
+    fn recover_reconcile(
+        &mut self,
+        next_chunk_seq: u64,
+        tail: &[RecoveredFlush],
+    ) -> Result<SinkReconcile, ArrayError> {
+        let _ = (next_chunk_seq, tail);
+        Err(ArrayError::Storage { failure: crate::error::StorageFailure::Unsupported })
     }
 }
 
@@ -181,6 +228,19 @@ impl ArraySink for CountingArray {
 
     fn stats(&self) -> &ArrayStats {
         &self.stats
+    }
+
+    fn recover_reconcile(
+        &mut self,
+        next_chunk_seq: u64,
+        _tail: &[RecoveredFlush],
+    ) -> Result<SinkReconcile, ArrayError> {
+        // Nothing persists here; recovery just realigns the layout cursor
+        // so future chunk locations stay in lockstep with the recovered
+        // engine. Lifetime counters restart from zero (documented: stats
+        // after in-memory recovery cover the post-recovery epoch only).
+        self.next_chunk_seq = next_chunk_seq;
+        Ok(SinkReconcile::default())
     }
 }
 
@@ -514,10 +574,13 @@ impl ArraySink for FaultyArray {
                 let loc = ChunkLocation { stripe: loc.stripe, device: bad, column: 0 };
                 return Err(ArrayError::ChecksumMismatch { loc });
             }
-            if let Some(bad) =
-                (0..n).find(|&d| d != loc.device && self.corrupted.contains_key(&(d, loc.stripe)))
+            // Find-and-remove in one step: if another path already healed
+            // or condemned the survivor between checks, we simply don't
+            // find it here — no panic on a double heal.
+            if let Some((bad, at)) = (0..n)
+                .filter(|&d| d != loc.device)
+                .find_map(|d| self.corrupted.remove(&(d, loc.stripe)).map(|at| (d, at)))
             {
-                let at = self.corrupted.remove(&(bad, loc.stripe)).unwrap();
                 self.known_bad.insert((bad, loc.stripe));
                 let ops = self.plan.ops();
                 let stats = self.inner.stats_mut();

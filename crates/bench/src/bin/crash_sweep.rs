@@ -1,0 +1,63 @@
+//! `crash_sweep` — seeded power-loss acceptance sweep.
+//!
+//! Runs the crash simulator end to end: a golden metered run records the
+//! scenario's full byte stream, then every seeded crash offset is
+//! replayed under a hard power budget, recovered, and verified against
+//! the golden run's acknowledged writes. The report lands in
+//! `results/crash_sweep.json` (or `--out <dir>`), and the bin exits
+//! nonzero unless the sweep is clean — making it usable as a CI gate.
+//!
+//! `--quick` (or `ADAPT_BENCH_QUICK=1`) runs the ~30-point smoke sweep;
+//! the default is the ≥300-point acceptance configuration, the same shape
+//! `tests/durability_integration.rs` asserts.
+
+use adapt_sim::crash::CrashScenario;
+use adapt_sim::run_crash_sweep;
+
+fn main() {
+    adapt_bench::harness::figure_main(|cli| {
+        let scn = if cli.quick {
+            CrashScenario::quick(0xADAF7)
+        } else {
+            CrashScenario::standard(0xADAF7)
+        };
+        let dir = std::env::temp_dir().join(format!("adapt_crash_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let report = run_crash_sweep(&scn, &dir);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        println!(
+            "crash_sweep {scheme}/{fsync} seed {seed:#x}: {clean}/{points} clean, \
+             {acked} golden acks, {bytes} golden bytes",
+            scheme = report.scheme,
+            fsync = report.fsync,
+            seed = report.seed,
+            clean = report.clean,
+            points = report.points,
+            acked = report.golden_acked,
+            bytes = report.golden_bytes,
+        );
+        println!(
+            "crash_sweep losses {lost}  corrupt {corrupt}  torn-tail {torn}  checkpointed {ckpt}",
+            lost = report.lost_acks_total,
+            corrupt = report.corrupt_points,
+            torn = report.with_torn_tail,
+            ckpt = report.with_checkpoint,
+        );
+        for (tag, n) in &report.trip_tags {
+            println!("crash_sweep   cut inside {tag:<12} x{n}");
+        }
+        for f in report.failures.iter().take(5) {
+            println!("crash_sweep FAILURE {f:?}");
+        }
+        adapt_bench::harness::write_report(cli, "crash_sweep", &report);
+        assert!(
+            report.clean_sweep(),
+            "{} of {} crash points violated the durability contract",
+            report.points - report.clean,
+            report.points
+        );
+        assert_eq!(report.lost_acks_total, 0, "acknowledged writes were lost");
+        assert_eq!(report.corrupt_points, 0, "recovered state failed self-checks");
+    });
+}

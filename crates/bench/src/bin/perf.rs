@@ -13,7 +13,10 @@
 //!
 //! Gate runs additionally record a `sweep` section: a seeded multi-volume
 //! suite sweep timed at `jobs = 1` vs `jobs = N` on the work-stealing
-//! pool, asserting the two results are bit-identical.
+//! pool, asserting the two results are bit-identical. They also record a
+//! `durability` section: the fsync-policy throughput ladder on the
+//! file-backed sink + WAL vs the in-memory reference, plus cold recovery
+//! timing.
 
 use adapt_bench::perf::{self, QUICK, WORKLOADS};
 
@@ -45,6 +48,31 @@ fn main() {
             );
             assert!(sweep.bit_identical, "parallel sweep must be schedule-independent");
             report.sweep = Some(sweep);
+
+            // Durable-backend cost record: fsync ladder on the file sink +
+            // WAL vs the in-memory reference, plus cold recovery timing.
+            let dur = adapt_bench::durability::run(cli.quick);
+            for p in &dur.policies {
+                println!(
+                    "perf durability {fsync:<16} {wall:>9.1} ms  {kops:>8.1} kops/s  \
+                     {ovh:.2}x memory  wal {ratio:.2} B/B  syncs {syncs}",
+                    fsync = p.fsync,
+                    wall = p.wall_ms,
+                    kops = p.kops_per_sec,
+                    ovh = p.overhead_vs_memory,
+                    ratio = p.wal_bytes_per_host_byte,
+                    syncs = p.wal_syncs,
+                );
+            }
+            println!(
+                "perf durability recovery {wall:>9.1} ms  checkpoint {ckpt}  \
+                 records {recs}  flushes {flushes}",
+                wall = dur.recovery.wall_ms,
+                ckpt = dur.recovery.checkpoint_loaded,
+                recs = dur.recovery.records_applied,
+                flushes = dur.recovery.flushes_replayed,
+            );
+            report.durability = Some(dur);
         }
         // The trajectory file lives at the repo root by default (BENCH_* is
         // the per-PR perf record); --out redirects for scratch runs.

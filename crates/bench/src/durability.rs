@@ -1,0 +1,270 @@
+//! Durability bench: what the on-disk backend costs, and how fast it
+//! comes back.
+//!
+//! Three measurements feed the `durability` section of `BENCH_perf.json`:
+//!
+//! 1. An in-memory reference replay (`CountingArray`, no WAL) of the same
+//!    seeded workload the fsync ladder uses — the denominator for the
+//!    overhead ratios.
+//! 2. The fsync ladder: the workload replayed on a real [`FileArraySink`]
+//!    with the write-ahead log at each [`FsyncPolicy`], recording
+//!    throughput, overhead vs the in-memory reference, and WAL volume per
+//!    host byte.
+//! 3. Recovery timing: the group-commit run's durable state (WAL +
+//!    checkpoints + segment files) re-opened with
+//!    [`EngineBuilder::recover`], timed cold, with the replayed record
+//!    count from the [`RecoveryReport`].
+//!
+//! Engine metrics (WA, GC passes) are deliberately *not* re-recorded
+//! here: the durable backend is metrically invisible (asserted by
+//! `tests/durability_integration.rs`), so those numbers would duplicate
+//! the gate entries.
+
+use crate::perf::{trace_of, Workload, QUICK, WORKLOADS};
+use adapt_array::{CountingArray, FileArraySink, FileSinkOptions};
+use adapt_lss::{
+    DurabilityConfig, FsyncPolicy, GcSelection, Lss, LssConfig, PlacementPolicy, WalStats,
+};
+use adapt_sim::scheme::{with_policy, PolicyVisitor};
+use adapt_sim::{ReplayConfig, Scheme};
+use adapt_trace::TraceRecord;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One rung of the fsync ladder.
+#[derive(Debug, Clone, Serialize)]
+pub struct FsyncPoint {
+    /// Policy label (`never`, `group_commit_8`, `every_commit`).
+    pub fsync: String,
+    /// Wall time of the replay (ms).
+    pub wall_ms: f64,
+    /// Throughput in thousand block-writes per second.
+    pub kops_per_sec: f64,
+    /// Wall-time ratio vs the in-memory reference replay (1.0 = free).
+    pub overhead_vs_memory: f64,
+    /// WAL bytes appended per host byte written.
+    pub wal_bytes_per_host_byte: f64,
+    /// WAL sync operations completed.
+    pub wal_syncs: u64,
+    /// Checkpoints taken during the run.
+    pub checkpoints: u64,
+}
+
+/// Cold recovery of the group-commit run's durable state.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryTiming {
+    /// Wall time of `EngineBuilder::recover` (ms).
+    pub wall_ms: f64,
+    /// Whether a checkpoint bounded the replay.
+    pub checkpoint_loaded: bool,
+    /// WAL records replayed after the checkpoint.
+    pub records_applied: u64,
+    /// Chunk flushes redone during replay.
+    pub flushes_replayed: u64,
+    /// Replay rate (thousand records per second; 0 when nothing to
+    /// replay).
+    pub krecords_per_sec: f64,
+}
+
+/// The `durability` section of `BENCH_perf.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct DurabilityBench {
+    /// Workload name the ladder ran on.
+    pub workload: String,
+    /// Host write blocks replayed per rung.
+    pub blocks: u64,
+    /// In-memory reference wall time (ms).
+    pub in_memory_wall_ms: f64,
+    /// In-memory reference throughput (kops/s).
+    pub in_memory_kops_per_sec: f64,
+    /// The fsync ladder.
+    pub policies: Vec<FsyncPoint>,
+    /// Cold-recovery timing of the group-commit rung's state.
+    pub recovery: RecoveryTiming,
+}
+
+fn durability_config(fsync: FsyncPolicy) -> DurabilityConfig {
+    DurabilityConfig {
+        fsync,
+        rotate_bytes: 1 << 20,
+        checkpoint_every_flushes: 256,
+        fsync_data: false,
+        budget: None,
+    }
+}
+
+fn sink_options() -> FileSinkOptions {
+    FileSinkOptions { fsync: false, stripes_per_file: 256, budget: None }
+}
+
+struct MemoryRun<'a> {
+    cfg: LssConfig,
+    trace: &'a [TraceRecord],
+}
+
+impl PolicyVisitor<f64> for MemoryRun<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> f64 {
+        let mut engine = Lss::builder(policy, CountingArray::new(self.cfg.array_config()))
+            .config(self.cfg)
+            .gc_select(GcSelection::Greedy)
+            .build();
+        let t0 = Instant::now();
+        for rec in self.trace {
+            engine.write_request(rec.ts_us, rec.lba, rec.num_blocks);
+        }
+        engine.flush_all();
+        t0.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+struct DurableRun<'a> {
+    cfg: LssConfig,
+    trace: &'a [TraceRecord],
+    dir: &'a Path,
+    fsync: FsyncPolicy,
+}
+
+impl PolicyVisitor<(f64, WalStats, u64)> for DurableRun<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> (f64, WalStats, u64) {
+        let sink =
+            FileArraySink::create(self.cfg.array_config(), self.dir.join("array"), sink_options())
+                .expect("create durable sink");
+        let mut engine = Lss::builder(policy, sink)
+            .config(self.cfg)
+            .gc_select(GcSelection::Greedy)
+            .durability(self.dir.join("wal"), durability_config(self.fsync))
+            .build();
+        let t0 = Instant::now();
+        for rec in self.trace {
+            engine.write_request(rec.ts_us, rec.lba, rec.num_blocks);
+        }
+        engine.flush_all();
+        engine.sync_wal().expect("final WAL sync");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = engine.wal_stats().expect("wal stats");
+        (wall_ms, stats, engine.metrics().host_write_bytes)
+    }
+}
+
+struct RecoverRun<'a> {
+    cfg: LssConfig,
+    dir: &'a Path,
+}
+
+impl PolicyVisitor<RecoveryTiming> for RecoverRun<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> RecoveryTiming {
+        let t0 = Instant::now();
+        let sink = FileArraySink::open_recovery(
+            self.cfg.array_config(),
+            self.dir.join("array"),
+            sink_options(),
+        )
+        .expect("open durable sink for recovery");
+        let (engine, report) = Lss::builder(policy, sink)
+            .config(self.cfg)
+            .gc_select(GcSelection::Greedy)
+            .durability(self.dir.join("wal"), durability_config(FsyncPolicy::GroupCommit(8)))
+            .recover()
+            .expect("recover engine");
+        let wall = t0.elapsed();
+        engine.check_invariants();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        RecoveryTiming {
+            wall_ms,
+            checkpoint_loaded: report.checkpoint_loaded,
+            records_applied: report.records_applied,
+            flushes_replayed: report.flushes_replayed,
+            krecords_per_sec: if report.records_applied > 0 {
+                report.records_applied as f64 / wall.as_secs_f64() / 1e3
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// The fsync policies the ladder measures, cheapest first.
+pub const LADDER: [FsyncPolicy; 3] =
+    [FsyncPolicy::Never, FsyncPolicy::GroupCommit(8), FsyncPolicy::EveryCommit];
+
+/// Run the durability bench. `quick` uses the CI smoke workload; full
+/// runs use the `small` gate workload (the `medium` gate would multiply
+/// file traffic for no extra signal — overhead ratios stabilize well
+/// below it).
+pub fn run(quick: bool) -> DurabilityBench {
+    let w: &Workload = if quick { &QUICK } else { &WORKLOADS[0] };
+    run_workload(w)
+}
+
+/// Run the ladder + recovery timing on one workload.
+pub fn run_workload(w: &Workload) -> DurabilityBench {
+    let scheme = Scheme::SepGc;
+    let cfg = ReplayConfig::for_volume(w.user_blocks, GcSelection::Greedy).lss;
+    let trace = trace_of(w);
+    let blocks: u64 = trace.iter().map(|r| r.num_blocks as u64).sum();
+    let base = std::env::temp_dir().join(format!("adapt_durbench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let in_memory_wall_ms = with_policy(scheme, &cfg, MemoryRun { cfg, trace: &trace });
+    let mut policies = Vec::new();
+    let mut recovery_dir: Option<PathBuf> = None;
+    for fsync in LADDER {
+        let dir = base.join(fsync.label());
+        std::fs::create_dir_all(&dir).expect("create bench dir");
+        let (wall_ms, wal, host_bytes) =
+            with_policy(scheme, &cfg, DurableRun { cfg, trace: &trace, dir: &dir, fsync });
+        policies.push(FsyncPoint {
+            fsync: fsync.label(),
+            wall_ms,
+            kops_per_sec: blocks as f64 / (wall_ms / 1e3) / 1e3,
+            overhead_vs_memory: wall_ms / in_memory_wall_ms,
+            wal_bytes_per_host_byte: wal.bytes_appended as f64 / host_bytes.max(1) as f64,
+            wal_syncs: wal.syncs,
+            checkpoints: wal.checkpoints,
+        });
+        if matches!(fsync, FsyncPolicy::GroupCommit(_)) {
+            recovery_dir = Some(dir.clone());
+        }
+    }
+    let recovery = with_policy(
+        scheme,
+        &cfg,
+        RecoverRun { cfg, dir: recovery_dir.as_deref().expect("group-commit rung ran") },
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    DurabilityBench {
+        workload: w.name.to_string(),
+        blocks,
+        in_memory_wall_ms,
+        in_memory_kops_per_sec: blocks as f64 / (in_memory_wall_ms / 1e3) / 1e3,
+        policies,
+        recovery,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_produces_full_ladder_and_recovery() {
+        let b = run(true);
+        assert_eq!(b.policies.len(), LADDER.len());
+        assert!(b.in_memory_wall_ms > 0.0);
+        for p in &b.policies {
+            assert!(p.wall_ms > 0.0, "{}", p.fsync);
+            assert!(p.wal_bytes_per_host_byte > 0.0, "{}", p.fsync);
+        }
+        // Group commit must actually sync; never-sync must not (beyond
+        // rotations/checkpoints, which this workload's WAL volume forces
+        // rarely enough to distinguish).
+        let never = &b.policies[0];
+        let group = &b.policies[1];
+        let every = &b.policies[2];
+        assert!(group.wal_syncs > never.wal_syncs);
+        assert!(every.wal_syncs > group.wal_syncs);
+        assert!(b.recovery.records_applied > 0 || b.recovery.checkpoint_loaded);
+        assert!(b.recovery.wall_ms > 0.0);
+    }
+}

@@ -16,6 +16,7 @@
 //! Figures print their series as aligned text tables *and* write JSON so
 //! EXPERIMENTS.md can be assembled mechanically.
 
+pub mod durability;
 pub mod figures;
 pub mod harness;
 pub mod perf;

@@ -272,6 +272,11 @@ pub struct PerfReport {
     /// `jobs = N` over a medium suite sweep). Populated by the `perf` bin
     /// on gate runs; `None` for events-enabled overhead runs.
     pub sweep: Option<SweepScaling>,
+    /// Durable-backend cost record: fsync-policy throughput ladder on the
+    /// file-backed sink + WAL vs the in-memory reference, plus cold
+    /// recovery timing. Populated by the `perf` bin on gate runs; `None`
+    /// for events-enabled overhead runs.
+    pub durability: Option<crate::durability::DurabilityBench>,
 }
 
 /// Run the harness over `workloads` with events disabled (the regression
@@ -320,6 +325,7 @@ pub fn run_with_events(
         speedup,
         events_enabled: events.enabled,
         sweep: None,
+        durability: None,
     }
 }
 

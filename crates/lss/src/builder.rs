@@ -35,6 +35,8 @@ use crate::events::{EventConfig, EventRecorder};
 use crate::gc::GcSelection;
 use crate::gc_variants::VictimPolicy;
 use crate::placement::PlacementPolicy;
+use crate::recovery::{RecoveryError, RecoveryReport};
+use crate::wal::DurabilityConfig;
 use adapt_array::ArraySink;
 use std::path::PathBuf;
 
@@ -47,6 +49,7 @@ pub struct EngineBuilder<P: PlacementPolicy, S: ArraySink> {
     sink: S,
     events: EventConfig,
     jsonl: Option<PathBuf>,
+    durability: Option<(PathBuf, DurabilityConfig)>,
 }
 
 impl<P: PlacementPolicy, S: ArraySink> EngineBuilder<P, S> {
@@ -60,6 +63,7 @@ impl<P: PlacementPolicy, S: ArraySink> EngineBuilder<P, S> {
             sink,
             events: EventConfig::default(),
             jsonl: None,
+            durability: None,
         }
     }
 
@@ -94,14 +98,23 @@ impl<P: PlacementPolicy, S: ArraySink> EngineBuilder<P, S> {
         self
     }
 
+    /// Attach a durable backend: a write-ahead log plus periodic
+    /// checkpoints in `dir`. `build()` starts fresh (wiping stale WAL
+    /// files there); use [`EngineBuilder::recover`] instead to restart
+    /// from what a previous incarnation left behind.
+    pub fn durability(mut self, dir: impl Into<PathBuf>, cfg: DurabilityConfig) -> Self {
+        self.durability = Some((dir.into(), cfg));
+        self
+    }
+
     /// Validate the configuration against the policy's group topology and
     /// build the engine.
     ///
     /// # Panics
     ///
     /// On invalid configuration (see [`LssConfig::validate`]), on an
-    /// engine/array chunk-size mismatch, or if the JSONL sink cannot be
-    /// created.
+    /// engine/array chunk-size mismatch, or if the JSONL sink or WAL
+    /// cannot be created.
     pub fn build(self) -> Lss<P, S> {
         let mut recorder = EventRecorder::new(self.events);
         if self.events.enabled {
@@ -111,7 +124,43 @@ impl<P: PlacementPolicy, S: ArraySink> EngineBuilder<P, S> {
                     .unwrap_or_else(|e| panic!("event JSONL sink {}: {e}", path.display()));
             }
         }
-        Lss::with_recorder(self.cfg, self.victim, self.policy, self.sink, recorder)
+        let durability = self.durability;
+        let mut engine =
+            Lss::with_recorder(self.cfg, self.victim, self.policy, self.sink, recorder);
+        if let Some((dir, cfg)) = durability {
+            engine
+                .enable_durability(&dir, cfg)
+                .unwrap_or_else(|e| panic!("write-ahead log in {}: {e}", dir.display()));
+        }
+        engine
+    }
+
+    /// Build the engine and recover it from the durable state a previous
+    /// incarnation left in the directory given to
+    /// [`EngineBuilder::durability`]: load the checkpoint, replay the
+    /// WAL's durable prefix, truncate its torn tail, and reconcile the
+    /// sink. Returns the recovered engine and a report of what was found.
+    ///
+    /// Fails with [`RecoveryError::NotConfigured`] when no durability
+    /// directory was set. Never panics on damaged durable state — any
+    /// corruption the CRCs or structural validation catches surfaces as a
+    /// typed error.
+    pub fn recover(self) -> Result<(Lss<P, S>, RecoveryReport), RecoveryError> {
+        let Some((dir, dcfg)) = self.durability else {
+            return Err(RecoveryError::NotConfigured);
+        };
+        let mut recorder = EventRecorder::new(self.events);
+        if self.events.enabled {
+            if let Some(path) = &self.jsonl {
+                recorder
+                    .set_jsonl_sink(path)
+                    .unwrap_or_else(|e| panic!("event JSONL sink {}: {e}", path.display()));
+            }
+        }
+        let mut engine =
+            Lss::with_recorder(self.cfg, self.victim, self.policy, self.sink, recorder);
+        let report = engine.recover_in_place(&dir, dcfg)?;
+        Ok((engine, report))
     }
 }
 

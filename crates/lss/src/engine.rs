@@ -41,10 +41,49 @@ use crate::metrics::{GroupTraffic, LssMetrics};
 use crate::placement::{
     PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta, SlaAction, VictimMeta,
 };
+use crate::recovery::{
+    self, DurableState, EntrySnap, GeometrySnap, GroupSnap, PendingSnap, RecoveryError,
+    RecoveryReport, SegmentSnap,
+};
 use crate::segment::{Segment, SegmentState};
 use crate::telemetry::TelemetrySnapshot;
 use crate::types::{GroupId, Lba, SegmentId, Slot};
-use adapt_array::{ArrayHealth, ArraySink, ChunkFlush, ReadMode, ScrubStep, Traffic};
+use crate::wal::{
+    self, DurabilityConfig, Wal, WalError, WalRecord, WalSlot, WalSlotKind, WalStats,
+};
+use adapt_array::{
+    ArrayHealth, ArraySink, ChunkFlush, Raid5Layout, ReadMode, RecoveredFlush, ScrubStep, Traffic,
+};
+use std::path::{Path, PathBuf};
+
+/// Durability machinery attached to an engine: the WAL, the checkpoint
+/// directory, and the per-LBA durable-version map the power-loss sweep
+/// verifies against. Boxed behind an `Option` so engines without a
+/// durable backend pay one pointer of state and one branch per hook.
+pub(crate) struct Durability {
+    wal: Wal,
+    dir: PathBuf,
+    /// Chunk flushes since the last checkpoint (drives the cadence).
+    flushes_since_checkpoint: u64,
+    /// Version (arrival µs) of the newest WAL-appended user write per
+    /// LBA. Snapshot-serialized and replay-rebuilt, so after recovery it
+    /// reflects exactly the durable prefix.
+    versions: crate::FxHashMap<Lba, u64>,
+    /// Scratch for per-flush WAL slot lists.
+    wal_slot_buf: Vec<WalSlot>,
+}
+
+/// Map a sink fault hit during checkpointing onto the WAL error space
+/// (a checkpoint is a durability operation; its callers think in
+/// [`WalError`] terms).
+fn array_to_wal(e: adapt_array::ArrayError) -> WalError {
+    match e {
+        adapt_array::ArrayError::Storage { failure: adapt_array::StorageFailure::PowerLoss } => {
+            WalError::PowerLoss
+        }
+        other => WalError::Io(other.to_string()),
+    }
+}
 
 /// The log-structured storage engine. Generic over the placement policy
 /// (static dispatch: the policy decision sits on the per-block hot path)
@@ -109,6 +148,8 @@ pub struct Lss<P: PlacementPolicy, S: ArraySink> {
     events: EventRecorder,
     /// Scratch for draining policy-side events (avoids per-op allocation).
     policy_event_buf: Vec<PolicyEvent>,
+    /// Durable backend (WAL + checkpoints); `None` for in-memory engines.
+    dur: Option<Box<Durability>>,
 }
 
 impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
@@ -193,6 +234,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             buckets: SegmentBuckets::new(cfg.segment_blocks(), total as usize),
             events,
             policy_event_buf: Vec::new(),
+            dur: None,
         }
     }
 
@@ -226,7 +268,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.append_pending(
             g,
             PendingBlock { lba, traffic: Traffic::User, arrival_us: self.now_us, needs_sla: true },
-        )
+        )?;
+        self.wal_commit()
     }
 
     /// Process a multi-block host write request.
@@ -309,7 +352,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         }
         self.metrics.array_read_bytes += chunks.len() as u64 * self.cfg.chunk_bytes();
         self.read_scratch = chunks;
-        Ok(())
+        self.wal_commit()
     }
 
     /// Fetch one chunk through the sink's fault model, retrying transient
@@ -377,7 +420,10 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 self.metrics.trimmed_blocks += 1;
             }
         }
-        Ok(())
+        if self.dur.is_some() && num_blocks > 0 {
+            self.wal_append(WalRecord::Trim { lba, blocks: num_blocks });
+        }
+        self.wal_commit()
     }
 
     /// Advance simulated time, handling any SLA expiries strictly before
@@ -408,7 +454,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             }
         }
         self.now_us = self.now_us.max(ts_us);
-        Ok(())
+        self.wal_commit()
     }
 
     /// Flush every group's partial chunk (padding as needed). Call at the
@@ -428,7 +474,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 self.flush_chunk(gid, &[], GroupId::MAX)?;
             }
         }
-        Ok(())
+        self.wal_commit()
     }
 
     /// Cumulative metrics.
@@ -574,7 +620,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.metrics.gc_passes += 1;
         let result = self.collect_segment(victim);
         self.in_gc = false;
-        result.map(|()| true)
+        result?;
+        self.wal_commit()?;
+        Ok(true)
     }
 
     /// Timed GC victim selection (the per-pass hot spot the perf harness
@@ -846,6 +894,19 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
     /// Append a block to a group's buffer; flush when the chunk fills.
     fn append_pending(&mut self, gid: GroupId, block: PendingBlock) -> Result<(), EngineError> {
+        if self.dur.is_some() {
+            // Logged for every append — host writes AND GC migrations. The
+            // sync covering a host write's record is its acknowledgement,
+            // and migration records preceding a victim's `Reclaim` in log
+            // order are what make replaying a reclaim safe.
+            self.wal_append(WalRecord::BufferAppend {
+                lba: block.lba,
+                version: block.arrival_us,
+                group: gid,
+                gc: block.traffic == Traffic::Gc,
+                needs_sla: block.needs_sla,
+            });
+        }
         let lba = block.lba;
         let needs_sla = block.needs_sla;
         let arrival = block.arrival_us;
@@ -945,9 +1006,28 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         pending.clear();
         pending.extend(self.groups[gid as usize].pending.drain(..take_n));
 
+        // With a durable backend, collect this chunk's slots for the WAL
+        // Flush record (blocks first, then shadows — the slot-offset order
+        // replay must reproduce).
+        let mut wal_slots = match self.dur.as_mut() {
+            Some(d) => {
+                let mut buf = std::mem::take(&mut d.wal_slot_buf);
+                buf.clear();
+                Some(buf)
+            }
+            None => None,
+        };
+
         let mut user = 0u64;
         let mut gc = 0u64;
         for p in &pending {
+            if let Some(ws) = wal_slots.as_mut() {
+                let kind = match p.traffic {
+                    Traffic::Gc => WalSlotKind::Gc,
+                    _ => WalSlotKind::User,
+                };
+                ws.push(WalSlot { kind, lba: p.lba, version: p.arrival_us });
+            }
             let seg = &mut self.segments[seg_id as usize];
             let off = seg.append_slot(Slot::Block(p.lba));
             seg.valid_blocks += 1;
@@ -991,9 +1071,18 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 BlockEntry::Pending { group, shadow: None } => {
                     debug_assert_eq!(group, shadow_home);
                     self.index.set(lba, BlockEntry::Pending { group, shadow: Some((seg_id, off)) });
-                    if let Some(pos) = self.groups[shadow_home as usize].find_pending(lba) {
-                        let arrival = self.groups[shadow_home as usize].pending[pos].arrival_us;
+                    let arrival = self.groups[shadow_home as usize]
+                        .find_pending(lba)
+                        .map(|pos| self.groups[shadow_home as usize].pending[pos].arrival_us);
+                    if let Some(arrival) = arrival {
                         self.metrics.durability_latency.record(self.now_us.saturating_sub(arrival));
+                    }
+                    if let Some(ws) = wal_slots.as_mut() {
+                        ws.push(WalSlot {
+                            kind: WalSlotKind::Shadow,
+                            lba,
+                            version: arrival.unwrap_or(self.now_us),
+                        });
                     }
                 }
                 other => {
@@ -1048,7 +1137,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         // The chunk just written starts at slot `filled - chunk_blocks`.
         let chunk_in_seg = (self.segments[seg_id as usize].filled - chunk_blocks) / chunk_blocks;
         debug_assert_eq!(self.segments[seg_id as usize].chunk_seqs.len() as u32, chunk_in_seg);
-        self.segments[seg_id as usize].chunk_seqs.push(self.next_flush_seq);
+        let flush_seq = self.next_flush_seq;
+        self.segments[seg_id as usize].chunk_seqs.push(flush_seq);
         self.next_flush_seq += 1;
         let loc = self.sink.write_chunk(ChunkFlush {
             user_bytes: user * block_bytes,
@@ -1060,6 +1150,22 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             chunk_in_seg,
         });
         self.segments[seg_id as usize].chunk_locs.push(loc);
+        if let Some(slots) = wal_slots.take() {
+            let rec = WalRecord::Flush {
+                flush_seq,
+                seg: seg_id,
+                chunk_in_seg,
+                group: gid,
+                now_us: self.now_us,
+                user_bytes_clock: self.user_bytes_clock,
+                pad_blocks: pad as u32,
+                slots,
+            };
+            self.wal_append(rec);
+            if let Some(d) = self.dur.as_mut() {
+                d.flushes_since_checkpoint += 1;
+            }
+        }
 
         // Seal and replace the open segment if it just filled.
         if self.segments[seg_id as usize].is_full() {
@@ -1158,6 +1264,16 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.segments[seg_id as usize].open_seq = self.next_open_seq;
         self.next_open_seq += 1;
         self.groups[gid as usize].open_segment = seg_id;
+        if self.dur.is_some() {
+            let s = &self.segments[seg_id as usize];
+            self.wal_append(WalRecord::Open {
+                seg: seg_id,
+                group: gid,
+                open_seq: s.open_seq,
+                created_user_bytes: s.created_user_bytes,
+                created_ts_us: s.created_ts_us,
+            });
+        }
         Ok(())
     }
 
@@ -1197,6 +1313,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
         // Detach from the bucket index and the owner group's sealed list;
         // the victim's remaining valid blocks drain outside the index.
+        if self.dur.is_some() {
+            self.wal_append(WalRecord::GcBegin { seg: victim_id });
+        }
         self.buckets.remove(victim_id);
         let pos = self.segments[victim_id as usize].group_pos as usize;
         let g = &mut self.groups[victim_group as usize];
@@ -1269,6 +1388,11 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         seg.reset();
         self.free.push(victim_id);
         self.metrics.segments_reclaimed += 1;
+        if self.dur.is_some() {
+            // Every live block was re-logged as a `BufferAppend` above, so
+            // any WAL prefix containing this record also contains them.
+            self.wal_append(WalRecord::Reclaim { seg: victim_id });
+        }
         if self.events.enabled() {
             self.events.record(
                 self.now_us,
@@ -1368,6 +1492,702 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: WAL hooks, checkpoints, recovery
+    // ------------------------------------------------------------------
+
+    /// Append one WAL record, maintaining the durable-version map. No-op
+    /// without a durable backend.
+    fn wal_append(&mut self, rec: WalRecord) {
+        let Some(d) = self.dur.as_mut() else { return };
+        match &rec {
+            WalRecord::BufferAppend { lba, version, gc: false, .. } => {
+                d.versions.insert(*lba, *version);
+            }
+            WalRecord::Trim { lba, blocks } => {
+                for i in 0..*blocks as u64 {
+                    d.versions.remove(&(lba + i));
+                }
+            }
+            _ => {}
+        }
+        d.wal.append(&rec);
+        if let WalRecord::Flush { slots, .. } = rec {
+            // Reclaim the slot scratch for the next flush.
+            d.wal_slot_buf = slots;
+        }
+    }
+
+    /// One WAL commit point (end of a host-level operation); runs the
+    /// checkpoint cadence. No-op without a durable backend.
+    fn wal_commit(&mut self) -> Result<(), EngineError> {
+        let Some(d) = self.dur.as_mut() else { return Ok(()) };
+        d.wal.commit().map_err(EngineError::Wal)?;
+        let cadence = d.wal.config().checkpoint_every_flushes;
+        if cadence > 0 && d.flushes_since_checkpoint >= cadence && !self.in_gc {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint: sync the WAL and the sink, rotate the log,
+    /// atomically persist the state snapshot, and prune covered WAL
+    /// files. Crash-safe at every step — a crash between rotation and the
+    /// snapshot write leaves the old checkpoint plus the old WAL files,
+    /// both intact. No-op without a durable backend.
+    pub fn checkpoint(&mut self) -> Result<(), EngineError> {
+        if self.dur.is_none() {
+            return Ok(());
+        }
+        self.dur.as_mut().unwrap().wal.sync().map_err(EngineError::Wal)?;
+        self.sink.sync_for_checkpoint().map_err(|e| EngineError::Wal(array_to_wal(e)))?;
+        let d = self.dur.as_mut().unwrap();
+        let start_idx = d.wal.rotate_for_checkpoint().map_err(EngineError::Wal)?;
+        let state = self.capture_durable_state(start_idx);
+        let d = self.dur.as_mut().unwrap();
+        state
+            .store(&d.dir, d.wal.config().budget.as_ref(), d.wal.config().fsync_data)
+            .map_err(EngineError::Wal)?;
+        d.wal.prune_below(start_idx).map_err(EngineError::Wal)?;
+        d.flushes_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Attach a fresh durable backend in `dir` (wiping any WAL files and
+    /// checkpoint a previous incarnation left there — this is a new
+    /// engine, not a recovery).
+    pub(crate) fn enable_durability(
+        &mut self,
+        dir: &Path,
+        cfg: DurabilityConfig,
+    ) -> Result<(), WalError> {
+        let wal = Wal::create(dir, cfg)?;
+        match std::fs::remove_file(dir.join(recovery::CHECKPOINT_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        self.dur = Some(Box::new(Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            flushes_since_checkpoint: 0,
+            versions: crate::FxHashMap::default(),
+            wal_slot_buf: Vec::new(),
+        }));
+        Ok(())
+    }
+
+    /// Move host writes acknowledged by completed WAL syncs into `out` as
+    /// `(lba, version)` pairs. A write is acknowledged exactly when the
+    /// sync covering its `BufferAppend` record completes.
+    pub fn drain_durable_acks(&mut self, out: &mut Vec<(Lba, u64)>) {
+        if let Some(d) = self.dur.as_mut() {
+            d.wal.drain_ready_acks(out);
+        }
+    }
+
+    /// WAL activity counters, if a durable backend is attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.dur.as_ref().map(|d| *d.wal.stats())
+    }
+
+    /// Force a WAL sync (acknowledging everything appended so far).
+    pub fn sync_wal(&mut self) -> Result<(), EngineError> {
+        match self.dur.as_mut() {
+            Some(d) => d.wal.sync().map_err(EngineError::Wal),
+            None => Ok(()),
+        }
+    }
+
+    /// Version (arrival µs) of the newest WAL-logged write of `lba`, per
+    /// the durable backend. On a freshly recovered engine this reflects
+    /// exactly the durable prefix — the crash sweep's ground truth.
+    pub fn durable_version(&self, lba: Lba) -> Option<u64> {
+        self.dur.as_ref().and_then(|d| d.versions.get(&lba).copied())
+    }
+
+    /// Snapshot the complete logical engine state for a checkpoint.
+    fn capture_durable_state(&self, wal_start_idx: u64) -> DurableState {
+        let d = self.dur.as_ref().expect("checkpoint without durability");
+        let segments = self
+            .segments
+            .iter()
+            .filter(|s| s.state != SegmentState::Free)
+            .map(|s| SegmentSnap {
+                id: s.id,
+                group: s.group,
+                state: match s.state {
+                    SegmentState::Open => 1,
+                    SegmentState::Sealed => 2,
+                    SegmentState::Free => unreachable!(),
+                },
+                filled: s.filled,
+                valid_blocks: s.valid_blocks,
+                open_seq: s.open_seq,
+                created_user_bytes: s.created_user_bytes,
+                created_ts_us: s.created_ts_us,
+                chunk_seqs: s.chunk_seqs.clone(),
+                slots: s.raw_slots().to_vec(),
+            })
+            .collect();
+        let groups = self
+            .groups
+            .iter()
+            .map(|g| GroupSnap {
+                open_segment: (g.open_segment != SegmentId::MAX).then_some(g.open_segment),
+                sealed: g.sealed.clone(),
+                pending: g
+                    .pending
+                    .iter()
+                    .map(|p| PendingSnap {
+                        lba: p.lba,
+                        traffic: u8::from(p.traffic == Traffic::Gc),
+                        arrival_us: p.arrival_us,
+                        needs_sla: p.needs_sla,
+                    })
+                    .collect(),
+                user_blocks: g.user_blocks,
+                gc_blocks: g.gc_blocks,
+                shadow_blocks: g.shadow_blocks,
+                pad_blocks: g.pad_blocks,
+                chunks: g.chunks,
+                pad_chunks: g.pad_chunks,
+            })
+            .collect();
+        let mut index = Vec::new();
+        for lba in 0..self.index.len() as Lba {
+            match self.index.get(lba) {
+                BlockEntry::Absent => {}
+                BlockEntry::Durable { seg, off } => {
+                    index.push((lba, EntrySnap::Durable { seg, off }));
+                }
+                BlockEntry::Pending { group, shadow } => {
+                    index.push((lba, EntrySnap::Pending { group, shadow }));
+                }
+            }
+        }
+        let mut versions: Vec<(u64, u64)> = d.versions.iter().map(|(&l, &v)| (l, v)).collect();
+        versions.sort_unstable();
+        DurableState {
+            geometry: GeometrySnap {
+                block_bytes: self.cfg.block_bytes,
+                chunk_blocks: self.cfg.chunk_blocks,
+                segment_chunks: self.cfg.segment_chunks,
+                user_blocks: self.cfg.user_blocks,
+                num_groups: self.groups.len() as u32,
+                total_segments: self.segments.len() as u32,
+            },
+            wal_start_idx,
+            now_us: self.now_us,
+            user_bytes_clock: self.user_bytes_clock,
+            ops_seen: self.ops_seen,
+            next_open_seq: self.next_open_seq,
+            next_flush_seq: self.next_flush_seq,
+            segments,
+            groups,
+            index,
+            versions,
+        }
+    }
+
+    /// Restore a checkpoint snapshot into a freshly built engine. Every
+    /// structural claim the snapshot makes is validated — a corrupt (but
+    /// CRC-valid, hence deliberately damaged) snapshot yields
+    /// [`RecoveryError::BadCheckpoint`], never a panic.
+    fn apply_durable_state(
+        &mut self,
+        state: &DurableState,
+        versions: &mut crate::FxHashMap<Lba, u64>,
+    ) -> Result<(), RecoveryError> {
+        let bad = |detail: String| RecoveryError::BadCheckpoint { detail };
+        let g = &state.geometry;
+        let want = GeometrySnap {
+            block_bytes: self.cfg.block_bytes,
+            chunk_blocks: self.cfg.chunk_blocks,
+            segment_chunks: self.cfg.segment_chunks,
+            user_blocks: self.cfg.user_blocks,
+            num_groups: self.groups.len() as u32,
+            total_segments: self.segments.len() as u32,
+        };
+        if *g != want {
+            return Err(RecoveryError::GeometryMismatch {
+                detail: format!("checkpoint {g:?} vs engine {want:?}"),
+            });
+        }
+        if state.groups.len() != self.groups.len() {
+            return Err(bad(format!(
+                "{} group snapshots for {} groups",
+                state.groups.len(),
+                self.groups.len()
+            )));
+        }
+        let chunk_blocks = self.cfg.chunk_blocks;
+        let mut present = vec![false; self.segments.len()];
+        for snap in &state.segments {
+            let Some(seg) = self.segments.get_mut(snap.id as usize) else {
+                return Err(bad(format!("segment id {} out of range", snap.id)));
+            };
+            if present[snap.id as usize] {
+                return Err(bad(format!("segment {} appears twice", snap.id)));
+            }
+            present[snap.id as usize] = true;
+            let cap = seg.capacity();
+            if snap.slots.len() != cap as usize
+                || snap.filled > cap
+                || !snap.filled.is_multiple_of(chunk_blocks)
+                || snap.chunk_seqs.len() != (snap.filled / chunk_blocks) as usize
+                || snap.valid_blocks > snap.filled
+                || snap.group as usize >= state.groups.len()
+            {
+                return Err(bad(format!("segment {} snapshot inconsistent", snap.id)));
+            }
+            seg.state = match snap.state {
+                1 => SegmentState::Open,
+                2 if snap.filled == cap => SegmentState::Sealed,
+                _ => return Err(bad(format!("segment {} bad state {}", snap.id, snap.state))),
+            };
+            seg.group = snap.group;
+            seg.filled = snap.filled;
+            seg.valid_blocks = snap.valid_blocks;
+            seg.open_seq = snap.open_seq;
+            seg.created_user_bytes = snap.created_user_bytes;
+            seg.created_ts_us = snap.created_ts_us;
+            seg.chunk_seqs = snap.chunk_seqs.clone();
+            seg.restore_raw_slots(&snap.slots);
+        }
+        self.free = (0..self.segments.len() as SegmentId)
+            .rev()
+            .filter(|&id| !present[id as usize])
+            .collect();
+        self.buckets = SegmentBuckets::new(self.cfg.segment_blocks(), self.segments.len());
+        for (gid, snap) in state.groups.iter().enumerate() {
+            if let Some(open) = snap.open_segment {
+                let ok = self
+                    .segments
+                    .get(open as usize)
+                    .is_some_and(|s| s.state == SegmentState::Open && s.group as usize == gid);
+                if !ok {
+                    return Err(bad(format!("group {gid}: bad open segment {open}")));
+                }
+            }
+            for (pos, &sid) in snap.sealed.iter().enumerate() {
+                let Some(s) = self.segments.get_mut(sid as usize) else {
+                    return Err(bad(format!("group {gid}: sealed id {sid} out of range")));
+                };
+                if s.state != SegmentState::Sealed || s.group as usize != gid {
+                    return Err(bad(format!("group {gid}: segment {sid} not its sealed")));
+                }
+                s.group_pos = pos as u32;
+                let (valid, created) = (s.valid_blocks, s.created_user_bytes);
+                self.buckets.insert(sid, valid, created);
+            }
+            let grp = &mut self.groups[gid];
+            grp.open_segment = snap.open_segment.unwrap_or(SegmentId::MAX);
+            grp.sealed = snap.sealed.clone();
+            grp.pending.clear();
+            for p in &snap.pending {
+                if grp.pending.len() >= chunk_blocks as usize {
+                    return Err(bad(format!("group {gid}: pending buffer over chunk size")));
+                }
+                grp.pending.push(PendingBlock {
+                    lba: p.lba,
+                    traffic: match p.traffic {
+                        0 => Traffic::User,
+                        1 => Traffic::Gc,
+                        t => return Err(bad(format!("group {gid}: bad traffic tag {t}"))),
+                    },
+                    arrival_us: p.arrival_us,
+                    needs_sla: p.needs_sla,
+                });
+            }
+            grp.user_blocks = snap.user_blocks;
+            grp.gc_blocks = snap.gc_blocks;
+            grp.shadow_blocks = snap.shadow_blocks;
+            grp.pad_blocks = snap.pad_blocks;
+            grp.chunks = snap.chunks;
+            grp.pad_chunks = snap.pad_chunks;
+        }
+        self.index = BlockIndex::with_capacity(self.cfg.user_blocks);
+        for &(lba, entry) in &state.index {
+            let ok = match entry {
+                EntrySnap::Durable { seg, off } => self
+                    .segments
+                    .get(seg as usize)
+                    .is_some_and(|s| s.state != SegmentState::Free && off < s.filled),
+                EntrySnap::Pending { group, shadow } => {
+                    (group as usize) < self.groups.len()
+                        && shadow.is_none_or(|(seg, off)| {
+                            self.segments.get(seg as usize).is_some_and(|s| off < s.filled)
+                        })
+                }
+            };
+            if !ok {
+                return Err(bad(format!("index entry for lba {lba} out of range")));
+            }
+            let e = match entry {
+                EntrySnap::Durable { seg, off } => BlockEntry::Durable { seg, off },
+                EntrySnap::Pending { group, shadow } => BlockEntry::Pending { group, shadow },
+            };
+            self.index.set(lba, e);
+        }
+        self.now_us = state.now_us;
+        self.user_bytes_clock = state.user_bytes_clock;
+        self.ops_seen = state.ops_seen;
+        self.next_open_seq = state.next_open_seq;
+        self.next_flush_seq = state.next_flush_seq;
+        versions.clear();
+        versions.extend(state.versions.iter().copied());
+        Ok(())
+    }
+
+    /// Re-apply one replayed WAL record, mirroring exactly the engine
+    /// mutation that produced it. Every id is bounds-checked and every
+    /// structural premise validated: a log inconsistent with the
+    /// reconstructed state yields [`RecoveryError::Replay`], never a
+    /// panic.
+    fn replay_record(
+        &mut self,
+        rec: &WalRecord,
+        versions: &mut crate::FxHashMap<Lba, u64>,
+        detached: &mut Vec<SegmentId>,
+        report: &mut RecoveryReport,
+    ) -> Result<(), RecoveryError> {
+        let bad = |detail: String| RecoveryError::Replay { detail };
+        match rec {
+            WalRecord::Open { seg, group, open_seq, created_user_bytes, created_ts_us } => {
+                let gid = *group as usize;
+                if gid >= self.groups.len() || *seg as usize >= self.segments.len() {
+                    return Err(bad(format!("open: bad ids (seg {seg}, group {group})")));
+                }
+                if self.groups[gid].open_segment != SegmentId::MAX {
+                    return Err(bad(format!("open: group {group} already has an open segment")));
+                }
+                let Some(pos) = self.free.iter().position(|&f| f == *seg) else {
+                    return Err(bad(format!("open: segment {seg} is not free")));
+                };
+                self.free.swap_remove(pos);
+                let s = &mut self.segments[*seg as usize];
+                s.open(*group, *created_user_bytes, *created_ts_us);
+                s.open_seq = *open_seq;
+                self.groups[gid].open_segment = *seg;
+                self.next_open_seq = self.next_open_seq.max(open_seq + 1);
+            }
+            WalRecord::BufferAppend { lba, version, group, gc, needs_sla } => {
+                let gid = *group as usize;
+                if gid >= self.groups.len() {
+                    return Err(bad(format!("append: bad group {group}")));
+                }
+                self.retire_previous_version(*lba)
+                    .map_err(|e| bad(format!("append lba {lba}: {e}")))?;
+                if self.groups[gid].pending.len() >= self.cfg.chunk_blocks as usize {
+                    return Err(bad(format!("append: group {group} buffer over chunk size")));
+                }
+                self.groups[gid].pending.push(PendingBlock {
+                    lba: *lba,
+                    traffic: if *gc { Traffic::Gc } else { Traffic::User },
+                    arrival_us: *version,
+                    needs_sla: *needs_sla,
+                });
+                self.index.set(*lba, BlockEntry::Pending { group: *group, shadow: None });
+                if !*gc {
+                    versions.insert(*lba, *version);
+                }
+                self.now_us = self.now_us.max(*version);
+                report.buffered_blocks_redone += 1;
+            }
+            WalRecord::Flush {
+                flush_seq,
+                seg,
+                chunk_in_seg,
+                group,
+                now_us,
+                user_bytes_clock,
+                pad_blocks,
+                slots,
+            } => {
+                let gid = *group as usize;
+                let chunk_blocks = self.cfg.chunk_blocks;
+                if gid >= self.groups.len() || *seg as usize >= self.segments.len() {
+                    return Err(bad(format!("flush: bad ids (seg {seg}, group {group})")));
+                }
+                if self.groups[gid].open_segment != *seg {
+                    return Err(bad(format!("flush: segment {seg} not open for group {group}")));
+                }
+                if *flush_seq != self.next_flush_seq {
+                    return Err(bad(format!(
+                        "flush: sequence {flush_seq} but engine expects {}",
+                        self.next_flush_seq
+                    )));
+                }
+                {
+                    let s = &self.segments[*seg as usize];
+                    if s.filled / chunk_blocks != *chunk_in_seg
+                        || s.filled + chunk_blocks > s.capacity()
+                        || slots.len() as u32 + pad_blocks != chunk_blocks
+                    {
+                        return Err(bad(format!("flush: shape mismatch on segment {seg}")));
+                    }
+                }
+                let mut user = 0u64;
+                let mut gc = 0u64;
+                let mut shadow_cnt = 0u64;
+                for slot in slots {
+                    match slot.kind {
+                        WalSlotKind::User | WalSlotKind::Gc => {
+                            let Some(pos) = self.groups[gid].find_pending(slot.lba) else {
+                                return Err(bad(format!(
+                                    "flush: block {} not in group {group}'s buffer",
+                                    slot.lba
+                                )));
+                            };
+                            // `remove`, not `swap_remove`: keep the engine's
+                            // oldest-first residue order.
+                            self.groups[gid].pending.remove(pos);
+                            match self.index.get(slot.lba) {
+                                BlockEntry::Pending { group: home, shadow } if home == *group => {
+                                    // Lazy-append completion: the durable
+                                    // shadow elsewhere dies now.
+                                    if let Some((sseg, soff)) = shadow {
+                                        let ok =
+                                            self.segments.get(sseg as usize).is_some_and(|s| {
+                                                s.slot(soff) == Slot::Shadow(slot.lba)
+                                            });
+                                        if !ok {
+                                            return Err(bad(format!(
+                                                "flush: stale shadow for lba {}",
+                                                slot.lba
+                                            )));
+                                        }
+                                        self.segments[sseg as usize].clear_slot(soff);
+                                        self.invalidate_block(sseg);
+                                    }
+                                }
+                                other => {
+                                    return Err(bad(format!(
+                                        "flush: lba {} in state {other:?}",
+                                        slot.lba
+                                    )));
+                                }
+                            }
+                            let off =
+                                self.segments[*seg as usize].append_slot(Slot::Block(slot.lba));
+                            self.segments[*seg as usize].valid_blocks += 1;
+                            self.index.set(slot.lba, BlockEntry::Durable { seg: *seg, off });
+                            if slot.kind == WalSlotKind::Gc {
+                                gc += 1;
+                            } else {
+                                user += 1;
+                            }
+                        }
+                        WalSlotKind::Shadow => match self.index.get(slot.lba) {
+                            BlockEntry::Pending { group: home, shadow: None } => {
+                                let off = self.segments[*seg as usize]
+                                    .append_slot(Slot::Shadow(slot.lba));
+                                self.segments[*seg as usize].valid_blocks += 1;
+                                self.index.set(
+                                    slot.lba,
+                                    BlockEntry::Pending { group: home, shadow: Some((*seg, off)) },
+                                );
+                                // The engine stops the home blocks' SLA
+                                // timers once their shadows are durable;
+                                // shadows cover exactly that set, so replay
+                                // clears per shadowed block.
+                                if let Some(pos) = self.groups[home as usize].find_pending(slot.lba)
+                                {
+                                    self.groups[home as usize].pending[pos].needs_sla = false;
+                                }
+                                shadow_cnt += 1;
+                            }
+                            other => {
+                                return Err(bad(format!(
+                                    "flush: shadow source lba {} in state {other:?}",
+                                    slot.lba
+                                )));
+                            }
+                        },
+                    }
+                }
+                for _ in 0..*pad_blocks {
+                    self.segments[*seg as usize].append_slot(Slot::Pad);
+                }
+                self.segments[*seg as usize].chunk_seqs.push(*flush_seq);
+                self.next_flush_seq += 1;
+                self.groups[gid].account_chunk(user, gc, shadow_cnt, *pad_blocks as u64);
+                self.groups[gid].recompute_pending_since();
+                self.now_us = self.now_us.max(*now_us);
+                self.user_bytes_clock = self.user_bytes_clock.max(*user_bytes_clock);
+                if self.segments[*seg as usize].is_full() {
+                    let (valid, created) = {
+                        let s = &mut self.segments[*seg as usize];
+                        s.seal();
+                        (s.valid_blocks, s.created_user_bytes)
+                    };
+                    self.buckets.insert(*seg, valid, created);
+                    self.segments[*seg as usize].group_pos = self.groups[gid].sealed.len() as u32;
+                    self.groups[gid].sealed.push(*seg);
+                    self.groups[gid].roll_window();
+                    self.groups[gid].open_segment = SegmentId::MAX;
+                    // No policy callback and no GC here: policy state is
+                    // soft (reset by recovery), and any GC the live engine
+                    // ran is in the log as its own records.
+                }
+                report.flushes_replayed += 1;
+            }
+            WalRecord::GcBegin { seg } => {
+                if *seg as usize >= self.segments.len() {
+                    return Err(bad(format!("gc begin: bad segment {seg}")));
+                }
+                let (state_now, owner, pos) = {
+                    let s = &self.segments[*seg as usize];
+                    (s.state, s.group as usize, s.group_pos as usize)
+                };
+                if state_now != SegmentState::Sealed || detached.contains(seg) {
+                    return Err(bad(format!("gc begin: segment {seg} not a sealed candidate")));
+                }
+                self.buckets.remove(*seg);
+                let grp = &mut self.groups[owner];
+                if grp.sealed.get(pos) != Some(seg) {
+                    return Err(bad(format!("gc begin: segment {seg} not in owner's sealed list")));
+                }
+                grp.sealed.swap_remove(pos);
+                if let Some(&moved) = grp.sealed.get(pos) {
+                    self.segments[moved as usize].group_pos = pos as u32;
+                }
+                detached.push(*seg);
+            }
+            WalRecord::Reclaim { seg } => {
+                let Some(dpos) = detached.iter().position(|d| d == seg) else {
+                    return Err(bad(format!("reclaim: segment {seg} without a gc begin")));
+                };
+                let valid = self.segments[*seg as usize].valid_blocks;
+                if valid != 0 {
+                    // The migrations that drained it precede this record in
+                    // log order, so a prefix can never reclaim live data.
+                    return Err(bad(format!("reclaim: segment {seg} still has {valid} live")));
+                }
+                detached.swap_remove(dpos);
+                self.segments[*seg as usize].reset();
+                self.free.push(*seg);
+            }
+            WalRecord::Trim { lba, blocks } => {
+                for i in 0..*blocks as u64 {
+                    if !matches!(self.index.get(lba + i), BlockEntry::Absent) {
+                        self.retire_previous_version(lba + i)
+                            .map_err(|e| bad(format!("trim lba {}: {e}", lba + i)))?;
+                    }
+                    versions.remove(&(lba + i));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recover this freshly built engine from the durable state in `dir`:
+    /// load the checkpoint (if any), replay the WAL's durable prefix,
+    /// repair its torn tail, reconcile the sink, and resume logging.
+    pub(crate) fn recover_in_place(
+        &mut self,
+        dir: &Path,
+        cfg: DurabilityConfig,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let mut report = RecoveryReport::default();
+        let mut versions = crate::FxHashMap::default();
+        let checkpoint = recovery::load_checkpoint(dir)?;
+        let start_idx = match &checkpoint {
+            Some(state) => {
+                self.apply_durable_state(state, &mut versions)?;
+                report.checkpoint_loaded = true;
+                state.wal_start_idx
+            }
+            None => 0,
+        };
+        let replay = wal::replay_dir(dir, start_idx)?;
+        report.wal_files_scanned = replay.files_scanned;
+        let mut detached = Vec::new();
+        for rec in &replay.records {
+            self.replay_record(rec, &mut versions, &mut detached, &mut report)?;
+            report.records_applied += 1;
+        }
+        // A prefix cut between a victim's `GcBegin` and its `Reclaim`
+        // leaves it detached mid-collection. Re-attach it as an ordinary
+        // sealed segment: its migrated blocks already retired their old
+        // copies, so what remains is simply a sealed segment with some
+        // garbage — a future GC pass will pick it up again.
+        for seg in detached {
+            let (owner, valid, created) = {
+                let s = &self.segments[seg as usize];
+                (s.group as usize, s.valid_blocks, s.created_user_bytes)
+            };
+            self.segments[seg as usize].group_pos = self.groups[owner].sealed.len() as u32;
+            self.groups[owner].sealed.push(seg);
+            self.buckets.insert(seg, valid, created);
+        }
+        if let Some(torn) = replay.torn {
+            report.torn_tail = Some((torn.file_idx, torn.offset));
+        }
+        wal::repair_tail(dir, &replay)?;
+        // Recompute array locations from flush sequences — the engine and
+        // the sink advance in lockstep, so chunk N of the log is chunk N
+        // of the array, always.
+        let layout = Raid5Layout::new(*self.sink.config());
+        for seg in &mut self.segments {
+            if seg.state == SegmentState::Free {
+                continue;
+            }
+            seg.chunk_locs = seg.chunk_seqs.iter().map(|&q| layout.locate(q)).collect();
+        }
+        for grp in &mut self.groups {
+            grp.recompute_pending_since();
+        }
+        // Hand the sink the replayed tail (the flushes a checkpoint-time
+        // sink sync does not already cover) so it can verify, restore, or
+        // truncate its own records.
+        let block_bytes = self.cfg.block_bytes;
+        let tail: Vec<RecoveredFlush> = replay
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Flush {
+                    flush_seq, seg, chunk_in_seg, group, pad_blocks, slots, ..
+                } => {
+                    let mut user = 0u64;
+                    let mut gc = 0u64;
+                    let mut shadow = 0u64;
+                    for s in slots {
+                        match s.kind {
+                            WalSlotKind::User => user += 1,
+                            WalSlotKind::Gc => gc += 1,
+                            WalSlotKind::Shadow => shadow += 1,
+                        }
+                    }
+                    Some(RecoveredFlush {
+                        chunk_seq: *flush_seq,
+                        flush: ChunkFlush {
+                            user_bytes: user * block_bytes,
+                            gc_bytes: gc * block_bytes,
+                            shadow_bytes: shadow * block_bytes,
+                            pad_bytes: *pad_blocks as u64 * block_bytes,
+                            group: *group,
+                            seg: *seg,
+                            chunk_in_seg: *chunk_in_seg,
+                        },
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        report.sink = self.sink.recover_reconcile(self.next_flush_seq, &tail)?;
+        let wal = Wal::resume(dir, cfg, replay.next_idx)?;
+        self.dur = Some(Box::new(Durability {
+            wal,
+            dir: dir.to_path_buf(),
+            flushes_since_checkpoint: 0,
+            versions,
+            wal_slot_buf: Vec::new(),
+        }));
+        Ok(report)
     }
 
     /// Refresh the scratch policy context from engine state.
@@ -2050,5 +2870,269 @@ mod tests {
         // Nothing left to pad out: buffer was emptied by the trim.
         assert_eq!(e.metrics().chunks_flushed, 0);
         e.check_invariants();
+    }
+
+    // ------------------------------------------------------------------
+    // Durability & recovery
+    // ------------------------------------------------------------------
+
+    use crate::wal::FsyncPolicy;
+
+    fn dur_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("adapt_eng_dur_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn durable_engine(
+        policy: TestPolicy,
+        dir: &Path,
+        dcfg: DurabilityConfig,
+    ) -> Lss<TestPolicy, CountingArray> {
+        let cfg = small_cfg();
+        Lss::builder(policy, CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .durability(dir, dcfg)
+            .build()
+    }
+
+    /// Hot-loop workload: fills the log far enough to run GC, trims a
+    /// range, and leaves some blocks buffered.
+    fn durable_workload(e: &mut Lss<TestPolicy, CountingArray>) {
+        let mut ts = 0u64;
+        for i in 0..6 * 4096u64 {
+            e.write(ts, scattered_lba(i, 4096));
+            ts += 1;
+        }
+        e.trim(ts, 100, 50);
+        for i in 0..512u64 {
+            e.write(ts + i, scattered_lba(i * 7 + 3, 4096));
+        }
+        assert!(e.metrics().segments_reclaimed > 0, "workload must exercise GC");
+    }
+
+    /// Compare full logical snapshots, ignoring the clock scalars that the
+    /// WAL only carries at flush granularity (`ops_seen` is checkpoint-only;
+    /// `now_us`/`user_bytes_clock` can lag by the buffered tail — the caller
+    /// re-drives them with its next timestamped request anyway).
+    fn assert_states_match(a: &Lss<TestPolicy, CountingArray>, b: &Lss<TestPolicy, CountingArray>) {
+        let mut sa = a.capture_durable_state(0);
+        let mut sb = b.capture_durable_state(0);
+        for s in [&mut sa, &mut sb] {
+            s.ops_seen = 0;
+            s.now_us = 0;
+            s.user_bytes_clock = 0;
+        }
+        assert_eq!(sa.geometry, sb.geometry);
+        assert_eq!(sa.next_open_seq, sb.next_open_seq, "next_open_seq");
+        assert_eq!(sa.next_flush_seq, sb.next_flush_seq, "next_flush_seq");
+        assert_eq!(sa.segments.len(), sb.segments.len(), "segment count");
+        for (x, y) in sa.segments.iter().zip(&sb.segments) {
+            assert_eq!(x.id, y.id, "segment id order");
+            assert_eq!(
+                (
+                    x.group,
+                    x.state,
+                    x.filled,
+                    x.valid_blocks,
+                    x.open_seq,
+                    x.created_user_bytes,
+                    x.created_ts_us
+                ),
+                (
+                    y.group,
+                    y.state,
+                    y.filled,
+                    y.valid_blocks,
+                    y.open_seq,
+                    y.created_user_bytes,
+                    y.created_ts_us
+                ),
+                "segment {} header",
+                x.id
+            );
+            assert_eq!(x.chunk_seqs, y.chunk_seqs, "segment {} chunk seqs", x.id);
+            assert_eq!(x.slots, y.slots, "segment {} slots", x.id);
+        }
+        for (gid, (x, y)) in sa.groups.iter().zip(&sb.groups).enumerate() {
+            assert_eq!(x.open_segment, y.open_segment, "group {gid} open segment");
+            assert_eq!(x.sealed, y.sealed, "group {gid} sealed list");
+            assert_eq!(x.pending, y.pending, "group {gid} pending buffer");
+            assert_eq!(
+                (x.user_blocks, x.gc_blocks, x.shadow_blocks, x.pad_blocks, x.chunks, x.pad_chunks),
+                (y.user_blocks, y.gc_blocks, y.shadow_blocks, y.pad_blocks, y.chunks, y.pad_chunks),
+                "group {gid} lifetime counters"
+            );
+        }
+        assert_eq!(sa.index, sb.index, "block index");
+        assert_eq!(sa.versions, sb.versions, "durable versions");
+    }
+
+    #[test]
+    fn recovery_replays_wal_to_identical_state() {
+        let dir = dur_dir("replay");
+        // Cadence 0: no checkpoints — recovery is pure WAL replay.
+        let dcfg = DurabilityConfig { checkpoint_every_flushes: 0, ..Default::default() };
+        let mut e = durable_engine(TestPolicy::sepgc(), &dir, dcfg.clone());
+        durable_workload(&mut e);
+        e.sync_wal().unwrap();
+
+        let cfg = small_cfg();
+        let (r, report) = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .durability(&dir, dcfg)
+            .recover()
+            .unwrap();
+        assert!(!report.checkpoint_loaded);
+        assert!(report.records_applied > 0);
+        assert!(report.flushes_replayed > 0);
+        r.check_invariants();
+        r.try_check_recovery().unwrap();
+        assert_states_match(&e, &r);
+        assert_eq!(r.sink().chunks_written(), e.sink().chunks_written());
+    }
+
+    #[test]
+    fn recovery_from_checkpoint_plus_wal_tail() {
+        let dir = dur_dir("ckpt");
+        // Aggressive cadence and tiny files: many checkpoints, rotations,
+        // and prunes during the run.
+        let dcfg = DurabilityConfig {
+            checkpoint_every_flushes: 8,
+            rotate_bytes: 16 * 1024,
+            ..Default::default()
+        };
+        let mut e = durable_engine(TestPolicy::sepgc(), &dir, dcfg.clone());
+        durable_workload(&mut e);
+        e.sync_wal().unwrap();
+        assert!(e.wal_stats().unwrap().checkpoints > 0, "cadence must have fired");
+
+        let cfg = small_cfg();
+        let (r, report) = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .durability(&dir, dcfg)
+            .recover()
+            .unwrap();
+        assert!(report.checkpoint_loaded);
+        r.check_invariants();
+        r.try_check_recovery().unwrap();
+        assert_states_match(&e, &r);
+    }
+
+    #[test]
+    fn recovery_with_shadow_appends() {
+        let dir = dur_dir("shadow");
+        let dcfg = DurabilityConfig { checkpoint_every_flushes: 0, ..Default::default() };
+        let mut e = durable_engine(TestPolicy::with_shadow(), &dir, dcfg.clone());
+        let mut ts = 0u64;
+        for i in 0..2 * 4096u64 {
+            e.write(ts, scattered_lba(i, 4096));
+            ts += 1;
+        }
+        // Stragglers time out and shadow-append into group 1.
+        e.write(ts + 10_000, 4095);
+        e.advance_time(ts + 300_000);
+        assert!(e.metrics().shadow_append_events > 0, "must exercise shadow append");
+        e.sync_wal().unwrap();
+
+        let cfg = small_cfg();
+        let (r, _) =
+            Lss::builder(TestPolicy::with_shadow(), CountingArray::new(cfg.array_config()))
+                .config(cfg)
+                .durability(&dir, dcfg)
+                .recover()
+                .unwrap();
+        r.check_invariants();
+        r.try_check_recovery().unwrap();
+        assert_states_match(&e, &r);
+    }
+
+    #[test]
+    fn torn_tail_loses_nothing_acknowledged() {
+        let dir = dur_dir("torn");
+        let dcfg = DurabilityConfig {
+            fsync: FsyncPolicy::GroupCommit(4),
+            checkpoint_every_flushes: 0,
+            ..Default::default()
+        };
+        let mut e = durable_engine(TestPolicy::sepgc(), &dir, dcfg.clone());
+        let mut acked = Vec::new();
+        for i in 0..2048u64 {
+            e.write(i, scattered_lba(i, 4096));
+            e.drain_durable_acks(&mut acked);
+        }
+        assert!(!acked.is_empty());
+        drop(e);
+        // Scribble garbage over the live WAL file's tail, like a write the
+        // power cut mid-stream.
+        let last = wal::list_wal_indices(&dir).unwrap().pop().unwrap();
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(dir.join(wal::wal_file_name(last)))
+            .unwrap();
+        f.write_all(&[0xA5; 37]).unwrap();
+        drop(f);
+
+        let cfg = small_cfg();
+        let (r, report) = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .durability(&dir, dcfg)
+            .recover()
+            .unwrap();
+        assert!(report.torn_tail.is_some(), "garbage tail must be detected");
+        r.check_invariants();
+        for &(lba, version) in &acked {
+            let got = r.durable_version(lba);
+            assert!(
+                got.is_some_and(|v| v >= version),
+                "acked write lost: lba {lba} v{version} recovered {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_handles_arbitrary_garbage_without_panicking() {
+        // Garbage checkpoint: typed error, no panic.
+        let dir = dur_dir("garbage_ckpt");
+        std::fs::write(dir.join(recovery::CHECKPOINT_FILE), b"not a checkpoint at all").unwrap();
+        std::fs::write(dir.join(wal::wal_file_name(0)), [0u8; 64]).unwrap();
+        let cfg = small_cfg();
+        let res = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .durability(&dir, DurabilityConfig::default())
+            .recover();
+        match res {
+            Err(RecoveryError::BadCheckpoint { .. }) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("garbage checkpoint accepted"),
+        }
+
+        // Garbage WAL with no checkpoint: torn at offset zero, clean cold
+        // start.
+        let dir2 = dur_dir("garbage_wal");
+        std::fs::write(dir2.join(wal::wal_file_name(0)), [0xFFu8; 256]).unwrap();
+        let (r, report) = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .durability(&dir2, DurabilityConfig::default())
+            .recover()
+            .unwrap();
+        assert_eq!(report.records_applied, 0);
+        assert_eq!(report.torn_tail, Some((0, 0)));
+        r.check_invariants();
+    }
+
+    #[test]
+    fn recover_without_durability_dir_is_typed() {
+        let cfg = small_cfg();
+        let res = Lss::builder(TestPolicy::sepgc(), CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .recover();
+        match res {
+            Err(RecoveryError::NotConfigured) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("recover without a durability dir must fail"),
+        }
     }
 }

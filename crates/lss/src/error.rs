@@ -12,6 +12,7 @@
 //! retried internally up to [`crate::LssConfig::read_retry_limit`].
 
 use crate::types::Lba;
+use crate::wal::WalError;
 use adapt_array::ArrayError;
 
 /// Errors surfaced by the engine's fallible (`try_*`) entry points.
@@ -45,6 +46,9 @@ pub enum EngineError {
     },
     /// The array sink failed a read or reconstruction.
     Array(ArrayError),
+    /// The write-ahead log (or a checkpoint write) failed. Already-acked
+    /// writes are durable; the failed operation is not.
+    Wal(WalError),
 }
 
 impl EngineError {
@@ -58,6 +62,12 @@ impl EngineError {
 impl From<ArrayError> for EngineError {
     fn from(e: ArrayError) -> Self {
         EngineError::Array(e)
+    }
+}
+
+impl From<WalError> for EngineError {
+    fn from(e: WalError) -> Self {
+        EngineError::Wal(e)
     }
 }
 
@@ -81,6 +91,7 @@ impl std::fmt::Display for EngineError {
                  {valid_blocks} in_gc {in_gc}): raise op_ratio or gc watermarks"
             ),
             EngineError::Array(e) => write!(f, "array fault: {e}"),
+            EngineError::Wal(e) => write!(f, "write-ahead log fault: {e}"),
         }
     }
 }
@@ -89,6 +100,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Array(e) => Some(e),
+            EngineError::Wal(e) => Some(e),
             _ => None,
         }
     }

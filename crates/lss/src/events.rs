@@ -287,12 +287,26 @@ pub struct EventRecorder {
     per_kind: [u64; EVENT_KINDS],
     gauges: Vec<GaugeSample>,
     jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    /// First JSONL write failure. The sink detaches on the first error
+    /// (the stream is diagnostics, not ground truth — a half-written line
+    /// must not poison the replay), and the error is kept here for the
+    /// caller to inspect instead of vanishing.
+    sink_error: Option<std::io::Error>,
 }
 
 impl EventRecorder {
     /// A recorder with the given configuration.
     pub fn new(cfg: EventConfig) -> Self {
-        Self { cfg, ..Default::default() }
+        Self {
+            cfg,
+            ring: VecDeque::new(),
+            next_seq: 0,
+            dropped: 0,
+            per_kind: [0; EVENT_KINDS],
+            gauges: Vec::new(),
+            jsonl: None,
+            sink_error: None,
+        }
     }
 
     /// A disabled recorder (the engine default).
@@ -330,11 +344,17 @@ impl EventRecorder {
         self.next_seq += 1;
         self.per_kind[kind.index()] += 1;
         if let Some(w) = &mut self.jsonl {
-            // Serialization of a Copy enum cannot fail; IO errors are
-            // swallowed rather than poisoning the replay.
-            if let Ok(line) = serde_json::to_string(&event) {
-                let _ = w.write_all(line.as_bytes());
-                let _ = w.write_all(b"\n");
+            // Serialization of a Copy enum cannot fail; a write failure
+            // detaches the sink (first error wins, see `sink_error`).
+            let res = serde_json::to_string(&event)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+                .and_then(|line| {
+                    w.write_all(line.as_bytes())?;
+                    w.write_all(b"\n")
+                });
+            if let Err(e) = res {
+                self.sink_error = Some(e);
+                self.jsonl = None;
             }
         }
         if self.ring.len() >= self.cfg.ring_capacity as usize {
@@ -402,12 +422,42 @@ impl EventRecorder {
         }
     }
 
-    /// Flush the JSONL sink, if one is attached.
+    /// Flush the JSONL sink, if one is attached. On failure the sink
+    /// detaches and the error is both returned and retained (see
+    /// [`EventRecorder::sink_error`]).
     pub fn flush(&mut self) -> std::io::Result<()> {
         if let Some(w) = &mut self.jsonl {
-            w.flush()?;
+            if let Err(e) = w.flush() {
+                let out = std::io::Error::new(e.kind(), e.to_string());
+                self.sink_error = Some(e);
+                self.jsonl = None;
+                return Err(out);
+            }
         }
         Ok(())
+    }
+
+    /// The first JSONL sink failure, if any. The sink is already
+    /// detached when this is set; events keep flowing to the ring.
+    pub fn sink_error(&self) -> Option<&std::io::Error> {
+        self.sink_error.as_ref()
+    }
+
+    /// Take ownership of the first JSONL sink failure, clearing it.
+    pub fn take_sink_error(&mut self) -> Option<std::io::Error> {
+        self.sink_error.take()
+    }
+}
+
+impl Drop for EventRecorder {
+    /// Best-effort flush so a recorder dropped mid-run (engine teardown,
+    /// panic unwind) leaves complete lines on disk. Errors here have no
+    /// caller to report to; use [`EventRecorder::flush`] for a checked
+    /// flush.
+    fn drop(&mut self) {
+        if let Some(w) = &mut self.jsonl {
+            let _ = w.flush();
+        }
     }
 }
 
@@ -538,5 +588,47 @@ mod tests {
         assert_eq!(text.lines().count(), 5);
         assert!(text.lines().all(|l| l.contains("PaddedFlush")));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let dir = std::env::temp_dir().join("adapt_events_drop_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("events_{}.jsonl", std::process::id()));
+        {
+            let mut r = rec(2);
+            r.set_jsonl_sink(&path).unwrap();
+            for i in 0..5u64 {
+                r.record(i, i, pad(0));
+            }
+            // No explicit flush: the drop must push the buffered tail out.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_write_failure_detaches_and_surfaces() {
+        // /dev/full accepts opens and fails every write with ENOSPC.
+        let full = std::path::Path::new("/dev/full");
+        if !full.exists() {
+            return;
+        }
+        let mut r = rec(4);
+        r.set_jsonl_sink(full).unwrap();
+        // Push well past the BufWriter's buffer so the failure hits
+        // inside `record`, not only at flush time.
+        for i in 0..10_000u64 {
+            r.record(i, i, pad(0));
+        }
+        let _ = r.flush();
+        let err = r.sink_error().expect("write failure must be retained");
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        // The ring kept recording after the sink detached.
+        assert_eq!(r.emitted(), 10_000);
+        assert!(r.take_sink_error().is_some());
+        assert!(r.take_sink_error().is_none(), "error is taken once");
+        assert!(r.flush().is_ok(), "detached sink flushes cleanly");
     }
 }

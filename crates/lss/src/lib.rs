@@ -78,9 +78,11 @@ pub mod index;
 pub mod latency;
 pub mod metrics;
 pub mod placement;
+pub mod recovery;
 pub mod segment;
 pub mod telemetry;
 pub mod types;
+pub mod wal;
 
 pub use builder::EngineBuilder;
 pub use config::LssConfig;
@@ -100,5 +102,10 @@ pub use placement::{
     GroupKind, GroupSnapshot, PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta, SlaAction,
     VictimMeta,
 };
+pub use recovery::{RecoveryError, RecoveryReport};
 pub use telemetry::TelemetrySnapshot;
 pub use types::{GroupId, Lba, SegmentId};
+pub use wal::{
+    DurabilityConfig, FsyncPolicy, TornTail, Wal, WalError, WalRecord, WalSlot, WalSlotKind,
+    WalStats,
+};

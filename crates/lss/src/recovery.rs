@@ -1,0 +1,652 @@
+//! Checkpoint snapshots and crash-recovery types.
+//!
+//! A checkpoint captures the engine's complete *logical* state — segment
+//! tables (including raw slot words), group buffers, the block index, the
+//! durable-version map, and the clocks — so that recovery equals
+//! *snapshot + WAL suffix replay*. The snapshot is taken at a WAL
+//! rotation point: every record in files below `wal_start_idx` is covered
+//! by the snapshot; files at or above it replay on top of it.
+//!
+//! The index and the pending buffers are stored **explicitly** rather
+//! than rescanned from segment slots: a slot scan would resurrect trimmed
+//! or superseded blocks, and buffered blocks exist nowhere but the WAL
+//! and this snapshot.
+//!
+//! Deliberately *not* snapshotted (soft state, reset on recovery):
+//! engine metrics (a recovered engine starts a fresh metrics epoch),
+//! placement-policy internals, per-group EWMA arrival estimates and the
+//! Eq. 1 padding windows, and the ordering of the free-segment list
+//! (rebuilt descending, matching initial construction).
+//!
+//! On-disk format of `checkpoint.bin` (hand-rolled little-endian binary;
+//! the vendored serde stack is serialize-only, so nothing JSON-shaped can
+//! come back off disk):
+//!
+//! ```text
+//! [magic: 8 bytes "ADPTCKP1"] [body: length-prefixed fields] [crc32c over body: u32 LE]
+//! ```
+//!
+//! written via `atomic_replace` (temp file + rename), so a crash during a
+//! checkpoint leaves either the old snapshot or the new one, never a
+//! torn hybrid.
+
+use crate::wal::{put_u32, put_u64, Reader, WalError};
+use adapt_array::{atomic_replace, crc32c, ArrayError, PowerBudget, SinkReconcile, WriteTag};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Name of the checkpoint snapshot inside the durability directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+const MAGIC: &[u8; 8] = b"ADPTCKP1";
+
+/// Geometry stamp: a snapshot only loads into an engine built with the
+/// same shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeometrySnap {
+    /// Block size in bytes.
+    pub block_bytes: u64,
+    /// Blocks per chunk.
+    pub chunk_blocks: u32,
+    /// Chunks per segment.
+    pub segment_chunks: u32,
+    /// Advertised user capacity in blocks.
+    pub user_blocks: u64,
+    /// Number of placement groups.
+    pub num_groups: u32,
+    /// Total physical segments.
+    pub total_segments: u32,
+}
+
+/// One non-free segment in the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentSnap {
+    /// Segment id.
+    pub id: u32,
+    /// Owning group.
+    pub group: u8,
+    /// 1 = open, 2 = sealed.
+    pub state: u8,
+    /// Slots written.
+    pub filled: u32,
+    /// Live blocks.
+    pub valid_blocks: u32,
+    /// Open-sequence stamp.
+    pub open_seq: u64,
+    /// Byte clock at open.
+    pub created_user_bytes: u64,
+    /// Wall clock (µs) at open.
+    pub created_ts_us: u64,
+    /// Flush sequence of each written chunk (array locations are
+    /// recomputed from these — the lockstep invariant).
+    pub chunk_seqs: Vec<u64>,
+    /// Raw encoded slot words (see [`crate::types::Slot`]).
+    pub slots: Vec<u64>,
+}
+
+/// One buffered block in a group's snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingSnap {
+    /// The block.
+    pub lba: u64,
+    /// 0 = user, 1 = GC migration.
+    pub traffic: u8,
+    /// Arrival timestamp (µs).
+    pub arrival_us: u64,
+    /// SLA timer armed.
+    pub needs_sla: bool,
+}
+
+/// One group's durable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSnap {
+    /// Open segment id, `None` when the group has none.
+    pub open_segment: Option<u32>,
+    /// Sealed segments in engine list order (positions matter:
+    /// `Segment::group_pos` indexes into this).
+    pub sealed: Vec<u32>,
+    /// Coalescing-buffer contents in append order.
+    pub pending: Vec<PendingSnap>,
+    /// Lifetime user blocks.
+    pub user_blocks: u64,
+    /// Lifetime GC blocks.
+    pub gc_blocks: u64,
+    /// Lifetime shadow blocks.
+    pub shadow_blocks: u64,
+    /// Lifetime pad blocks.
+    pub pad_blocks: u64,
+    /// Lifetime chunks.
+    pub chunks: u64,
+    /// Lifetime padded chunks.
+    pub pad_chunks: u64,
+}
+
+/// One block-index entry (absent LBAs are omitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntrySnap {
+    /// Durable in a segment slot.
+    Durable {
+        /// Segment.
+        seg: u32,
+        /// Slot offset.
+        off: u32,
+    },
+    /// Buffered in a group, optionally with a durable shadow copy.
+    Pending {
+        /// Buffering group.
+        group: u8,
+        /// Shadow copy location, if any.
+        shadow: Option<(u32, u32)>,
+    },
+}
+
+/// The complete logical engine state at a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableState {
+    /// Geometry stamp.
+    pub geometry: GeometrySnap,
+    /// First WAL file index the snapshot does *not* cover.
+    pub wal_start_idx: u64,
+    /// Simulated clock (µs).
+    pub now_us: u64,
+    /// Byte clock.
+    pub user_bytes_clock: u64,
+    /// Host operations seen.
+    pub ops_seen: u64,
+    /// Next segment open-sequence stamp.
+    pub next_open_seq: u64,
+    /// Next chunk flush sequence (== the sink's next chunk sequence).
+    pub next_flush_seq: u64,
+    /// Non-free segments.
+    pub segments: Vec<SegmentSnap>,
+    /// Groups, in id order (length == num_groups).
+    pub groups: Vec<GroupSnap>,
+    /// Live block-index entries.
+    pub index: Vec<(u64, EntrySnap)>,
+    /// Durable version per LBA (arrival µs of the latest acknowledged
+    /// write) — what crash verification checks against.
+    pub versions: Vec<(u64, u64)>,
+}
+
+/// Cap on element counts read back from disk, so a corrupt length field
+/// can never drive a huge allocation. Far above any real configuration.
+const MAX_COUNT: u64 = 64 * 1024 * 1024;
+
+fn read_count(r: &mut Reader<'_>, unit_bytes: usize) -> Option<usize> {
+    let n = r.u64()?;
+    // A count the remaining bytes cannot possibly hold is corruption.
+    if n > MAX_COUNT || (n as usize).checked_mul(unit_bytes)? > r.remaining() {
+        return None;
+    }
+    Some(n as usize)
+}
+
+fn put_u64_vec(buf: &mut Vec<u8>, v: &[u64]) {
+    put_u64(buf, v.len() as u64);
+    for &x in v {
+        put_u64(buf, x);
+    }
+}
+
+fn read_u64_vec(r: &mut Reader<'_>) -> Option<Vec<u64>> {
+    let n = read_count(r, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Some(out)
+}
+
+impl DurableState {
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let g = &self.geometry;
+        put_u64(out, g.block_bytes);
+        put_u32(out, g.chunk_blocks);
+        put_u32(out, g.segment_chunks);
+        put_u64(out, g.user_blocks);
+        put_u32(out, g.num_groups);
+        put_u32(out, g.total_segments);
+        put_u64(out, self.wal_start_idx);
+        put_u64(out, self.now_us);
+        put_u64(out, self.user_bytes_clock);
+        put_u64(out, self.ops_seen);
+        put_u64(out, self.next_open_seq);
+        put_u64(out, self.next_flush_seq);
+        put_u64(out, self.segments.len() as u64);
+        for s in &self.segments {
+            put_u32(out, s.id);
+            out.push(s.group);
+            out.push(s.state);
+            put_u32(out, s.filled);
+            put_u32(out, s.valid_blocks);
+            put_u64(out, s.open_seq);
+            put_u64(out, s.created_user_bytes);
+            put_u64(out, s.created_ts_us);
+            put_u64_vec(out, &s.chunk_seqs);
+            put_u64_vec(out, &s.slots);
+        }
+        put_u64(out, self.groups.len() as u64);
+        for gr in &self.groups {
+            put_u32(out, gr.open_segment.unwrap_or(u32::MAX));
+            put_u64(out, gr.sealed.len() as u64);
+            for &seg in &gr.sealed {
+                put_u32(out, seg);
+            }
+            put_u64(out, gr.pending.len() as u64);
+            for p in &gr.pending {
+                put_u64(out, p.lba);
+                out.push(p.traffic);
+                put_u64(out, p.arrival_us);
+                out.push(u8::from(p.needs_sla));
+            }
+            put_u64(out, gr.user_blocks);
+            put_u64(out, gr.gc_blocks);
+            put_u64(out, gr.shadow_blocks);
+            put_u64(out, gr.pad_blocks);
+            put_u64(out, gr.chunks);
+            put_u64(out, gr.pad_chunks);
+        }
+        put_u64(out, self.index.len() as u64);
+        for (lba, entry) in &self.index {
+            put_u64(out, *lba);
+            match entry {
+                EntrySnap::Durable { seg, off } => {
+                    out.push(0);
+                    put_u32(out, *seg);
+                    put_u32(out, *off);
+                }
+                EntrySnap::Pending { group, shadow } => {
+                    out.push(1);
+                    out.push(*group);
+                    match shadow {
+                        Some((seg, off)) => {
+                            out.push(1);
+                            put_u32(out, *seg);
+                            put_u32(out, *off);
+                        }
+                        None => out.push(0),
+                    }
+                }
+            }
+        }
+        put_u64(out, self.versions.len() as u64);
+        for (lba, ver) in &self.versions {
+            put_u64(out, *lba);
+            put_u64(out, *ver);
+        }
+    }
+
+    fn decode_body(body: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(body);
+        let geometry = GeometrySnap {
+            block_bytes: r.u64()?,
+            chunk_blocks: r.u32()?,
+            segment_chunks: r.u32()?,
+            user_blocks: r.u64()?,
+            num_groups: r.u32()?,
+            total_segments: r.u32()?,
+        };
+        let wal_start_idx = r.u64()?;
+        let now_us = r.u64()?;
+        let user_bytes_clock = r.u64()?;
+        let ops_seen = r.u64()?;
+        let next_open_seq = r.u64()?;
+        let next_flush_seq = r.u64()?;
+        let n_segs = read_count(&mut r, 34)?;
+        let mut segments = Vec::with_capacity(n_segs);
+        for _ in 0..n_segs {
+            segments.push(SegmentSnap {
+                id: r.u32()?,
+                group: r.u8()?,
+                state: r.u8()?,
+                filled: r.u32()?,
+                valid_blocks: r.u32()?,
+                open_seq: r.u64()?,
+                created_user_bytes: r.u64()?,
+                created_ts_us: r.u64()?,
+                chunk_seqs: read_u64_vec(&mut r)?,
+                slots: read_u64_vec(&mut r)?,
+            });
+        }
+        let n_groups = read_count(&mut r, 66)?;
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let open_raw = r.u32()?;
+            let n_sealed = read_count(&mut r, 4)?;
+            let mut sealed = Vec::with_capacity(n_sealed);
+            for _ in 0..n_sealed {
+                sealed.push(r.u32()?);
+            }
+            let n_pending = read_count(&mut r, 18)?;
+            let mut pending = Vec::with_capacity(n_pending);
+            for _ in 0..n_pending {
+                let lba = r.u64()?;
+                let traffic = r.u8()?;
+                let arrival_us = r.u64()?;
+                let needs_sla = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                pending.push(PendingSnap { lba, traffic, arrival_us, needs_sla });
+            }
+            groups.push(GroupSnap {
+                open_segment: (open_raw != u32::MAX).then_some(open_raw),
+                sealed,
+                pending,
+                user_blocks: r.u64()?,
+                gc_blocks: r.u64()?,
+                shadow_blocks: r.u64()?,
+                pad_blocks: r.u64()?,
+                chunks: r.u64()?,
+                pad_chunks: r.u64()?,
+            });
+        }
+        let n_index = read_count(&mut r, 10)?;
+        let mut index = Vec::with_capacity(n_index);
+        for _ in 0..n_index {
+            let lba = r.u64()?;
+            let entry = match r.u8()? {
+                0 => EntrySnap::Durable { seg: r.u32()?, off: r.u32()? },
+                1 => {
+                    let group = r.u8()?;
+                    let shadow = match r.u8()? {
+                        0 => None,
+                        1 => Some((r.u32()?, r.u32()?)),
+                        _ => return None,
+                    };
+                    EntrySnap::Pending { group, shadow }
+                }
+                _ => return None,
+            };
+            index.push((lba, entry));
+        }
+        let n_vers = read_count(&mut r, 16)?;
+        let mut versions = Vec::with_capacity(n_vers);
+        for _ in 0..n_vers {
+            versions.push((r.u64()?, r.u64()?));
+        }
+        r.done().then_some(DurableState {
+            geometry,
+            wal_start_idx,
+            now_us,
+            user_bytes_clock,
+            ops_seen,
+            next_open_seq,
+            next_flush_seq,
+            segments,
+            groups,
+            index,
+            versions,
+        })
+    }
+
+    /// Serialize to the framed on-disk form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(MAGIC);
+        self.encode_body(&mut out);
+        let crc = crc32c(&out[MAGIC.len()..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse the framed on-disk form; `Err` describes the defect. Never
+    /// panics on arbitrary garbage.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < MAGIC.len() + 4 {
+            return Err(format!("checkpoint too short: {} bytes", bytes.len()));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err("bad checkpoint magic".into());
+        }
+        let body = &bytes[MAGIC.len()..bytes.len() - 4];
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        if crc32c(body) != crc {
+            return Err("checkpoint CRC mismatch".into());
+        }
+        Self::decode_body(body).ok_or_else(|| "checkpoint body malformed".into())
+    }
+
+    /// Atomically persist to `dir/checkpoint.bin`, charging `budget`
+    /// (temp write + rename) so the crash sweep can tear checkpoints too.
+    pub fn store(
+        &self,
+        dir: &Path,
+        budget: Option<&Arc<PowerBudget>>,
+        fsync: bool,
+    ) -> Result<(), WalError> {
+        let bytes = self.encode();
+        atomic_replace(&dir.join(CHECKPOINT_FILE), &bytes, budget, WriteTag::Superblock, fsync)
+            .map_err(WalError::from)
+    }
+}
+
+/// Load the checkpoint from `dir`, if one exists.
+///
+/// `Ok(None)` when the file is absent (cold start: replay from WAL index
+/// 0 onto an empty engine). A present-but-corrupt checkpoint is an error:
+/// `atomic_replace` guarantees the file is never torn, so corruption here
+/// means real damage, not a crash artifact.
+pub fn load_checkpoint(dir: &Path) -> Result<Option<DurableState>, RecoveryError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(RecoveryError::Wal(WalError::Io(e.to_string()))),
+    };
+    DurableState::decode(&bytes).map(Some).map_err(|detail| RecoveryError::BadCheckpoint { detail })
+}
+
+/// What recovery did, for reporting and verification.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RecoveryReport {
+    /// Whether a checkpoint snapshot was loaded (vs a cold start).
+    pub checkpoint_loaded: bool,
+    /// WAL files scanned during replay.
+    pub wal_files_scanned: u64,
+    /// WAL records applied.
+    pub records_applied: u64,
+    /// Set when the WAL had a torn tail: `(file_idx, byte_offset)` where
+    /// the durable prefix ends (repaired in place).
+    pub torn_tail: Option<(u64, u64)>,
+    /// Blocks restored into coalescing buffers.
+    pub buffered_blocks_redone: u64,
+    /// Chunk flushes re-applied from the WAL suffix.
+    pub flushes_replayed: u64,
+    /// How the sink reconciled its records against the replayed log.
+    pub sink: SinkReconcile,
+}
+
+/// Why recovery failed. Recovery never panics on garbage input — every
+/// malformed structure becomes one of these.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The WAL layer failed (I/O or simulated power loss during repair).
+    Wal(WalError),
+    /// The checkpoint file exists but is damaged.
+    BadCheckpoint {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The checkpoint was taken by an engine with different geometry.
+    GeometryMismatch {
+        /// What differed.
+        detail: String,
+    },
+    /// A WAL record is inconsistent with the reconstructed state (e.g. a
+    /// flush into a segment that is not open) — the log and snapshot
+    /// disagree, so the state cannot be trusted.
+    Replay {
+        /// What was inconsistent.
+        detail: String,
+    },
+    /// The sink could not reconcile its on-disk records.
+    Sink(ArrayError),
+    /// `recover()` was called on a builder without a durability config.
+    NotConfigured,
+}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        RecoveryError::Wal(e)
+    }
+}
+
+impl From<ArrayError> for RecoveryError {
+    fn from(e: ArrayError) -> Self {
+        RecoveryError::Sink(e)
+    }
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Wal(e) => write!(f, "WAL failure during recovery: {e}"),
+            RecoveryError::BadCheckpoint { detail } => write!(f, "corrupt checkpoint: {detail}"),
+            RecoveryError::GeometryMismatch { detail } => {
+                write!(f, "checkpoint geometry mismatch: {detail}")
+            }
+            RecoveryError::Replay { detail } => write!(f, "inconsistent WAL record: {detail}"),
+            RecoveryError::Sink(e) => write!(f, "sink reconciliation failed: {e}"),
+            RecoveryError::NotConfigured => {
+                write!(f, "recover() requires a durability configuration")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RecoveryError::Wal(e) => Some(e),
+            RecoveryError::Sink(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> DurableState {
+        DurableState {
+            geometry: GeometrySnap {
+                block_bytes: 4096,
+                chunk_blocks: 16,
+                segment_chunks: 8,
+                user_blocks: 1024,
+                num_groups: 3,
+                total_segments: 12,
+            },
+            wal_start_idx: 4,
+            now_us: 999,
+            user_bytes_clock: 123456,
+            ops_seen: 42,
+            next_open_seq: 7,
+            next_flush_seq: 19,
+            segments: vec![SegmentSnap {
+                id: 3,
+                group: 1,
+                state: 1,
+                filled: 16,
+                valid_blocks: 12,
+                open_seq: 6,
+                created_user_bytes: 100,
+                created_ts_us: 200,
+                chunk_seqs: vec![18],
+                slots: vec![u64::MAX; 128],
+            }],
+            groups: vec![
+                GroupSnap {
+                    open_segment: Some(3),
+                    sealed: vec![],
+                    pending: vec![PendingSnap {
+                        lba: 77,
+                        traffic: 0,
+                        arrival_us: 950,
+                        needs_sla: true,
+                    }],
+                    user_blocks: 100,
+                    gc_blocks: 0,
+                    shadow_blocks: 2,
+                    pad_blocks: 5,
+                    chunks: 7,
+                    pad_chunks: 1,
+                },
+                GroupSnap {
+                    open_segment: None,
+                    sealed: vec![0, 2],
+                    pending: vec![],
+                    user_blocks: 0,
+                    gc_blocks: 50,
+                    shadow_blocks: 0,
+                    pad_blocks: 0,
+                    chunks: 4,
+                    pad_chunks: 0,
+                },
+                GroupSnap {
+                    open_segment: None,
+                    sealed: vec![],
+                    pending: vec![],
+                    user_blocks: 0,
+                    gc_blocks: 0,
+                    shadow_blocks: 0,
+                    pad_blocks: 0,
+                    chunks: 0,
+                    pad_chunks: 0,
+                },
+            ],
+            index: vec![
+                (5, EntrySnap::Durable { seg: 0, off: 3 }),
+                (77, EntrySnap::Pending { group: 0, shadow: Some((2, 9)) }),
+            ],
+            versions: vec![(5, 400), (77, 950)],
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let state = sample_state();
+        let bytes = state.encode();
+        let back = DurableState::decode(&bytes).unwrap();
+        assert_eq!(back.wal_start_idx, 4);
+        assert_eq!(back.segments.len(), 1);
+        assert_eq!(back.segments[0].slots.len(), 128);
+        assert_eq!(back.groups.len(), 3);
+        assert_eq!(back.index.len(), 2);
+        assert_eq!(back.versions, vec![(5, 400), (77, 950)]);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_panicked() {
+        let bytes = sample_state().encode();
+        // Truncations at every length.
+        for cut in 0..bytes.len() {
+            assert!(DurableState::decode(&bytes[..cut]).is_err(), "prefix {cut} accepted");
+        }
+        // Single-byte flips anywhere.
+        for i in 0..bytes.len() {
+            let mut mangled = bytes.clone();
+            mangled[i] ^= 0x10;
+            // A flip may survive only if it leaves magic+len+json+crc all
+            // consistent — impossible with CRC over the full body.
+            assert!(DurableState::decode(&mangled).is_err(), "flip at {i} accepted");
+        }
+    }
+
+    #[test]
+    fn store_and_load_via_tempdir() {
+        let dir = std::env::temp_dir().join(format!("adapt_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_checkpoint(&dir).unwrap().is_none(), "absent file is a cold start");
+        let state = sample_state();
+        state.store(&dir, None, false).unwrap();
+        let loaded = load_checkpoint(&dir).unwrap().expect("checkpoint present");
+        assert_eq!(loaded.next_flush_seq, state.next_flush_seq);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -136,6 +136,19 @@ impl Segment {
         self.state = SegmentState::Sealed;
     }
 
+    /// Raw encoded slot words, for checkpoint snapshots.
+    pub(crate) fn raw_slots(&self) -> &[u64] {
+        &self.slots
+    }
+
+    /// Restore raw slot words from a checkpoint snapshot. The caller is
+    /// responsible for restoring the companion fields (`state`, `filled`,
+    /// `valid_blocks`, ...) to a consistent view.
+    pub(crate) fn restore_raw_slots(&mut self, raw: &[u64]) {
+        debug_assert_eq!(raw.len(), self.slots.len());
+        self.slots.copy_from_slice(raw);
+    }
+
     /// Iterator over `(offset, slot)` pairs of written slots.
     pub fn written_slots(&self) -> impl Iterator<Item = (u32, Slot)> + '_ {
         self.slots[..self.filled as usize]

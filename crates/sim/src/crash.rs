@@ -1,0 +1,592 @@
+//! Seedable power-loss simulator.
+//!
+//! Proves the durability contract end to end: a run on the durable
+//! backend ([`FileArraySink`] + WAL) is killed at an exact byte offset of
+//! its media write stream — mid-WAL-record, mid-segment-write, or
+//! mid-rename, wherever the offset lands — then recovered, and every
+//! write acknowledged before the cut must still be readable at (or
+//! above) its acknowledged version.
+//!
+//! The sweep is two-phase. A *golden* run with a metered
+//! [`PowerBudget`] records the total bytes the workload writes and the
+//! journal of every grant (with its [`WriteTag`]). Crash offsets are then
+//! chosen from a seed: uniformly over the whole byte stream, plus
+//! targeted samples inside rename and superblock grants (the rarest,
+//! most atomicity-sensitive units, which a uniform draw would mostly
+//! miss). Each point replays the same seeded workload under
+//! `PowerBudget::limited(offset)`, recovers with fresh (unlimited)
+//! power, and verifies.
+//!
+//! Every phase is deterministic in (scenario, seed), and the points are
+//! independent, so the sweep fans out on the work-stealing pool and the
+//! report is bit-identical at any `--jobs` count.
+
+use crate::scheme::{with_policy, PolicyVisitor, Scheme};
+use adapt_array::{FileArraySink, FileSinkError, FileSinkOptions, PowerBudget, WriteTag};
+use adapt_lss::{
+    DurabilityConfig, EngineError, FsyncPolicy, Lss, LssConfig, PlacementPolicy, WalError,
+};
+use adapt_trace::rng::mix64;
+use rayon::prelude::*;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One seeded crash-sweep scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashScenario {
+    /// Engine configuration (also fixes the array geometry).
+    pub lss: LssConfig,
+    /// Placement scheme under test.
+    pub scheme: Scheme,
+    /// Host operations in the seeded workload.
+    pub requests: u64,
+    /// Master seed: workload, crash offsets, and resume writes all derive
+    /// from it.
+    pub seed: u64,
+    /// Crash offsets drawn uniformly over the golden byte stream.
+    pub uniform_points: u32,
+    /// Extra offsets sampled inside every rename/superblock grant class.
+    pub targeted_per_tag: u32,
+    /// WAL sync cadence.
+    pub fsync: FsyncPolicy,
+    /// Checkpoint cadence in chunk flushes (0 = never — WAL-only).
+    pub checkpoint_every_flushes: u64,
+    /// WAL rotation threshold in bytes.
+    pub rotate_bytes: u64,
+    /// Segment-file stripes per device file.
+    pub stripes_per_file: u64,
+}
+
+impl CrashScenario {
+    /// Small, CI-sized scenario: a few thousand operations on a small
+    /// volume, enough churn for GC, checkpoints, rotations, and file
+    /// rolls to all happen.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            lss: LssConfig {
+                user_blocks: 4096,
+                op_ratio: 0.5,
+                gc_low_water: 5,
+                gc_high_water: 7,
+                ..Default::default()
+            },
+            scheme: Scheme::SepGc,
+            requests: 6_000,
+            seed,
+            uniform_points: 24,
+            targeted_per_tag: 3,
+            fsync: FsyncPolicy::GroupCommit(4),
+            checkpoint_every_flushes: 64,
+            rotate_bytes: 64 * 1024,
+            stripes_per_file: 16,
+        }
+    }
+
+    /// Acceptance-sized scenario: several hundred crash points.
+    pub fn standard(seed: u64) -> Self {
+        Self { uniform_points: 280, targeted_per_tag: 12, ..Self::quick(seed) }
+    }
+
+    fn durability_config(&self, budget: Option<Arc<PowerBudget>>) -> DurabilityConfig {
+        DurabilityConfig {
+            fsync: self.fsync,
+            rotate_bytes: self.rotate_bytes,
+            checkpoint_every_flushes: self.checkpoint_every_flushes,
+            fsync_data: false,
+            budget,
+        }
+    }
+
+    fn sink_options(&self, budget: Option<Arc<PowerBudget>>) -> FileSinkOptions {
+        FileSinkOptions { fsync: false, stripes_per_file: self.stripes_per_file, budget }
+    }
+}
+
+/// Whether an engine error is the simulated power failure itself (the
+/// expected way a doomed run ends) rather than a genuine bug. Power loss
+/// surfaces through the WAL on commits/checkpoints and through the array
+/// on GC-migration reads.
+fn is_power_loss(e: &EngineError) -> bool {
+    matches!(e, EngineError::Wal(WalError::PowerLoss))
+        || matches!(
+            e,
+            EngineError::Array(adapt_array::ArrayError::Storage {
+                failure: adapt_array::StorageFailure::PowerLoss,
+            })
+        )
+}
+
+/// One operation of the seeded workload.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { lba: u64 },
+    Trim { lba: u64, blocks: u32 },
+}
+
+/// Deterministic op stream: mostly uniform-random single-block writes
+/// (uniform overwrites maximize GC churn on a small volume), with an
+/// occasional small TRIM. Timestamp gaps straddle the 100 µs SLA so both
+/// full and padded chunk flushes occur.
+fn op_at(seed: u64, i: u64, user_blocks: u64) -> (Op, u64) {
+    let r = mix64(seed ^ mix64(i));
+    let gap_us = r % 40; // dense stream; stragglers pad via trims' gaps
+    let op = if r.is_multiple_of(97) {
+        let lba = mix64(r) % user_blocks.saturating_sub(8).max(1);
+        Op::Trim { lba, blocks: 1 + (mix64(r ^ 1) % 8) as u32 }
+    } else {
+        Op::Write { lba: mix64(r) % user_blocks }
+    };
+    (op, gap_us)
+}
+
+/// What the doomed run left behind.
+struct RunOutcome {
+    /// `(lba, version)` pairs acknowledged by completed WAL syncs.
+    acked: Vec<(u64, u64)>,
+    /// Operations fully applied before power failed.
+    ops_done: u64,
+    /// Clock value when the run stopped (resume writes continue after it).
+    end_ts_us: u64,
+    /// A non-power-loss engine error, if one surfaced (always a bug).
+    run_error: Option<String>,
+}
+
+struct CrashRun<'a> {
+    scn: &'a CrashScenario,
+    dir: &'a Path,
+    budget: Option<Arc<PowerBudget>>,
+}
+
+impl PolicyVisitor<RunOutcome> for CrashRun<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> RunOutcome {
+        let CrashRun { scn, dir, budget } = self;
+        let mut out = RunOutcome { acked: Vec::new(), ops_done: 0, end_ts_us: 0, run_error: None };
+        let sink = match FileArraySink::create(
+            scn.lss.array_config(),
+            dir.join("array"),
+            scn.sink_options(budget.clone()),
+        ) {
+            Ok(s) => s,
+            Err(FileSinkError::Media(adapt_array::MediaError::PowerLoss)) => return out,
+            Err(e) => {
+                out.run_error = Some(format!("sink create: {e}"));
+                return out;
+            }
+        };
+        if budget.as_deref().is_some_and(PowerBudget::is_tripped) {
+            return out;
+        }
+        let mut engine = Lss::builder(policy, sink)
+            .config(scn.lss)
+            .durability(dir.join("wal"), scn.durability_config(budget.clone()))
+            .build();
+        let mut ts = 0u64;
+        for i in 0..scn.requests {
+            let (op, gap) = op_at(scn.seed, i, scn.lss.user_blocks);
+            ts += gap;
+            let res = match op {
+                Op::Write { lba } => engine.try_write(ts, lba),
+                Op::Trim { lba, blocks } => engine.try_trim(ts, lba, blocks),
+            };
+            engine.drain_durable_acks(&mut out.acked);
+            match res {
+                Ok(()) => out.ops_done += 1,
+                Err(e) if is_power_loss(&e) => break,
+                Err(e) => {
+                    out.run_error = Some(format!("op {i}: {e}"));
+                    break;
+                }
+            }
+            if budget.as_deref().is_some_and(PowerBudget::is_tripped) {
+                break;
+            }
+        }
+        if budget.as_deref().is_none_or(|b| !b.is_tripped()) {
+            // Park the tail so the byte total covers a final sync +
+            // checkpoint too. A limited budget may trip right here —
+            // that's still just the crash, not a failure.
+            match engine.try_flush_all().and_then(|()| engine.sync_wal()) {
+                Ok(()) => {}
+                Err(e) if is_power_loss(&e) => {}
+                Err(e) => out.run_error = Some(format!("final sync: {e}")),
+            }
+            engine.drain_durable_acks(&mut out.acked);
+        }
+        out.end_ts_us = engine.now_us();
+        out
+    }
+}
+
+/// Verdict for one crash point.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashPointResult {
+    /// Byte offset at which power failed.
+    pub offset: u64,
+    /// Offset class: "uniform", "rename", or "superblock".
+    pub class: String,
+    /// The media unit the budget tripped inside, if it tripped.
+    pub trip_tag: Option<String>,
+    /// Operations the doomed run completed.
+    pub ops_done: u64,
+    /// Writes acknowledged before the cut.
+    pub acked: u64,
+    /// Acknowledged writes missing (or stale) after recovery. Must be 0.
+    pub lost_acks: u64,
+    /// Whether recovery loaded a checkpoint.
+    pub checkpoint_loaded: bool,
+    /// Whether the WAL tail was torn (and repaired).
+    pub torn_tail: bool,
+    /// WAL records replayed.
+    pub records_applied: u64,
+    /// Recovery returned an error. Benign only when nothing was acked
+    /// (power died before the backend finished coming up).
+    pub recovery_error: Option<String>,
+    /// The recovered engine failed an invariant or recovery self-check,
+    /// or panicked. Must be false.
+    pub corrupt: bool,
+    /// The doomed run hit a non-power-loss error. Must be false.
+    pub run_failed: bool,
+}
+
+impl CrashPointResult {
+    /// Whether this point upholds the durability contract.
+    pub fn ok(&self) -> bool {
+        !self.run_failed
+            && !self.corrupt
+            && self.lost_acks == 0
+            && (self.recovery_error.is_none() || self.acked == 0)
+    }
+}
+
+struct RecoverVerify<'a> {
+    scn: &'a CrashScenario,
+    dir: &'a Path,
+    run: &'a RunOutcome,
+    result: &'a mut CrashPointResult,
+}
+
+impl PolicyVisitor<()> for RecoverVerify<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) {
+        let RecoverVerify { scn, dir, run, result } = self;
+        let sink = match FileArraySink::open_recovery(
+            scn.lss.array_config(),
+            dir.join("array"),
+            scn.sink_options(None),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                result.recovery_error = Some(format!("sink: {e}"));
+                return;
+            }
+        };
+        let recovered = Lss::builder(policy, sink)
+            .config(scn.lss)
+            .durability(dir.join("wal"), scn.durability_config(None))
+            .recover();
+        let (mut engine, report) = match recovered {
+            Ok(pair) => pair,
+            Err(e) => {
+                result.recovery_error = Some(e.to_string());
+                return;
+            }
+        };
+        result.checkpoint_loaded = report.checkpoint_loaded;
+        result.torn_tail = report.torn_tail.is_some();
+        result.records_applied = report.records_applied;
+        // Ground truth: every acknowledged write survived at (or above)
+        // its acknowledged version. GC/overwrites may have bumped the
+        // version — monotone per LBA — but it can never go backwards, and
+        // an LBA may only vanish via a logged TRIM (which recovery
+        // replayed; its version entry is gone, so `durable_version`
+        // returning `None` for a *still-acked* pair is loss).
+        let mut newest: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        for &(lba, version) in &run.acked {
+            let e = newest.entry(lba).or_insert(version);
+            *e = (*e).max(version);
+        }
+        // Timestamp of the last trim covering each LBA. Includes the op
+        // that broke the run: its trim record may have reached the WAL
+        // before power died, in which case recovery replayed it.
+        let mut trim_ts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut ts = 0u64;
+        for i in 0..(run.ops_done + 1).min(scn.requests) {
+            let (op, gap) = op_at(scn.seed, i, scn.lss.user_blocks);
+            ts += gap;
+            if let Op::Trim { lba, blocks } = op {
+                for b in 0..blocks as u64 {
+                    let e = trim_ts.entry(lba + b).or_insert(ts);
+                    *e = (*e).max(ts);
+                }
+            }
+        }
+        for (&lba, &version) in &newest {
+            let ok = match engine.durable_version(lba) {
+                Some(v) => v >= version,
+                // A trim at-or-after the acked write legitimately erased
+                // it; anything else is loss. (A trim *before* the write
+                // can't land here: the write would still be mapped.)
+                None => trim_ts.get(&lba).is_some_and(|&t| t >= version),
+            };
+            if !ok {
+                result.lost_acks += 1;
+            }
+        }
+        // Structural self-checks, then prove the engine is usable by
+        // running fresh traffic through it.
+        let verify = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.check_invariants();
+            engine.try_check_recovery()?;
+            let mut ts = run.end_ts_us;
+            for i in 0..4 * scn.lss.chunk_blocks as u64 {
+                let lba = mix64(scn.seed ^ 0xD15C ^ i) % scn.lss.user_blocks;
+                ts += 1;
+                engine.try_write(ts, lba)?;
+            }
+            engine.try_flush_all()?;
+            engine.sync_wal()?;
+            engine.check_invariants();
+            Ok::<(), EngineError>(())
+        }));
+        match verify {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                result.corrupt = true;
+                result.recovery_error = Some(format!("post-recovery: {e}"));
+            }
+            Err(_) => {
+                result.corrupt = true;
+                result.recovery_error = Some("panic during post-recovery checks".into());
+            }
+        }
+    }
+}
+
+/// Run one crash point: doomed run under `PowerBudget::limited(offset)`,
+/// then recover with unlimited power and verify. The point directory is
+/// removed afterwards unless the point failed (the debris is the best
+/// debugging artifact there is).
+pub fn crash_point(scn: &CrashScenario, dir: &Path, offset: u64, class: &str) -> CrashPointResult {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create crash-point dir");
+    let budget = PowerBudget::limited(offset);
+    let run =
+        with_policy(scn.scheme, &scn.lss, CrashRun { scn, dir, budget: Some(budget.clone()) });
+    let mut result = CrashPointResult {
+        offset,
+        class: class.to_string(),
+        trip_tag: budget.trip_tag().map(|t| format!("{t:?}")),
+        ops_done: run.ops_done,
+        acked: run.acked.len() as u64,
+        lost_acks: 0,
+        checkpoint_loaded: false,
+        torn_tail: false,
+        records_applied: 0,
+        recovery_error: None,
+        corrupt: false,
+        run_failed: run.run_error.is_some(),
+    };
+    if let Some(e) = &run.run_error {
+        result.recovery_error = Some(format!("doomed run: {e}"));
+        return result;
+    }
+    with_policy(scn.scheme, &scn.lss, RecoverVerify { scn, dir, run: &run, result: &mut result });
+    if result.ok() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    result
+}
+
+/// Aggregated sweep report.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashSweepReport {
+    /// Scheme swept.
+    pub scheme: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Sync policy label.
+    pub fsync: String,
+    /// Total bytes the golden (uncut) run wrote.
+    pub golden_bytes: u64,
+    /// Writes the golden run acknowledged.
+    pub golden_acked: u64,
+    /// Crash points executed.
+    pub points: u64,
+    /// Points upholding the contract.
+    pub clean: u64,
+    /// Acknowledged-write losses across all points. Must be 0.
+    pub lost_acks_total: u64,
+    /// Points whose recovered engine failed a self-check. Must be 0.
+    pub corrupt_points: u64,
+    /// Points that recovered from a checkpoint.
+    pub with_checkpoint: u64,
+    /// Points with a torn WAL tail.
+    pub with_torn_tail: u64,
+    /// Coverage: points per tripped media unit (`WriteTag`).
+    pub trip_tags: Vec<(String, u64)>,
+    /// Every failing point, offset-sorted (empty on a clean sweep).
+    pub failures: Vec<CrashPointResult>,
+}
+
+impl CrashSweepReport {
+    /// Whether the whole sweep upholds the durability contract.
+    pub fn clean_sweep(&self) -> bool {
+        self.points > 0 && self.clean == self.points
+    }
+}
+
+/// Pick the sweep's crash offsets from the golden run's byte total and
+/// grant journal: `uniform_points` seeded-uniform offsets, plus up to
+/// `targeted_per_tag` offsets landing inside each media-unit class
+/// (sampled mid-grant, where torn-write atomicity is on the line).
+/// Targeting guarantees the sweep cuts mid-WAL-record, mid-segment-write,
+/// mid-rename, and mid-superblock even though sink data dominates the
+/// byte stream.
+fn pick_offsets(
+    scn: &CrashScenario,
+    total: u64,
+    journal: &[(WriteTag, u64)],
+) -> Vec<(String, u64)> {
+    let mut offsets = Vec::new();
+    for k in 0..scn.uniform_points as u64 {
+        let off = 1 + mix64(scn.seed ^ 0xC4A5 ^ k) % total.max(1);
+        offsets.push(("uniform".to_string(), off));
+    }
+    for (class, tag) in [
+        ("wal_record", WriteTag::WalRecord),
+        ("sink_record", WriteTag::SinkRecord),
+        ("rename", WriteTag::Rename),
+        ("superblock", WriteTag::Superblock),
+    ] {
+        let mut grants = Vec::new();
+        let mut cum = 0u64;
+        for &(t, bytes) in journal {
+            if t == tag && bytes > 0 {
+                grants.push((cum, bytes));
+            }
+            cum += bytes;
+        }
+        if grants.is_empty() {
+            continue;
+        }
+        for k in 0..scn.targeted_per_tag as u64 {
+            let (start, len) = grants[(mix64(scn.seed ^ 0x7A9 ^ k) % grants.len() as u64) as usize];
+            // A budget of `b` trips at this grant iff start <= b < start
+            // + len: the unit is mid-write (or, for 1-byte rename units,
+            // about to be dropped) when power dies.
+            offsets.push((class.to_string(), start + mix64(scn.seed ^ k) % len));
+        }
+    }
+    offsets.sort();
+    offsets.dedup();
+    offsets
+}
+
+/// Run the full sweep under `base_dir` (one subdirectory per point,
+/// removed as points pass). Points fan out on the work-stealing pool;
+/// the report is deterministic in (scenario, seed) at any job count.
+pub fn run_crash_sweep(scn: &CrashScenario, base_dir: &Path) -> CrashSweepReport {
+    std::fs::create_dir_all(base_dir).expect("create sweep dir");
+    // Phase 1: golden metered run — byte total + grant journal.
+    let golden_dir = base_dir.join("golden");
+    let _ = std::fs::remove_dir_all(&golden_dir);
+    std::fs::create_dir_all(&golden_dir).expect("create golden dir");
+    let budget = PowerBudget::metered();
+    let golden = with_policy(
+        scn.scheme,
+        &scn.lss,
+        CrashRun { scn, dir: &golden_dir, budget: Some(budget.clone()) },
+    );
+    assert!(golden.run_error.is_none(), "golden run failed: {:?}", golden.run_error);
+    let total = budget.consumed();
+    let journal = budget.journal();
+    let _ = std::fs::remove_dir_all(&golden_dir);
+
+    // Phase 2: the seeded points, in parallel.
+    let offsets = pick_offsets(scn, total, &journal);
+    let dirs: Vec<(String, u64, PathBuf)> = offsets
+        .into_iter()
+        .map(|(class, off)| {
+            let dir = base_dir.join(format!("pt_{off}"));
+            (class, off, dir)
+        })
+        .collect();
+    let mut points: Vec<CrashPointResult> =
+        dirs.par_iter().map(|(class, off, dir)| crash_point(scn, dir, *off, class)).collect();
+    points.sort_by_key(|p| p.offset);
+
+    let mut tags: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for p in &points {
+        if let Some(t) = &p.trip_tag {
+            *tags.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+    CrashSweepReport {
+        scheme: scn.scheme.name().to_string(),
+        seed: scn.seed,
+        fsync: scn.fsync.label(),
+        golden_bytes: total,
+        golden_acked: golden.acked.len() as u64,
+        points: points.len() as u64,
+        clean: points.iter().filter(|p| p.ok()).count() as u64,
+        lost_acks_total: points.iter().map(|p| p.lost_acks).sum(),
+        corrupt_points: points.iter().filter(|p| p.corrupt).count() as u64,
+        with_checkpoint: points.iter().filter(|p| p.checkpoint_loaded).count() as u64,
+        with_torn_tail: points.iter().filter(|p| p.torn_tail).count() as u64,
+        trip_tags: tags.into_iter().collect(),
+        failures: points.into_iter().filter(|p| !p.ok()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("adapt_crash_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn quick_sweep_is_clean_and_covers_tags() {
+        let scn = CrashScenario::quick(0xC0FFEE);
+        let dir = tdir("quick");
+        let report = run_crash_sweep(&scn, &dir);
+        assert!(
+            report.clean_sweep(),
+            "crash sweep lost data: {} failures, first: {:?}",
+            report.failures.len(),
+            report.failures.first()
+        );
+        assert_eq!(report.lost_acks_total, 0);
+        assert_eq!(report.corrupt_points, 0);
+        assert!(report.golden_acked > 0);
+        assert!(report.with_torn_tail > 0, "no point cut the WAL mid-record: {report:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_job_counts() {
+        let scn =
+            CrashScenario { uniform_points: 6, targeted_per_tag: 2, ..CrashScenario::quick(7) };
+        let d1 = tdir("det1");
+        let d2 = tdir("det2");
+        let r1 = rayon::with_jobs(1, || run_crash_sweep(&scn, &d1));
+        let r2 = rayon::with_jobs(4, || run_crash_sweep(&scn, &d2));
+        assert_eq!(crate::report::to_json(&r1), crate::report::to_json(&r2));
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    #[test]
+    fn single_point_mid_stream_reports_faithfully() {
+        let scn = CrashScenario::quick(42);
+        let dir = tdir("single");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = crash_point(&scn, &dir.join("pt"), 200_000, "uniform");
+        assert!(p.ok(), "{p:?}");
+        assert!(p.acked > 0, "mid-stream cut must land after some acks: {p:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

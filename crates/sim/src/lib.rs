@@ -14,6 +14,7 @@
 
 pub mod compare;
 pub mod consolidate;
+pub mod crash;
 pub mod faults;
 pub mod gc_sweep;
 pub mod multistream;
@@ -23,6 +24,7 @@ pub mod runner;
 pub mod scheme;
 pub mod scrub;
 
+pub use crash::{crash_point, run_crash_sweep, CrashPointResult, CrashScenario, CrashSweepReport};
 pub use faults::{run_fault_scenario, FaultReport, FaultScenario, PhaseReport, VerifySweep};
 pub use replay::{replay_volume, ReplayConfig, VolumeResult, Warmup};
 pub use report::{write_run_report, RunReport};
