@@ -71,6 +71,13 @@ pub struct ArrayStats {
     /// before they could pair with a device failure).
     #[serde(default)]
     pub scrub_latent_repaired: u64,
+    /// Payload bytes memcpy'd between RAM buffers inside the array layer
+    /// (parity-accumulator seeds, borrowed-slice ownership transfers) —
+    /// *not* modeled device I/O. The zero-copy work (PR 7) exists to drive
+    /// this toward the single unavoidable copy per stripe; the `hotpath`
+    /// bench section tracks it per host write.
+    #[serde(default)]
+    pub copy_bytes: u64,
 }
 
 impl ArrayStats {

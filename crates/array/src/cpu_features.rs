@@ -1,0 +1,129 @@
+//! Runtime CPU-feature detection shared by every SIMD kernel.
+//!
+//! The CRC32C module (PR 5) and the parity XOR kernels each need to know,
+//! once, what the CPU offers. This module performs a single probe — cached
+//! in a `OnceLock` so hot paths pay one relaxed load — and exposes the
+//! result to all of them. The probe also honors the `ADAPT_NO_SIMD`
+//! environment variable (any non-empty value other than `0`), which forces
+//! every kernel onto its scalar/software reference path; CI uses it to keep
+//! the fallbacks covered on hardware that would otherwise never run them.
+//!
+//! The env knob is read exactly once, at the first probe: flipping
+//! `ADAPT_NO_SIMD` after any kernel has dispatched has no effect for the
+//! remainder of the process. Tests that must exercise a specific tier call
+//! the explicitly-named kernel functions (`crc32c_soft`, `xor_into_scalar`)
+//! instead of toggling the environment.
+//!
+//! `adapt-core` re-exports this module (`adapt_core::cpu_features`) so the
+//! policy crate and everything above it share the same probe; the module
+//! lives here because the crate dependency graph points upward
+//! (`adapt-core` depends on `adapt-array`, not the reverse).
+
+use std::sync::OnceLock;
+
+/// What the running CPU offers the SIMD kernels, after applying the
+/// `ADAPT_NO_SIMD` override.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuFeatures {
+    /// SSE2 128-bit vector XOR (baseline on x86_64, but probed anyway so
+    /// the override can clear it).
+    pub sse2: bool,
+    /// SSE4.2 `crc32` instructions.
+    pub sse42: bool,
+    /// AVX2 256-bit vector XOR.
+    pub avx2: bool,
+    /// `ADAPT_NO_SIMD` was set: every flag above was forced off.
+    pub forced_scalar: bool,
+}
+
+impl CpuFeatures {
+    /// Short human-readable capability tag, stamped into bench reports so
+    /// numbers from different machines are interpretable side by side.
+    pub fn summary(&self) -> String {
+        if self.forced_scalar {
+            return "scalar(ADAPT_NO_SIMD)".to_string();
+        }
+        let mut tiers = Vec::new();
+        if self.avx2 {
+            tiers.push("avx2");
+        }
+        if self.sse42 {
+            tiers.push("sse4.2");
+        }
+        if self.sse2 {
+            tiers.push("sse2");
+        }
+        if tiers.is_empty() {
+            return "scalar".to_string();
+        }
+        tiers.join("+")
+    }
+}
+
+/// The cached one-time probe. Every SIMD dispatch in the workspace funnels
+/// through this.
+pub fn get() -> &'static CpuFeatures {
+    static FEATURES: OnceLock<CpuFeatures> = OnceLock::new();
+    FEATURES.get_or_init(probe)
+}
+
+/// Whether `ADAPT_NO_SIMD` requests the scalar paths ("" and "0" mean no).
+fn simd_disabled_by_env() -> bool {
+    match std::env::var("ADAPT_NO_SIMD") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn probe() -> CpuFeatures {
+    if simd_disabled_by_env() {
+        return CpuFeatures { sse2: false, sse42: false, avx2: false, forced_scalar: true };
+    }
+    CpuFeatures {
+        sse2: std::arch::is_x86_feature_detected!("sse2"),
+        sse42: std::arch::is_x86_feature_detected!("sse4.2"),
+        avx2: std::arch::is_x86_feature_detected!("avx2"),
+        forced_scalar: false,
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn probe() -> CpuFeatures {
+    CpuFeatures { sse2: false, sse42: false, avx2: false, forced_scalar: simd_disabled_by_env() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_cached_and_consistent() {
+        let a = get();
+        let b = get();
+        assert!(std::ptr::eq(a, b), "OnceLock must hand out the same probe");
+    }
+
+    #[test]
+    fn summary_reflects_flags() {
+        let f = CpuFeatures { sse2: true, sse42: true, avx2: true, forced_scalar: false };
+        assert_eq!(f.summary(), "avx2+sse4.2+sse2");
+        let f = CpuFeatures { sse2: true, sse42: false, avx2: false, forced_scalar: false };
+        assert_eq!(f.summary(), "sse2");
+        let f = CpuFeatures { sse2: false, sse42: false, avx2: false, forced_scalar: false };
+        assert_eq!(f.summary(), "scalar");
+        let f = CpuFeatures { sse2: true, sse42: true, avx2: true, forced_scalar: true };
+        assert_eq!(f.summary(), "scalar(ADAPT_NO_SIMD)");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn x86_64_probe_tiers_are_monotone() {
+        // AVX2 implies SSE2 on any real CPU; the probe must never report an
+        // inverted tier ladder (unless the env override cleared everything).
+        let f = get();
+        if f.avx2 {
+            assert!(f.sse2, "avx2 without sse2 is not a real x86_64");
+        }
+    }
+}

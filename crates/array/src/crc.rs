@@ -10,9 +10,9 @@
 //! crates:
 //!
 //! * **Hardware** — SSE4.2 `crc32` instructions (`_mm_crc32_u64`, 8 bytes
-//!   per cycle-ish), selected at runtime via
-//!   `is_x86_feature_detected!("sse4.2")` (the result is cached in a
-//!   `OnceLock` so the hot path pays one relaxed load).
+//!   per cycle-ish), selected at runtime through the shared
+//!   [`crate::cpu_features`] probe (one cached `OnceLock` probe serves CRC
+//!   and the parity XOR kernels alike, and honors `ADAPT_NO_SIMD`).
 //! * **Software** — slicing-by-8 over tables built at compile time by a
 //!   `const fn`; the fallback on non-x86 targets and pre-Nehalem CPUs.
 //!
@@ -67,18 +67,11 @@ pub fn crc32c_soft(data: &[u8]) -> u32 {
     update_soft(!0, data) ^ !0
 }
 
-/// Whether the runtime CPU offers the SSE4.2 `crc32` instructions.
-#[cfg(target_arch = "x86_64")]
+/// Whether the runtime CPU offers the SSE4.2 `crc32` instructions (and
+/// `ADAPT_NO_SIMD` hasn't forced the software path). Delegates to the
+/// shared [`crate::cpu_features`] probe.
 pub fn hw_available() -> bool {
-    use std::sync::OnceLock;
-    static HW: OnceLock<bool> = OnceLock::new();
-    *HW.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
-}
-
-/// Whether the runtime CPU offers the SSE4.2 `crc32` instructions.
-#[cfg(not(target_arch = "x86_64"))]
-pub fn hw_available() -> bool {
-    false
+    crate::cpu_features::get().sse42
 }
 
 /// Feed `data` into a running (pre-inverted) CRC state. Compose as

@@ -131,10 +131,15 @@ struct ChunkRecord {
     gc_bytes: u32,
     shadow_bytes: u32,
     pad_bytes: u32,
+    /// CRC32C of the chunk payload when the write arrived through the
+    /// borrowed-slice path ([`ArraySink::write_chunk_payload`]); zero for
+    /// payload-less accounting writes. Streamed straight off the caller's
+    /// slice — the payload is never copied into an interim buffer.
+    payload_crc: u32,
 }
 
 impl ChunkRecord {
-    fn data(flush: &ChunkFlush, loc: &ChunkLocation, chunk_seq: u64) -> Self {
+    fn data(flush: &ChunkFlush, loc: &ChunkLocation, chunk_seq: u64, payload_crc: u32) -> Self {
         Self {
             kind: KIND_DATA,
             group: flush.group,
@@ -148,6 +153,7 @@ impl ChunkRecord {
             gc_bytes: flush.gc_bytes as u32,
             shadow_bytes: flush.shadow_bytes as u32,
             pad_bytes: flush.pad_bytes as u32,
+            payload_crc,
         }
     }
 
@@ -165,6 +171,7 @@ impl ChunkRecord {
             gc_bytes: 0,
             shadow_bytes: 0,
             pad_bytes: 0,
+            payload_crc: 0,
         }
     }
 
@@ -196,7 +203,8 @@ impl ChunkRecord {
         b[44..48].copy_from_slice(&self.gc_bytes.to_le_bytes());
         b[48..52].copy_from_slice(&self.shadow_bytes.to_le_bytes());
         b[52..56].copy_from_slice(&self.pad_bytes.to_le_bytes());
-        // b[56..60] reserved, zero.
+        // Formerly reserved-zero; zero still means "no payload digest".
+        b[56..60].copy_from_slice(&self.payload_crc.to_le_bytes());
         let crc = crc32c(&b[..60]);
         b[60..64].copy_from_slice(&crc.to_le_bytes());
         b
@@ -230,6 +238,7 @@ impl ChunkRecord {
             gc_bytes: u32_at(44),
             shadow_bytes: u32_at(48),
             pad_bytes: u32_at(52),
+            payload_crc: u32_at(56),
         })
     }
 }
@@ -527,8 +536,11 @@ fn scan_device(dir: &Path, device: usize, stripes_per_file: u64) -> Vec<ChunkRec
     unreachable!()
 }
 
-impl ArraySink for FileArraySink {
-    fn write_chunk(&mut self, flush: ChunkFlush) -> ChunkLocation {
+impl FileArraySink {
+    /// Shared body of the payload-less and borrowed-slice write paths:
+    /// account the chunk, frame its digest record (carrying `payload_crc`
+    /// when the payload was provided), and handle stripe-close sync/roll.
+    fn write_chunk_framed(&mut self, flush: ChunkFlush, payload_crc: u32) -> ChunkLocation {
         let chunk_seq = self.counting.chunks_written();
         let stripes_before = self.counting.stats().stripes_completed;
         let loc = self.counting.write_chunk(flush);
@@ -539,7 +551,7 @@ impl ArraySink for FileArraySink {
             matches!(self.backing, Backing::Active { .. }),
             "write_chunk before recover_reconcile"
         );
-        self.append_record(loc.device, ChunkRecord::data(&flush, &loc, chunk_seq));
+        self.append_record(loc.device, ChunkRecord::data(&flush, &loc, chunk_seq, payload_crc));
         if self.counting.stats().stripes_completed > stripes_before {
             let layout = *self.counting.layout();
             let pdev = layout.parity_device(loc.stripe);
@@ -558,6 +570,19 @@ impl ArraySink for FileArraySink {
             }
         }
         loc
+    }
+}
+
+impl ArraySink for FileArraySink {
+    fn write_chunk(&mut self, flush: ChunkFlush) -> ChunkLocation {
+        self.write_chunk_framed(flush, 0)
+    }
+
+    fn write_chunk_payload(&mut self, flush: ChunkFlush, payload: &[u8]) -> ChunkLocation {
+        debug_assert_eq!(payload.len() as u64, self.counting.config().chunk_bytes);
+        // Zero-copy: the digest is streamed straight off the borrowed
+        // slice; the payload never lands in an interim buffer.
+        self.write_chunk_framed(flush, crc32c(payload))
     }
 
     fn config(&self) -> &ArrayConfig {
@@ -637,15 +662,17 @@ impl ArraySink for FileArraySink {
         let mut counting = CountingArray::new(cfg);
         let mut rebuilt: Vec<Vec<ChunkRecord>> = vec![Vec::new(); cfg.num_devices];
         for seq in 0..next_chunk_seq {
-            let flush = match on_disk.get(&seq) {
+            let (flush, payload_crc) = match on_disk.get(&seq) {
                 Some(rec) => {
                     report.records_reused += 1;
-                    rec.to_flush()
+                    (rec.to_flush(), rec.payload_crc)
                 }
                 None => match from_wal.get(&seq) {
+                    // WAL records carry accounting only — a payload digest
+                    // lost with the torn record cannot be reinvented.
                     Some(flush) => {
                         report.records_restored += 1;
-                        *flush
+                        (*flush, 0)
                     }
                     None => {
                         return Err(FileSinkError::MissingRecord { chunk_seq: seq }.into());
@@ -654,7 +681,7 @@ impl ArraySink for FileArraySink {
             };
             let loc = counting.write_chunk(flush);
             debug_assert_eq!(loc, layout.locate(seq));
-            rebuilt[loc.device].push(ChunkRecord::data(&flush, &loc, seq));
+            rebuilt[loc.device].push(ChunkRecord::data(&flush, &loc, seq, payload_crc));
             if (seq + 1).is_multiple_of(k) {
                 let pdev = layout.parity_device(loc.stripe);
                 if parity_on_disk.remove(&loc.stripe).is_some() {
@@ -739,7 +766,7 @@ mod tests {
     #[test]
     fn record_roundtrip_and_crc() {
         let loc = ChunkLocation { stripe: 7, device: 2, column: 1 };
-        let rec = ChunkRecord::data(&flush(3, 9, 4), &loc, 22);
+        let rec = ChunkRecord::data(&flush(3, 9, 4), &loc, 22, 0xDEAD_BEEF);
         let bytes = rec.encode();
         assert_eq!(ChunkRecord::decode(&bytes), Some(rec));
         let mut bad = bytes;

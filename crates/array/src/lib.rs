@@ -24,6 +24,7 @@
 
 pub mod config;
 pub mod counters;
+pub mod cpu_features;
 pub mod crc;
 pub mod error;
 pub mod fault;

@@ -99,6 +99,22 @@ pub trait ArraySink {
     /// chunks whose size differs from the configured chunk size.
     fn write_chunk(&mut self, flush: ChunkFlush) -> ChunkLocation;
 
+    /// Accept one chunk write *with its payload as a borrowed slice*.
+    ///
+    /// Ownership rule at the sink boundary: the payload belongs to the
+    /// caller and is only valid for the duration of the call. A sink that
+    /// stores or frames real bytes copies them exactly once, here, and
+    /// accounts that copy in [`ArrayStats::copy_bytes`]; accounting-only
+    /// sinks must not copy at all (the default ignores the payload and
+    /// delegates to [`ArraySink::write_chunk`]). This is what lets flush,
+    /// GC migration, and rebuild forward chunk payloads without pooled
+    /// `Vec` round-trips.
+    fn write_chunk_payload(&mut self, flush: ChunkFlush, payload: &[u8]) -> ChunkLocation {
+        debug_assert_eq!(payload.len() as u64, self.config().chunk_bytes);
+        let _ = payload;
+        self.write_chunk(flush)
+    }
+
     /// Array geometry.
     fn config(&self) -> &ArrayConfig;
 

@@ -16,7 +16,9 @@
 //! pool, asserting the two results are bit-identical. They also record a
 //! `durability` section: the fsync-policy throughput ladder on the
 //! file-backed sink + WAL vs the in-memory reference, plus cold recovery
-//! timing.
+//! timing. And a `hotpath` section: SIMD-vs-scalar parity kernels,
+//! zero-copy traffic, batched remaps, staged-GC tail latencies, and the
+//! jobs ladder (see `adapt_bench::hotpath`).
 
 use adapt_bench::perf::{self, QUICK, WORKLOADS};
 
@@ -73,6 +75,65 @@ fn main() {
                 flushes = dur.recovery.flushes_replayed,
             );
             report.durability = Some(dur);
+
+            // Hot-path microbenches: the primitives the replays above are
+            // built from, each attributed to its own layer.
+            let hp = adapt_bench::hotpath::run(cli.quick);
+            println!(
+                "perf hotpath xor_into(64KiB) [{kernel}] {simd:>8.2} GiB/s  \
+                 byte-serial {byte:>6.2} GiB/s ({vb:.1}x)  word-scalar {wide:>8.2} GiB/s ({vw:.2}x)",
+                kernel = hp.xor_64k.kernel,
+                simd = hp.xor_64k.simd_gib_s,
+                byte = hp.xor_64k.scalar_byte_gib_s,
+                vb = hp.xor_64k.speedup_vs_byte,
+                wide = hp.xor_64k.scalar_wide_gib_s,
+                vw = hp.xor_64k.speedup_vs_wide,
+            );
+            for k in [&hp.parity_into, &hp.index_batch] {
+                println!(
+                    "perf hotpath {name:<44} {fast:>8.2} vs {slow:>8.2} {unit}  \
+                     speedup {speedup:.2}x",
+                    name = k.name,
+                    fast = k.fast,
+                    slow = k.slow,
+                    unit = k.unit,
+                    speedup = k.speedup,
+                );
+            }
+            println!(
+                "perf hotpath copy [{w}] {copy} B copied vs {legacy} B legacy  \
+                 ({red:.1}% less, {per:.3} B/host-B)",
+                w = hp.copy.workload,
+                copy = hp.copy.copy_bytes,
+                legacy = hp.copy.legacy_equiv_copy_bytes,
+                red = hp.copy.reduction_pct,
+                per = hp.copy.copy_per_host_byte,
+            );
+            println!(
+                "perf hotpath gc-overlap [{w}] sync p99.9 {sp:.1} µs max {sm:.1} µs  \
+                 overlap p99.9 {op:.1} µs max {om:.1} µs  jobs {jobs}  \
+                 jobs=1 identical {ident}",
+                w = hp.gc_overlap.workload,
+                sp = hp.gc_overlap.sync_p999_us,
+                sm = hp.gc_overlap.sync_max_us,
+                op = hp.gc_overlap.overlap_p999_us,
+                om = hp.gc_overlap.overlap_max_us,
+                jobs = hp.gc_overlap.jobs,
+                ident = hp.gc_overlap.jobs1_bit_identical,
+            );
+            assert!(
+                hp.gc_overlap.jobs1_bit_identical,
+                "overlapped GC at jobs=1 must collapse to the synchronous path"
+            );
+            for rung in &hp.jobs_ladder {
+                println!(
+                    "perf hotpath jobs={j:<2} {wall:>9.1} ms  speedup {s:.2}x",
+                    j = rung.jobs,
+                    wall = rung.wall_ms,
+                    s = rung.speedup_vs_1,
+                );
+            }
+            report.hotpath = Some(hp);
         }
         // The trajectory file lives at the repo root by default (BENCH_* is
         // the per-PR perf record); --out redirects for scratch runs.

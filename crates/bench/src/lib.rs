@@ -19,6 +19,7 @@
 pub mod durability;
 pub mod figures;
 pub mod harness;
+pub mod hotpath;
 pub mod perf;
 pub mod perf_baseline;
 pub mod sweep;

@@ -250,11 +250,50 @@ pub fn measure_sweep(quick: bool) -> SweepScaling {
     }
 }
 
+/// Provenance stamp: what produced this report. Wall-clock numbers are
+/// only comparable across runs that agree here — a trajectory diff
+/// between an AVX2 machine and a scalar one, or across job counts,
+/// measures the hardware, not the PR.
+#[derive(Debug, Clone, Serialize)]
+pub struct Capability {
+    /// `git rev-parse --short=12 HEAD` of the measured tree (`unknown`
+    /// outside a work tree).
+    pub git_commit: String,
+    /// CPU feature summary the SIMD kernels dispatched on, including the
+    /// `ADAPT_NO_SIMD` override when forced.
+    pub simd: String,
+    /// Effective worker-thread count of the work-stealing pool.
+    pub jobs: usize,
+}
+
+/// Capture the provenance stamp for this process.
+pub fn capability() -> Capability {
+    let git_commit = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    Capability {
+        git_commit,
+        simd: adapt_array::cpu_features::get().summary(),
+        jobs: rayon::current_num_threads(),
+    }
+}
+
 /// The JSON payload written to `BENCH_perf.json`.
+///
+/// Schema history: 1 — baseline/current/speedup plus the sweep and
+/// durability sections; 2 — adds the `capability` provenance stamp and
+/// the `hotpath` microbench section (see EXPERIMENTS.md).
 #[derive(Debug, Serialize)]
 pub struct PerfReport {
     /// Schema version of this file.
     pub schema: u32,
+    /// Provenance of this run (git commit, SIMD features, job count).
+    pub capability: Capability,
     /// What the baseline section is.
     pub baseline_note: String,
     /// Pre-optimization measurements `(key, wall_ms, kops_per_sec,
@@ -277,6 +316,10 @@ pub struct PerfReport {
     /// recovery timing. Populated by the `perf` bin on gate runs; `None`
     /// for events-enabled overhead runs.
     pub durability: Option<crate::durability::DurabilityBench>,
+    /// Hot-path microbenches: SIMD parity, zero-copy traffic, batched
+    /// remaps, staged-GC tails, jobs ladder. Populated by the `perf` bin
+    /// on gate runs; `None` for events-enabled overhead runs.
+    pub hotpath: Option<crate::hotpath::HotpathBench>,
 }
 
 /// Run the harness over `workloads` with events disabled (the regression
@@ -316,7 +359,8 @@ pub fn run_with_events(
         })
         .collect();
     PerfReport {
-        schema: 1,
+        schema: 2,
+        capability: capability(),
         baseline_note: "pre-optimization engine (before incremental GC buckets, fxhash, \
                         buffer pooling), measured on the same machine and workloads"
             .to_string(),
@@ -326,6 +370,7 @@ pub fn run_with_events(
         events_enabled: events.enabled,
         sweep: None,
         durability: None,
+        hotpath: None,
     }
 }
 

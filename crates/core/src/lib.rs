@@ -56,3 +56,10 @@ pub mod threshold;
 
 pub use config::AdaptConfig;
 pub use policy::Adapt;
+
+/// The workspace-wide one-time CPU-feature probe (SSE2/SSE4.2/AVX2 +
+/// `ADAPT_NO_SIMD` override). The module lives in `adapt-array` — the
+/// bottom of the crate graph, next to the CRC and parity kernels that
+/// consume it — and is re-exported here so policy-level code and the crates
+/// above share the same probe without depending on `adapt-array` directly.
+pub use adapt_array::cpu_features;

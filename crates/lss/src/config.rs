@@ -42,6 +42,18 @@ pub struct LssConfig {
     /// [`crate::LssMetrics::retry_backoff_us`] rather than advancing the
     /// engine clock (retries must not perturb SLA deadlines).
     pub retry_backoff_us: u64,
+    /// When true, inline GC overlaps foreground writes: instead of
+    /// draining a whole victim inside one host write, the victim is
+    /// *staged* (detached, live slots snapshotted) and its blocks migrate
+    /// in bounded slices piggybacked on subsequent writes — the tail
+    /// latency a monolithic collection would concentrate on one op is
+    /// spread across many. Off by default: the staged interleaving is
+    /// workload-order dependent, so the deterministic comparison gates
+    /// keep it disabled. Forced off (legacy exact path) when the
+    /// `ADAPT_GC_SYNC` env var is set or the job count is 1, so `jobs=1`
+    /// runs are bit-identical to the synchronous engine.
+    #[serde(default)]
+    pub gc_overlap: bool,
     /// Background scrub pacing: stripes verified per host operation
     /// (0 disables scrubbing, the default). Paced exactly like the rebuild
     /// driver — a bounded amount of background work piggybacks on every
@@ -66,6 +78,7 @@ impl Default for LssConfig {
             background_gc: false,
             read_retry_limit: 3,
             retry_backoff_us: 50,
+            gc_overlap: false,
             scrub_stripes_per_op: 0,
         }
     }

@@ -255,8 +255,24 @@ impl SegmentBuckets {
     /// debug aid, called from the engine's `check_invariants`). Panics on
     /// violation.
     pub fn check_against(&self, segments: &[Segment]) {
+        self.check_against_detached(segments, None);
+    }
+
+    /// [`SegmentBuckets::check_against`] with one sealed segment exempted
+    /// from tracking: an overlapped-GC victim mid-collection is sealed
+    /// but legitimately detached from the index.
+    pub fn check_against_detached(&self, segments: &[Segment], detached: Option<SegmentId>) {
         let mut tracked = 0usize;
         for s in segments {
+            if detached == Some(s.id) {
+                assert_eq!(
+                    self.tracked_valid(s.id),
+                    None,
+                    "detached victim {} still tracked in buckets",
+                    s.id
+                );
+                continue;
+            }
             if s.state == SegmentState::Sealed {
                 assert_eq!(
                     self.tracked_valid(s.id),

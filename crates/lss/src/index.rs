@@ -60,6 +60,26 @@ impl BlockIndex {
         self.entries[idx] = entry;
     }
 
+    /// Apply a batch of `(lba → entry)` remaps in order.
+    ///
+    /// Semantically identical to calling [`BlockIndex::set`] once per pair
+    /// (later pairs win on duplicate LBAs), but the table is grown at most
+    /// once — one max scan, one resize — instead of bounds-checking the
+    /// grow path per call. Flush and GC migration collect a chunk's worth
+    /// of remaps and apply them here, pairing with the single WAL `Flush`
+    /// record that already covers the batch.
+    pub fn apply_batch(&mut self, updates: &[(Lba, BlockEntry)]) {
+        let Some(max_lba) = updates.iter().map(|&(lba, _)| lba).max() else {
+            return;
+        };
+        if max_lba as usize >= self.entries.len() {
+            self.entries.resize(max_lba as usize + 1, BlockEntry::Absent);
+        }
+        for &(lba, entry) in updates {
+            self.entries[lba as usize] = entry;
+        }
+    }
+
     /// Whether the durable slot `(seg, off)` is the live copy of `lba`.
     /// Shadow copies count as live while referenced by a pending entry.
     #[inline]
@@ -124,6 +144,30 @@ mod tests {
         assert!(!idx.is_live(9, 5, 3));
         idx.set(9, BlockEntry::Pending { group: 1, shadow: None });
         assert!(!idx.is_live(9, 5, 2));
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_sets() {
+        // Bit-identical equivalence including duplicate LBAs (last wins)
+        // and growth in one step.
+        let updates = [
+            (7u64, BlockEntry::Durable { seg: 1, off: 4 }),
+            (0u64, BlockEntry::Pending { group: 2, shadow: None }),
+            (7u64, BlockEntry::Pending { group: 0, shadow: Some((3, 9)) }),
+            (123u64, BlockEntry::Durable { seg: 9, off: 0 }),
+        ];
+        let mut batched = BlockIndex::default();
+        batched.apply_batch(&updates);
+        let mut sequential = BlockIndex::default();
+        for &(lba, e) in &updates {
+            sequential.set(lba, e);
+        }
+        assert_eq!(batched.len(), sequential.len());
+        for lba in 0..sequential.len() as u64 {
+            assert_eq!(batched.get(lba), sequential.get(lba), "lba {lba}");
+        }
+        batched.apply_batch(&[]);
+        assert_eq!(batched.len(), sequential.len(), "empty batch is a no-op");
     }
 
     #[test]
