@@ -1,42 +1,86 @@
 //! Array geometry configuration.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
-/// Geometry of the RAID-5 SSD array.
+/// Redundancy scheme implied by a geometry's parity count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CodingScheme {
+    /// One rotating XOR parity chunk per stripe (classic RAID-5).
+    Raid5,
+    /// Two Reed-Solomon parity chunks (P + Q, classic RAID-6).
+    Raid6,
+    /// General Reed-Solomon `k + m` with `m ≥ 3`.
+    ReedSolomon,
+}
+
+impl CodingScheme {
+    /// Short tag for report rows ("raid5", "raid6", "rs").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CodingScheme::Raid5 => "raid5",
+            CodingScheme::Raid6 => "raid6",
+            CodingScheme::ReedSolomon => "rs",
+        }
+    }
+}
+
+/// Geometry of the SSD array.
 ///
 /// Defaults mirror the paper's setup (§4.1): four SSDs under mdraid RAID-5
-/// with a 64 KiB chunk (mdraid's default chunk size).
+/// with a 64 KiB chunk (mdraid's default chunk size). `parity_devices`
+/// generalizes the redundancy: 1 keeps the original XOR RAID-5, 2 is
+/// Reed-Solomon RAID-6 (P+Q), and any `m` up to `num_devices - 2` yields
+/// a general `k + m` code that survives m simultaneous device losses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ArrayConfig {
-    /// Number of member devices (data + rotating parity). RAID-5 needs ≥ 3.
+    /// Number of member devices (data + rotating parity). Needs at least
+    /// `parity_devices + 2`.
     pub num_devices: usize,
     /// Chunk size in bytes — the minimum write unit of the array.
     pub chunk_bytes: u64,
+    /// Parity chunks per stripe (`m`). 1 = RAID-5 XOR, 2 = RAID-6 P+Q,
+    /// 3+ = general Reed-Solomon.
+    pub parity_devices: usize,
 }
 
 impl Default for ArrayConfig {
     fn default() -> Self {
-        Self { num_devices: 4, chunk_bytes: 64 * 1024 }
+        Self { num_devices: 4, chunk_bytes: 64 * 1024, parity_devices: 1 }
     }
 }
 
 impl ArrayConfig {
-    /// Create a config, validating the geometry.
+    /// Create a single-parity (RAID-5) config, validating the geometry.
     pub fn new(num_devices: usize, chunk_bytes: u64) -> Self {
-        let cfg = Self { num_devices, chunk_bytes };
+        Self::with_parity(num_devices, 1, chunk_bytes)
+    }
+
+    /// Create a `k + m` config with `m = parity_devices`, validating the
+    /// geometry.
+    pub fn with_parity(num_devices: usize, parity_devices: usize, chunk_bytes: u64) -> Self {
+        let cfg = Self { num_devices, chunk_bytes, parity_devices };
         cfg.validate();
         cfg
     }
 
-    /// Panic if the geometry is not a valid RAID-5 layout.
+    /// Panic if the geometry is not a valid layout.
     pub fn validate(&self) {
-        assert!(self.num_devices >= 3, "RAID-5 requires at least 3 devices");
+        assert!(self.parity_devices >= 1, "at least one parity chunk per stripe");
+        assert!(
+            self.num_devices >= self.parity_devices + 2,
+            "need at least two data columns: {} devices with {} parity",
+            self.num_devices,
+            self.parity_devices
+        );
+        assert!(self.num_devices <= 256, "GF(256) limits the array to 256 devices");
         assert!(self.chunk_bytes > 0, "chunk size must be positive");
     }
 
-    /// Number of data chunks per stripe (one device per stripe holds parity).
+    /// Number of data chunks per stripe (`k`).
     pub fn data_columns(&self) -> usize {
-        self.num_devices - 1
+        self.num_devices - self.parity_devices
     }
 
     /// Bytes of user-visible capacity per stripe.
@@ -46,7 +90,89 @@ impl ArrayConfig {
 
     /// Parity overhead ratio: parity bytes per data byte.
     pub fn parity_overhead(&self) -> f64 {
-        1.0 / self.data_columns() as f64
+        self.parity_devices as f64 / self.data_columns() as f64
+    }
+
+    /// Simultaneous device losses the geometry tolerates (`m`).
+    pub fn fault_tolerance(&self) -> usize {
+        self.parity_devices
+    }
+
+    /// The derived geometry summary (scheme, k, m, chunk layout).
+    pub fn geometry(&self) -> ArrayGeometry {
+        ArrayGeometry {
+            scheme: match self.parity_devices {
+                1 => CodingScheme::Raid5,
+                2 => CodingScheme::Raid6,
+                _ => CodingScheme::ReedSolomon,
+            },
+            data_columns: self.data_columns(),
+            parity_columns: self.parity_devices,
+            chunk_bytes: self.chunk_bytes,
+        }
+    }
+}
+
+/// A geometry described as code parameters: the scheme, `k` data columns,
+/// `m` parity columns, and the chunk size. This is the axis value the
+/// scenario runners and `sweep_grid` carry — `ArrayConfig` is the same
+/// information keyed by device count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Redundancy scheme (derived from `parity_columns`).
+    pub scheme: CodingScheme,
+    /// Data chunks per stripe (`k`).
+    pub data_columns: usize,
+    /// Parity chunks per stripe (`m`).
+    pub parity_columns: usize,
+    /// Chunk size in bytes.
+    pub chunk_bytes: u64,
+}
+
+impl ArrayGeometry {
+    /// Geometry for `k` data + `m` parity columns at the default 64 KiB
+    /// chunk.
+    pub fn new(data_columns: usize, parity_columns: usize) -> Self {
+        ArrayConfig::with_parity(data_columns + parity_columns, parity_columns, 64 * 1024)
+            .geometry()
+    }
+
+    /// The equivalent `ArrayConfig` (devices = k + m).
+    pub fn config(&self) -> ArrayConfig {
+        ArrayConfig::with_parity(
+            self.data_columns + self.parity_columns,
+            self.parity_columns,
+            self.chunk_bytes,
+        )
+    }
+
+    /// The `"k+m"` label used on report rows and CLI flags ("3+1",
+    /// "6+2").
+    pub fn label(&self) -> String {
+        format!("{}+{}", self.data_columns, self.parity_columns)
+    }
+}
+
+impl fmt::Display for ArrayGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+impl FromStr for ArrayGeometry {
+    type Err = String;
+
+    /// Parse a `"k+m"` geometry label ("3+1", "6+2").
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (k, m) = s
+            .split_once('+')
+            .ok_or_else(|| format!("geometry must be k+m (e.g. 6+2), got {s:?}"))?;
+        let k: usize = k.trim().parse().map_err(|_| format!("bad data-column count in {s:?}"))?;
+        let m: usize = m.trim().parse().map_err(|_| format!("bad parity-column count in {s:?}"))?;
+        if k < 2 || m < 1 || k + m > 256 {
+            return Err(format!("geometry {s:?} out of range (need k >= 2, m >= 1, k+m <= 256)"));
+        }
+        Ok(ArrayGeometry::new(k, m))
     }
 }
 
@@ -59,20 +185,55 @@ mod tests {
         let c = ArrayConfig::default();
         assert_eq!(c.num_devices, 4);
         assert_eq!(c.chunk_bytes, 64 * 1024);
+        assert_eq!(c.parity_devices, 1);
         assert_eq!(c.data_columns(), 3);
         assert_eq!(c.stripe_data_bytes(), 192 * 1024);
+        assert_eq!(c.geometry().scheme, CodingScheme::Raid5);
+        assert_eq!(c.geometry().label(), "3+1");
     }
 
     #[test]
     fn parity_overhead() {
         assert!((ArrayConfig::new(4, 65536).parity_overhead() - 1.0 / 3.0).abs() < 1e-12);
         assert!((ArrayConfig::new(5, 65536).parity_overhead() - 0.25).abs() < 1e-12);
+        assert!(
+            (ArrayConfig::with_parity(8, 2, 65536).parity_overhead() - 2.0 / 6.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn raid6_geometry() {
+        let c = ArrayConfig::with_parity(8, 2, 65536);
+        assert_eq!(c.data_columns(), 6);
+        assert_eq!(c.fault_tolerance(), 2);
+        let g = c.geometry();
+        assert_eq!(g.scheme, CodingScheme::Raid6);
+        assert_eq!(g.label(), "6+2");
+        assert_eq!(g.config(), c);
+    }
+
+    #[test]
+    fn geometry_label_round_trips() {
+        for s in ["3+1", "6+2", "4+2", "10+4"] {
+            let g: ArrayGeometry = s.parse().unwrap();
+            assert_eq!(g.label(), s);
+            assert_eq!(g.to_string(), s);
+        }
+        assert!("6".parse::<ArrayGeometry>().is_err());
+        assert!("1+1".parse::<ArrayGeometry>().is_err());
+        assert!("x+2".parse::<ArrayGeometry>().is_err());
     }
 
     #[test]
     #[should_panic]
     fn too_few_devices_rejected() {
         ArrayConfig::new(2, 65536);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_much_parity_rejected() {
+        ArrayConfig::with_parity(4, 3, 65536);
     }
 
     #[test]

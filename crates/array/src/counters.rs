@@ -71,6 +71,15 @@ pub struct ArrayStats {
     /// before they could pair with a device failure).
     #[serde(default)]
     pub scrub_latent_repaired: u64,
+    /// Bytes read off a draining device by the proactive evacuation sweep.
+    #[serde(default)]
+    pub drain_read_bytes: u64,
+    /// Bytes written to the replacement by the drain sweep.
+    #[serde(default)]
+    pub drain_write_bytes: u64,
+    /// Chunks copied off a draining device.
+    #[serde(default)]
+    pub drained_chunks: u64,
     /// Payload bytes memcpy'd between RAM buffers inside the array layer
     /// (parity-accumulator seeds, borrowed-slice ownership transfers) —
     /// *not* modeled device I/O. The zero-copy work (PR 7) exists to drive

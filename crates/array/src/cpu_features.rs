@@ -28,6 +28,8 @@ pub struct CpuFeatures {
     /// SSE2 128-bit vector XOR (baseline on x86_64, but probed anyway so
     /// the override can clear it).
     pub sse2: bool,
+    /// SSSE3 `pshufb` byte shuffles (the GF(256) nibble-table kernels).
+    pub ssse3: bool,
     /// SSE4.2 `crc32` instructions.
     pub sse42: bool,
     /// AVX2 256-bit vector XOR.
@@ -49,6 +51,9 @@ impl CpuFeatures {
         }
         if self.sse42 {
             tiers.push("sse4.2");
+        }
+        if self.ssse3 {
+            tiers.push("ssse3");
         }
         if self.sse2 {
             tiers.push("sse2");
@@ -78,10 +83,17 @@ fn simd_disabled_by_env() -> bool {
 #[cfg(target_arch = "x86_64")]
 fn probe() -> CpuFeatures {
     if simd_disabled_by_env() {
-        return CpuFeatures { sse2: false, sse42: false, avx2: false, forced_scalar: true };
+        return CpuFeatures {
+            sse2: false,
+            ssse3: false,
+            sse42: false,
+            avx2: false,
+            forced_scalar: true,
+        };
     }
     CpuFeatures {
         sse2: std::arch::is_x86_feature_detected!("sse2"),
+        ssse3: std::arch::is_x86_feature_detected!("ssse3"),
         sse42: std::arch::is_x86_feature_detected!("sse4.2"),
         avx2: std::arch::is_x86_feature_detected!("avx2"),
         forced_scalar: false,
@@ -90,7 +102,13 @@ fn probe() -> CpuFeatures {
 
 #[cfg(not(target_arch = "x86_64"))]
 fn probe() -> CpuFeatures {
-    CpuFeatures { sse2: false, sse42: false, avx2: false, forced_scalar: simd_disabled_by_env() }
+    CpuFeatures {
+        sse2: false,
+        ssse3: false,
+        sse42: false,
+        avx2: false,
+        forced_scalar: simd_disabled_by_env(),
+    }
 }
 
 #[cfg(test)]
@@ -106,13 +124,27 @@ mod tests {
 
     #[test]
     fn summary_reflects_flags() {
-        let f = CpuFeatures { sse2: true, sse42: true, avx2: true, forced_scalar: false };
-        assert_eq!(f.summary(), "avx2+sse4.2+sse2");
-        let f = CpuFeatures { sse2: true, sse42: false, avx2: false, forced_scalar: false };
+        let f =
+            CpuFeatures { sse2: true, ssse3: true, sse42: true, avx2: true, forced_scalar: false };
+        assert_eq!(f.summary(), "avx2+sse4.2+ssse3+sse2");
+        let f = CpuFeatures {
+            sse2: true,
+            ssse3: false,
+            sse42: false,
+            avx2: false,
+            forced_scalar: false,
+        };
         assert_eq!(f.summary(), "sse2");
-        let f = CpuFeatures { sse2: false, sse42: false, avx2: false, forced_scalar: false };
+        let f = CpuFeatures {
+            sse2: false,
+            ssse3: false,
+            sse42: false,
+            avx2: false,
+            forced_scalar: false,
+        };
         assert_eq!(f.summary(), "scalar");
-        let f = CpuFeatures { sse2: true, sse42: true, avx2: true, forced_scalar: true };
+        let f =
+            CpuFeatures { sse2: true, ssse3: true, sse42: true, avx2: true, forced_scalar: true };
         assert_eq!(f.summary(), "scalar(ADAPT_NO_SIMD)");
     }
 

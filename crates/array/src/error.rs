@@ -118,13 +118,21 @@ impl fmt::Display for ArrayError {
 
 impl std::error::Error for ArrayError {}
 
-/// Error raised by the parity math on malformed stripes.
+/// Error raised by the parity/erasure-coding math on malformed stripes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParityError {
     /// A stripe with zero chunks has no parity.
     EmptyStripe,
     /// Chunks within one stripe must have equal lengths.
     LengthMismatch { expected: usize, got: usize },
+    /// A Reed-Solomon decode was asked to run with fewer surviving
+    /// chunks than the code's `k` — more than `m` losses.
+    NotEnoughShards { have: usize, need: usize },
+    /// The survivor submatrix was singular. The shipped matrix
+    /// constructions (Vandermonde for m ≤ 2, Cauchy beyond) make this
+    /// unreachable; it exists so the decoder degrades typed instead of
+    /// panicking if a future construction regresses.
+    SingularMatrix,
 }
 
 impl fmt::Display for ParityError {
@@ -133,6 +141,12 @@ impl fmt::Display for ParityError {
             ParityError::EmptyStripe => write!(f, "stripe must have at least one data chunk"),
             ParityError::LengthMismatch { expected, got } => {
                 write!(f, "parity operands must be equal length ({expected} vs {got})")
+            }
+            ParityError::NotEnoughShards { have, need } => {
+                write!(f, "erasure decode needs {need} surviving chunks, have {have}")
+            }
+            ParityError::SingularMatrix => {
+                write!(f, "erasure-decode matrix is singular (invalid code construction)")
             }
         }
     }

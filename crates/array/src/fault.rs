@@ -28,6 +28,43 @@ impl ArrayHealth {
             ArrayHealth::Degraded { device } | ArrayHealth::Rebuilding { device } => Some(*device),
         }
     }
+
+    /// Summarize a per-device state vector: `Rebuilding` wins over
+    /// `Degraded` wins over `Healthy`, reporting the first affected
+    /// device. (A draining device is still fully readable, so a drain by
+    /// itself leaves the array `Healthy`.)
+    pub fn from_disk_states(states: &[DiskState]) -> ArrayHealth {
+        if let Some(device) = states.iter().position(|s| *s == DiskState::Rebuilding) {
+            return ArrayHealth::Rebuilding { device };
+        }
+        if let Some(device) = states.iter().position(|s| *s == DiskState::Failed) {
+            return ArrayHealth::Degraded { device };
+        }
+        ArrayHealth::Healthy
+    }
+}
+
+/// Lifecycle state of one member device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskState {
+    /// Fully operational.
+    Healthy,
+    /// Operational, but being proactively evacuated onto a replacement
+    /// (planned removal): reads are served directly, and a paced copy
+    /// sweep moves its chunks without spending redundancy.
+    Draining,
+    /// Failed: reads to it require erasure-decode from stripe survivors.
+    Failed,
+    /// A spare is being rebuilt for this (failed) device.
+    Rebuilding,
+}
+
+impl DiskState {
+    /// Whether the device's chunks must currently be served by
+    /// reconstruction (it counts as an erasure against the code's `m`).
+    pub fn is_erased(&self) -> bool {
+        matches!(self, DiskState::Failed | DiskState::Rebuilding)
+    }
 }
 
 /// How a read was served.
@@ -172,6 +209,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a correlated failure: every device in `devices` fails at
+    /// the same operation (shared power rail, firmware bug, one shelf).
+    /// [`Self::record_op`] reports them together in a single call.
+    pub fn fail_devices_at(mut self, devices: &[usize], op: u64) -> Self {
+        for &d in devices {
+            self.fail_at_op.insert(d, op);
+        }
+        self
+    }
+
     /// Make every chunk read raise a transient error with probability `p`.
     pub fn with_transient_read_prob(mut self, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
@@ -271,6 +318,12 @@ impl FaultPlan {
         self.latent_sectors.len()
     }
 
+    /// Outstanding latent sector errors, as (device, stripe) pairs. The
+    /// rebuild driver uses this to order its sweep most-exposed-first.
+    pub fn latent_entries(&self) -> impl Iterator<Item = &(usize, u64)> + '_ {
+        self.latent_sectors.iter()
+    }
+
     fn next_u64(&mut self) -> u64 {
         // splitmix64: deterministic, cheap, good enough for fault draws.
         self.rng_state = self.rng_state.wrapping_add(0x9e3779b97f4a7c15);
@@ -354,6 +407,35 @@ mod tests {
         p.record_op();
         assert_eq!(p.take_due_corruptions(), vec![(3, 20)]);
         assert!(p.take_due_corruptions().is_empty(), "each event fires once");
+    }
+
+    #[test]
+    fn correlated_failures_fire_together() {
+        let mut p = FaultPlan::new(9).fail_devices_at(&[1, 3], 2);
+        assert!(p.record_op().is_empty());
+        assert_eq!(p.record_op(), vec![1, 3], "both devices down in one op");
+        assert!(p.record_op().is_empty());
+    }
+
+    #[test]
+    fn disk_state_summary() {
+        use DiskState::*;
+        assert_eq!(ArrayHealth::from_disk_states(&[Healthy, Healthy]), ArrayHealth::Healthy);
+        assert_eq!(
+            ArrayHealth::from_disk_states(&[Healthy, Draining]),
+            ArrayHealth::Healthy,
+            "draining is planned, not a fault"
+        );
+        assert_eq!(
+            ArrayHealth::from_disk_states(&[Healthy, Failed, Failed]),
+            ArrayHealth::Degraded { device: 1 }
+        );
+        assert_eq!(
+            ArrayHealth::from_disk_states(&[Failed, Rebuilding]),
+            ArrayHealth::Rebuilding { device: 1 }
+        );
+        assert!(Failed.is_erased() && Rebuilding.is_erased());
+        assert!(!Healthy.is_erased() && !Draining.is_erased());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! statistics parity is exact) and additionally persists one fixed-size,
 //! CRC32C-framed *chunk record* per chunk write into per-device files.
 //!
-//! Because the RAID-5 rotation gives every device exactly one chunk per
-//! stripe (data or parity), each device's record sequence is strictly
+//! Because the left-symmetric rotation gives every device exactly one
+//! chunk per stripe (one data column or one of the `m` parity chunks),
+//! each device's record sequence is strictly
 //! stripe-ordered: the record for stripe `s` on device `d` lives in file
 //! `s / stripes_per_file` at offset `(s % stripes_per_file) ×
 //! RECORD_BYTES`. Files are append-only and sealed when full; the
@@ -39,7 +40,9 @@ pub const RECORD_BYTES: u64 = 64;
 const RECORD_MAGIC: u32 = 0x4144_434B; // "ADCK"
 const RECORD_VERSION: u16 = 1;
 const SUPERBLOCK_MAGIC: u32 = 0x4144_5342; // "ADSB"
-const SUPERBLOCK_VERSION: u16 = 1;
+                                           // v1 had no parity count (RAID-5 implied); v2 stores `m` in the two
+                                           // formerly-reserved bytes at offset 6 so any `k + m` geometry round-trips.
+const SUPERBLOCK_VERSION: u16 = 2;
 const KIND_DATA: u8 = 0;
 const KIND_PARITY: u8 = 1;
 
@@ -157,14 +160,17 @@ impl ChunkRecord {
         }
     }
 
-    fn parity(stripe: u64, device: usize, data_columns: usize) -> Self {
+    /// The record for parity row `j` of `stripe`; `shard = k + j` names
+    /// the parity chunk's shard index (for `m = 1` this equals the old
+    /// "column = data_columns" encoding byte-for-byte).
+    fn parity(stripe: u64, device: usize, shard: usize) -> Self {
         Self {
             kind: KIND_PARITY,
             group: 0,
             chunk_seq: stripe,
             stripe,
             device: device as u32,
-            column: data_columns as u32,
+            column: shard as u32,
             seg: 0,
             chunk_in_seg: 0,
             user_bytes: 0,
@@ -406,7 +412,7 @@ impl FileArraySink {
         let mut b = Vec::with_capacity(48);
         b.extend_from_slice(&SUPERBLOCK_MAGIC.to_le_bytes());
         b.extend_from_slice(&SUPERBLOCK_VERSION.to_le_bytes());
-        b.extend_from_slice(&[0u8; 2]);
+        b.extend_from_slice(&(cfg.parity_devices as u16).to_le_bytes());
         b.extend_from_slice(&self.generation.to_le_bytes());
         b.extend_from_slice(&(cfg.num_devices as u32).to_le_bytes());
         b.extend_from_slice(&(cfg.chunk_bytes as u32).to_le_bytes());
@@ -492,15 +498,23 @@ fn read_superblock(dir: &Path, cfg: &ArrayConfig) -> Result<u64, FileSinkError> 
     if crc32c(&b[..32]) != u32::from_le_bytes(b[32..36].try_into().unwrap()) {
         return Err(corrupt("superblock CRC mismatch"));
     }
+    let parity_devices = match u16::from_le_bytes(b[4..6].try_into().unwrap()) {
+        1 => 1, // v1 predates the parity field: RAID-5 implied
+        2 => u16::from_le_bytes(b[6..8].try_into().unwrap()) as usize,
+        v => return Err(corrupt(&format!("unsupported superblock version {v}"))),
+    };
     let generation = u64::from_le_bytes(b[8..16].try_into().unwrap());
     let num_devices = u32::from_le_bytes(b[16..20].try_into().unwrap()) as usize;
     let chunk_bytes = u32::from_le_bytes(b[20..24].try_into().unwrap()) as u64;
-    if num_devices != cfg.num_devices || chunk_bytes != cfg.chunk_bytes {
+    if num_devices != cfg.num_devices
+        || chunk_bytes != cfg.chunk_bytes
+        || parity_devices != cfg.parity_devices
+    {
         return Err(FileSinkError::GeometryMismatch {
             detail: format!(
-                "superblock says {num_devices} devices × {chunk_bytes} B chunks, \
-                 config says {} × {}",
-                cfg.num_devices, cfg.chunk_bytes
+                "superblock says {num_devices} devices ({parity_devices} parity) × \
+                 {chunk_bytes} B chunks, config says {} ({}) × {}",
+                cfg.num_devices, cfg.parity_devices, cfg.chunk_bytes
             ),
         });
     }
@@ -554,9 +568,11 @@ impl FileArraySink {
         self.append_record(loc.device, ChunkRecord::data(&flush, &loc, chunk_seq, payload_crc));
         if self.counting.stats().stripes_completed > stripes_before {
             let layout = *self.counting.layout();
-            let pdev = layout.parity_device(loc.stripe);
             let k = layout.config().data_columns();
-            self.append_record(pdev, ChunkRecord::parity(loc.stripe, pdev, k));
+            for j in 0..layout.config().parity_devices {
+                let pdev = layout.parity_device_j(loc.stripe, j);
+                self.append_record(pdev, ChunkRecord::parity(loc.stripe, pdev, k + j));
+            }
             // Stripe complete: make it durable, then seal files on the
             // stripes_per_file boundary.
             if let Err(e) = self.try_sync_files() {
@@ -642,14 +658,14 @@ impl ArraySink for FileArraySink {
         // tail digests likewise.
         let mut on_disk: std::collections::BTreeMap<u64, ChunkRecord> =
             std::collections::BTreeMap::new();
-        let mut parity_on_disk: std::collections::BTreeMap<u64, ChunkRecord> =
+        let mut parity_on_disk: std::collections::BTreeMap<(u64, u32), ChunkRecord> =
             std::collections::BTreeMap::new();
         for recs in &scanned {
             for rec in recs {
                 if rec.kind == KIND_DATA {
                     on_disk.insert(rec.chunk_seq, *rec);
                 } else {
-                    parity_on_disk.insert(rec.stripe, *rec);
+                    parity_on_disk.insert((rec.stripe, rec.device), *rec);
                 }
             }
         }
@@ -683,13 +699,15 @@ impl ArraySink for FileArraySink {
             debug_assert_eq!(loc, layout.locate(seq));
             rebuilt[loc.device].push(ChunkRecord::data(&flush, &loc, seq, payload_crc));
             if (seq + 1).is_multiple_of(k) {
-                let pdev = layout.parity_device(loc.stripe);
-                if parity_on_disk.remove(&loc.stripe).is_some() {
-                    report.records_reused += 1;
-                } else {
-                    report.records_restored += 1;
+                for j in 0..cfg.parity_devices {
+                    let pdev = layout.parity_device_j(loc.stripe, j);
+                    if parity_on_disk.remove(&(loc.stripe, pdev as u32)).is_some() {
+                        report.records_reused += 1;
+                    } else {
+                        report.records_restored += 1;
+                    }
+                    rebuilt[pdev].push(ChunkRecord::parity(loc.stripe, pdev, k as usize + j));
                 }
-                rebuilt[pdev].push(ChunkRecord::parity(loc.stripe, pdev, k as usize));
             }
         }
         report.records_discarded = report.records_scanned.saturating_sub(report.records_reused);
@@ -902,6 +920,63 @@ mod tests {
         let mut sink = FileArraySink::open_recovery(cfg, &dir, FileSinkOptions::default()).unwrap();
         let err = sink.recover_reconcile(4, &[]).unwrap_err();
         assert_eq!(err, ArrayError::Storage { failure: StorageFailure::MissingRecord });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raid6_locations_and_stats_match_counting_array() {
+        let dir = scratch("raid6");
+        let cfg = ArrayConfig::with_parity(8, 2, 65536);
+        let mut mem = CountingArray::new(cfg);
+        let mut file = FileArraySink::create(cfg, &dir, FileSinkOptions::default()).unwrap();
+        for i in 0..60u32 {
+            let f = flush((i % 3) as u8, i / 8, i % 8);
+            assert_eq!(mem.write_chunk(f), file.write_chunk(f));
+        }
+        assert_eq!(mem.stats(), file.stats());
+        assert_eq!(file.stats().parity_bytes(), 10 * 2 * 65536, "2 parity chunks × 10 stripes");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn raid6_clean_scan_recovers_everything() {
+        let dir = scratch("raid6-scan");
+        let cfg = ArrayConfig::with_parity(6, 2, 65536);
+        let opts = FileSinkOptions { stripes_per_file: 2, ..FileSinkOptions::default() };
+        let mut sink = FileArraySink::create(cfg, &dir, opts.clone()).unwrap();
+        let n = 16u32; // 4 complete 4+2 stripes
+        for i in 0..n {
+            sink.write_chunk(flush(0, 0, i));
+        }
+        sink.sync_all().unwrap();
+        drop(sink);
+
+        let mut sink = FileArraySink::open_recovery(cfg, &dir, opts).unwrap();
+        let report = sink.recover_reconcile(n as u64, &[]).unwrap();
+        assert_eq!(report.records_restored, 0, "{report:?}");
+        assert_eq!(report.records_discarded, 0, "{report:?}");
+        assert_eq!(sink.counting.chunks_written(), n as u64);
+        let loc = Raid5Layout::new(cfg).locate(5);
+        assert!(sink.read_chunk_at(loc).is_ok());
+        sink.write_chunk(flush(0, 9, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn geometry_mismatch_on_open_is_typed() {
+        let dir = scratch("geom");
+        let cfg = ArrayConfig::with_parity(6, 2, 65536);
+        let mut sink = FileArraySink::create(cfg, &dir, FileSinkOptions::default()).unwrap();
+        for i in 0..4u32 {
+            sink.write_chunk(flush(0, 0, i));
+        }
+        sink.sync_all().unwrap();
+        drop(sink);
+        // Reopening a 4+2 array as 5+1 must refuse before touching records.
+        let wrong = ArrayConfig::new(6, 65536);
+        let err =
+            FileArraySink::open_recovery(wrong, &dir, FileSinkOptions::default()).unwrap_err();
+        assert!(matches!(err, FileSinkError::GeometryMismatch { .. }), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

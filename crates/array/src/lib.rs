@@ -31,24 +31,28 @@ pub mod fault;
 pub mod file_sink;
 pub mod ftl;
 pub mod ftl_sink;
+pub mod gf256;
 pub mod layout;
 pub mod media;
 pub mod parity;
+pub mod rs;
 pub mod sink;
 pub mod store;
 
-pub use config::ArrayConfig;
+pub use config::{ArrayConfig, ArrayGeometry, CodingScheme};
 pub use counters::{ArrayStats, DeviceCounters};
 pub use crc::crc32c;
 pub use error::{ArrayError, ParityError, StorageFailure};
 pub use fault::{
-    ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress, ScrubStep,
+    ArrayHealth, DiskState, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress,
+    ScrubStep,
 };
 pub use file_sink::{FileArraySink, FileSinkError, FileSinkOptions};
 pub use ftl::{FtlConfig, FtlDevice, FtlStats};
 pub use ftl_sink::FtlArray;
-pub use layout::{ChunkLocation, Raid5Layout};
+pub use layout::{ChunkLocation, Raid5Layout, StripeLayout, StripeRole};
 pub use media::{atomic_replace, MediaError, MediaFile, PowerBudget, WriteTag};
+pub use rs::ReedSolomon;
 pub use sink::{
     ArraySink, ChunkFlush, CountingArray, FaultyArray, RecoveredFlush, SinkReconcile, Traffic,
 };

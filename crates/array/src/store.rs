@@ -1,51 +1,85 @@
-//! Byte-faithful in-memory RAID-5 store.
+//! Byte-faithful in-memory erasure-coded store.
 //!
 //! Used by the prototype (§4.4) and the fault-injection integration tests.
-//! Keeps real chunk contents per device, generates the parity chunk when a
-//! stripe's last data column arrives, and can serve reads and reconstruct a
-//! single failed device from the survivors.
+//! Keeps real chunk contents per device, generates the `m` parity chunks
+//! when a stripe's last data column arrives, and serves reads through
+//! Reed-Solomon decode while up to `m` members of a stripe are erased
+//! (failed devices or latent sectors). `m = 1` reproduces the original
+//! XOR RAID-5 store byte-for-byte, including every counter.
+//!
+//! The store is also *elastic*: [`InMemoryArray::add_device`] widens the
+//! array online. Widening takes effect at the next stripe boundary and
+//! opens a new **geometry epoch** — stripes written earlier keep their
+//! original `k + m` shape and decode with their original code, so no data
+//! is restriped on the spot. (In the full system the log-structured GC
+//! naturally migrates old segments into the new geometry as it rewrites
+//! them; the epoch table is exactly the metadata that makes those old
+//! stripes readable until then.)
 
 use crate::config::ArrayConfig;
-use crate::counters::ArrayStats;
+use crate::counters::{ArrayStats, DeviceCounters};
 use crate::crc;
 use crate::error::ArrayError;
 use crate::fault::{
-    ArrayHealth, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress, ScrubStep,
+    ArrayHealth, DiskState, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress,
+    ScrubStep,
 };
-use crate::layout::{ChunkLocation, Raid5Layout};
-use crate::parity;
+use crate::layout::{ChunkLocation, StripeLayout};
+use crate::rs::ReedSolomon;
 use crate::sink::{ArraySink, ChunkFlush};
 use bytes::Bytes;
-use std::collections::{BTreeSet, HashMap};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// A byte-level RAID-5 array held in memory.
+/// One geometry epoch: every stripe in `first_stripe..` (until the next
+/// epoch) was written with this layout and code.
+#[derive(Debug, Clone)]
+struct Epoch {
+    /// First chunk sequence number written under this geometry.
+    first_seq: u64,
+    /// First stripe index written under this geometry.
+    first_stripe: u64,
+    layout: StripeLayout,
+    code: ReedSolomon,
+}
+
+/// A byte-level erasure-coded array held in memory.
 #[derive(Debug)]
 pub struct InMemoryArray {
-    layout: Raid5Layout,
+    /// Geometry epochs, oldest first. The last entry is the geometry new
+    /// writes use; [`Self::cfg`] mirrors its config.
+    epochs: Vec<Epoch>,
+    cfg: ArrayConfig,
+    /// Devices added mid-stripe; the epoch rolls when the stripe closes.
+    pending_devices: usize,
     stats: ArrayStats,
     next_chunk_seq: u64,
     /// Device id → (stripe → chunk contents). Sparse: only written stripes
     /// are present.
     devices: Vec<HashMap<u64, Bytes>>,
-    /// Streaming parity accumulator for the stripe currently being filled:
-    /// the XOR of the data columns accepted so far, seeded by the first.
-    /// Replaces buffering the whole stripe and re-walking it at close —
-    /// parity work is spread across the arriving columns and the only copy
-    /// is the unavoidable seed.
-    parity_acc: Vec<u8>,
+    /// Streaming parity accumulators (one per parity row) for the stripe
+    /// currently being filled. Each arriving column is folded in via the
+    /// code's generator coefficients, so parity work is spread across the
+    /// arriving columns and nothing buffers the whole stripe.
+    parity_acc: Vec<Vec<u8>>,
     /// Data columns accepted into the open stripe so far.
     open_columns: usize,
     /// Shared zero-filled chunk body for the accounting-only write path;
     /// cloning `Bytes` is a refcount bump, not a 64 KiB memset.
     zero_chunk: Bytes,
-    /// Devices marked failed; reads to them reconstruct from survivors.
+    /// Devices marked failed; reads to them decode from survivors.
     failed: Vec<bool>,
     /// Deterministic fault schedule (empty by default).
     plan: FaultPlan,
-    /// In-progress rebuild: target device and the sorted stripe worklist.
+    /// In-progress rebuild: target device and the stripe worklist,
+    /// most-exposed stripes first.
     rebuild_target: Option<usize>,
     rebuild_stripes: Vec<u64>,
     rebuild_cursor: usize,
+    /// In-progress proactive drain (planned removal) and its worklist.
+    draining: Option<usize>,
+    drain_worklist: Vec<u64>,
+    drain_cursor: usize,
     /// Device id → (stripe → CRC32C recorded when the chunk was written).
     /// Survives device failure and rebuild: it defines what the chunk's
     /// contents *should* be, independent of the media holding them.
@@ -70,11 +104,18 @@ impl InMemoryArray {
     pub fn with_fault_plan(cfg: ArrayConfig, plan: FaultPlan) -> Self {
         cfg.validate();
         Self {
-            layout: Raid5Layout::new(cfg),
+            epochs: vec![Epoch {
+                first_seq: 0,
+                first_stripe: 0,
+                layout: StripeLayout::new(cfg),
+                code: ReedSolomon::new(cfg.data_columns(), cfg.parity_devices),
+            }],
+            cfg,
+            pending_devices: 0,
             stats: ArrayStats::new(cfg.num_devices),
             next_chunk_seq: 0,
             devices: vec![HashMap::new(); cfg.num_devices],
-            parity_acc: Vec::with_capacity(cfg.chunk_bytes as usize),
+            parity_acc: vec![Vec::new(); cfg.parity_devices],
             open_columns: 0,
             zero_chunk: Bytes::from(vec![0u8; cfg.chunk_bytes as usize]),
             failed: vec![false; cfg.num_devices],
@@ -82,6 +123,9 @@ impl InMemoryArray {
             rebuild_target: None,
             rebuild_stripes: Vec::new(),
             rebuild_cursor: 0,
+            draining: None,
+            drain_worklist: Vec::new(),
+            drain_cursor: 0,
             checksums: vec![HashMap::new(); cfg.num_devices],
             corruption_injected_at: HashMap::new(),
             known_bad: BTreeSet::new(),
@@ -100,21 +144,91 @@ impl InMemoryArray {
         &mut self.plan
     }
 
+    /// The epoch governing `stripe`.
+    fn epoch_for_stripe(&self, stripe: u64) -> &Epoch {
+        self.epochs.iter().rev().find(|e| e.first_stripe <= stripe).unwrap_or(&self.epochs[0])
+    }
+
+    /// Add a fresh, empty device to the array. The widened geometry (one
+    /// more data column, same parity count) takes effect at the next
+    /// stripe boundary; stripes already written keep their original shape
+    /// and remain readable through the epoch table. Returns the new
+    /// device's id.
+    pub fn add_device(&mut self) -> usize {
+        let id = self.devices.len();
+        assert!(id < 256, "GF(256) limits the array to 256 devices");
+        self.devices.push(HashMap::new());
+        self.checksums.push(HashMap::new());
+        self.failed.push(false);
+        self.stats.devices.push(DeviceCounters::default());
+        self.pending_devices += 1;
+        if self.open_columns == 0 {
+            self.roll_epoch();
+        }
+        id
+    }
+
+    /// Open a new geometry epoch covering all member devices. Must be
+    /// called at a stripe boundary.
+    fn roll_epoch(&mut self) {
+        debug_assert_eq!(self.open_columns, 0, "epochs roll at stripe boundaries");
+        if self.pending_devices == 0 {
+            return;
+        }
+        let (replace_last, first_stripe) = {
+            let last = self.epochs.last().expect("at least one epoch");
+            if last.first_seq == self.next_chunk_seq {
+                // Nothing written under the previous geometry yet: replace
+                // it instead of stacking an empty epoch.
+                (true, last.first_stripe)
+            } else {
+                let k = last.layout.config().data_columns() as u64;
+                debug_assert_eq!((self.next_chunk_seq - last.first_seq) % k, 0);
+                (false, last.first_stripe + (self.next_chunk_seq - last.first_seq) / k)
+            }
+        };
+        if replace_last {
+            self.epochs.pop();
+        }
+        let cfg = ArrayConfig::with_parity(
+            self.devices.len(),
+            self.cfg.parity_devices,
+            self.cfg.chunk_bytes,
+        );
+        self.cfg = cfg;
+        self.epochs.push(Epoch {
+            first_seq: self.next_chunk_seq,
+            first_stripe,
+            layout: StripeLayout::new(cfg),
+            code: ReedSolomon::new(cfg.data_columns(), cfg.parity_devices),
+        });
+        self.pending_devices = 0;
+    }
+
     /// Write one chunk of real bytes; returns its location. The caller is
     /// responsible for zero-padding — `data.len()` must equal the chunk
     /// size. `flush` carries the accounting breakdown of the same chunk.
     pub fn write_chunk_bytes(&mut self, data: Bytes, flush: ChunkFlush) -> ChunkLocation {
-        let cfg = *self.layout.config();
+        let cfg = self.cfg;
         assert_eq!(data.len() as u64, cfg.chunk_bytes, "sub-chunk write reached the array");
         assert_eq!(flush.total_bytes(), cfg.chunk_bytes, "flush accounting mismatch");
 
         for d in self.plan.record_op() {
-            self.failed[d] = true;
+            if d < self.failed.len() {
+                self.failed[d] = true;
+            }
         }
         for (d, s) in self.plan.take_due_corruptions() {
             self.inject_corruption(d, s);
         }
-        let loc = self.layout.locate(self.next_chunk_seq);
+        let ei = self.epochs.len() - 1;
+        let (loc, k) = {
+            let ep = &self.epochs[ei];
+            let k = ep.layout.config().data_columns();
+            let local = self.next_chunk_seq - ep.first_seq;
+            let stripe = ep.first_stripe + local / k as u64;
+            (ep.layout.locate_at(stripe, (local % k as u64) as usize), k)
+        };
         self.next_chunk_seq += 1;
 
         // A rewrite refreshes the chunk's media, clearing any latent error.
@@ -134,51 +248,68 @@ impl InMemoryArray {
         }
 
         if self.open_columns == 0 {
-            self.parity_acc.clear();
-            self.parity_acc.extend_from_slice(&data);
-            self.stats.copy_bytes += cfg.chunk_bytes;
-        } else {
-            parity::xor_into(&mut self.parity_acc, &data);
+            // Zero-seed the m accumulators; row 0 of the code is all ones,
+            // so for m = 1 this is exactly the historical parity seed copy.
+            for acc in &mut self.parity_acc {
+                acc.clear();
+                acc.resize(cfg.chunk_bytes as usize, 0);
+            }
+            self.stats.copy_bytes += cfg.parity_devices as u64 * cfg.chunk_bytes;
         }
+        self.epochs[ei].code.accumulate(&mut self.parity_acc, loc.column, &data);
         self.open_columns += 1;
-        if self.open_columns == cfg.data_columns() {
-            let parity_chunk = Bytes::from(std::mem::take(&mut self.parity_acc));
-            let pdev = self.layout.parity_device(loc.stripe);
-            self.plan.clear_latent(pdev, loc.stripe);
-            self.checksums[pdev].insert(loc.stripe, crc::crc32c(&parity_chunk));
-            self.corruption_injected_at.remove(&(pdev, loc.stripe));
-            self.known_bad.remove(&(pdev, loc.stripe));
-            self.devices[pdev].insert(loc.stripe, parity_chunk);
-            let p = &mut self.stats.devices[pdev];
-            p.parity_bytes += cfg.chunk_bytes;
-            p.chunk_writes += 1;
+        if self.open_columns == k {
+            for j in 0..cfg.parity_devices {
+                let parity_chunk = Bytes::from(std::mem::take(&mut self.parity_acc[j]));
+                let pdev = self.epochs[ei].layout.parity_device_j(loc.stripe, j);
+                self.plan.clear_latent(pdev, loc.stripe);
+                self.checksums[pdev].insert(loc.stripe, crc::crc32c(&parity_chunk));
+                self.corruption_injected_at.remove(&(pdev, loc.stripe));
+                self.known_bad.remove(&(pdev, loc.stripe));
+                self.devices[pdev].insert(loc.stripe, parity_chunk);
+                let p = &mut self.stats.devices[pdev];
+                p.parity_bytes += cfg.chunk_bytes;
+                p.chunk_writes += 1;
+            }
             self.stats.stripes_completed += 1;
             self.open_columns = 0;
+            if self.pending_devices > 0 {
+                self.roll_epoch();
+            }
         }
         loc
     }
 
     /// Read the chunk at a location previously returned by
     /// [`Self::write_chunk_bytes`]. If the owning device has failed, the
-    /// chunk is rebuilt from the stripe's survivors (requires the stripe to
-    /// be complete). Returns `None` for never-written or unrecoverable
+    /// chunk is decoded from the stripe's survivors (requires at least `k`
+    /// of its members). Returns `None` for never-written or unrecoverable
     /// locations.
     pub fn read_chunk(&self, loc: ChunkLocation) -> Option<Bytes> {
         if !self.failed[loc.device] {
             return self.devices[loc.device].get(&loc.stripe).cloned();
         }
-        // Degraded read: XOR the surviving members of the stripe.
-        let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.layout.config().num_devices - 1);
-        for (dev, map) in self.devices.iter().enumerate() {
-            if dev == loc.device {
+        // Degraded read: decode from the stripe's surviving members.
+        let ep = self.epoch_for_stripe(loc.stripe);
+        let n = ep.layout.config().num_devices;
+        let k = ep.layout.config().data_columns();
+        let mut survivors: Vec<(usize, &[u8])> = Vec::with_capacity(n - 1);
+        for dev in 0..n {
+            if dev == loc.device || self.failed[dev] {
                 continue;
             }
-            if self.failed[dev] {
-                return None; // double fault: unrecoverable under RAID-5
+            if let Some(b) = self.devices[dev].get(&loc.stripe) {
+                survivors.push((ep.layout.shard_of(loc.stripe, dev), b.as_ref()));
             }
-            survivors.push(map.get(&loc.stripe)?.as_ref());
         }
-        Some(Bytes::from(parity::reconstruct(&survivors)))
+        if survivors.len() < k {
+            return None; // erasures exceed the code's budget (or stripe never closed)
+        }
+        let mut out = vec![0u8; self.cfg.chunk_bytes as usize];
+        ep.code
+            .recover_into(&survivors, ep.layout.shard_of(loc.stripe, loc.device), &mut out)
+            .ok()?;
+        Some(Bytes::from(out))
     }
 
     /// Fallible read with fault injection, verify-on-read, and
@@ -186,11 +317,13 @@ impl InMemoryArray {
     /// errors, latent sectors, scheduled failures and corruptions),
     /// checks every returned chunk against its stored CRC32C, repairs
     /// checksum mismatches in place from stripe survivors, serves reads
-    /// on failed devices by reconstruction, and counts the traffic in
-    /// [`ArrayStats`].
+    /// on erased members by decode as long as no more than `m` members of
+    /// the stripe are erased, and counts the traffic in [`ArrayStats`].
     pub fn try_read_chunk(&mut self, loc: ChunkLocation) -> Result<(Bytes, ReadMode), ArrayError> {
         for d in self.plan.record_op() {
-            self.failed[d] = true;
+            if d < self.failed.len() {
+                self.failed[d] = true;
+            }
         }
         for (d, s) in self.plan.take_due_corruptions() {
             self.inject_corruption(d, s);
@@ -198,7 +331,7 @@ impl InMemoryArray {
         if self.plan.transient_read_fires() {
             return Err(ArrayError::TransientRead { loc });
         }
-        let chunk_bytes = self.layout.config().chunk_bytes;
+        let chunk_bytes = self.cfg.chunk_bytes;
         let direct_ok = !self.failed[loc.device] && !self.plan.is_latent(loc.device, loc.stripe);
         if direct_ok {
             let bytes = self.devices[loc.device]
@@ -225,42 +358,82 @@ impl InMemoryArray {
                 }
             };
         }
-        // Degraded read: XOR the surviving members of the stripe, verifying
-        // each survivor — a corrupt survivor would reconstruct garbage.
-        let mut corrupt_survivor = None;
-        let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.layout.config().num_devices - 1);
-        for (dev, map) in self.devices.iter().enumerate() {
-            if dev == loc.device {
+        // Degraded read: decode the chunk from the stripe's other members,
+        // verifying every member read — a corrupt shard fed to the decoder
+        // would silently produce garbage.
+        let (layout, code) = {
+            let ep = self.epoch_for_stripe(loc.stripe);
+            (ep.layout, ep.code.clone())
+        };
+        let n = layout.config().num_devices;
+        let k = layout.config().data_columns();
+        let m = layout.config().parity_devices;
+        if loc.device >= n {
+            return Err(ArrayError::MissingChunk { loc });
+        }
+        let erased: Vec<usize> =
+            (0..n).filter(|&d| self.failed[d] || self.plan.is_latent(d, loc.stripe)).collect();
+        if erased.len() > m {
+            return Err(ArrayError::DoubleFault { loc });
+        }
+        let mut good: Vec<usize> = Vec::with_capacity(n - 1);
+        let mut corrupt: Vec<usize> = Vec::new();
+        for dev in 0..n {
+            if erased.contains(&dev) {
                 continue;
             }
-            if self.failed[dev] || self.plan.is_latent(dev, loc.stripe) {
-                return Err(ArrayError::DoubleFault { loc });
-            }
-            match map.get(&loc.stripe) {
+            match self.devices[dev].get(&loc.stripe) {
                 Some(b) => {
                     let stored = self.checksums[dev].get(&loc.stripe).copied();
                     if stored.is_some_and(|sum| crc::crc32c(b) != sum) {
-                        corrupt_survivor =
-                            Some(ChunkLocation { stripe: loc.stripe, device: dev, column: 0 });
+                        corrupt.push(dev);
+                    } else {
+                        good.push(dev);
                     }
-                    survivors.push(b.as_ref());
                 }
                 None => return Err(ArrayError::Unreconstructable { loc }),
             }
         }
-        if let Some(bad) = corrupt_survivor {
-            // The survivor cannot be repaired without the failed member:
-            // a silent corruption paired with a device failure is fatal.
-            self.note_detection(bad.device, bad.stripe);
-            self.stats.corruptions_unrecoverable += 1;
-            self.known_bad.insert((bad.device, bad.stripe));
-            return Err(ArrayError::ChecksumMismatch { loc: bad });
+        if good.len() < k {
+            if let Some(&bad_dev) = corrupt.first() {
+                // Honest repair is impossible: a silent corruption has
+                // eaten into the erasure budget. Fatal, as under RAID-5.
+                let bad = ChunkLocation { stripe: loc.stripe, device: bad_dev, column: 0 };
+                self.note_detection(bad_dev, loc.stripe);
+                self.stats.corruptions_unrecoverable += 1;
+                self.known_bad.insert((bad_dev, loc.stripe));
+                return Err(ArrayError::ChecksumMismatch { loc: bad });
+            }
+            return Err(ArrayError::Unreconstructable { loc });
         }
-        let bytes = Bytes::from(
-            parity::try_reconstruct(&survivors)
-                .map_err(|_| ArrayError::Unreconstructable { loc })?,
-        );
-        let survivor_bytes = (self.layout.config().num_devices - 1) as u64 * chunk_bytes;
+        let shards: Vec<(usize, Bytes)> = good
+            .iter()
+            .map(|&d| (layout.shard_of(loc.stripe, d), self.devices[d][&loc.stripe].clone()))
+            .collect();
+        let refs: Vec<(usize, &[u8])> = shards.iter().map(|(s, b)| (*s, b.as_ref())).collect();
+        // With spare redundancy (m ≥ 2) a corrupt member alongside the
+        // erasure can still be healed from the honest shards.
+        for &bad_dev in &corrupt {
+            let mut out = vec![0u8; chunk_bytes as usize];
+            let bad = ChunkLocation { stripe: loc.stripe, device: bad_dev, column: 0 };
+            let decoded =
+                code.recover_into(&refs, layout.shard_of(loc.stripe, bad_dev), &mut out).is_ok();
+            let healed = Bytes::from(out);
+            self.note_detection(bad_dev, loc.stripe);
+            if !decoded || !self.verifies(bad_dev, loc.stripe, &healed) {
+                self.stats.corruptions_unrecoverable += 1;
+                self.known_bad.insert((bad_dev, loc.stripe));
+                return Err(ArrayError::ChecksumMismatch { loc: bad });
+            }
+            self.devices[bad_dev].insert(loc.stripe, healed);
+            self.known_bad.remove(&(bad_dev, loc.stripe));
+            self.stats.corruptions_healed += 1;
+            self.stats.heal_write_bytes += chunk_bytes;
+        }
+        let mut out = vec![0u8; chunk_bytes as usize];
+        code.recover_into(&refs, layout.shard_of(loc.stripe, loc.device), &mut out)
+            .map_err(|_| ArrayError::Unreconstructable { loc })?;
+        let bytes = Bytes::from(out);
         if !self.verifies(loc.device, loc.stripe, &bytes) {
             self.note_detection(loc.device, loc.stripe);
             self.stats.corruptions_unrecoverable += 1;
@@ -268,7 +441,7 @@ impl InMemoryArray {
             return Err(ArrayError::ChecksumMismatch { loc });
         }
         self.stats.degraded_reads += 1;
-        self.stats.reconstructed_bytes += survivor_bytes;
+        self.stats.reconstructed_bytes += k as u64 * chunk_bytes;
         Ok((bytes, ReadMode::Reconstructed))
     }
 
@@ -291,33 +464,40 @@ impl InMemoryArray {
     }
 
     /// Rebuild the chunk at (device, stripe) from its stripe survivors,
-    /// verifying every survivor's CRC and re-verifying the reconstruction
-    /// against the target's stored CRC. Returns the verified bytes and the
-    /// survivor count, or `None` when any second fault (failed/latent/
-    /// corrupt/missing survivor) makes honest repair impossible.
+    /// skipping members that are failed, latent, missing, or fail their
+    /// own CRC, and re-verifying the decode against the target's stored
+    /// CRC. Returns the verified bytes and the number of shards read, or
+    /// `None` when fewer than `k` honest members remain.
     fn try_repair(&self, device: usize, stripe: u64) -> Option<(Bytes, usize)> {
         let expect = *self.checksums[device].get(&stripe)?;
-        let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.devices.len() - 1);
-        for (dev, map) in self.devices.iter().enumerate() {
-            if dev == device {
+        let ep = self.epoch_for_stripe(stripe);
+        let n = ep.layout.config().num_devices;
+        let k = ep.layout.config().data_columns();
+        let mut survivors: Vec<(usize, &[u8])> = Vec::with_capacity(n - 1);
+        for dev in 0..n {
+            if dev == device || self.failed[dev] || self.plan.is_latent(dev, stripe) {
                 continue;
             }
-            if self.failed[dev] || self.plan.is_latent(dev, stripe) {
-                return None;
-            }
-            let b = map.get(&stripe)?;
+            let Some(b) = self.devices[dev].get(&stripe) else {
+                continue;
+            };
             if let Some(&sum) = self.checksums[dev].get(&stripe) {
                 if crc::crc32c(b) != sum {
-                    return None; // survivor is silently corrupt too
+                    continue; // member is silently corrupt too
                 }
             }
-            survivors.push(b.as_ref());
+            survivors.push((ep.layout.shard_of(stripe, dev), b.as_ref()));
         }
-        let rebuilt = parity::try_reconstruct(&survivors).ok()?;
-        if crc::crc32c(&rebuilt) != expect {
+        if survivors.len() < k {
             return None;
         }
-        Some((Bytes::from(rebuilt), survivors.len()))
+        survivors.truncate(k);
+        let mut out = vec![0u8; self.cfg.chunk_bytes as usize];
+        ep.code.recover_into(&survivors, ep.layout.shard_of(stripe, device), &mut out).ok()?;
+        if crc::crc32c(&out) != expect {
+            return None;
+        }
+        Some((Bytes::from(out), k))
     }
 
     /// Silently flip bytes in the stored chunk at (device, stripe) — the
@@ -346,25 +526,49 @@ impl InMemoryArray {
         self.failed[device] = true;
     }
 
-    /// Current health: rebuilding beats degraded beats healthy.
+    /// Current health: rebuilding beats degraded beats healthy. (A drain
+    /// leaves the array healthy — the device still serves reads.)
     pub fn health_view(&self) -> ArrayHealth {
-        if let Some(device) = self.rebuild_target {
-            return ArrayHealth::Rebuilding { device };
-        }
-        match self.failed.iter().position(|&f| f) {
-            Some(device) => ArrayHealth::Degraded { device },
-            None => ArrayHealth::Healthy,
-        }
+        ArrayHealth::from_disk_states(&self.disk_states())
+    }
+
+    /// Per-device lifecycle states.
+    pub fn disk_states(&self) -> Vec<DiskState> {
+        (0..self.devices.len())
+            .map(|d| {
+                if self.rebuild_target == Some(d) {
+                    DiskState::Rebuilding
+                } else if self.failed[d] {
+                    DiskState::Failed
+                } else if self.draining == Some(d) {
+                    DiskState::Draining
+                } else {
+                    DiskState::Healthy
+                }
+            })
+            .collect()
     }
 
     /// Begin an incremental rebuild of `device` onto a fresh spare. The
-    /// worklist is every stripe any survivor holds; incomplete stripes are
-    /// skipped by the sweep (their chunks are lost — RAID-5 cannot
-    /// reconstruct without parity). Writes that arrive while rebuilding go
-    /// to the spare directly and are preserved.
+    /// worklist is every stripe any survivor holds, **most-exposed stripes
+    /// first**: a stripe that already carries a latent, corrupt, or
+    /// condemned chunk on another device is one fault from data loss, so
+    /// the sweep closes those windows before touching clean stripes.
+    /// Incomplete stripes are skipped by the sweep (their chunks are lost
+    /// — no parity was written). Writes that arrive while rebuilding go to
+    /// the spare directly and are preserved. Errors when the remaining
+    /// failed devices would exceed the code's erasure budget.
     pub fn start_rebuild(&mut self, device: usize) -> Result<RebuildProgress, ArrayError> {
-        if let Some(other) = self.failed.iter().enumerate().find(|&(d, &f)| f && d != device) {
-            let loc = ChunkLocation { stripe: 0, device: other.0, column: 0 };
+        let m = self.cfg.parity_devices;
+        let others: Vec<usize> = self
+            .failed
+            .iter()
+            .enumerate()
+            .filter(|&(d, &f)| f && d != device)
+            .map(|(d, _)| d)
+            .collect();
+        if others.len() >= m {
+            let loc = ChunkLocation { stripe: 0, device: others[m - 1], column: 0 };
             return Err(ArrayError::DoubleFault { loc });
         }
         self.failed[device] = true; // replacing a healthy device drops it first
@@ -377,6 +581,23 @@ impl InMemoryArray {
             .collect();
         stripes.sort_unstable();
         stripes.dedup();
+        let mut exposure: BTreeMap<u64, usize> = BTreeMap::new();
+        for &(d, s) in self.corruption_injected_at.keys() {
+            if d != device {
+                *exposure.entry(s).or_default() += 1;
+            }
+        }
+        for &(d, s) in &self.known_bad {
+            if d != device {
+                *exposure.entry(s).or_default() += 1;
+            }
+        }
+        for &(d, s) in self.plan.latent_entries() {
+            if d != device {
+                *exposure.entry(s).or_default() += 1;
+            }
+        }
+        stripes.sort_by_key(|s| (Reverse(exposure.get(s).copied().unwrap_or(0)), *s));
         self.devices[device].clear(); // the spare starts empty
         self.rebuild_target = Some(device);
         self.rebuild_stripes = stripes;
@@ -385,26 +606,42 @@ impl InMemoryArray {
     }
 
     /// Advance the rebuild sweep by at most `max_stripes` stripes. Each
-    /// rebuilt chunk reads the stripe's survivors and writes one chunk to
-    /// the spare, charged to the rebuild counters. Completing the sweep
-    /// returns the array to healthy.
+    /// rebuilt chunk reads the stripe's present members and writes one
+    /// chunk to the spare, charged to the rebuild counters. Completing the
+    /// sweep returns the device to service.
     pub fn rebuild_step(&mut self, max_stripes: usize) -> Result<RebuildProgress, ArrayError> {
         let device = self.rebuild_target.ok_or(ArrayError::NotDegraded)?;
-        let chunk_bytes = self.layout.config().chunk_bytes;
+        let chunk_bytes = self.cfg.chunk_bytes;
         let end = self.rebuild_cursor.saturating_add(max_stripes).min(self.rebuild_stripes.len());
         for i in self.rebuild_cursor..end {
             let stripe = self.rebuild_stripes[i];
             if self.devices[device].contains_key(&stripe) {
                 continue; // written to the spare while rebuilding
             }
-            let mut survivors: Vec<&[u8]> = Vec::new();
+            let layout = self.epoch_for_stripe(stripe).layout;
+            let n = layout.config().num_devices;
+            let k = layout.config().data_columns();
+            if device >= n {
+                continue; // stripe predates the device: it holds nothing there
+            }
+            let mut good: Vec<(usize, Bytes)> = Vec::with_capacity(n - 1);
+            let mut gathered = 0usize;
             let mut complete = true;
-            for (dev, map) in self.devices.iter().enumerate() {
-                if dev == device {
+            for dev in 0..n {
+                if dev == device || self.failed[dev] {
                     continue;
                 }
-                match map.get(&stripe) {
-                    Some(b) => survivors.push(b.as_ref()),
+                match self.devices[dev].get(&stripe) {
+                    Some(b) => {
+                        gathered += 1;
+                        let ok = match self.checksums[dev].get(&stripe) {
+                            Some(&sum) => crc::crc32c(b) == sum,
+                            None => true,
+                        };
+                        if ok {
+                            good.push((layout.shard_of(stripe, dev), b.clone()));
+                        }
+                    }
                     None => {
                         complete = false;
                         break;
@@ -414,21 +651,32 @@ impl InMemoryArray {
             if !complete {
                 continue; // stripe never closed: chunk unrecoverable
             }
-            let rebuilt = Bytes::from(parity::reconstruct(&survivors));
-            let survivor_bytes = survivors.len() as u64 * chunk_bytes;
-            if !self.verifies(device, stripe, &rebuilt) {
-                // A silently corrupt survivor poisoned the reconstruction;
-                // writing it would launder bad data into a "fresh" spare.
+            let rebuilt = if good.len() < k {
+                None
+            } else {
+                let refs: Vec<(usize, &[u8])> =
+                    good.iter().map(|(s, b)| (*s, b.as_ref())).collect();
+                let mut out = vec![0u8; chunk_bytes as usize];
+                self.epoch_for_stripe(stripe)
+                    .code
+                    .recover_into(&refs, layout.shard_of(stripe, device), &mut out)
+                    .ok()
+                    .map(|()| Bytes::from(out))
+                    .filter(|b| self.verifies(device, stripe, b))
+            };
+            let Some(rebuilt) = rebuilt else {
+                // A silently corrupt member poisoned the decode; writing it
+                // would launder bad data into a "fresh" spare.
                 self.note_detection(device, stripe);
                 self.stats.corruptions_unrecoverable += 1;
                 self.known_bad.insert((device, stripe));
-                self.stats.rebuild_read_bytes += survivor_bytes;
+                self.stats.rebuild_read_bytes += gathered as u64 * chunk_bytes;
                 continue;
-            }
+            };
             self.devices[device].insert(stripe, rebuilt);
             self.plan.clear_latent(device, stripe);
             self.known_bad.remove(&(device, stripe));
-            self.stats.rebuild_read_bytes += survivor_bytes;
+            self.stats.rebuild_read_bytes += gathered as u64 * chunk_bytes;
             self.stats.rebuild_write_bytes += chunk_bytes;
             self.stats.rebuilt_chunks += 1;
         }
@@ -453,7 +701,8 @@ impl InMemoryArray {
 
     /// Restore a previously failed device in one sweep, rebuilding every
     /// chunk it held from the survivors. Returns the number of chunks
-    /// rebuilt, or `None` if another device is also failed (double fault).
+    /// rebuilt, or `None` if the erasure budget is already spent on other
+    /// failed devices.
     pub fn rebuild_device(&mut self, device: usize) -> Option<usize> {
         let before = self.stats.rebuilt_chunks;
         self.start_rebuild(device).ok()?;
@@ -461,6 +710,88 @@ impl InMemoryArray {
             self.rebuild_step(usize::MAX).ok()?;
         }
         Some((self.stats.rebuilt_chunks - before) as usize)
+    }
+
+    /// Begin proactively draining `device` (planned removal). Unlike a
+    /// rebuild this spends no redundancy: the device keeps serving reads
+    /// while a paced sweep copies its chunks to a replacement, healing
+    /// latent or corrupt chunks on the way out. Panics if the device is
+    /// failed or another drain is in flight — drains are planned
+    /// operations issued by a scheduler that can see [`Self::disk_states`].
+    pub fn start_drain(&mut self, device: usize) -> RebuildProgress {
+        assert!(device < self.devices.len(), "no such device");
+        assert!(!self.failed[device], "cannot drain a failed device");
+        assert!(self.draining.is_none(), "one drain at a time");
+        let mut stripes: Vec<u64> = self.devices[device].keys().copied().collect();
+        stripes.sort_unstable();
+        self.draining = Some(device);
+        self.drain_worklist = stripes;
+        self.drain_cursor = 0;
+        self.drain_progress()
+    }
+
+    /// Advance the drain sweep by at most `max_stripes` stripes. Each
+    /// stripe copies the device's one chunk (read + write, no decode when
+    /// the chunk is clean) to the replacement; latent or corrupt chunks
+    /// are repaired from stripe survivors first so the replacement starts
+    /// pristine. Completing the sweep releases the device.
+    pub fn drain_step(&mut self, max_stripes: usize) -> RebuildProgress {
+        let Some(device) = self.draining else {
+            return self.drain_progress();
+        };
+        let chunk_bytes = self.cfg.chunk_bytes;
+        let end = self.drain_cursor.saturating_add(max_stripes).min(self.drain_worklist.len());
+        for i in self.drain_cursor..end {
+            let stripe = self.drain_worklist[i];
+            let latent = self.plan.is_latent(device, stripe);
+            let clean = !latent
+                && self.devices[device]
+                    .get(&stripe)
+                    .is_some_and(|b| self.verifies(device, stripe, b));
+            if !clean {
+                match self.try_repair(device, stripe) {
+                    Some((healed, shards_read)) => {
+                        self.devices[device].insert(stripe, healed);
+                        self.known_bad.remove(&(device, stripe));
+                        self.stats.drain_read_bytes += shards_read as u64 * chunk_bytes;
+                        if latent {
+                            self.stats.scrub_latent_repaired += 1;
+                        } else {
+                            self.note_detection(device, stripe);
+                            self.stats.corruptions_healed += 1;
+                        }
+                        self.stats.heal_write_bytes += chunk_bytes;
+                    }
+                    None => {
+                        if !latent {
+                            self.note_detection(device, stripe);
+                        }
+                        self.stats.corruptions_unrecoverable += 1;
+                        self.known_bad.insert((device, stripe));
+                    }
+                }
+            }
+            self.plan.clear_latent(device, stripe);
+            self.stats.drain_read_bytes += chunk_bytes;
+            self.stats.drain_write_bytes += chunk_bytes;
+            self.stats.drained_chunks += 1;
+        }
+        self.drain_cursor = end;
+        if self.drain_cursor == self.drain_worklist.len() {
+            self.draining = None;
+            self.drain_worklist.clear();
+            self.drain_cursor = 0;
+        }
+        self.drain_progress()
+    }
+
+    /// Current drain-sweep progress.
+    pub fn drain_progress(&self) -> RebuildProgress {
+        RebuildProgress {
+            stripes_done: self.drain_cursor as u64,
+            stripes_total: self.drain_worklist.len() as u64,
+            complete: self.draining.is_none(),
+        }
     }
 
     /// Number of chunks appended so far.
@@ -474,9 +805,9 @@ impl InMemoryArray {
     /// (data and parity alike) on live devices, and verifies it against
     /// its stored CRC32C. Mismatches are repaired from stripe survivors
     /// and rewritten in place; latent sector errors are rewritten before
-    /// they can pair with a device failure into a double fault. The scrub
-    /// yields to an in-flight rebuild and restarts a fresh pass after the
-    /// previous one completes, so it runs continuously when pumped.
+    /// they can eat into the erasure budget. The scrub yields to an
+    /// in-flight rebuild and restarts a fresh pass after the previous one
+    /// completes, so it runs continuously when pumped.
     pub fn scrub_step(&mut self, max_stripes: usize) -> ScrubStep {
         if self.rebuild_target.is_some() {
             return ScrubStep::paused();
@@ -489,7 +820,7 @@ impl InMemoryArray {
             self.scrub_worklist = stripes;
             self.scrub_cursor = 0;
         }
-        let chunk_bytes = self.layout.config().chunk_bytes;
+        let chunk_bytes = self.cfg.chunk_bytes;
         let num_devices = self.devices.len();
         let mut step = ScrubStep::default();
         let end = self.scrub_cursor.saturating_add(max_stripes).min(self.scrub_worklist.len());
@@ -578,7 +909,7 @@ impl ArraySink for InMemoryArray {
     }
 
     fn config(&self) -> &ArrayConfig {
-        self.layout.config()
+        &self.cfg
     }
 
     fn stats(&self) -> &ArrayStats {
@@ -590,12 +921,12 @@ impl ArraySink for InMemoryArray {
     }
 
     fn read_chunk_at(&mut self, loc: ChunkLocation) -> Result<ReadOutcome, ArrayError> {
-        let chunk_bytes = self.layout.config().chunk_bytes;
-        let survivors = self.layout.config().num_devices - 1;
+        let chunk_bytes = self.cfg.chunk_bytes;
+        let k = self.epoch_for_stripe(loc.stripe).layout.config().data_columns();
         self.try_read_chunk(loc).map(|(_, mode)| match mode {
             ReadMode::Normal => ReadOutcome::normal(chunk_bytes),
-            ReadMode::Reconstructed => ReadOutcome::reconstructed(chunk_bytes, survivors),
-            ReadMode::Healed => ReadOutcome::healed(chunk_bytes, survivors),
+            ReadMode::Reconstructed => ReadOutcome::reconstructed(chunk_bytes, k),
+            ReadMode::Healed => ReadOutcome::healed(chunk_bytes, k),
         })
     }
 
@@ -607,6 +938,7 @@ impl ArraySink for InMemoryArray {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parity;
 
     fn flush_full() -> ChunkFlush {
         ChunkFlush {
@@ -624,6 +956,10 @@ mod tests {
         Bytes::from((0..65536).map(|i| seed.wrapping_add(i as u8)).collect::<Vec<u8>>())
     }
 
+    fn raid6() -> ArrayConfig {
+        ArrayConfig::with_parity(8, 2, 65536)
+    }
+
     #[test]
     fn streaming_parity_matches_batch_parity() {
         let mut a = InMemoryArray::new(ArrayConfig::default());
@@ -631,10 +967,26 @@ mod tests {
         for b in &bodies {
             a.write_chunk_bytes(b.clone(), flush_full());
         }
-        let pdev = a.layout.parity_device(0);
+        let pdev = a.epochs[0].layout.parity_device(0);
         let stored = a.devices[pdev][&0].clone();
         let refs: Vec<&[u8]> = bodies.iter().map(|b| b.as_ref()).collect();
         assert_eq!(stored.as_ref(), parity::compute_parity(&refs).as_slice());
+    }
+
+    #[test]
+    fn multi_parity_streaming_matches_batch_encode() {
+        let mut a = InMemoryArray::new(raid6());
+        let bodies: Vec<Bytes> = (0..6).map(body).collect();
+        for b in &bodies {
+            a.write_chunk_bytes(b.clone(), flush_full());
+        }
+        let data: Vec<&[u8]> = bodies.iter().map(|b| b.as_ref()).collect();
+        let parity = ReedSolomon::new(6, 2).encode(&data).unwrap();
+        let layout = a.epochs[0].layout;
+        for (j, expect) in parity.iter().enumerate() {
+            let pdev = layout.parity_device_j(0, j);
+            assert_eq!(a.devices[pdev][&0].as_ref(), expect.as_slice(), "parity row {j}");
+        }
     }
 
     #[test]
@@ -874,7 +1226,7 @@ mod tests {
         for i in 0..3 {
             a.write_chunk_bytes(body(i), flush_full());
         }
-        let pdev = a.layout.parity_device(0);
+        let pdev = a.epochs[0].layout.parity_device(0);
         assert!(a.inject_corruption(pdev, 0));
         let step = a.scrub_step(usize::MAX);
         assert_eq!(step.detected, 1);
@@ -985,5 +1337,166 @@ mod tests {
         a.rebuild_device(victim);
         assert_eq!(a.stats().corruptions_unrecoverable, 1);
         assert_eq!(a.stats().rebuilt_chunks, 0, "poisoned stripe not rebuilt");
+    }
+
+    #[test]
+    fn raid6_degraded_reads_survive_double_failure() {
+        let mut a = InMemoryArray::new(raid6());
+        let locs: Vec<_> = (0..12).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.fail_device(locs[0].device);
+        a.fail_device(locs[1].device);
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8), "chunk {i}");
+            let (bytes, _) = a.try_read_chunk(*loc).unwrap();
+            assert_eq!(bytes, body(i as u8), "chunk {i} via fallible path");
+        }
+        assert!(a.stats().degraded_reads > 0);
+        // Every decode read exactly k = 6 shards.
+        assert_eq!(a.stats().reconstructed_bytes, a.stats().degraded_reads * 6 * 65536);
+    }
+
+    #[test]
+    fn raid6_triple_fault_is_unrecoverable() {
+        let mut a = InMemoryArray::new(raid6());
+        let locs: Vec<_> = (0..6).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        for loc in &locs[0..3] {
+            a.fail_device(loc.device);
+        }
+        assert!(a.read_chunk(locs[0]).is_none());
+        assert_eq!(a.try_read_chunk(locs[0]), Err(ArrayError::DoubleFault { loc: locs[0] }));
+    }
+
+    #[test]
+    fn raid6_rebuilds_through_second_failure() {
+        let mut a = InMemoryArray::new(raid6());
+        let locs: Vec<_> = (0..12).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let (d0, d1) = (locs[0].device, locs[1].device);
+        a.fail_device(d0);
+        a.fail_device(d1);
+        // With m = 2, rebuilding one device while the other is still down
+        // stays inside the erasure budget.
+        assert!(a.rebuild_device(d0).unwrap() > 0);
+        assert!(a.rebuild_device(d1).unwrap() > 0);
+        assert_eq!(a.health_view(), ArrayHealth::Healthy);
+        for (i, loc) in locs.iter().enumerate() {
+            let (bytes, mode) = a.try_read_chunk(*loc).unwrap();
+            assert_eq!(bytes, body(i as u8), "chunk {i}");
+            assert_eq!(mode, ReadMode::Normal, "chunk {i} served directly after rebuild");
+        }
+    }
+
+    #[test]
+    fn raid6_degraded_read_heals_corrupt_member() {
+        let mut a = InMemoryArray::new(raid6());
+        let locs: Vec<_> = (0..12).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let (victim, witness) = (locs[0], locs[1]);
+        assert!(a.inject_corruption(witness.device, witness.stripe));
+        a.fail_device(victim.device);
+        // One erasure + one corruption still leaves k = 6 honest shards:
+        // the decode heals the corrupt member on the way through.
+        let (bytes, mode) = a.try_read_chunk(victim).unwrap();
+        assert_eq!(mode, ReadMode::Reconstructed);
+        assert_eq!(bytes, body(0));
+        assert_eq!(a.stats().corruptions_detected, 1);
+        assert_eq!(a.stats().corruptions_healed, 1);
+        let (bytes, mode) = a.try_read_chunk(witness).unwrap();
+        assert_eq!(mode, ReadMode::Normal, "witness healed in place");
+        assert_eq!(bytes, body(1));
+    }
+
+    #[test]
+    fn raid6_latent_plus_failure_within_budget() {
+        let mut a = InMemoryArray::new(raid6());
+        let locs: Vec<_> = (0..6).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        a.fail_device(locs[0].device);
+        a.plan_mut().add_latent_sector(locs[1].device, locs[1].stripe);
+        let (bytes, mode) = a.try_read_chunk(locs[0]).unwrap();
+        assert_eq!(mode, ReadMode::Reconstructed);
+        assert_eq!(bytes, body(0));
+        let (bytes, mode) = a.try_read_chunk(locs[1]).unwrap();
+        assert_eq!(mode, ReadMode::Reconstructed);
+        assert_eq!(bytes, body(1));
+    }
+
+    #[test]
+    fn add_device_widens_at_stripe_boundary() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let old: Vec<_> = (0..3).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        assert_eq!(a.config().num_devices, 4);
+        let id = a.add_device();
+        assert_eq!(id, 4);
+        assert_eq!(a.config().num_devices, 5, "at a boundary the epoch rolls immediately");
+        let new: Vec<_> = (10..14).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        assert!(new.iter().all(|l| l.stripe == 1), "4 data columns fill one 4+1 stripe");
+        assert_eq!(a.stats().stripes_completed, 2);
+        for (i, loc) in old.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8), "old-epoch chunk {i}");
+        }
+        for (i, loc) in new.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(10 + i as u8), "new-epoch chunk {i}");
+        }
+        // Degraded reads decode each stripe with its own epoch's geometry.
+        a.fail_device(0);
+        for (i, loc) in old.iter().chain(new.iter()).enumerate() {
+            assert!(a.read_chunk(*loc).is_some(), "chunk {i} readable degraded");
+        }
+    }
+
+    #[test]
+    fn add_device_mid_stripe_defers_to_close() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let mut locs = vec![a.write_chunk_bytes(body(0), flush_full())];
+        a.add_device();
+        assert_eq!(a.config().num_devices, 4, "the open stripe keeps its geometry");
+        locs.push(a.write_chunk_bytes(body(1), flush_full()));
+        locs.push(a.write_chunk_bytes(body(2), flush_full()));
+        assert_eq!(locs[2].stripe, 0);
+        assert_eq!(a.config().num_devices, 5, "widened once the stripe closed");
+        let next: Vec<_> = (3..7).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        assert!(next.iter().all(|l| l.stripe == 1));
+        locs.extend(next);
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8), "chunk {i}");
+        }
+        let scrubbed = a.scrub_step(usize::MAX);
+        assert!(scrubbed.pass_complete);
+        assert_eq!(scrubbed.detected, 0, "mixed-geometry scrub finds nothing wrong");
+    }
+
+    #[test]
+    fn drain_refreshes_latent_and_returns_healthy() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..6).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let device = locs[0].device;
+        a.plan_mut().add_latent_sector(device, locs[0].stripe);
+        let held = a.devices[device].len() as u64;
+        a.start_drain(device);
+        assert_eq!(a.disk_states()[device], DiskState::Draining);
+        assert_eq!(a.health_view(), ArrayHealth::Healthy, "draining spends no redundancy");
+        while !a.drain_step(1).complete {}
+        assert_eq!(a.disk_states()[device], DiskState::Healthy);
+        assert_eq!(a.stats().drained_chunks, held);
+        assert_eq!(a.stats().drain_write_bytes, held * 65536);
+        assert_eq!(a.plan().latent_count(), 0, "the copy refreshed the latent sector");
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8), "chunk {i}");
+        }
+    }
+
+    #[test]
+    fn rebuild_prioritizes_exposed_stripes() {
+        let mut a = InMemoryArray::new(ArrayConfig::default());
+        let locs: Vec<_> = (0..9).map(|i| a.write_chunk_bytes(body(i), flush_full())).collect();
+        let victim = locs[0].device;
+        // Expose stripe 2 on a non-victim device.
+        let exposed = locs[6..9].iter().find(|l| l.device != victim).unwrap();
+        a.plan_mut().add_latent_sector(exposed.device, exposed.stripe);
+        a.fail_device(victim);
+        a.start_rebuild(victim).unwrap();
+        assert_eq!(a.rebuild_stripes[0], exposed.stripe, "most-exposed stripe first");
+        while !a.rebuild_step(1).unwrap().complete {}
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(a.read_chunk(*loc).unwrap(), body(i as u8), "chunk {i}");
+        }
     }
 }

@@ -16,21 +16,23 @@ use adapt_sim::run_crash_sweep;
 
 fn main() {
     adapt_bench::harness::figure_main(|cli| {
-        let scn = if cli.quick {
+        let mut scn = if cli.quick {
             CrashScenario::quick(0xADAF7)
         } else {
             CrashScenario::standard(0xADAF7)
         };
+        scn.lss = cli.apply_geometry(scn.lss);
         let dir = std::env::temp_dir().join(format!("adapt_crash_sweep_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let report = run_crash_sweep(&scn, &dir);
         let _ = std::fs::remove_dir_all(&dir);
 
         println!(
-            "crash_sweep {scheme}/{fsync} seed {seed:#x}: {clean}/{points} clean, \
+            "crash_sweep {scheme}/{fsync} [{geometry}] seed {seed:#x}: {clean}/{points} clean, \
              {acked} golden acks, {bytes} golden bytes",
             scheme = report.scheme,
             fsync = report.fsync,
+            geometry = report.geometry,
             seed = report.seed,
             clean = report.clean,
             points = report.points,

@@ -29,6 +29,7 @@ fn main() {
             workloads,
             adapt_bench::perf_baseline::BASELINE,
             cli.event_config(),
+            cli.geometry,
         );
         for (key, s) in &report.speedup {
             println!("perf {key:<28} speedup vs pre-change baseline: {s:.2}x");

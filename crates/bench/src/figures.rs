@@ -488,39 +488,54 @@ pub mod fig12 {
 /// family (supports the §4.2 "universality" discussion).
 pub mod gc_selection {
     use super::*;
-    use adapt_sim::gc_sweep::{sweep_grid, victim_family};
+    use adapt_sim::gc_sweep::{sweep_grid_geometries, victim_family};
     use adapt_sim::runner::requests_for;
 
     /// JSON payload.
     #[derive(Serialize)]
     pub struct Report {
-        /// `(victim policy, scheme, overall WA)`.
-        pub cells: Vec<(String, String, f64)>,
+        /// `(geometry, victim policy, scheme, overall WA)`.
+        pub cells: Vec<(String, String, String, f64)>,
     }
 
-    /// Run the sweep over a few Ali volumes. The whole
-    /// `(victim × scheme × volume)` grid fans out on the pool at once.
+    /// Run the sweep over a few Ali volumes on two array geometries: the
+    /// invocation's (default 3+1) and a double-parity one. The whole
+    /// `(geometry × victim × scheme × volume)` grid fans out on the pool
+    /// at once.
     pub fn run(cli: &Cli) -> Report {
         let volumes = (cli.volumes() / 2).max(3);
         let suite = eval_suite(SuiteKind::Ali, volumes);
         println!("GC-selection sweep — Ali suite, {volumes} volumes");
         let schemes = [Scheme::SepGc, Scheme::SepBit, Scheme::Adapt];
         let victims = victim_family(FIGURE_SEED);
-        let grid = sweep_grid(&schemes, &victims, &suite.volumes, requests_for);
-        // Aggregate the flattened victim-major grid back into per-(victim,
-        // scheme) overall-WA cells, volumes innermost.
+        let mut geometries = vec![cli.geometry.unwrap_or((0, 0))];
+        if geometries[0] != (6, 2) {
+            geometries.push((6, 2));
+        }
+        let grid =
+            sweep_grid_geometries(&schemes, &victims, &suite.volumes, &geometries, requests_for);
+        // Aggregate the flattened geometry-major grid back into
+        // per-(geometry, victim, scheme) overall-WA cells, volumes
+        // innermost.
         let mut cells = Vec::new();
         let mut rows = Vec::new();
         for (i, chunk) in grid.chunks(suite.volumes.len()).enumerate() {
-            let victim = victims[i / schemes.len()].name();
+            let per_geometry = victims.len() * schemes.len();
+            let victim = victims[(i % per_geometry) / schemes.len()].name();
             let scheme = schemes[i % schemes.len()].name();
+            let geometry = chunk[0].geometry.clone();
             let host: u64 = chunk.iter().map(|c| c.metrics.host_write_bytes).sum();
             let phys: u64 = chunk.iter().map(|c| c.metrics.physical_bytes()).sum();
             let wa = phys as f64 / host.max(1) as f64;
-            cells.push((victim.to_string(), scheme.to_string(), wa));
-            rows.push(vec![victim.to_string(), scheme.to_string(), format!("{wa:.3}")]);
+            rows.push(vec![
+                geometry.clone(),
+                victim.to_string(),
+                scheme.to_string(),
+                format!("{wa:.3}"),
+            ]);
+            cells.push((geometry, victim.to_string(), scheme.to_string(), wa));
         }
-        println!("{}", render_table(&["victim policy", "scheme", "overall WA"], &rows));
+        println!("{}", render_table(&["geometry", "victim policy", "scheme", "overall WA"], &rows));
         let report = Report { cells };
         write_report(cli, "gc_selection", &report);
         report
@@ -662,32 +677,63 @@ pub mod ablation {
 /// rebuilding, and restored phases.
 pub mod faults {
     use super::*;
+    use crate::harness::gate;
     use adapt_sim::faults::{run_fault_scenario, FaultScenario};
     use adapt_sim::runner::requests_for;
 
-    /// One phase row: `(scheme, phase, records, wa, pad ratio, mean
-    /// latency µs, degraded reads, reconstructed bytes)`.
-    pub type PhaseRow = (String, String, u64, f64, f64, f64, u64, u64);
+    /// Per-phase metrics for one scheme × fault leg.
+    #[derive(Serialize)]
+    pub struct PhaseRow {
+        /// Scheme name.
+        pub scheme: String,
+        /// Array geometry the leg ran on (`k+m`).
+        pub geometry: String,
+        /// Fault leg: `single` or `double`.
+        pub leg: String,
+        /// Phase name (healthy/degraded/rebuilding/restored).
+        pub phase: String,
+        /// Records replayed in the phase.
+        pub records: u64,
+        /// Write amplification over the phase.
+        pub wa: f64,
+        /// Padding ratio over the phase.
+        pub padding_ratio: f64,
+        /// Mean request latency (µs).
+        pub mean_latency_us: f64,
+        /// Reads served by parity/RS reconstruction.
+        pub degraded_reads: u64,
+        /// Bytes materialized through decode paths.
+        pub reconstructed_bytes: u64,
+    }
 
     /// JSON payload.
     #[derive(Serialize)]
     pub struct Report {
-        /// Per-phase metrics for each scheme.
+        /// Per-phase metrics for each scheme × fault leg.
         pub phases: Vec<PhaseRow>,
-        /// `(scheme, readable, reconstructed, buffered tail, lost)` from
-        /// the degraded-phase live-LBA sweep.
-        pub verify: Vec<(String, u64, u64, u64, u64)>,
-        /// `(scheme, rebuild bytes, rebuild host ops)`.
-        pub rebuild: Vec<(String, u64, u64)>,
+        /// `(scheme, geometry, leg, readable, reconstructed, buffered
+        /// tail, lost)` from the degraded-phase live-LBA sweep.
+        pub verify: Vec<(String, String, String, u64, u64, u64, u64)>,
+        /// `(scheme, geometry, leg, rebuild bytes, rebuild host ops)`.
+        pub rebuild: Vec<(String, String, String, u64, u64)>,
     }
 
-    /// Run the fault scenario for SepGC and ADAPT on one Ali volume.
+    /// Run both fault legs for SepGC and ADAPT on one Ali volume:
+    /// a single device failure on the invocation's geometry, and a
+    /// correlated double failure on a double-parity geometry (the
+    /// `--geometry` override when it carries `m >= 2`, else 4+2).
+    /// Each leg is gated: any lost live LBA or a rebuild that never
+    /// restores the array exits nonzero.
     pub fn run(cli: &Cli) -> Report {
         let suite = eval_suite(SuiteKind::Ali, cli.volumes());
         let vol = &suite.volumes[0];
         let requests = requests_for(vol);
+        let double_geometry = match cli.geometry {
+            Some((n, m)) if m >= 2 => (n, m),
+            _ => (6, 2),
+        };
         println!(
-            "Fault scenario — volume {} ({} blocks, {} requests), device 0 fails at 50%",
+            "Fault scenarios — volume {} ({} blocks, {} requests), failures at 50%",
             vol.id, vol.unique_blocks, requests
         );
         let mut phases = Vec::new();
@@ -695,52 +741,99 @@ pub mod faults {
         let mut rebuild = Vec::new();
         let mut rows = Vec::new();
         for scheme in [Scheme::SepGc, Scheme::Adapt] {
-            let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
-            let scenario = FaultScenario::midpoint_failure(cfg, 0);
-            let r = run_fault_scenario(scheme, scenario, vol.trace(requests));
-            for p in &r.phases {
-                phases.push((
+            let single = {
+                let mut cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+                cfg.lss = cli.apply_geometry(cfg.lss);
+                FaultScenario::midpoint_failure(cfg, 0)
+            };
+            let double = {
+                let mut cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+                cfg.lss = cfg.lss.with_geometry(double_geometry.0, double_geometry.1);
+                FaultScenario::double_fault(cfg, 0, 2)
+            };
+            for (leg, scenario) in [("single", single), ("double", double)] {
+                let r = run_fault_scenario(scheme, scenario, vol.trace(requests));
+                for p in &r.phases {
+                    phases.push(PhaseRow {
+                        scheme: scheme.name().to_string(),
+                        geometry: r.geometry.clone(),
+                        leg: leg.to_string(),
+                        phase: p.phase.clone(),
+                        records: p.records,
+                        wa: p.wa(),
+                        padding_ratio: p.padding_ratio(),
+                        mean_latency_us: p.mean_latency_us(),
+                        degraded_reads: p.metrics.degraded_reads,
+                        reconstructed_bytes: p.metrics.reconstructed_bytes,
+                    });
+                    rows.push(vec![
+                        scheme.name().to_string(),
+                        r.geometry.clone(),
+                        leg.to_string(),
+                        p.phase.clone(),
+                        format!("{}", p.records),
+                        format!("{:.3}", p.wa()),
+                        format!("{:.1}%", p.padding_ratio() * 100.0),
+                        format!("{:.1}", p.mean_latency_us()),
+                        format!("{}", p.metrics.degraded_reads),
+                        format!("{:.1}", p.metrics.reconstructed_bytes as f64 / (1 << 20) as f64),
+                    ]);
+                }
+                verify.push((
                     scheme.name().to_string(),
-                    p.phase.clone(),
-                    p.records,
-                    p.wa(),
-                    p.padding_ratio(),
-                    p.mean_latency_us(),
-                    p.metrics.degraded_reads,
-                    p.metrics.reconstructed_bytes,
+                    r.geometry.clone(),
+                    leg.to_string(),
+                    r.verify.readable,
+                    r.verify.reconstructed,
+                    r.verify.buffered_tail,
+                    r.verify.lost,
                 ));
-                rows.push(vec![
+                rebuild.push((
                     scheme.name().to_string(),
-                    p.phase.clone(),
-                    format!("{}", p.records),
-                    format!("{:.3}", p.wa()),
-                    format!("{:.1}%", p.padding_ratio() * 100.0),
-                    format!("{:.1}", p.mean_latency_us()),
-                    format!("{}", p.metrics.degraded_reads),
-                    format!("{:.1}", p.metrics.reconstructed_bytes as f64 / (1 << 20) as f64),
-                ]);
+                    r.geometry.clone(),
+                    leg.to_string(),
+                    r.rebuild_bytes,
+                    r.rebuild_ops,
+                ));
+                let tag = format!("{}/{}/{}", scheme.name(), r.geometry, leg);
+                gate(
+                    r.verify.lost == 0,
+                    &format!("{tag}: no acknowledged live LBA lost ({:?})", r.verify),
+                );
+                gate(
+                    r.phase("restored").is_some(),
+                    &format!("{tag}: rebuild completed and the array was restored"),
+                );
+                gate(
+                    r.verify.reconstructed > 0,
+                    &format!("{tag}: degraded reads were actually served via decode"),
+                );
             }
-            verify.push((
-                scheme.name().to_string(),
-                r.verify.readable,
-                r.verify.reconstructed,
-                r.verify.buffered_tail,
-                r.verify.lost,
-            ));
-            rebuild.push((scheme.name().to_string(), r.rebuild_bytes, r.rebuild_ops));
-            assert_eq!(r.verify.lost, 0, "live data lost under single fault");
         }
         println!(
             "{}",
             render_table(
-                &["scheme", "phase", "records", "WA", "pad", "lat µs", "degr rd", "recon MiB"],
+                &[
+                    "scheme",
+                    "geometry",
+                    "leg",
+                    "phase",
+                    "records",
+                    "WA",
+                    "pad",
+                    "lat µs",
+                    "degr rd",
+                    "recon MiB"
+                ],
                 &rows
             )
         );
         let mut vrows = Vec::new();
-        for (s, readable, recon, tail, lost) in &verify {
+        for (s, g, leg, readable, recon, tail, lost) in &verify {
             vrows.push(vec![
                 s.clone(),
+                g.clone(),
+                leg.clone(),
                 format!("{readable}"),
                 format!("{recon}"),
                 format!("{tail}"),
@@ -749,7 +842,18 @@ pub mod faults {
         }
         println!(
             "{}",
-            render_table(&["scheme", "readable", "reconstructed", "buffered tail", "lost"], &vrows)
+            render_table(
+                &[
+                    "scheme",
+                    "geometry",
+                    "leg",
+                    "readable",
+                    "reconstructed",
+                    "buffered tail",
+                    "lost"
+                ],
+                &vrows
+            )
         );
         let report = Report { phases, verify, rebuild };
         write_report(cli, "faults", &report);
@@ -763,6 +867,7 @@ pub mod faults {
 /// counts, detection latency, and the post-mortem live-LBA sweep.
 pub mod scrub {
     use super::*;
+    use crate::harness::gate;
     use adapt_sim::runner::requests_for;
     use adapt_sim::scrub::{run_scrub_scenario, ScrubScenario};
 
@@ -771,6 +876,8 @@ pub mod scrub {
     pub struct SchemeRow {
         /// Scheme name.
         pub scheme: String,
+        /// Array geometry the run used (`k+m`).
+        pub geometry: String,
         /// Corruptions injected.
         pub injected: u64,
         /// Corruptions detected (must equal `injected`).
@@ -796,11 +903,19 @@ pub mod scrub {
         pub schemes: Vec<SchemeRow>,
     }
 
-    /// Run the scrub scenario for SepGC and ADAPT on one Ali volume.
+    /// Run the scrub scenario for SepGC and ADAPT on one Ali volume,
+    /// on the invocation's geometry and again on a double-parity one
+    /// (the `--geometry` override when it carries `m >= 2`, else 4+2).
+    /// Detection coverage and in-place healing are gated: an undetected
+    /// or unhealed corruption exits nonzero.
     pub fn run(cli: &Cli) -> Report {
         let suite = eval_suite(SuiteKind::Ali, cli.volumes());
         let vol = &suite.volumes[0];
         let requests = requests_for(vol);
+        let double_geometry = match cli.geometry {
+            Some((n, m)) if m >= 2 => (n, m),
+            _ => (6, 2),
+        };
         println!(
             "Scrub scenario — volume {} ({} blocks, {} requests), corruption bursts + paced scrub",
             vol.id, vol.unique_blocks, requests
@@ -808,50 +923,64 @@ pub mod scrub {
         let mut schemes = Vec::new();
         let mut rows = Vec::new();
         for scheme in [Scheme::SepGc, Scheme::Adapt] {
-            let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
-            let scenario = ScrubScenario::bursts_with_scrub(cfg);
-            let r = run_scrub_scenario(scheme, scenario, vol.trace(requests));
-            assert!(r.injected > 0, "scenario must inject corruption");
-            assert!(
-                r.is_clean(),
-                "scrub scenario not clean: detected {}/{} healed {} unrecoverable {} \
-                 undetected {} lost {} drift {:?}",
-                r.detected,
-                r.injected,
-                r.healed,
-                r.unrecoverable,
-                r.undetected,
-                r.live_lost,
-                r.recovery_drift
-            );
-            rows.push(vec![
-                scheme.name().to_string(),
-                format!("{}", r.injected),
-                format!("{}", r.detected),
-                format!("{}", r.healed),
-                format!("{}", r.unrecoverable),
-                format!("{}", r.undetected),
-                format!("{:.0}", r.mean_detection_latency_ops),
-                format!("{}", r.metrics.chunks_scrubbed),
-                format!("{}", r.live_lost),
-            ]);
-            schemes.push(SchemeRow {
-                scheme: scheme.name().to_string(),
-                injected: r.injected,
-                detected: r.detected,
-                healed: r.healed,
-                unrecoverable: r.unrecoverable,
-                undetected: r.undetected,
-                mean_detection_latency_ops: r.mean_detection_latency_ops,
-                chunks_scrubbed: r.metrics.chunks_scrubbed,
-                live_lost: r.live_lost,
-            });
+            for double_parity in [false, true] {
+                let mut cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+                cfg.lss = if double_parity {
+                    cfg.lss.with_geometry(double_geometry.0, double_geometry.1)
+                } else {
+                    cli.apply_geometry(cfg.lss)
+                };
+                let scenario = ScrubScenario::bursts_with_scrub(cfg);
+                let r = run_scrub_scenario(scheme, scenario, vol.trace(requests));
+                let tag = format!("{}/{}", scheme.name(), r.geometry);
+                gate(r.injected > 0, &format!("{tag}: scenario injected corruption"));
+                gate(
+                    r.is_clean(),
+                    &format!(
+                        "{tag}: every corruption detected and healed, no live LBA lost \
+                         (detected {}/{} healed {} unrecoverable {} undetected {} lost {} \
+                         drift {:?})",
+                        r.detected,
+                        r.injected,
+                        r.healed,
+                        r.unrecoverable,
+                        r.undetected,
+                        r.live_lost,
+                        r.recovery_drift
+                    ),
+                );
+                rows.push(vec![
+                    scheme.name().to_string(),
+                    r.geometry.clone(),
+                    format!("{}", r.injected),
+                    format!("{}", r.detected),
+                    format!("{}", r.healed),
+                    format!("{}", r.unrecoverable),
+                    format!("{}", r.undetected),
+                    format!("{:.0}", r.mean_detection_latency_ops),
+                    format!("{}", r.metrics.chunks_scrubbed),
+                    format!("{}", r.live_lost),
+                ]);
+                schemes.push(SchemeRow {
+                    scheme: scheme.name().to_string(),
+                    geometry: r.geometry.clone(),
+                    injected: r.injected,
+                    detected: r.detected,
+                    healed: r.healed,
+                    unrecoverable: r.unrecoverable,
+                    undetected: r.undetected,
+                    mean_detection_latency_ops: r.mean_detection_latency_ops,
+                    chunks_scrubbed: r.metrics.chunks_scrubbed,
+                    live_lost: r.live_lost,
+                });
+            }
         }
         println!(
             "{}",
             render_table(
                 &[
                     "scheme",
+                    "geometry",
                     "injected",
                     "detected",
                     "healed",

@@ -25,6 +25,18 @@ pub fn figure_main<R>(run: impl FnOnce(&Cli) -> R) {
     run(&cli);
 }
 
+/// A robustness acceptance gate: when `ok` is false, print what failed
+/// and exit nonzero immediately. The fault/scrub scenario bins use this
+/// so CI cannot mistake a run that lost acknowledged data or missed
+/// injected corruption for a pass — the process result *is* the verdict.
+pub fn gate(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("GATE FAILED: {what}");
+        std::process::exit(2);
+    }
+    println!("gate ok: {what}");
+}
+
 /// Serialize a figure payload under the CLI's output directory and print
 /// the canonical `wrote <path>` line; returns the path.
 pub fn write_report<T: Serialize>(cli: &Cli, name: &str, report: &T) -> String {
@@ -69,6 +81,7 @@ mod tests {
             quick: true,
             events,
             jobs: None,
+            geometry: None,
         }
     }
 

@@ -47,6 +47,11 @@ pub struct Cli {
     /// (`--jobs N`; `None` = `ADAPT_JOBS` or all cores). Already installed
     /// into the pool by [`Cli::parse`]; kept here for display.
     pub jobs: Option<usize>,
+    /// Array-geometry override as `(devices, parity)`, from `--geometry
+    /// k+m` or the `ADAPT_BENCH_GEOMETRY` env var (`k+m` matches the
+    /// report labels, e.g. `4+2` = 6 devices with double parity). `None`
+    /// keeps each experiment's default (the historical 4-disk RAID-5).
+    pub geometry: Option<(usize, usize)>,
 }
 
 impl Cli {
@@ -59,6 +64,7 @@ impl Cli {
         let mut quick = quick_from_env();
         let mut events = events_from_env();
         let mut jobs = None;
+        let mut geometry = geometry_from_env();
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -83,10 +89,15 @@ impl Cli {
                 }
                 "--quick" => quick = true,
                 "--events" => events = true,
+                "--geometry" => {
+                    i += 1;
+                    let s = args.get(i).expect("--geometry needs k+m (e.g. 4+2)");
+                    geometry = Some(parse_geometry(s));
+                }
                 other => {
                     panic!(
                         "unknown argument {other} \
-                         (expected --scale/--out/--quick/--events/--jobs)"
+                         (expected --scale/--out/--quick/--events/--jobs/--geometry)"
                     )
                 }
             }
@@ -102,7 +113,21 @@ impl Cli {
         if let Some(n) = jobs {
             rayon::set_jobs(n);
         }
-        Self { scale, out_dir, quick, events, jobs }
+        Self { scale, out_dir, quick, events, jobs, geometry }
+    }
+
+    /// Apply the geometry override (if any) to an engine config.
+    pub fn apply_geometry(&self, cfg: adapt_lss::LssConfig) -> adapt_lss::LssConfig {
+        match self.geometry {
+            Some((n, m)) => cfg.with_geometry(n, m),
+            None => cfg,
+        }
+    }
+
+    /// Label of the geometry this invocation runs experiments on
+    /// (`"k+m"`; the default geometry when no override is set).
+    pub fn geometry_label(&self) -> String {
+        self.apply_geometry(adapt_lss::LssConfig::default()).array_config().geometry().label()
     }
 
     /// Volumes per suite at this scale (paper: 50).
@@ -128,6 +153,26 @@ pub fn quick_from_env() -> bool {
 /// Whether `ADAPT_BENCH_EVENTS` requests event-stream capture.
 pub fn events_from_env() -> bool {
     std::env::var("ADAPT_BENCH_EVENTS").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Geometry override from `ADAPT_BENCH_GEOMETRY` (`k+m`), if set.
+pub fn geometry_from_env() -> Option<(usize, usize)> {
+    std::env::var("ADAPT_BENCH_GEOMETRY").ok().filter(|v| !v.is_empty()).map(|v| parse_geometry(&v))
+}
+
+/// Parse a `k+m` geometry label (data columns + parity chunks) into the
+/// `(devices, parity)` pair [`adapt_lss::LssConfig::with_geometry`]
+/// takes. Panics on malformed or out-of-range input — a bad geometry
+/// should stop a bench run, not silently fall back.
+pub fn parse_geometry(s: &str) -> (usize, usize) {
+    let (k, m) = s
+        .split_once('+')
+        .and_then(|(k, m)| Some((k.trim().parse::<usize>().ok()?, m.trim().parse::<usize>().ok()?)))
+        .unwrap_or_else(|| panic!("geometry must be k+m (e.g. 4+2), got {s:?}"));
+    assert!(k >= 2, "geometry {s}: need at least two data columns");
+    assert!(m >= 1, "geometry {s}: need at least one parity chunk");
+    assert!(k + m <= 255, "geometry {s}: GF(256) supports at most 255 devices");
+    (k + m, m)
 }
 
 /// Seed shared by every figure so suites are consistent across binaries.
@@ -158,8 +203,14 @@ mod tests {
 
     #[test]
     fn volumes_scale_and_clamp() {
-        let mk =
-            |scale| Cli { scale, out_dir: String::new(), quick: false, events: false, jobs: None };
+        let mk = |scale| Cli {
+            scale,
+            out_dir: String::new(),
+            quick: false,
+            events: false,
+            jobs: None,
+            geometry: None,
+        };
         assert_eq!(mk(1.0).volumes(), 50);
         assert_eq!(mk(0.25).volumes(), 13);
         assert_eq!(mk(0.01).volumes(), 4);
@@ -177,5 +228,30 @@ mod tests {
     fn pct_formats_sign() {
         assert_eq!(pct(12.34), "+12.3%");
         assert_eq!(pct(-3.0), "-3.0%");
+    }
+
+    #[test]
+    fn geometry_parses_and_labels() {
+        assert_eq!(parse_geometry("4+2"), (6, 2));
+        assert_eq!(parse_geometry("3+1"), (4, 1));
+        assert_eq!(parse_geometry(" 10 + 4 "), (14, 4));
+        let cli = Cli {
+            scale: 1.0,
+            out_dir: String::new(),
+            quick: false,
+            events: false,
+            jobs: None,
+            geometry: Some((6, 2)),
+        };
+        assert_eq!(cli.geometry_label(), "4+2");
+        assert_eq!(cli.apply_geometry(adapt_lss::LssConfig::default()).array_parity, 2);
+        let plain = Cli { geometry: None, ..cli };
+        assert_eq!(plain.geometry_label(), "3+1");
+    }
+
+    #[test]
+    #[should_panic]
+    fn malformed_geometry_is_rejected() {
+        parse_geometry("42");
     }
 }

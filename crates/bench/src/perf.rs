@@ -177,18 +177,24 @@ pub fn trace_of(w: &Workload) -> Vec<TraceRecord> {
 /// Replay one workload under one scheme/GC pair and measure it, with
 /// event capture disabled (the regression-gate configuration).
 pub fn measure(w: &Workload, scheme: Scheme, gc: GcSelection) -> Measurement {
-    measure_with_events(w, scheme, gc, EventConfig::default())
+    measure_with_events(w, scheme, gc, EventConfig::default(), None)
 }
 
 /// Replay one workload under one scheme/GC pair with an explicit event
 /// configuration, so the observability overhead itself can be measured.
+/// `geometry` overrides the array layout as `(devices, parity)`; `None`
+/// keeps the historical 4-disk RAID-5 the baselines were captured on.
 pub fn measure_with_events(
     w: &Workload,
     scheme: Scheme,
     gc: GcSelection,
     events: EventConfig,
+    geometry: Option<(usize, usize)>,
 ) -> Measurement {
-    let cfg = ReplayConfig::for_volume(w.user_blocks, gc).lss;
+    let mut cfg = ReplayConfig::for_volume(w.user_blocks, gc).lss;
+    if let Some((n, m)) = geometry {
+        cfg = cfg.with_geometry(n, m);
+    }
     let trace = trace_of(w);
     let key = key_of(w, scheme, gc);
     with_policy(scheme, &cfg, PerfVisitor { cfg, gc, events, trace: &trace, key })
@@ -264,10 +270,15 @@ pub struct Capability {
     pub simd: String,
     /// Effective worker-thread count of the work-stealing pool.
     pub jobs: usize,
+    /// Array geometry the replays ran on (`k+m` label, e.g. `3+1`). The
+    /// embedded baselines were measured on the default `3+1`; trajectory
+    /// diffs across geometries measure the code rate, not the PR.
+    pub geometry: String,
 }
 
-/// Capture the provenance stamp for this process.
-pub fn capability() -> Capability {
+/// Capture the provenance stamp for this process. `geometry` is the
+/// `(devices, parity)` override the replays ran with (`None` = default).
+pub fn capability(geometry: Option<(usize, usize)>) -> Capability {
     let git_commit = std::process::Command::new("git")
         .args(["rev-parse", "--short=12", "HEAD"])
         .output()
@@ -276,10 +287,18 @@ pub fn capability() -> Capability {
         .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string());
+    let label = match geometry {
+        Some((n, m)) => LssConfig::default().with_geometry(n, m),
+        None => LssConfig::default(),
+    }
+    .array_config()
+    .geometry()
+    .label();
     Capability {
         git_commit,
         simd: adapt_array::cpu_features::get().summary(),
         jobs: rayon::current_num_threads(),
+        geometry: label,
     }
 }
 
@@ -287,7 +306,9 @@ pub fn capability() -> Capability {
 ///
 /// Schema history: 1 — baseline/current/speedup plus the sweep and
 /// durability sections; 2 — adds the `capability` provenance stamp and
-/// the `hotpath` microbench section (see EXPERIMENTS.md).
+/// the `hotpath` microbench section; 3 — the replays honor the
+/// `--geometry`/`ADAPT_BENCH_GEOMETRY` override and `capability` stamps
+/// the `k+m` geometry label they ran on (see EXPERIMENTS.md).
 #[derive(Debug, Serialize)]
 pub struct PerfReport {
     /// Schema version of this file.
@@ -325,19 +346,21 @@ pub struct PerfReport {
 /// Run the harness over `workloads` with events disabled (the regression
 /// gate) and assemble the report against the embedded `baseline` rows.
 pub fn run(workloads: &[Workload], baseline: &[BaselineRow]) -> PerfReport {
-    run_with_events(workloads, baseline, EventConfig::default())
+    run_with_events(workloads, baseline, EventConfig::default(), None)
 }
 
-/// Run the harness over `workloads` with an explicit event configuration.
+/// Run the harness over `workloads` with an explicit event configuration
+/// and an optional `(devices, parity)` array-geometry override.
 pub fn run_with_events(
     workloads: &[Workload],
     baseline: &[BaselineRow],
     events: EventConfig,
+    geometry: Option<(usize, usize)>,
 ) -> PerfReport {
     let mut current = Vec::new();
     for w in workloads {
         for &(scheme, gc) in &SCHEMES {
-            let m = measure_with_events(w, scheme, gc, events);
+            let m = measure_with_events(w, scheme, gc, events, geometry);
             println!(
                 "perf {key:<28} {wall:>9.1} ms  {kops:>8.1} kops/s  gc-select {share:>5.1}%  wa {wa:.2}",
                 key = m.key,
@@ -359,8 +382,8 @@ pub fn run_with_events(
         })
         .collect();
     PerfReport {
-        schema: 2,
-        capability: capability(),
+        schema: 3,
+        capability: capability(geometry),
         baseline_note: "pre-optimization engine (before incremental GC buckets, fxhash, \
                         buffer pooling), measured on the same machine and workloads"
             .to_string(),
@@ -379,6 +402,12 @@ mod tests {
     use super::*;
 
     #[test]
+    fn capability_stamps_the_geometry_label() {
+        assert_eq!(capability(None).geometry, "3+1");
+        assert_eq!(capability(Some((6, 2))).geometry, "4+2");
+    }
+
+    #[test]
     fn quick_measurement_is_sane() {
         let m = measure(&QUICK, Scheme::SepGc, GcSelection::Greedy);
         // The generator prepends a full-volume fill before the updates.
@@ -393,8 +422,13 @@ mod tests {
     #[test]
     fn event_capture_leaves_workload_metrics_untouched() {
         let off = measure(&QUICK, Scheme::SepGc, GcSelection::Greedy);
-        let on =
-            measure_with_events(&QUICK, Scheme::SepGc, GcSelection::Greedy, EventConfig::enabled());
+        let on = measure_with_events(
+            &QUICK,
+            Scheme::SepGc,
+            GcSelection::Greedy,
+            EventConfig::enabled(),
+            None,
+        );
         assert_eq!(off.events_emitted, 0);
         assert!(on.events_emitted > 0);
         // Wall time may shift; the workload-derived numbers must not.

@@ -77,6 +77,7 @@ mod tests {
             quick: false,
             events: false,
             jobs: None,
+            geometry: None,
         };
         let sweep = FullSweep::run(&cli);
         assert_eq!(sweep.results.len(), 3 * 2 * 6);

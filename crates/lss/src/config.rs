@@ -62,6 +62,15 @@ pub struct LssConfig {
     /// rebuild.
     #[serde(default)]
     pub scrub_stripes_per_op: u64,
+    /// Member devices in the backing array (`n`). Zero means "default"
+    /// (4), so configs serialized before the geometry was tunable keep
+    /// their historical meaning.
+    #[serde(default)]
+    pub array_devices: usize,
+    /// Parity chunks per stripe (`m`): 1 = RAID-5, 2 = RAID-6, higher
+    /// values use general Reed-Solomon rows. Zero means "default" (1).
+    #[serde(default)]
+    pub array_parity: usize,
 }
 
 impl Default for LssConfig {
@@ -80,6 +89,8 @@ impl Default for LssConfig {
             retry_backoff_us: 50,
             gc_overlap: false,
             scrub_stripes_per_op: 0,
+            array_devices: 0,
+            array_parity: 0,
         }
     }
 }
@@ -138,9 +149,20 @@ impl LssConfig {
         phys_blocks.div_ceil(self.segment_blocks() as u64) as u32
     }
 
-    /// Array geometry consistent with this engine config (4-device RAID-5).
+    /// Array geometry consistent with this engine config: `array_devices`
+    /// members with `array_parity` parity chunks per stripe (defaulting to
+    /// the historical 4-device RAID-5 when either is zero/unset).
     pub fn array_config(&self) -> ArrayConfig {
-        ArrayConfig::new(4, self.chunk_bytes())
+        let n = if self.array_devices == 0 { 4 } else { self.array_devices };
+        let m = if self.array_parity == 0 { 1 } else { self.array_parity };
+        ArrayConfig::with_parity(n, m, self.chunk_bytes())
+    }
+
+    /// This config with an explicit `n` devices / `m` parity geometry.
+    pub fn with_geometry(mut self, devices: usize, parity: usize) -> Self {
+        self.array_devices = devices;
+        self.array_parity = parity;
+        self
     }
 }
 
@@ -184,5 +206,17 @@ mod tests {
     fn array_config_chunk_matches() {
         let c = LssConfig::default();
         assert_eq!(c.array_config().chunk_bytes, c.chunk_bytes());
+        assert_eq!(c.array_config().num_devices, 4, "unset geometry = historical 4-disk RAID-5");
+        assert_eq!(c.array_config().parity_devices, 1);
+    }
+
+    #[test]
+    fn geometry_knobs_flow_through() {
+        let c = LssConfig::default().with_geometry(8, 2);
+        let a = c.array_config();
+        assert_eq!(a.num_devices, 8);
+        assert_eq!(a.parity_devices, 2);
+        assert_eq!(a.data_columns(), 6);
+        assert_eq!(a.geometry().label(), "6+2");
     }
 }

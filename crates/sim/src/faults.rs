@@ -29,6 +29,11 @@ pub struct FaultScenario {
     pub replay: ReplayConfig,
     /// Device to fail.
     pub fail_device: usize,
+    /// A second device failed at the same instant as `fail_device` —
+    /// a correlated double fault (shared shelf, power domain, or firmware
+    /// batch). `None` is the classic single-fault scenario. Arrays need
+    /// `m >= 2` parity chunks to ride this out.
+    pub second_fail_device: Option<usize>,
     /// Fraction of the trace after which the device fails (0.0–1.0).
     pub fail_at_frac: f64,
     /// Trace records to replay degraded before the rebuild starts
@@ -50,12 +55,24 @@ impl FaultScenario {
         Self {
             replay,
             fail_device,
+            second_fail_device: None,
             fail_at_frac: 0.5,
             degraded_records: 256,
             rebuild_stripes_per_record: 4,
             transient_read_prob: 0.0,
             seed: 0x5eed,
         }
+    }
+
+    /// A correlated double fault at the midpoint: both devices drop at
+    /// the same instant. Within the fault budget of an `m >= 2` code this
+    /// runs the same four phases as the single-fault scenario (both
+    /// spares rebuild in one sweep); past the budget the run stops at a
+    /// terminal `"data-loss"` phase with the loss quantified in
+    /// [`FaultReport::verify`].
+    pub fn double_fault(replay: ReplayConfig, first: usize, second: usize) -> Self {
+        assert_ne!(first, second, "a double fault needs two distinct devices");
+        Self { second_fail_device: Some(second), ..Self::midpoint_failure(replay, first) }
     }
 }
 
@@ -98,7 +115,8 @@ pub struct VerifySweep {
     /// served from the controller's stripe buffer, not lost.
     pub buffered_tail: u64,
     /// Live LBAs that could not be served at all. Must be zero for any
-    /// single-fault scenario.
+    /// scenario whose simultaneous failures stay within the code's parity
+    /// budget `m`.
     pub lost: u64,
 }
 
@@ -107,6 +125,8 @@ pub struct VerifySweep {
 pub struct FaultReport {
     /// Scheme used.
     pub scheme: Scheme,
+    /// Array geometry label (`"k+m"`, e.g. `"3+1"` or `"6+2"`).
+    pub geometry: String,
     /// The scenario that ran.
     pub scenario: FaultScenario,
     /// Per-phase metric windows, in run order.
@@ -207,6 +227,7 @@ fn run_with_policy<P: PlacementPolicy>(
         Degraded { remaining: u64 },
         Rebuilding,
         Restored,
+        Lost,
     }
     let mut stage = Stage::Healthy;
 
@@ -221,6 +242,20 @@ fn run_with_policy<P: PlacementPolicy>(
             Stage::Healthy if i as u64 + 1 >= fail_at => {
                 snapshot(&mut engine, &mut phases, &mut phase_records, "healthy");
                 engine.sink_mut().fail_device(scenario.fail_device);
+                if let Some(second) = scenario.second_fail_device {
+                    engine.sink_mut().fail_device(second);
+                }
+                let budget = engine.sink().config().parity_devices;
+                if engine.sink_mut().failed_devices().len() > budget {
+                    // Past the code's fault budget: no rebuild can run and
+                    // continuing the replay would only churn an array that
+                    // has already lost data. Quantify the damage with the
+                    // verify sweep and stop at a terminal phase.
+                    verify = verify_live_lbas(&mut engine, cfg.lss.user_blocks);
+                    snapshot(&mut engine, &mut phases, &mut phase_records, "data-loss");
+                    stage = Stage::Lost;
+                    break;
+                }
                 stage = Stage::Degraded { remaining: scenario.degraded_records };
             }
             Stage::Degraded { ref mut remaining } => {
@@ -231,7 +266,10 @@ fn run_with_policy<P: PlacementPolicy>(
                     // the rebuild begins repairing the array.
                     verify = verify_live_lbas(&mut engine, cfg.lss.user_blocks);
                     snapshot(&mut engine, &mut phases, &mut phase_records, "degraded");
-                    engine.sink_mut().start_rebuild().expect("single-fault rebuild must start");
+                    engine
+                        .sink_mut()
+                        .start_rebuild()
+                        .expect("within-budget fault must start its rebuild");
                     stage = Stage::Rebuilding;
                 }
             }
@@ -251,14 +289,17 @@ fn run_with_policy<P: PlacementPolicy>(
     }
     engine.flush_all();
     // A short trace can end before a stage boundary fires; close out
-    // whatever window is open under its stage name.
-    let open_name = match stage {
-        Stage::Healthy => "healthy",
-        Stage::Degraded { .. } => "degraded",
-        Stage::Rebuilding => "rebuilding",
-        Stage::Restored => "restored",
-    };
-    snapshot(&mut engine, &mut phases, &mut phase_records, open_name);
+    // whatever window is open under its stage name. A data-loss run
+    // already snapshotted its terminal phase before breaking out.
+    match stage {
+        Stage::Lost => {}
+        Stage::Healthy => snapshot(&mut engine, &mut phases, &mut phase_records, "healthy"),
+        Stage::Degraded { .. } => {
+            snapshot(&mut engine, &mut phases, &mut phase_records, "degraded")
+        }
+        Stage::Rebuilding => snapshot(&mut engine, &mut phases, &mut phase_records, "rebuilding"),
+        Stage::Restored => snapshot(&mut engine, &mut phases, &mut phase_records, "restored"),
+    }
 
     // Engine-side rebuild metrics live in whichever window saw the
     // healthy transition; take the op-count fallback from the driver.
@@ -270,6 +311,7 @@ fn run_with_policy<P: PlacementPolicy>(
         .unwrap_or(rebuild_ops_window);
     FaultReport {
         scheme: scheme_tag(engine.policy().name()),
+        geometry: engine.sink().config().geometry().label(),
         scenario,
         phases,
         verify,
@@ -356,11 +398,18 @@ mod tests {
         FaultScenario::midpoint_failure(ReplayConfig::for_volume(8192, GcSelection::Greedy), 0)
     }
 
+    fn raid6_scenario(first: usize, second: usize) -> FaultScenario {
+        let mut replay = ReplayConfig::for_volume(8192, GcSelection::Greedy);
+        replay.lss = replay.lss.with_geometry(6, 2);
+        FaultScenario::double_fault(replay, first, second)
+    }
+
     #[test]
     fn scenario_runs_through_all_phases() {
         let r = run_fault_scenario(Scheme::SepGc, scenario(), trace(60_000, 0.3));
         let names: Vec<&str> = r.phases.iter().map(|p| p.phase.as_str()).collect();
         assert_eq!(names, ["healthy", "degraded", "rebuilding", "restored"]);
+        assert_eq!(r.geometry, "3+1");
         // Degraded phase actually served reconstructed reads.
         let degraded = r.phase("degraded").unwrap();
         assert!(degraded.metrics.degraded_reads > 0, "no degraded reads: {:?}", degraded.metrics);
@@ -397,5 +446,40 @@ mod tests {
         assert_eq!(r.verify.lost, 0);
         assert!(r.rebuild_bytes > 0);
         assert!(r.phase("restored").is_some());
+    }
+
+    #[test]
+    fn raid6_survives_correlated_double_fault() {
+        let r = run_fault_scenario(Scheme::SepGc, raid6_scenario(0, 3), trace(60_000, 0.3));
+        assert_eq!(r.geometry, "4+2");
+        let names: Vec<&str> = r.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(names, ["healthy", "degraded", "rebuilding", "restored"]);
+        assert_eq!(r.verify.lost, 0, "verify {:?}", r.verify);
+        assert!(r.verify.reconstructed > 0, "nothing reconstructed: {:?}", r.verify);
+        // Both spares rebuild in the one sweep.
+        assert!(r.array.rebuilt_chunks > 0);
+        assert!(r.rebuild_bytes > 0);
+    }
+
+    #[test]
+    fn adapt_raid6_survives_double_fault_too() {
+        let r = run_fault_scenario(Scheme::Adapt, raid6_scenario(1, 4), trace(50_000, 0.25));
+        assert_eq!(r.verify.lost, 0, "verify {:?}", r.verify);
+        assert!(r.phase("restored").is_some());
+    }
+
+    #[test]
+    fn raid5_double_fault_is_reported_as_data_loss() {
+        // Two simultaneous failures under m = 1 are past the budget: the
+        // run stops at a terminal data-loss phase with the damage counted,
+        // instead of pretending a rebuild is possible.
+        let replay = ReplayConfig::for_volume(8192, GcSelection::Greedy);
+        let s = FaultScenario::double_fault(replay, 0, 1);
+        let r = run_fault_scenario(Scheme::SepGc, s, trace(60_000, 0.2));
+        let names: Vec<&str> = r.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(names, ["healthy", "data-loss"]);
+        assert!(r.verify.lost > 0, "loss must be visible: {:?}", r.verify);
+        assert!(r.verify.readable > 0, "surviving devices still serve direct reads");
+        assert_eq!(r.array.rebuilt_chunks, 0);
     }
 }

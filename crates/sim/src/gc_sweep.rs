@@ -28,6 +28,8 @@ pub fn victim_family(seed: u64) -> Vec<VictimPolicy> {
 pub struct GcSweepCell {
     /// Placement scheme.
     pub scheme: Scheme,
+    /// Array geometry label (`"k+m"`, e.g. `"3+1"` or `"6+2"`).
+    pub geometry: String,
     /// Victim policy name.
     pub victim: String,
     /// Metrics over the measurement window.
@@ -82,8 +84,9 @@ where
     I: Iterator<Item = TraceRecord>,
 {
     let name = victim.name().to_string();
+    let geometry = cfg.lss.array_config().geometry().label();
     let metrics = with_policy(scheme, &cfg.lss.clone(), SweepVisitor { cfg, victim, trace });
-    GcSweepCell { scheme, victim: name, metrics }
+    GcSweepCell { scheme, geometry, victim: name, metrics }
 }
 
 /// Replay a full `(victim policy × scheme × volume)` grid in parallel on
@@ -101,14 +104,34 @@ pub fn sweep_grid(
     volumes: &[VolumeModel],
     requests: impl Fn(&VolumeModel) -> u64 + Sync,
 ) -> Vec<GcSweepCell> {
-    let cells: Vec<(&VictimPolicy, Scheme, &VolumeModel)> = victims
+    sweep_grid_geometries(schemes, victims, volumes, &[(0, 0)], requests)
+}
+
+/// [`sweep_grid`] with an extra outermost array-geometry axis: each
+/// `(devices, parity)` pair replays the whole victim × scheme × volume
+/// grid on that geometry, flattened geometry-major. `(0, 0)` is the
+/// historical default (4-disk RAID-5); see
+/// [`adapt_lss::LssConfig::with_geometry`].
+pub fn sweep_grid_geometries(
+    schemes: &[Scheme],
+    victims: &[VictimPolicy],
+    volumes: &[VolumeModel],
+    geometries: &[(usize, usize)],
+    requests: impl Fn(&VolumeModel) -> u64 + Sync,
+) -> Vec<GcSweepCell> {
+    let cells: Vec<(usize, usize, &VictimPolicy, Scheme, &VolumeModel)> = geometries
         .iter()
-        .flat_map(|v| schemes.iter().flat_map(move |&s| volumes.iter().map(move |vol| (v, s, vol))))
+        .flat_map(|&(n, m)| {
+            victims.iter().flat_map(move |v| {
+                schemes.iter().flat_map(move |&s| volumes.iter().map(move |vol| (n, m, v, s, vol)))
+            })
+        })
         .collect();
     cells
         .into_par_iter()
-        .map(|(victim, scheme, vol)| {
-            let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+        .map(|(n, m, victim, scheme, vol)| {
+            let mut cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+            cfg.lss = cfg.lss.with_geometry(n, m);
             replay_with_victim(scheme, cfg, victim.clone(), vol.trace(requests(vol)))
         })
         .collect()
@@ -192,6 +215,24 @@ mod tests {
         let cfg = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
         let direct = replay_with_victim(Scheme::Adapt, cfg, victims[1].clone(), vol.trace(3_000));
         assert_eq!(cell.metrics, direct.metrics);
+    }
+
+    #[test]
+    fn geometry_axis_is_outermost_and_tagged() {
+        use adapt_trace::{SuiteKind, WorkloadSuite};
+        let suite = WorkloadSuite::generate_n(SuiteKind::Ali, 13, 1);
+        let schemes = [Scheme::SepGc];
+        let victims = vec![VictimPolicy::Base(GcSelection::Greedy)];
+        let requests = |_: &VolumeModel| 2_000u64;
+        let grid =
+            sweep_grid_geometries(&schemes, &victims, &suite.volumes, &[(0, 0), (6, 2)], requests);
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[0].geometry, "3+1");
+        assert_eq!(grid[1].geometry, "4+2");
+        // The default-geometry slice is exactly what sweep_grid returns.
+        let plain = sweep_grid(&schemes, &victims, &suite.volumes, requests);
+        assert_eq!(plain[0].metrics, grid[0].metrics);
+        assert_eq!(plain[0].geometry, grid[0].geometry);
     }
 
     #[test]

@@ -61,6 +61,8 @@ impl ScrubScenario {
 pub struct ScrubReport {
     /// Scheme used.
     pub scheme: Scheme,
+    /// Array geometry label (`"k+m"`, e.g. `"3+1"` or `"6+2"`).
+    pub geometry: String,
     /// The scenario that ran.
     pub scenario: ScrubScenario,
     /// Engine metrics over the whole run (scrub counters included).
@@ -245,6 +247,7 @@ fn run_with_policy<P: PlacementPolicy>(
     let array = engine.sink().stats().clone();
     ScrubReport {
         scheme: scheme_tag(engine.policy().name()),
+        geometry: engine.sink().config().geometry().label(),
         scenario,
         metrics: engine.metrics().clone(),
         injected,
@@ -346,6 +349,25 @@ mod tests {
         assert_eq!(r.undetected, 0, "final pass must catch cold corruption");
         assert_eq!(r.metrics.chunks_scrubbed, 0, "paced scrub was off during replay");
         assert_eq!(r.live_lost, 0);
+    }
+
+    #[test]
+    fn raid6_scrub_run_is_clean_and_tagged() {
+        let mut replay = ReplayConfig::for_volume(8192, GcSelection::Greedy);
+        replay.lss = replay.lss.with_geometry(6, 2);
+        let s = ScrubScenario::bursts_with_scrub(replay);
+        let r = run_scrub_scenario(Scheme::SepGc, s, trace(50_000, 0.25));
+        assert_eq!(r.geometry, "4+2");
+        assert!(r.injected > 0);
+        assert!(
+            r.is_clean(),
+            "detected {}/{} undetected {} lost {} drift {:?}",
+            r.detected,
+            r.injected,
+            r.undetected,
+            r.live_lost,
+            r.recovery_drift
+        );
     }
 
     #[test]

@@ -72,15 +72,63 @@ fn rebuild_counters_balance() {
     assert_eq!(engine_seen, r.rebuild_bytes, "engine metric disagrees with array stats");
 }
 
+/// The double-fault headline: under RAID-6 (two parity chunks per
+/// stripe), two devices failing at the same instant lose nothing — every
+/// live LBA is still served, the two spares rebuild in one sweep, and the
+/// accounting balances against the wider geometry.
+#[test]
+fn raid6_survives_two_simultaneous_device_failures() {
+    let vol = volume();
+    let mut replay = ReplayConfig::for_volume(vol.unique_blocks, GcSelection::Greedy);
+    replay.lss = replay.lss.with_geometry(6, 2);
+    let scenario = FaultScenario::double_fault(replay, 1, 4);
+    for scheme in [Scheme::SepGc, Scheme::Adapt] {
+        let r = run_fault_scenario(scheme, scenario, vol.trace(40_000));
+        assert_eq!(r.geometry, "4+2");
+        let names: Vec<&str> = r.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(names, ["healthy", "degraded", "rebuilding", "restored"], "{scheme:?} phases");
+        assert_eq!(r.verify.lost, 0, "{scheme:?} lost data: {:?}", r.verify);
+        assert_eq!(
+            r.verify.readable + r.verify.buffered_tail + r.verify.lost,
+            vol.unique_blocks,
+            "{scheme:?} sweep does not cover the LBA space: {:?}",
+            r.verify
+        );
+        assert!(r.verify.reconstructed > 0, "{scheme:?} nothing reconstructed");
+        // Two rebuild targets: each swept stripe reads the four survivors
+        // once and writes one chunk to each spare.
+        let cfg = r.scenario.replay.lss.array_config();
+        let targets = 2u64;
+        let survivors = cfg.num_devices as u64 - targets;
+        assert!(r.array.rebuilt_chunks > 0, "{scheme:?} rebuild never ran");
+        let stripes_swept = r.array.rebuilt_chunks / targets;
+        assert_eq!(r.array.rebuilt_chunks % targets, 0);
+        assert_eq!(r.array.rebuild_read_bytes, stripes_swept * survivors * cfg.chunk_bytes);
+        assert_eq!(r.array.rebuild_write_bytes, r.array.rebuilt_chunks * cfg.chunk_bytes);
+    }
+}
+
 /// Build a small engine on a fault-modeling sink, write every LBA once,
 /// and flush, so the array holds closed stripes for every block.
 fn small_engine(scrub_stripes_per_op: u64) -> Lss<SepBit, FaultyArray> {
+    small_engine_with_geometry(scrub_stripes_per_op, 0, 0)
+}
+
+/// [`small_engine`] on an explicit `n` devices / `m` parity geometry
+/// (`0, 0` = historical 4-disk RAID-5).
+fn small_engine_with_geometry(
+    scrub_stripes_per_op: u64,
+    devices: usize,
+    parity: usize,
+) -> Lss<SepBit, FaultyArray> {
     let cfg = LssConfig {
         user_blocks: 2048,
         op_ratio: 1.5,
         gc_low_water: 8,
         gc_high_water: 10,
         scrub_stripes_per_op,
+        array_devices: devices,
+        array_parity: parity,
         ..Default::default()
     };
     let sink = FaultyArray::new(cfg.array_config(), FaultPlan::new(7));
@@ -121,6 +169,24 @@ fn latent_plus_device_failure_surfaces_typed_double_fault() {
     }
     assert!(double_faults > 0, "no read hit the latent+failed double fault");
     assert!(served > 0, "unaffected stripes must still be served");
+}
+
+/// The same latent-plus-failure sequence that is a double fault under
+/// RAID-5 stays within a RAID-6 budget: two erased members, two parity
+/// chunks, so every read reconstructs and nothing surfaces as an error.
+#[test]
+fn raid6_absorbs_latent_plus_device_failure() {
+    let mut e = small_engine_with_geometry(0, 6, 2);
+    let stripes = e.sink().stats().stripes_completed;
+    for stripe in 0..stripes {
+        e.sink_mut().plan_mut().add_latent_sector(0, stripe);
+    }
+    e.sink_mut().fail_device(1);
+    for lba in 0..2048 {
+        e.try_read_request(0, lba, 1)
+            .unwrap_or_else(|err| panic!("lba {lba} unreadable within m=2 budget: {err}"));
+    }
+    assert!(e.metrics().degraded_reads > 0, "nothing was reconstructed");
 }
 
 /// The same fault sequence, but the paced background scrub completes a
