@@ -150,6 +150,59 @@ impl ArrayStats {
         self.detection_latency_ops as f64 / self.corruptions_detected as f64
     }
 
+    /// Fold another array's totals into this one, for array-wide rollups
+    /// across independent shards: `other`'s devices are *appended* (each
+    /// shard owns a disjoint physical array, so device ids don't overlap)
+    /// and every scalar counter sums. The exhaustive destructure makes a
+    /// newly added counter a compile error here rather than a silently
+    /// missing term in merged reports.
+    pub fn merge_from(&mut self, other: &ArrayStats) {
+        let ArrayStats {
+            devices,
+            padded_chunks,
+            full_chunks,
+            stripes_completed,
+            degraded_reads,
+            reconstructed_bytes,
+            rebuild_read_bytes,
+            rebuild_write_bytes,
+            rebuilt_chunks,
+            chunks_scrubbed,
+            scrub_read_bytes,
+            corruptions_detected,
+            corruptions_healed,
+            corruptions_unrecoverable,
+            heal_write_bytes,
+            detection_latency_ops,
+            scrub_latent_repaired,
+            drain_read_bytes,
+            drain_write_bytes,
+            drained_chunks,
+            copy_bytes,
+        } = other;
+        self.devices.extend_from_slice(devices);
+        self.padded_chunks += padded_chunks;
+        self.full_chunks += full_chunks;
+        self.stripes_completed += stripes_completed;
+        self.degraded_reads += degraded_reads;
+        self.reconstructed_bytes += reconstructed_bytes;
+        self.rebuild_read_bytes += rebuild_read_bytes;
+        self.rebuild_write_bytes += rebuild_write_bytes;
+        self.rebuilt_chunks += rebuilt_chunks;
+        self.chunks_scrubbed += chunks_scrubbed;
+        self.scrub_read_bytes += scrub_read_bytes;
+        self.corruptions_detected += corruptions_detected;
+        self.corruptions_healed += corruptions_healed;
+        self.corruptions_unrecoverable += corruptions_unrecoverable;
+        self.heal_write_bytes += heal_write_bytes;
+        self.detection_latency_ops += detection_latency_ops;
+        self.scrub_latent_repaired += scrub_latent_repaired;
+        self.drain_read_bytes += drain_read_bytes;
+        self.drain_write_bytes += drain_write_bytes;
+        self.drained_chunks += drained_chunks;
+        self.copy_bytes += copy_bytes;
+    }
+
     /// Coefficient of variation of per-device total bytes (0 = perfectly
     /// balanced). Useful to confirm the rotation spreads load.
     pub fn device_imbalance(&self) -> f64 {
@@ -207,6 +260,25 @@ mod tests {
         assert_eq!(s.pad_fraction(), 0.0);
         assert_eq!(s.device_imbalance(), 0.0);
         assert_eq!(s.mean_detection_latency_ops(), 0.0);
+    }
+
+    #[test]
+    fn merge_appends_devices_and_sums_counters() {
+        let mut a = ArrayStats::new(2);
+        a.devices[0].data_bytes = 10;
+        a.padded_chunks = 1;
+        a.stripes_completed = 3;
+        let mut b = ArrayStats::new(3);
+        b.devices[2].parity_bytes = 7;
+        b.padded_chunks = 2;
+        b.copy_bytes = 99;
+        a.merge_from(&b);
+        assert_eq!(a.devices.len(), 5, "shards own disjoint arrays");
+        assert_eq!(a.devices[4].parity_bytes, 7);
+        assert_eq!(a.padded_chunks, 3);
+        assert_eq!(a.stripes_completed, 3);
+        assert_eq!(a.copy_bytes, 99);
+        assert_eq!(a.total_bytes(), 17);
     }
 
     #[test]

@@ -69,11 +69,39 @@ impl fmt::Display for StorageFailure {
     }
 }
 
-impl ArrayError {
+/// Uniform retryability classification across the whole error lattice
+/// (`MediaError` → `FileSinkError` → `ArrayError` → `EngineError`).
+///
+/// One question, answered once per type: *can retrying the exact same
+/// operation, after a backoff and with no state change, succeed?* Layers
+/// that wrap a lower error delegate to it instead of re-matching the
+/// wrapped variants, so a new transient fault added at the bottom is
+/// classified correctly everywhere above without touching the wrappers.
+pub trait Retryable {
     /// Whether retrying the same operation (after a backoff) can succeed
     /// without any state change.
-    pub fn is_transient(&self) -> bool {
+    fn is_retryable(&self) -> bool;
+}
+
+impl Retryable for ArrayError {
+    fn is_retryable(&self) -> bool {
         matches!(self, ArrayError::TransientRead { .. })
+    }
+}
+
+impl Retryable for ParityError {
+    /// Parity-math errors are malformed inputs, never transient.
+    fn is_retryable(&self) -> bool {
+        false
+    }
+}
+
+impl ArrayError {
+    /// Whether retrying the same operation (after a backoff) can succeed
+    /// without any state change. Alias for [`Retryable::is_retryable`],
+    /// kept for call sites predating the trait.
+    pub fn is_transient(&self) -> bool {
+        self.is_retryable()
     }
 }
 

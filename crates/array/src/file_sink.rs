@@ -119,6 +119,33 @@ impl From<FileSinkError> for ArrayError {
     }
 }
 
+impl From<MediaError> for ArrayError {
+    fn from(e: MediaError) -> Self {
+        ArrayError::from(FileSinkError::from(e))
+    }
+}
+
+impl crate::error::Retryable for MediaError {
+    /// Power loss ends the run and I/O errors need operator intervention:
+    /// neither resolves by reissuing the same write.
+    fn is_retryable(&self) -> bool {
+        false
+    }
+}
+
+impl crate::error::Retryable for FileSinkError {
+    fn is_retryable(&self) -> bool {
+        match self {
+            FileSinkError::Media(e) => crate::error::Retryable::is_retryable(e),
+            // Corruption and missing records describe on-disk state: the
+            // same scan reproduces the same verdict.
+            FileSinkError::Corrupt { .. }
+            | FileSinkError::GeometryMismatch { .. }
+            | FileSinkError::MissingRecord { .. } => false,
+        }
+    }
+}
+
 /// One fixed-size on-disk record describing a chunk write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ChunkRecord {

@@ -42,7 +42,7 @@ pub mod store;
 pub use config::{ArrayConfig, ArrayGeometry, CodingScheme};
 pub use counters::{ArrayStats, DeviceCounters};
 pub use crc::crc32c;
-pub use error::{ArrayError, ParityError, StorageFailure};
+pub use error::{ArrayError, ParityError, Retryable, StorageFailure};
 pub use fault::{
     ArrayHealth, DiskState, FaultPlan, ReadMode, ReadOutcome, RebuildProgress, ScrubProgress,
     ScrubStep,

@@ -16,9 +16,12 @@
 //! pool, asserting the two results are bit-identical. They also record a
 //! `durability` section: the fsync-policy throughput ladder on the
 //! file-backed sink + WAL vs the in-memory reference, plus cold recovery
-//! timing. And a `hotpath` section: SIMD-vs-scalar parity kernels,
+//! timing. A `hotpath` section: SIMD-vs-scalar parity kernels,
 //! zero-copy traffic, batched remaps, staged-GC tail latencies, and the
-//! jobs ladder (see `adapt_bench::hotpath`).
+//! jobs ladder (see `adapt_bench::hotpath`). And a `serving` section:
+//! the shard-scaling saturation sweep of the serving layer, gated on
+//! critical-path throughput and cross-client determinism (see
+//! `adapt_bench::saturation`).
 
 use adapt_bench::perf::{self, QUICK, WORKLOADS};
 
@@ -135,6 +138,41 @@ fn main() {
                 );
             }
             report.hotpath = Some(hp);
+
+            // Serving-layer saturation sweep: shard scaling on the
+            // sharded async submission path, with the cross-client
+            // determinism check (see `adapt_bench::saturation`).
+            let serving = adapt_bench::saturation::run(cli.quick);
+            for p in &serving.points {
+                println!(
+                    "perf serving shards={s} clients={c}  {wk:>8.1} kops/s wall  \
+                     {ck:>8.1} kops/s critical-path  retries {retries}",
+                    s = p.shards,
+                    c = p.clients,
+                    wk = p.wall_kops,
+                    ck = p.critical_path_kops,
+                    retries = p.busy_retries,
+                );
+            }
+            println!(
+                "perf serving scaling 1->{top} shards: critical-path {cp:.2}x  wall {wall:.2}x",
+                top = serving.shard_counts.last().unwrap(),
+                cp = serving.scaling_critical_path,
+                wall = serving.scaling_wall,
+            );
+            assert!(
+                serving.bit_identical_across_clients,
+                "serve replays must be bit-identical across client-thread counts"
+            );
+            if !cli.quick {
+                assert!(
+                    serving.scaling_critical_path >= 3.0,
+                    "critical-path throughput must scale >= 3x from 1 to 4 shards \
+                     (got {:.2}x)",
+                    serving.scaling_critical_path
+                );
+            }
+            report.serving = Some(serving);
         }
         // The trajectory file lives at the repo root by default (BENCH_* is
         // the per-PR perf record); --out redirects for scratch runs.

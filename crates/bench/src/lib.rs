@@ -22,6 +22,7 @@ pub mod harness;
 pub mod hotpath;
 pub mod perf;
 pub mod perf_baseline;
+pub mod saturation;
 pub mod sweep;
 
 use adapt_lss::EventConfig;

@@ -308,7 +308,9 @@ pub fn capability(geometry: Option<(usize, usize)>) -> Capability {
 /// durability sections; 2 — adds the `capability` provenance stamp and
 /// the `hotpath` microbench section; 3 — the replays honor the
 /// `--geometry`/`ADAPT_BENCH_GEOMETRY` override and `capability` stamps
-/// the `k+m` geometry label they ran on (see EXPERIMENTS.md).
+/// the `k+m` geometry label they ran on; 4 — adds the `serving` section
+/// (the shard-scaling saturation sweep of the serving layer, see
+/// `crate::saturation` and EXPERIMENTS.md).
 #[derive(Debug, Serialize)]
 pub struct PerfReport {
     /// Schema version of this file.
@@ -341,6 +343,11 @@ pub struct PerfReport {
     /// remaps, staged-GC tails, jobs ladder. Populated by the `perf` bin
     /// on gate runs; `None` for events-enabled overhead runs.
     pub hotpath: Option<crate::hotpath::HotpathBench>,
+    /// Serving-layer saturation sweep: wall-clock and critical-path
+    /// throughput at shards {1, 2, 4} × client threads {1, 8}, with the
+    /// cross-client determinism check. Populated by the `perf` bin on
+    /// gate runs; `None` for events-enabled overhead runs.
+    pub serving: Option<crate::saturation::SaturationBench>,
 }
 
 /// Run the harness over `workloads` with events disabled (the regression
@@ -382,7 +389,7 @@ pub fn run_with_events(
         })
         .collect();
     PerfReport {
-        schema: 3,
+        schema: 4,
         capability: capability(geometry),
         baseline_note: "pre-optimization engine (before incremental GC buckets, fxhash, \
                         buffer pooling), measured on the same machine and workloads"
@@ -394,6 +401,7 @@ pub fn run_with_events(
         sweep: None,
         durability: None,
         hotpath: None,
+        serving: None,
     }
 }
 

@@ -7,40 +7,56 @@ use serde::{Deserialize, Serialize};
 ///
 /// Defaults follow the paper's setup (§4.1): 4 KiB blocks, 64 KiB chunks,
 /// 100 µs coalescing SLA, Greedy or Cost-Benefit GC.
+///
+/// Construct via `LssConfig::default()` (or a struct literal over it) and
+/// refine with the builder-style `with_*` setters; the raw fields are
+/// `#[doc(hidden)]` and kept public only for serde and struct-literal
+/// construction.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct LssConfig {
     /// Block size in bytes (the user request granularity).
+    #[doc(hidden)]
     pub block_bytes: u64,
     /// Blocks per array chunk (chunk = minimum array write unit).
+    #[doc(hidden)]
     pub chunk_blocks: u32,
     /// Chunks per segment.
+    #[doc(hidden)]
     pub segment_chunks: u32,
     /// Logical capacity exposed to the user, in blocks.
+    #[doc(hidden)]
     pub user_blocks: u64,
     /// Over-provisioning fraction: physical capacity is
     /// `user_blocks * (1 + op_ratio)` rounded up to whole segments.
+    #[doc(hidden)]
     pub op_ratio: f64,
     /// Chunk coalescing SLA window in microseconds (paper: 100 µs, the
     /// Alibaba Pangu latency SLA).
+    #[doc(hidden)]
     pub sla_us: u64,
     /// GC triggers when the free-segment pool drops to this many segments.
+    #[doc(hidden)]
     pub gc_low_water: u32,
     /// GC keeps collecting until the pool recovers to this many segments.
+    #[doc(hidden)]
     pub gc_high_water: u32,
     /// When true, the engine does not run GC inline on the write path
     /// (except as an emergency when the free pool is nearly exhausted);
     /// the embedder drives collection via [`crate::Lss::gc_step`] from
     /// dedicated threads, as the paper's prototype does (§4.4: "the number
     /// of background GC threads matches the number of client threads").
+    #[doc(hidden)]
     pub background_gc: bool,
     /// How many times a chunk read hitting a *transient* array error
     /// (media retry, link hiccup) is retried before the error surfaces.
     /// Persistent faults (failed device, double fault) never retry.
+    #[doc(hidden)]
     pub read_retry_limit: u32,
     /// Simulated backoff before the first read retry, in microseconds;
     /// doubles on each subsequent attempt. Accounted in
     /// [`crate::LssMetrics::retry_backoff_us`] rather than advancing the
     /// engine clock (retries must not perturb SLA deadlines).
+    #[doc(hidden)]
     pub retry_backoff_us: u64,
     /// When true, inline GC overlaps foreground writes: instead of
     /// draining a whole victim inside one host write, the victim is
@@ -53,6 +69,7 @@ pub struct LssConfig {
     /// `ADAPT_GC_SYNC` env var is set or the job count is 1, so `jobs=1`
     /// runs are bit-identical to the synchronous engine.
     #[serde(default)]
+    #[doc(hidden)]
     pub gc_overlap: bool,
     /// Background scrub pacing: stripes verified per host operation
     /// (0 disables scrubbing, the default). Paced exactly like the rebuild
@@ -61,15 +78,18 @@ pub struct LssConfig {
     /// foreground traffic. The scrub always yields to an in-flight
     /// rebuild.
     #[serde(default)]
+    #[doc(hidden)]
     pub scrub_stripes_per_op: u64,
     /// Member devices in the backing array (`n`). Zero means "default"
     /// (4), so configs serialized before the geometry was tunable keep
     /// their historical meaning.
     #[serde(default)]
+    #[doc(hidden)]
     pub array_devices: usize,
     /// Parity chunks per stripe (`m`): 1 = RAID-5, 2 = RAID-6, higher
     /// values use general Reed-Solomon rows. Zero means "default" (1).
     #[serde(default)]
+    #[doc(hidden)]
     pub array_parity: usize,
 }
 
@@ -162,6 +182,59 @@ impl LssConfig {
     pub fn with_geometry(mut self, devices: usize, parity: usize) -> Self {
         self.array_devices = devices;
         self.array_parity = parity;
+        self
+    }
+
+    /// This config with the given user-visible capacity in blocks.
+    pub fn with_user_blocks(mut self, user_blocks: u64) -> Self {
+        self.user_blocks = user_blocks;
+        self
+    }
+
+    /// This config with the given over-provisioning fraction.
+    pub fn with_op_ratio(mut self, op_ratio: f64) -> Self {
+        self.op_ratio = op_ratio;
+        self
+    }
+
+    /// This config with the given coalescing SLA window (µs).
+    pub fn with_sla_us(mut self, sla_us: u64) -> Self {
+        self.sla_us = sla_us;
+        self
+    }
+
+    /// This config with the given GC trigger/stop watermarks (segments).
+    pub fn with_gc_watermarks(mut self, low: u32, high: u32) -> Self {
+        self.gc_low_water = low;
+        self.gc_high_water = high;
+        self
+    }
+
+    /// This config with background GC on or off (see the field docs for
+    /// what the embedder then owes the engine).
+    pub fn with_background_gc(mut self, background_gc: bool) -> Self {
+        self.background_gc = background_gc;
+        self
+    }
+
+    /// This config with the given scrub pacing (stripes verified per host
+    /// op, 0 = scrubbing off).
+    pub fn with_scrub_stripes_per_op(mut self, stripes: u64) -> Self {
+        self.scrub_stripes_per_op = stripes;
+        self
+    }
+
+    /// This config with the given transient-read retry budget and initial
+    /// backoff.
+    pub fn with_read_retry(mut self, limit: u32, backoff_us: u64) -> Self {
+        self.read_retry_limit = limit;
+        self.retry_backoff_us = backoff_us;
+        self
+    }
+
+    /// This config with overlapped (staged) inline GC on or off.
+    pub fn with_gc_overlap(mut self, overlap: bool) -> Self {
+        self.gc_overlap = overlap;
         self
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::types::Lba;
 use crate::wal::WalError;
-use adapt_array::ArrayError;
+use adapt_array::{ArrayError, FileSinkError, MediaError, Retryable};
 
 /// Errors surfaced by the engine's fallible (`try_*`) entry points.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,11 +51,33 @@ pub enum EngineError {
     Wal(WalError),
 }
 
+impl Retryable for EngineError {
+    /// Delegates to the wrapped layer instead of re-matching its variants:
+    /// the engine's own failures (corruption, exhaustion) are persistent,
+    /// and everything else is whatever the layer below says it is.
+    fn is_retryable(&self) -> bool {
+        match self {
+            EngineError::Array(e) => e.is_retryable(),
+            EngineError::Wal(e) => e.is_retryable(),
+            EngineError::IndexCorruption { .. } | EngineError::OutOfSpace { .. } => false,
+        }
+    }
+}
+
+impl Retryable for WalError {
+    /// Power loss ends the run; I/O and framing errors reproduce on
+    /// reissue. Nothing in the log path is worth spinning on.
+    fn is_retryable(&self) -> bool {
+        false
+    }
+}
+
 impl EngineError {
-    /// Whether retrying the same operation may succeed (transient array
-    /// faults only; corruption and exhaustion are persistent).
+    /// Whether retrying the same operation may succeed. Alias for
+    /// [`Retryable::is_retryable`], kept for call sites predating the
+    /// trait.
     pub fn is_transient(&self) -> bool {
-        matches!(self, EngineError::Array(e) if e.is_transient())
+        self.is_retryable()
     }
 }
 
@@ -68,6 +90,18 @@ impl From<ArrayError> for EngineError {
 impl From<WalError> for EngineError {
     fn from(e: WalError) -> Self {
         EngineError::Wal(e)
+    }
+}
+
+impl From<FileSinkError> for EngineError {
+    fn from(e: FileSinkError) -> Self {
+        EngineError::Array(ArrayError::from(e))
+    }
+}
+
+impl From<MediaError> for EngineError {
+    fn from(e: MediaError) -> Self {
+        EngineError::Array(ArrayError::from(e))
     }
 }
 
@@ -129,6 +163,38 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("checksum") && s.contains("stripe 4"), "{s}");
         assert!(std::error::Error::source(&e).is_some(), "array cause preserved");
+    }
+
+    #[test]
+    fn from_lattice_reaches_engine_error() {
+        // Every lower layer converts into EngineError through one chain:
+        // MediaError → FileSinkError → ArrayError → EngineError.
+        let e = EngineError::from(MediaError::PowerLoss);
+        assert!(matches!(
+            e,
+            EngineError::Array(ArrayError::Storage {
+                failure: adapt_array::StorageFailure::PowerLoss
+            })
+        ));
+        assert!(!e.is_retryable());
+        let e = EngineError::from(FileSinkError::MissingRecord { chunk_seq: 9 });
+        assert!(matches!(
+            e,
+            EngineError::Array(ArrayError::Storage {
+                failure: adapt_array::StorageFailure::MissingRecord
+            })
+        ));
+        let e = EngineError::from(WalError::PowerLoss);
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn retryable_delegates_down_the_lattice() {
+        let loc = ChunkLocation { stripe: 0, device: 1, column: 0 };
+        assert!(EngineError::from(ArrayError::TransientRead { loc }).is_retryable());
+        assert!(!EngineError::from(ArrayError::ChecksumMismatch { loc }).is_retryable());
+        assert!(!WalError::PowerLoss.is_retryable());
+        assert!(!MediaError::Io("disk on fire".into()).is_retryable());
     }
 
     #[test]

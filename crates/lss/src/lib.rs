@@ -84,6 +84,7 @@ pub mod telemetry;
 pub mod types;
 pub mod wal;
 
+pub use adapt_array::Retryable;
 pub use builder::EngineBuilder;
 pub use config::LssConfig;
 pub use engine::Lss;

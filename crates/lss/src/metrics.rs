@@ -176,6 +176,88 @@ impl LssMetrics {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// Fold another engine's counters into this one, for array-wide
+    /// rollups across independent shards: every counter sums and the
+    /// durability-latency histograms merge bucket-wise. The exhaustive
+    /// destructure makes a newly added counter a compile error here
+    /// rather than a silently missing term in merged reports.
+    pub fn merge_from(&mut self, other: &LssMetrics) {
+        let LssMetrics {
+            host_write_bytes,
+            user_bytes,
+            gc_bytes,
+            shadow_bytes,
+            pad_bytes,
+            chunks_flushed,
+            padded_chunks,
+            gc_passes,
+            segments_reclaimed,
+            blocks_migrated,
+            buffer_absorbed_blocks,
+            lazy_appends,
+            shadow_append_events,
+            host_read_bytes,
+            array_read_bytes,
+            buffer_read_blocks,
+            trimmed_blocks,
+            degraded_reads,
+            reconstructed_bytes,
+            retried_reads,
+            retry_backoff_us,
+            gc_throttled,
+            rebuild_bytes,
+            rebuild_ops,
+            chunks_scrubbed,
+            scrub_read_bytes,
+            corruptions_detected,
+            corruptions_healed,
+            corruptions_unrecoverable,
+            heal_write_bytes,
+            detection_latency_ops,
+            scrub_latent_repaired,
+            scrub_passes,
+            scrub_paused,
+            healed_reads,
+            durability_latency,
+        } = other;
+        self.host_write_bytes += host_write_bytes;
+        self.user_bytes += user_bytes;
+        self.gc_bytes += gc_bytes;
+        self.shadow_bytes += shadow_bytes;
+        self.pad_bytes += pad_bytes;
+        self.chunks_flushed += chunks_flushed;
+        self.padded_chunks += padded_chunks;
+        self.gc_passes += gc_passes;
+        self.segments_reclaimed += segments_reclaimed;
+        self.blocks_migrated += blocks_migrated;
+        self.buffer_absorbed_blocks += buffer_absorbed_blocks;
+        self.lazy_appends += lazy_appends;
+        self.shadow_append_events += shadow_append_events;
+        self.host_read_bytes += host_read_bytes;
+        self.array_read_bytes += array_read_bytes;
+        self.buffer_read_blocks += buffer_read_blocks;
+        self.trimmed_blocks += trimmed_blocks;
+        self.degraded_reads += degraded_reads;
+        self.reconstructed_bytes += reconstructed_bytes;
+        self.retried_reads += retried_reads;
+        self.retry_backoff_us += retry_backoff_us;
+        self.gc_throttled += gc_throttled;
+        self.rebuild_bytes += rebuild_bytes;
+        self.rebuild_ops += rebuild_ops;
+        self.chunks_scrubbed += chunks_scrubbed;
+        self.scrub_read_bytes += scrub_read_bytes;
+        self.corruptions_detected += corruptions_detected;
+        self.corruptions_healed += corruptions_healed;
+        self.corruptions_unrecoverable += corruptions_unrecoverable;
+        self.heal_write_bytes += heal_write_bytes;
+        self.detection_latency_ops += detection_latency_ops;
+        self.scrub_latent_repaired += scrub_latent_repaired;
+        self.scrub_passes += scrub_passes;
+        self.scrub_paused += scrub_paused;
+        self.healed_reads += healed_reads;
+        self.durability_latency.merge(durability_latency);
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +298,20 @@ mod tests {
         let m = LssMetrics { host_read_bytes: 4096, array_read_bytes: 65536, ..Default::default() };
         assert!((m.read_amplification() - 16.0).abs() < 1e-12);
         assert_eq!(LssMetrics::default().read_amplification(), 1.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let mut a = LssMetrics { host_write_bytes: 1000, user_bytes: 1000, ..Default::default() };
+        a.durability_latency.record(10);
+        let mut b = LssMetrics { host_write_bytes: 500, gc_bytes: 250, ..Default::default() };
+        b.durability_latency.record(30);
+        a.merge_from(&b);
+        assert_eq!(a.host_write_bytes, 1500);
+        assert_eq!(a.user_bytes, 1000);
+        assert_eq!(a.gc_bytes, 250);
+        assert_eq!(a.durability_latency.count(), 2);
+        assert!((a.wa() - 1250.0 / 1500.0).abs() < 1e-12);
     }
 
     #[test]

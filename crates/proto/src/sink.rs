@@ -1,74 +1,86 @@
 //! Array sink that charges chunk flushes to the device timeline.
 
 use crate::timeline::DeviceTimeline;
-use adapt_array::{ArrayConfig, ArraySink, ArrayStats, ChunkFlush, ChunkLocation, Raid5Layout};
+use adapt_array::{ArrayConfig, ArraySink, ArrayStats, ChunkFlush, ChunkLocation, CountingArray};
 use std::sync::Arc;
 
-/// Counting RAID-5 sink that additionally charges each chunk (and the
-/// stripe's parity chunk) to a shared [`DeviceTimeline`]. The charge is a
-/// pair of atomic adds — cheap enough to run inside the engine lock.
+/// [`CountingArray`] composed with a shared [`DeviceTimeline`]: all
+/// placement, parity, and stats accounting is the counting sink's (one
+/// source of truth — general k+m coding, zero-copy payload path and
+/// all), and this wrapper only *observes* the per-device byte deltas of
+/// each write and charges them to the timeline. The charge is a couple
+/// of atomic adds — cheap enough to run inside the engine lock.
 #[derive(Debug)]
 pub struct ProtoSink {
-    layout: Raid5Layout,
-    stats: ArrayStats,
-    next_chunk_seq: u64,
+    inner: CountingArray,
     timeline: Arc<DeviceTimeline>,
+    /// Per-device `total_bytes()` before the write in flight (scratch,
+    /// avoids an allocation per chunk).
+    before: Vec<u64>,
 }
 
 impl ProtoSink {
     /// Create a sink over a shared timeline.
     pub fn new(cfg: ArrayConfig, timeline: Arc<DeviceTimeline>) -> Self {
         assert_eq!(cfg.num_devices, timeline.devices());
-        Self {
-            layout: Raid5Layout::new(cfg),
-            stats: ArrayStats::new(cfg.num_devices),
-            next_chunk_seq: 0,
-            timeline,
-        }
+        Self { inner: CountingArray::new(cfg), timeline, before: vec![0; cfg.num_devices] }
     }
 
     /// The shared timeline.
     pub fn timeline(&self) -> &Arc<DeviceTimeline> {
         &self.timeline
     }
+
+    fn snapshot(&mut self) {
+        for (slot, dev) in self.before.iter_mut().zip(&self.inner.stats().devices) {
+            *slot = dev.total_bytes();
+        }
+    }
+
+    /// Charge every device's byte growth since [`snapshot`](Self::snapshot)
+    /// to the timeline — data, padding, and parity alike, on whichever
+    /// devices the counting sink touched.
+    fn charge_deltas(&mut self) {
+        for (device, (dev, &before)) in
+            self.inner.stats().devices.iter().zip(&self.before).enumerate()
+        {
+            let delta = dev.total_bytes() - before;
+            if delta > 0 {
+                self.timeline.charge(device, delta);
+            }
+        }
+    }
 }
 
 impl ArraySink for ProtoSink {
     fn write_chunk(&mut self, flush: ChunkFlush) -> ChunkLocation {
-        let cfg = *self.layout.config();
-        debug_assert_eq!(flush.total_bytes(), cfg.chunk_bytes);
-        let loc = self.layout.locate(self.next_chunk_seq);
-        self.next_chunk_seq += 1;
+        self.snapshot();
+        let loc = self.inner.write_chunk(flush);
+        self.charge_deltas();
+        loc
+    }
 
-        let dev = &mut self.stats.devices[loc.device];
-        dev.data_bytes += flush.payload_bytes();
-        dev.pad_bytes += flush.pad_bytes;
-        dev.chunk_writes += 1;
-        if flush.pad_bytes > 0 {
-            self.stats.padded_chunks += 1;
-        } else {
-            self.stats.full_chunks += 1;
-        }
-        self.timeline.charge(loc.device, cfg.chunk_bytes);
-
-        let k = cfg.data_columns() as u64;
-        if self.next_chunk_seq.is_multiple_of(k) {
-            let pdev = self.layout.parity_device(loc.stripe);
-            let p = &mut self.stats.devices[pdev];
-            p.parity_bytes += cfg.chunk_bytes;
-            p.chunk_writes += 1;
-            self.stats.stripes_completed += 1;
-            self.timeline.charge(pdev, cfg.chunk_bytes);
-        }
+    fn write_chunk_payload(&mut self, flush: ChunkFlush, payload: &[u8]) -> ChunkLocation {
+        self.snapshot();
+        let loc = self.inner.write_chunk_payload(flush, payload);
+        self.charge_deltas();
         loc
     }
 
     fn config(&self) -> &ArrayConfig {
-        self.layout.config()
+        self.inner.config()
     }
 
     fn stats(&self) -> &ArrayStats {
-        &self.stats
+        self.inner.stats()
+    }
+
+    fn recover_reconcile(
+        &mut self,
+        next_chunk_seq: u64,
+        tail: &[adapt_array::RecoveredFlush],
+    ) -> Result<adapt_array::SinkReconcile, adapt_array::ArrayError> {
+        self.inner.recover_reconcile(next_chunk_seq, tail)
     }
 }
 
@@ -114,5 +126,48 @@ mod tests {
         });
         assert_eq!(sink.stats().padded_chunks, 1);
         assert_eq!(sink.stats().pad_bytes(), 4096);
+    }
+
+    #[test]
+    fn charges_equal_counting_stats_exactly() {
+        // The timeline's busy bytes must equal the counting sink's total
+        // byte accounting — the wrapper adds no accounting of its own.
+        let cfg = ArrayConfig::default();
+        let timeline = Arc::new(DeviceTimeline::new(4, 1e9));
+        let mut sink = ProtoSink::new(cfg, timeline.clone());
+        for i in 0..17u64 {
+            let pad = if i % 5 == 0 { 4096 } else { 0 };
+            sink.write_chunk(ChunkFlush {
+                user_bytes: cfg.chunk_bytes - pad,
+                gc_bytes: 0,
+                shadow_bytes: 0,
+                pad_bytes: pad,
+                group: 0,
+                seg: 0,
+                chunk_in_seg: 0,
+            });
+        }
+        assert_eq!(timeline.total_busy_ns(), sink.stats().total_bytes());
+    }
+
+    #[test]
+    fn payload_path_charges_too() {
+        let cfg = ArrayConfig::default();
+        let timeline = Arc::new(DeviceTimeline::new(4, 1e9));
+        let mut sink = ProtoSink::new(cfg, timeline.clone());
+        let payload = vec![7u8; cfg.chunk_bytes as usize];
+        sink.write_chunk_payload(
+            ChunkFlush {
+                user_bytes: cfg.chunk_bytes,
+                gc_bytes: 0,
+                shadow_bytes: 0,
+                pad_bytes: 0,
+                group: 0,
+                seg: 0,
+                chunk_in_seg: 0,
+            },
+            &payload,
+        );
+        assert_eq!(timeline.total_busy_ns(), cfg.chunk_bytes);
     }
 }

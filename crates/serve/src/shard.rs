@@ -1,0 +1,696 @@
+//! One shard: a bounded command queue drained by a dedicated thread that
+//! owns an ADAPT engine.
+//!
+//! The shard thread is the only code that touches its engine — no shared
+//! lock, no cross-shard coordination. Each drained batch runs the fixed
+//! pipeline *validate → apply → group-commit barrier → complete*: reads
+//! complete at apply, writes and trims pend until a
+//! [`ShardEngine::sync`] barrier covers them (so on a durable engine an
+//! acked write is a WAL-committed write). The barrier fires when the
+//! pending set reaches the group-commit window or the queue momentarily
+//! drains — batching when loaded, never stalling acks when idle.
+//!
+//! Two drain modes:
+//!
+//! - **FIFO** (serving): commands apply in queue order; the thread runs
+//!   engine GC inline with queue idle time.
+//! - **Ordered** (replay): every request carries a dense per-shard
+//!   sequence number and applies strictly in that order via a reorder
+//!   buffer, so the engine sees one canonical op stream *no matter how
+//!   many client threads submitted it* — the bit-identical-telemetry
+//!   property the determinism suite checks. Idle GC is disabled
+//!   (engine-inline GC keeps collection points canonical too).
+//!
+//! Engine timestamps are synthesized from the applied-op count
+//! (`(applied+1) × clock_step_us`), never from wall time, which makes
+//! completions' `version` fields — and everything the engine derives
+//! from its clock — reproducible.
+
+use crate::api::{Completion, CompletionSlot, OpKind, Request, ServeError, VolumeId};
+use adapt_array::{ArrayError, ArraySink};
+use adapt_lss::{EngineError, Lba, Lss, LssMetrics, PlacementPolicy, TelemetrySnapshot};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The engine surface a shard thread drives. Implemented for every
+/// `Lss<P, S>`; the indirection keeps `adapt-serve` policy-agnostic (the
+/// policy enum and its monomorphized dispatch live in `adapt-sim`, which
+/// sits *above* this crate).
+pub trait ShardEngine: Send {
+    /// Apply one write request at engine time `ts_us`.
+    fn apply_write(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError>;
+    /// Apply one read request.
+    fn apply_read(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError>;
+    /// Apply one trim request.
+    fn apply_trim(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError>;
+    /// Group-commit barrier: make every applied op durable. Must be a
+    /// no-op `Ok(())` on engines without a WAL.
+    fn sync(&mut self) -> Result<(), EngineError>;
+    /// Flush open chunks (shutdown path).
+    fn flush_all(&mut self) -> Result<(), EngineError>;
+    /// Whether background GC has work.
+    fn gc_needed(&self) -> bool;
+    /// One GC increment; `Ok(true)` if a segment was reclaimed.
+    fn gc_step(&mut self) -> Result<bool, EngineError>;
+    /// Cheap scalar metrics snapshot for per-volume attribution.
+    fn probe(&self) -> Probe;
+    /// Full telemetry snapshot.
+    fn telemetry(&mut self) -> TelemetrySnapshot;
+    /// Resident bytes of the placement policy's state.
+    fn policy_memory_bytes(&self) -> u64 {
+        0
+    }
+    /// Resident bytes of the whole engine (index + policy).
+    fn engine_memory_bytes(&self) -> u64 {
+        0
+    }
+}
+
+impl<P: PlacementPolicy + Send, S: ArraySink + Send> ShardEngine for Lss<P, S> {
+    fn apply_write(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError> {
+        self.try_write_request(ts_us, lba, blocks)
+    }
+
+    fn apply_read(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError> {
+        self.try_read_request(ts_us, lba, blocks)
+    }
+
+    fn apply_trim(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError> {
+        self.try_trim(ts_us, lba, blocks)
+    }
+
+    fn sync(&mut self) -> Result<(), EngineError> {
+        self.sync_wal()
+    }
+
+    fn flush_all(&mut self) -> Result<(), EngineError> {
+        self.try_flush_all()
+    }
+
+    fn gc_needed(&self) -> bool {
+        self.needs_gc()
+    }
+
+    fn gc_step(&mut self) -> Result<bool, EngineError> {
+        self.try_gc_step()
+    }
+
+    fn probe(&self) -> Probe {
+        Probe::capture(self.metrics())
+    }
+
+    fn telemetry(&mut self) -> TelemetrySnapshot {
+        Lss::telemetry(self)
+    }
+
+    fn policy_memory_bytes(&self) -> u64 {
+        self.policy().memory_bytes() as u64
+    }
+
+    fn engine_memory_bytes(&self) -> u64 {
+        self.memory_bytes() as u64
+    }
+}
+
+macro_rules! probe_fields {
+    ($($field:ident),+ $(,)?) => {
+        /// Scalar [`LssMetrics`] snapshot taken around each applied op;
+        /// the delta is credited to the issuing volume (or to the shard's
+        /// background bucket for idle GC and shutdown flushes), yielding
+        /// deterministic per-volume traffic attribution without touching
+        /// the engine's own accounting.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct Probe {
+            $(pub(crate) $field: u64,)+
+        }
+
+        impl Probe {
+            pub(crate) fn capture(m: &LssMetrics) -> Self {
+                Self { $($field: m.$field,)+ }
+            }
+
+            /// Credit `after − before` into `into` (same field names as
+            /// [`LssMetrics`], histogram fields excluded).
+            pub(crate) fn attribute(into: &mut LssMetrics, before: &Probe, after: &Probe) {
+                $(into.$field += after.$field - before.$field;)+
+            }
+        }
+    };
+}
+
+probe_fields!(
+    host_write_bytes,
+    user_bytes,
+    gc_bytes,
+    shadow_bytes,
+    pad_bytes,
+    chunks_flushed,
+    padded_chunks,
+    gc_passes,
+    segments_reclaimed,
+    blocks_migrated,
+    buffer_absorbed_blocks,
+    host_read_bytes,
+    array_read_bytes,
+    buffer_read_blocks,
+    trimmed_blocks,
+    degraded_reads,
+);
+
+/// One-shot cell for control-command replies (telemetry probes).
+#[derive(Debug, Default)]
+pub(crate) struct SyncCell<T> {
+    state: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> SyncCell<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self { state: Mutex::new(None), cv: Condvar::new() })
+    }
+
+    pub(crate) fn fill(&self, value: T) {
+        *self.state.lock().unwrap() = Some(value);
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn take(&self) -> T {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(v) = s.take() {
+                return v;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+}
+
+/// An accepted request bound for a shard.
+#[derive(Debug)]
+pub(crate) struct OpCommand {
+    pub(crate) request: Request,
+    /// Shard-local address computed by the router at submit time.
+    pub(crate) local_lba: u64,
+    pub(crate) slot: Arc<CompletionSlot>,
+}
+
+#[derive(Debug)]
+pub(crate) enum Command {
+    Op(OpCommand),
+    /// Drain + barrier, then report a telemetry snapshot.
+    Telemetry(Arc<SyncCell<TelemetrySnapshot>>),
+}
+
+#[derive(Debug)]
+pub(crate) enum PushError {
+    /// Queue at capacity (the command was dropped; the caller still
+    /// holds the completion slot).
+    Full,
+    /// Queue closed (shutdown).
+    Closed,
+}
+
+/// Bounded MPSC command queue: many clients push, one shard thread pops.
+#[derive(Debug)]
+pub(crate) struct ShardQueue {
+    depth: usize,
+    state: Mutex<QueueInner>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct QueueInner {
+    q: VecDeque<Command>,
+    closed: bool,
+}
+
+impl ShardQueue {
+    pub(crate) fn new(depth: usize) -> Arc<Self> {
+        Arc::new(Self {
+            depth,
+            state: Mutex::new(QueueInner { q: VecDeque::with_capacity(depth), closed: false }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Non-blocking push, subject to the depth bound.
+    pub(crate) fn try_push(&self, cmd: Command) -> Result<(), PushError> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.q.len() >= self.depth {
+            return Err(PushError::Full);
+        }
+        s.q.push_back(cmd);
+        drop(s);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Push a control command, exempt from the depth bound (control must
+    /// not contend with data-path backpressure).
+    pub(crate) fn push_control(&self, cmd: Command) -> bool {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return false;
+        }
+        s.q.push_back(cmd);
+        drop(s);
+        self.cv.notify_one();
+        true
+    }
+
+    /// Close the queue: future pushes fail, the shard drains what's left.
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().unwrap().q.len()
+    }
+
+    /// Drain everything queued into `into`. Blocks while open and empty
+    /// when `block`; returns `true` once the queue is closed *and* this
+    /// call returned nothing (the shard can exit after local cleanup).
+    fn pop_all(&self, into: &mut Vec<Command>, block: bool) -> bool {
+        let mut s = self.state.lock().unwrap();
+        if block {
+            while s.q.is_empty() && !s.closed {
+                s = self.cv.wait(s).unwrap();
+            }
+        }
+        into.extend(s.q.drain(..));
+        s.closed && into.is_empty()
+    }
+}
+
+/// Live shard counters, shared between clients (submit side) and the
+/// shard thread. The shutdown gate checks `submitted == completed`: a
+/// lost completion is a serving-layer bug the queue accounting catches.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Ops accepted into the queue.
+    pub(crate) submitted: AtomicU64,
+    /// Ops rejected with `Busy` (after admission; token refunded).
+    pub(crate) rejected_busy: AtomicU64,
+    /// Ops rejected by tenant admission control.
+    pub(crate) rejected_throttled: AtomicU64,
+    /// Completions delivered (success or failure).
+    pub(crate) completed: AtomicU64,
+    /// Completions delivered with an error result.
+    pub(crate) failed_ops: AtomicU64,
+    /// Group-commit barriers executed.
+    pub(crate) syncs: AtomicU64,
+    /// Idle GC increments executed.
+    pub(crate) gc_steps: AtomicU64,
+}
+
+impl ShardStats {
+    pub(crate) fn snapshot(&self) -> ShardStatsSnapshot {
+        ShardStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            rejected_throttled: self.rejected_throttled.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed_ops: self.failed_ops.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            gc_steps: self.gc_steps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serializable view of [`ShardStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStatsSnapshot {
+    /// Ops accepted into the queue.
+    pub submitted: u64,
+    /// Ops rejected with `Busy`.
+    pub rejected_busy: u64,
+    /// Ops rejected by admission control.
+    pub rejected_throttled: u64,
+    /// Completions delivered.
+    pub completed: u64,
+    /// Completions that carried an error.
+    pub failed_ops: u64,
+    /// Group-commit barriers.
+    pub syncs: u64,
+    /// Idle GC increments.
+    pub gc_steps: u64,
+}
+
+impl ShardStatsSnapshot {
+    /// Every accepted op produced exactly one completion.
+    pub fn balanced(&self) -> bool {
+        self.submitted == self.completed
+    }
+}
+
+/// Final state of one shard, returned by shutdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard id.
+    pub shard: u32,
+    /// Engine telemetry at shutdown (post flush).
+    pub telemetry: TelemetrySnapshot,
+    /// Per-volume attributed traffic, sorted by volume id. Histogram
+    /// fields stay zero (attribution covers the scalar counters).
+    pub per_volume: Vec<(VolumeId, LssMetrics)>,
+    /// Traffic not attributable to a volume: idle GC and shutdown flush.
+    pub background: LssMetrics,
+    /// Counter snapshot.
+    pub stats: ShardStatsSnapshot,
+    /// Ops applied to the engine.
+    pub applied_ops: u64,
+    /// Wall time the shard thread spent doing work (apply, barriers,
+    /// idle GC) — excludes blocking on an empty queue. On a machine with
+    /// ≥ one core per shard this is the shard's service time; the
+    /// saturation bench divides total ops by the *maximum* shard busy
+    /// time to get the critical-path throughput of the sharded array,
+    /// which measures scaling independently of how many cores the host
+    /// actually has. Not covered by the determinism contract.
+    pub busy_ns: u64,
+    /// Resident bytes of the shard's placement-policy state at shutdown.
+    pub policy_memory_bytes: u64,
+    /// Resident bytes of the shard's whole engine at shutdown.
+    pub engine_memory_bytes: u64,
+    /// True if the shard fail-stopped on a fatal engine error.
+    pub failed: bool,
+}
+
+/// Configuration + state owned by one shard thread.
+pub(crate) struct ShardWorker {
+    pub(crate) shard: u32,
+    pub(crate) engine: Box<dyn ShardEngine>,
+    pub(crate) queue: Arc<ShardQueue>,
+    pub(crate) stats: Arc<ShardStats>,
+    /// Group-commit window (pending ops that trigger a barrier).
+    pub(crate) window: usize,
+    /// Ordered-replay mode (strict seq order, no idle GC).
+    pub(crate) ordered: bool,
+    /// Whether barriers confer durability (engine has a WAL).
+    pub(crate) durable: bool,
+    /// Engine µs per applied op.
+    pub(crate) clock_step_us: u64,
+}
+
+/// Fatal errors fail-stop the shard (its state can no longer serve
+/// correct acks); everything else fails only the op that hit it.
+fn is_fatal(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::Wal(_)
+            | EngineError::IndexCorruption { .. }
+            | EngineError::OutOfSpace { .. }
+            | EngineError::Array(ArrayError::Storage { .. })
+    )
+}
+
+struct WorkerState {
+    applied: u64,
+    /// Applied but unsynced writes/trims awaiting the next barrier.
+    pending: Vec<(OpCommand, u64)>,
+    /// Ordered mode: staged out-of-order ops keyed by sequence.
+    reorder: BTreeMap<u64, OpCommand>,
+    next_seq: u64,
+    per_volume: BTreeMap<VolumeId, LssMetrics>,
+    background: LssMetrics,
+    failed: bool,
+}
+
+impl ShardWorker {
+    /// Drain the queue until closed, then flush and report.
+    pub(crate) fn run(mut self) -> ShardReport {
+        let mut st = WorkerState {
+            applied: 0,
+            pending: Vec::with_capacity(self.window),
+            reorder: BTreeMap::new(),
+            next_seq: 0,
+            per_volume: BTreeMap::new(),
+            background: LssMetrics::default(),
+            failed: false,
+        };
+        let mut buf: Vec<Command> = Vec::new();
+        let mut busy_ns: u64 = 0;
+        loop {
+            let can_gc = !st.failed && !self.ordered && self.engine.gc_needed();
+            let block = st.pending.is_empty() && !can_gc;
+            let drained_closed = self.queue.pop_all(&mut buf, block);
+            let t0 = std::time::Instant::now();
+            for cmd in buf.drain(..) {
+                match cmd {
+                    Command::Op(op) if self.ordered => self.stage_ordered(&mut st, op),
+                    Command::Op(op) => self.apply_one(&mut st, op),
+                    Command::Telemetry(cell) => {
+                        self.barrier(&mut st);
+                        cell.fill(self.engine.telemetry());
+                    }
+                }
+            }
+            if self.ordered {
+                while let Some(op) = st.reorder.remove(&st.next_seq) {
+                    self.apply_one(&mut st, op);
+                    st.next_seq += 1;
+                }
+            }
+            if st.pending.len() >= self.window || (!st.pending.is_empty() && self.queue.len() == 0)
+            {
+                self.barrier(&mut st);
+            }
+            if drained_closed {
+                busy_ns += t0.elapsed().as_nanos() as u64;
+                break;
+            }
+            if can_gc {
+                // At least one increment per drain cycle — a saturated
+                // queue must not starve collection into OutOfSpace — and
+                // keep collecting while the queue stays empty.
+                loop {
+                    self.idle_gc(&mut st);
+                    if st.failed || !self.engine.gc_needed() || self.queue.len() > 0 {
+                        break;
+                    }
+                }
+            }
+            busy_ns += t0.elapsed().as_nanos() as u64;
+        }
+        // Sequence gaps a client abandoned: accepted ops must still
+        // complete (the queue-accounting gate counts them).
+        let orphans: Vec<OpCommand> = std::mem::take(&mut st.reorder).into_values().collect();
+        for op in orphans {
+            self.complete(
+                &op,
+                0,
+                Err(ServeError::Engine("sequence gap unresolved at shutdown".into())),
+            );
+        }
+        let t0 = std::time::Instant::now();
+        self.barrier(&mut st);
+        if !st.failed {
+            let before = self.engine.probe();
+            let flush = self.engine.flush_all().and_then(|_| {
+                if self.durable {
+                    self.engine.sync()
+                } else {
+                    Ok(())
+                }
+            });
+            Probe::attribute(&mut st.background, &before, &self.engine.probe());
+            if flush.is_err() {
+                st.failed = true;
+            }
+        }
+        busy_ns += t0.elapsed().as_nanos() as u64;
+        ShardReport {
+            shard: self.shard,
+            telemetry: self.engine.telemetry(),
+            per_volume: st.per_volume.into_iter().collect(),
+            background: st.background,
+            stats: self.stats.snapshot(),
+            applied_ops: st.applied,
+            busy_ns,
+            policy_memory_bytes: self.engine.policy_memory_bytes(),
+            engine_memory_bytes: self.engine.engine_memory_bytes(),
+            failed: st.failed,
+        }
+    }
+
+    fn stage_ordered(&mut self, st: &mut WorkerState, op: OpCommand) {
+        let Some(seq) = op.request.seq else {
+            self.complete(&op, 0, Err(ServeError::Engine("ordered mode requires seq".into())));
+            return;
+        };
+        if seq < st.next_seq {
+            self.complete(&op, 0, Err(ServeError::Engine(format!("stale sequence {seq}"))));
+            return;
+        }
+        if let Some(prev) = st.reorder.insert(seq, op) {
+            self.complete(&prev, 0, Err(ServeError::Engine(format!("duplicate sequence {seq}"))));
+        }
+    }
+
+    fn apply_one(&mut self, st: &mut WorkerState, op: OpCommand) {
+        if st.failed {
+            self.complete(&op, 0, Err(ServeError::ShardFailed { shard: self.shard }));
+            return;
+        }
+        st.applied += 1;
+        let ts = st.applied * self.clock_step_us.max(1);
+        let before = self.engine.probe();
+        let r = match op.request.kind {
+            OpKind::Write => self.engine.apply_write(ts, op.local_lba, op.request.blocks),
+            OpKind::Read => self.engine.apply_read(ts, op.local_lba, op.request.blocks),
+            OpKind::Trim => self.engine.apply_trim(ts, op.local_lba, op.request.blocks),
+        };
+        let after = self.engine.probe();
+        Probe::attribute(st.per_volume.entry(op.request.volume).or_default(), &before, &after);
+        match r {
+            Ok(()) => {
+                if op.request.kind == OpKind::Read {
+                    self.complete_read(&op, ts);
+                } else {
+                    st.pending.push((op, ts));
+                }
+            }
+            Err(e) => {
+                let fatal = is_fatal(&e);
+                self.complete(&op, ts, Err(ServeError::engine(&e)));
+                if fatal {
+                    self.fail_stop(st);
+                }
+            }
+        }
+    }
+
+    /// Group-commit barrier: sync the WAL, then release pending acks.
+    fn barrier(&mut self, st: &mut WorkerState) {
+        if st.pending.is_empty() {
+            return;
+        }
+        if st.failed {
+            self.fail_stop(st);
+            return;
+        }
+        match self.engine.sync() {
+            Ok(()) => {
+                self.stats.syncs.fetch_add(1, Ordering::Relaxed);
+                for (op, ts) in st.pending.drain(..) {
+                    let c = Completion {
+                        shard: self.shard,
+                        request: op.request,
+                        version: ts,
+                        durable: self.durable,
+                        result: Ok(()),
+                    };
+                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    op.slot.fill(c);
+                }
+            }
+            Err(_) => self.fail_stop(st),
+        }
+    }
+
+    /// Fatal engine error: every in-flight op fails, the engine is never
+    /// touched again, but the thread keeps draining so no client hangs.
+    fn fail_stop(&mut self, st: &mut WorkerState) {
+        st.failed = true;
+        let pending = std::mem::take(&mut st.pending);
+        for (op, ts) in pending {
+            self.complete(&op, ts, Err(ServeError::ShardFailed { shard: self.shard }));
+        }
+    }
+
+    fn idle_gc(&mut self, st: &mut WorkerState) {
+        let before = self.engine.probe();
+        let r = self.engine.gc_step();
+        Probe::attribute(&mut st.background, &before, &self.engine.probe());
+        self.stats.gc_steps.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = r {
+            if is_fatal(&e) {
+                self.fail_stop(st);
+            }
+        }
+    }
+
+    fn complete_read(&self, op: &OpCommand, version: u64) {
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        op.slot.fill(Completion {
+            shard: self.shard,
+            request: op.request,
+            version,
+            durable: false,
+            result: Ok(()),
+        });
+    }
+
+    fn complete(&self, op: &OpCommand, version: u64, result: Result<(), ServeError>) {
+        self.stats.completed.fetch_add(1, Ordering::Relaxed);
+        if result.is_err() {
+            self.stats.failed_ops.fetch_add(1, Ordering::Relaxed);
+        }
+        op.slot.fill(Completion {
+            shard: self.shard,
+            request: op.request,
+            version,
+            durable: false,
+            result,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_respects_depth_and_close() {
+        let q = ShardQueue::new(2);
+        let cell = || Command::Telemetry(SyncCell::new());
+        // Data-path pushes use try_push; use ops? Telemetry via try_push
+        // exercises the same bound.
+        assert!(q.try_push(cell()).is_ok());
+        assert!(q.try_push(cell()).is_ok());
+        assert!(matches!(q.try_push(cell()), Err(PushError::Full)));
+        assert!(q.push_control(cell()), "control pushes bypass the bound");
+        assert_eq!(q.len(), 3);
+        q.close();
+        assert!(matches!(q.try_push(cell()), Err(PushError::Closed)));
+        let mut buf = Vec::new();
+        assert!(!q.pop_all(&mut buf, true), "closed but items remain");
+        assert_eq!(buf.len(), 3);
+        buf.clear();
+        assert!(q.pop_all(&mut buf, true), "closed and drained");
+    }
+
+    #[test]
+    fn probe_attributes_deltas() {
+        let mut m = LssMetrics { host_write_bytes: 100, gc_bytes: 7, ..Default::default() };
+        let before = Probe::capture(&m);
+        m.host_write_bytes = 150;
+        m.gc_bytes = 10;
+        let after = Probe::capture(&m);
+        let mut vol = LssMetrics::default();
+        Probe::attribute(&mut vol, &before, &after);
+        assert_eq!(vol.host_write_bytes, 50);
+        assert_eq!(vol.gc_bytes, 3);
+        assert_eq!(vol.user_bytes, 0);
+    }
+
+    #[test]
+    fn stats_balanced_gate() {
+        let s = ShardStatsSnapshot { submitted: 5, completed: 5, ..Default::default() };
+        assert!(s.balanced());
+        let s = ShardStatsSnapshot { submitted: 5, completed: 4, ..Default::default() };
+        assert!(!s.balanced());
+    }
+
+    #[test]
+    fn fatal_classification() {
+        assert!(is_fatal(&EngineError::IndexCorruption { lba: 0, detail: "x".into() }));
+        let loc = adapt_array::ChunkLocation { stripe: 0, device: 0, column: 0 };
+        assert!(!is_fatal(&EngineError::Array(ArrayError::TransientRead { loc })));
+    }
+}

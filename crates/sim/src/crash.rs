@@ -107,7 +107,7 @@ impl CrashScenario {
 /// expected way a doomed run ends) rather than a genuine bug. Power loss
 /// surfaces through the WAL on commits/checkpoints and through the array
 /// on GC-migration reads.
-fn is_power_loss(e: &EngineError) -> bool {
+pub(crate) fn is_power_loss(e: &EngineError) -> bool {
     matches!(e, EngineError::Wal(WalError::PowerLoss))
         || matches!(
             e,
@@ -444,14 +444,16 @@ impl CrashSweepReport {
 /// Targeting guarantees the sweep cuts mid-WAL-record, mid-segment-write,
 /// mid-rename, and mid-superblock even though sink data dominates the
 /// byte stream.
-fn pick_offsets(
-    scn: &CrashScenario,
+pub(crate) fn pick_offsets(
+    seed: u64,
+    uniform_points: u32,
+    targeted_per_tag: u32,
     total: u64,
     journal: &[(WriteTag, u64)],
 ) -> Vec<(String, u64)> {
     let mut offsets = Vec::new();
-    for k in 0..scn.uniform_points as u64 {
-        let off = 1 + mix64(scn.seed ^ 0xC4A5 ^ k) % total.max(1);
+    for k in 0..uniform_points as u64 {
+        let off = 1 + mix64(seed ^ 0xC4A5 ^ k) % total.max(1);
         offsets.push(("uniform".to_string(), off));
     }
     for (class, tag) in [
@@ -471,12 +473,12 @@ fn pick_offsets(
         if grants.is_empty() {
             continue;
         }
-        for k in 0..scn.targeted_per_tag as u64 {
-            let (start, len) = grants[(mix64(scn.seed ^ 0x7A9 ^ k) % grants.len() as u64) as usize];
+        for k in 0..targeted_per_tag as u64 {
+            let (start, len) = grants[(mix64(seed ^ 0x7A9 ^ k) % grants.len() as u64) as usize];
             // A budget of `b` trips at this grant iff start <= b < start
             // + len: the unit is mid-write (or, for 1-byte rename units,
             // about to be dropped) when power dies.
-            offsets.push((class.to_string(), start + mix64(scn.seed ^ k) % len));
+            offsets.push((class.to_string(), start + mix64(seed ^ k) % len));
         }
     }
     offsets.sort();
@@ -505,7 +507,7 @@ pub fn run_crash_sweep(scn: &CrashScenario, base_dir: &Path) -> CrashSweepReport
     let _ = std::fs::remove_dir_all(&golden_dir);
 
     // Phase 2: the seeded points, in parallel.
-    let offsets = pick_offsets(scn, total, &journal);
+    let offsets = pick_offsets(scn.seed, scn.uniform_points, scn.targeted_per_tag, total, &journal);
     let dirs: Vec<(String, u64, PathBuf)> = offsets
         .into_iter()
         .map(|(class, off)| {

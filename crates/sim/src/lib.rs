@@ -23,6 +23,8 @@ pub mod report;
 pub mod runner;
 pub mod scheme;
 pub mod scrub;
+pub mod serve;
+pub mod serve_crash;
 
 pub use crash::{crash_point, run_crash_sweep, CrashPointResult, CrashScenario, CrashSweepReport};
 pub use faults::{run_fault_scenario, FaultReport, FaultScenario, PhaseReport, VerifySweep};
@@ -31,3 +33,11 @@ pub use report::{write_run_report, RunReport};
 pub use runner::{run_suite, run_suite_all_schemes, SuiteResult};
 pub use scheme::Scheme;
 pub use scrub::{run_scrub_scenario, ScrubReport, ScrubScenario};
+pub use serve::{
+    run_serve_replay, run_serve_replay_with, shard_engine, start_server, start_server_with,
+    MemEngines, ServeReplayConfig, ServeReplayResult, ShardEngineBuilder,
+};
+pub use serve_crash::{
+    run_serve_crash_sweep, serve_crash_point, ServeCrashPointResult, ServeCrashReport,
+    ServeCrashScenario,
+};

@@ -43,7 +43,7 @@ impl ReplayConfig {
     /// enough spare segments for the GC watermarks plus one open segment
     /// per group (MiDA's 8 groups are the worst case).
     pub fn for_volume(unique_blocks: u64, gc: GcSelection) -> Self {
-        let mut lss = LssConfig {
+        let lss = LssConfig {
             user_blocks: unique_blocks,
             op_ratio: 0.25,
             gc_low_water: 10, // MiDA has 8 groups; ≥ groups + 2
@@ -52,7 +52,7 @@ impl ReplayConfig {
         };
         let min_spare = (lss.gc_high_water + 8 + 4) as u64; // watermark + groups + margin
         let min_op = min_spare as f64 * lss.segment_blocks() as f64 / unique_blocks as f64;
-        lss.op_ratio = lss.op_ratio.max(min_op * 1.05);
+        let lss = lss.with_op_ratio(lss.op_ratio.max(min_op * 1.05));
         Self { lss, gc, warmup: Warmup::CapacityOnce, events: EventConfig::default() }
     }
 

@@ -177,7 +177,7 @@ fn run_with_policy<P: PlacementPolicy>(
     policy: P,
 ) -> ScrubReport {
     let mut cfg = scenario.replay;
-    cfg.lss.scrub_stripes_per_op = scenario.scrub_stripes_per_op;
+    cfg.lss = cfg.lss.with_scrub_stripes_per_op(scenario.scrub_stripes_per_op);
     let sink = FaultyArray::new(cfg.lss.array_config(), FaultPlan::new(scenario.seed));
     let mut engine =
         Lss::builder(policy, sink).config(cfg.lss).gc_select(cfg.gc).events(cfg.events).build();
