@@ -17,8 +17,9 @@
 //! `durability` section: the fsync-policy throughput ladder on the
 //! file-backed sink + WAL vs the in-memory reference, plus cold recovery
 //! timing. A `hotpath` section: SIMD-vs-scalar parity kernels,
-//! zero-copy traffic, batched remaps, staged-GC tail latencies, and the
-//! jobs ladder (see `adapt_bench::hotpath`). And a `serving` section:
+//! zero-copy traffic, batched remaps, staged-GC tail latencies, the
+//! batched op pipeline with per-stage cost attribution, and the jobs
+//! ladder (see `adapt_bench::hotpath`). And a `serving` section:
 //! the shard-scaling saturation sweep of the serving layer, gated on
 //! critical-path throughput and cross-client determinism (see
 //! `adapt_bench::saturation`).
@@ -128,6 +129,52 @@ fn main() {
             assert!(
                 hp.gc_overlap.jobs1_bit_identical,
                 "overlapped GC at jobs=1 must collapse to the synchronous path"
+            );
+            println!(
+                "perf hotpath pipeline [{w}] per-op {po:>8.1} ms  batched({b}) {ba:>8.1} ms  \
+                 ({s:.2}x)  batched identical {bi}  profiled identical {pi}",
+                w = hp.pipeline.workload,
+                po = hp.pipeline.per_op_wall_ms,
+                b = hp.pipeline.batch,
+                ba = hp.pipeline.batched_wall_ms,
+                s = hp.pipeline.speedup,
+                bi = hp.pipeline.batched_bit_identical,
+                pi = hp.pipeline.profiled_bit_identical,
+            );
+            for (label, st) in [
+                ("per-op", &hp.pipeline.per_op_stage_ns),
+                ("batched", &hp.pipeline.batched_stage_ns),
+            ] {
+                println!(
+                    "perf hotpath pipeline stages {label:<8} total {t:>7.1} ns/op  \
+                     clock {c:.1}  telemetry {te:.1}  gc {g:.1}  index {i:.1}  \
+                     placement {pl:.1}  policy {p:.1}  parity {pa:.1}  wal {wl:.1}",
+                    t = st.total,
+                    c = st.clock,
+                    te = st.telemetry,
+                    g = st.gc,
+                    i = st.index,
+                    pl = st.placement,
+                    p = st.policy,
+                    pa = st.parity,
+                    wl = st.wal,
+                );
+            }
+            println!(
+                "perf hotpath pipeline index {packed:.2} B/block packed vs \
+                 {legacy:.0} B legacy  ({red:.1}% less)",
+                packed = hp.pipeline.index.packed_bytes_per_block,
+                legacy = hp.pipeline.index.legacy_bytes_per_block,
+                red = hp.pipeline.index.reduction_pct,
+            );
+            assert!(
+                hp.pipeline.batched_bit_identical && hp.pipeline.profiled_bit_identical,
+                "batched/profiled replays must reproduce the per-op metrics exactly"
+            );
+            assert!(
+                hp.pipeline.index.reduction_pct >= 40.0,
+                "packed index must drop >=40% bytes/block (got {:.1}%)",
+                hp.pipeline.index.reduction_pct
             );
             for rung in &hp.jobs_ladder {
                 println!(

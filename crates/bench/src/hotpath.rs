@@ -11,6 +11,10 @@
 //!   against the computed pre-zero-copy equivalent,
 //! * staged (overlapped) GC vs synchronous GC on the same replay, with
 //!   per-op tail latencies and the `jobs = 1` bit-identical check,
+//! * the batched op pipeline ([`Lss::apply_ops`] fusion) vs per-op
+//!   submission, with per-stage cost attribution from the op-clocked
+//!   profiler and the packed-index footprint against the legacy
+//!   enum-per-entry layout,
 //! * the suite-sweep jobs ladder at 1 / 2 / all cores.
 //!
 //! Everything here is seeded and allocation-disciplined; `quick` shrinks
@@ -22,7 +26,7 @@ use adapt_array::cpu_features;
 use adapt_array::parity;
 use adapt_array::{ArraySink, CountingArray};
 use adapt_lss::index::{BlockEntry, BlockIndex};
-use adapt_lss::{GcSelection, Lss, LssConfig, LssMetrics, PlacementPolicy};
+use adapt_lss::{GcSelection, HostOp, Lss, LssConfig, LssMetrics, PlacementPolicy, StageCosts};
 use adapt_sim::runner::run_suite;
 use adapt_sim::scheme::{with_policy, PolicyVisitor};
 use adapt_sim::{ReplayConfig, Scheme};
@@ -133,6 +137,103 @@ pub struct GcOverlapPoint {
     pub jobs1_bit_identical: bool,
 }
 
+/// Per-stage write-path cost of one profiled replay, in nanoseconds per
+/// host op (each field is the matching [`StageCosts`] counter divided by
+/// the ops attributed). The stage set mirrors the engine's apply loop:
+/// clock advance → telemetry → GC pump → index retire → placement
+/// snapshot → policy decision → sink/parity → WAL.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageNsPerOp {
+    /// Simulated-clock advance (SLA scan + expiries).
+    pub clock: f64,
+    /// Per-op telemetry (gauges, health, scrub pacing).
+    pub telemetry: f64,
+    /// Overlapped-GC migration slices.
+    pub gc: f64,
+    /// FTL index version retirement.
+    pub index: f64,
+    /// Policy-context snapshot refresh.
+    pub placement: f64,
+    /// Placement policy decision.
+    pub policy: f64,
+    /// Sink append/flush including parity.
+    pub parity: f64,
+    /// WAL group commit + checkpointing.
+    pub wal: f64,
+    /// Sum of all stages.
+    pub total: f64,
+}
+
+impl StageNsPerOp {
+    fn of(c: &StageCosts) -> Self {
+        let ops = c.ops.max(1) as f64;
+        StageNsPerOp {
+            clock: c.clock_ns as f64 / ops,
+            telemetry: c.telemetry_ns as f64 / ops,
+            gc: c.gc_ns as f64 / ops,
+            index: c.index_ns as f64 / ops,
+            placement: c.placement_ns as f64 / ops,
+            policy: c.policy_ns as f64 / ops,
+            parity: c.parity_ns as f64 / ops,
+            wal: c.wal_ns as f64 / ops,
+            total: c.total_ns() as f64 / ops,
+        }
+    }
+}
+
+/// Resident FTL index footprint of the packed tagged-word layout against
+/// the legacy one-enum-per-entry table it replaced.
+#[derive(Debug, Clone, Serialize)]
+pub struct IndexFootprint {
+    /// Blocks mapped by the measured index.
+    pub blocks: u64,
+    /// Measured [`BlockIndex::memory_bytes`] per mapped block (packed
+    /// 8-byte words plus the shadow side table, amortized).
+    pub packed_bytes_per_block: f64,
+    /// What the same table cost per entry before packing: one
+    /// [`BlockEntry`] enum per LBA (`size_of::<BlockEntry>()`), not
+    /// counting the retired `FxHashMap` version map's overhead — so this
+    /// baseline is conservative.
+    pub legacy_bytes_per_block: f64,
+    /// `1 - packed / legacy`, as a percentage.
+    pub reduction_pct: f64,
+}
+
+/// The batched op pipeline vs per-op submission on the same replay, with
+/// per-stage cost attribution and the packed-index footprint.
+///
+/// Wall-time speedup here is informational on CI-class machines (the
+/// replays are engine-bound, and unoptimized builds invert the batching
+/// win); the load-bearing fields are the two bit-identical contracts and
+/// the stage/footprint attributions, which hold in any build.
+#[derive(Debug, Clone, Serialize)]
+pub struct PipelineBench {
+    /// Workload replayed.
+    pub workload: String,
+    /// Ops per [`Lss::apply_ops`] batch in the batched runs.
+    pub batch: usize,
+    /// Wall time submitting one op at a time (ms), unprofiled.
+    pub per_op_wall_ms: f64,
+    /// Wall time submitting `batch`-op slices (ms), unprofiled.
+    pub batched_wall_ms: f64,
+    /// `per_op_wall_ms / batched_wall_ms`.
+    pub speedup: f64,
+    /// Per-stage ns/op of the profiled one-op-at-a-time replay.
+    pub per_op_stage_ns: StageNsPerOp,
+    /// Per-stage ns/op of the profiled batched replay.
+    pub batched_stage_ns: StageNsPerOp,
+    /// Whether the batched replay reproduced the per-op replay's metrics
+    /// and memory footprint exactly (the batching determinism contract;
+    /// must always be true).
+    pub batched_bit_identical: bool,
+    /// Whether both profiled replays reproduced the unprofiled per-op
+    /// metrics exactly (the profiler's zero-perturbation contract; must
+    /// always be true).
+    pub profiled_bit_identical: bool,
+    /// Packed-index footprint vs the legacy enum-per-entry layout.
+    pub index: IndexFootprint,
+}
+
 /// One rung of the suite-sweep jobs ladder.
 #[derive(Debug, Clone, Serialize)]
 pub struct JobsPoint {
@@ -160,6 +261,9 @@ pub struct HotpathBench {
     pub copy: CopyTraffic,
     /// Staged vs synchronous GC on the same replay.
     pub gc_overlap: GcOverlapPoint,
+    /// Batched op pipeline vs per-op submission, with per-stage cost
+    /// attribution and the packed-index footprint.
+    pub pipeline: PipelineBench,
     /// Suite-sweep scaling at 1 / 2 / all cores.
     pub jobs_ladder: Vec<JobsPoint>,
 }
@@ -422,6 +526,111 @@ pub fn measure_gc_overlap(quick: bool) -> GcOverlapPoint {
     }
 }
 
+struct PipelineRun<'a> {
+    cfg: LssConfig,
+    trace: &'a [TraceRecord],
+    /// `Some(n)` replays through `n`-op [`Lss::apply_ops`] slices;
+    /// `None` submits one op at a time via `write_request`.
+    batch: Option<usize>,
+    /// Enable the op-clocked per-stage cost profiler.
+    profile: bool,
+}
+
+struct PipelineOut {
+    wall_ms: f64,
+    metrics: LssMetrics,
+    memory_bytes: u64,
+    stages: Option<StageCosts>,
+}
+
+impl PolicyVisitor<PipelineOut> for PipelineRun<'_> {
+    fn visit<P: PlacementPolicy + Send + 'static>(self, policy: P) -> PipelineOut {
+        let cfg = self.cfg.with_stage_costs(self.profile);
+        let mut engine = Lss::builder(policy, CountingArray::new(cfg.array_config()))
+            .config(cfg)
+            .gc_select(GcSelection::Greedy)
+            .build();
+        let t0 = Instant::now();
+        match self.batch {
+            None => {
+                for rec in self.trace {
+                    engine.write_request(rec.ts_us, rec.lba, rec.num_blocks);
+                }
+            }
+            Some(n) => {
+                let mut buf: Vec<HostOp> = Vec::with_capacity(n);
+                for rec in self.trace {
+                    buf.push(HostOp::write(rec.ts_us, rec.lba, rec.num_blocks));
+                    if buf.len() == n {
+                        engine.apply_ops(&buf);
+                        buf.clear();
+                    }
+                }
+                engine.apply_ops(&buf);
+            }
+        }
+        engine.flush_all();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        PipelineOut {
+            wall_ms,
+            metrics: engine.metrics().clone(),
+            memory_bytes: engine.memory_bytes() as u64,
+            stages: engine.stage_costs().copied(),
+        }
+    }
+}
+
+/// Fill a [`BlockIndex`] densely and compare its measured bytes per
+/// mapped block against the legacy enum-per-entry cost.
+fn index_footprint() -> IndexFootprint {
+    const BLOCKS: u64 = 1 << 16;
+    let mut idx = BlockIndex::default();
+    for lba in 0..BLOCKS {
+        idx.set(lba, BlockEntry::Durable { seg: (lba / 512) as u32, off: (lba % 512) as u32 });
+    }
+    let packed = idx.memory_bytes() as f64 / idx.len().max(1) as f64;
+    let legacy = std::mem::size_of::<BlockEntry>() as f64;
+    IndexFootprint {
+        blocks: BLOCKS,
+        packed_bytes_per_block: packed,
+        legacy_bytes_per_block: legacy,
+        reduction_pct: 100.0 * (1.0 - packed / legacy),
+    }
+}
+
+/// The batched pipeline point: four replays of one workload — per-op and
+/// batched, each unprofiled (timed) and profiled (stage-attributed) —
+/// plus the packed-index footprint.
+pub fn measure_pipeline(quick: bool) -> PipelineBench {
+    const BATCH: usize = 256;
+    let w: &Workload = if quick { &QUICK } else { &WORKLOADS[0] };
+    let cfg = ReplayConfig::for_volume(w.user_blocks, GcSelection::Greedy).lss;
+    let trace = trace_of(w);
+    let run = |batch: Option<usize>, profile: bool| {
+        with_policy(Scheme::Adapt, &cfg, PipelineRun { cfg, trace: &trace, batch, profile })
+    };
+    let per_op = run(None, false);
+    let batched = run(Some(BATCH), false);
+    let per_op_prof = run(None, true);
+    let batched_prof = run(Some(BATCH), true);
+    let per_op_stages = per_op_prof.stages.as_ref().expect("profiled run records stage costs");
+    let batched_stages = batched_prof.stages.as_ref().expect("profiled run records stage costs");
+    PipelineBench {
+        workload: w.name.to_string(),
+        batch: BATCH,
+        per_op_wall_ms: per_op.wall_ms,
+        batched_wall_ms: batched.wall_ms,
+        speedup: per_op.wall_ms / batched.wall_ms,
+        per_op_stage_ns: StageNsPerOp::of(per_op_stages),
+        batched_stage_ns: StageNsPerOp::of(batched_stages),
+        batched_bit_identical: batched.metrics == per_op.metrics
+            && batched.memory_bytes == per_op.memory_bytes,
+        profiled_bit_identical: per_op_prof.metrics == per_op.metrics
+            && batched_prof.metrics == per_op.metrics,
+        index: index_footprint(),
+    }
+}
+
 /// Suite-sweep wall time at `jobs = 1`, `2`, and all cores (deduplicated
 /// when the machine has fewer), each rung bit-identical by the pool's
 /// determinism contract (asserted by `perf::measure_sweep`).
@@ -458,6 +667,7 @@ pub fn run(quick: bool) -> HotpathBench {
         index_batch: bench_index_batch(quick),
         copy: measure_copy(quick),
         gc_overlap: measure_gc_overlap(quick),
+        pipeline: measure_pipeline(quick),
         jobs_ladder: measure_jobs_ladder(quick),
     }
 }
@@ -503,6 +713,25 @@ mod tests {
         assert_eq!(l[0].jobs, 1);
         assert_eq!(l[1].jobs, 2);
         assert!(l.iter().all(|p| p.wall_ms > 0.0 && p.speedup_vs_1 > 0.0));
+    }
+
+    #[test]
+    fn pipeline_point_holds_contract() {
+        // No wall-clock ratio assertion: like the index-batch point, the
+        // batching win is only meaningful on release gate runs; the
+        // contracts below hold in any build.
+        let p = measure_pipeline(true);
+        assert!(p.batched_bit_identical, "apply_ops must reproduce the per-op replay exactly");
+        assert!(p.profiled_bit_identical, "the stage profiler must not perturb results");
+        assert!(p.per_op_stage_ns.total > 0.0 && p.batched_stage_ns.total > 0.0);
+        assert!(p.per_op_wall_ms > 0.0 && p.batched_wall_ms > 0.0);
+        assert!(
+            p.index.reduction_pct >= 40.0,
+            "packed index must drop >=40% bytes/block (got {:.1}%: {:.2} vs {:.2})",
+            p.index.reduction_pct,
+            p.index.packed_bytes_per_block,
+            p.index.legacy_bytes_per_block,
+        );
     }
 
     #[test]

@@ -91,6 +91,17 @@ pub struct LssConfig {
     #[serde(default)]
     #[doc(hidden)]
     pub array_parity: usize,
+    /// Per-stage cost attribution on the write hot path: when true the
+    /// engine wall-clock-times each stage of every host write (index /
+    /// placement / policy / parity / telemetry) into
+    /// [`crate::StageCosts`], readable via `Lss::stage_costs`. Off by
+    /// default — the disabled path pays a single branch per op and the
+    /// deterministic [`crate::LssMetrics`] are bit-identical either way
+    /// (timing never feeds back into engine decisions). Also enabled by
+    /// the `ADAPT_STAGE_COSTS=1` env var in the bench binaries.
+    #[serde(default)]
+    #[doc(hidden)]
+    pub stage_costs: bool,
 }
 
 impl Default for LssConfig {
@@ -111,6 +122,7 @@ impl Default for LssConfig {
             scrub_stripes_per_op: 0,
             array_devices: 0,
             array_parity: 0,
+            stage_costs: false,
         }
     }
 }
@@ -235,6 +247,13 @@ impl LssConfig {
     /// This config with overlapped (staged) inline GC on or off.
     pub fn with_gc_overlap(mut self, overlap: bool) -> Self {
         self.gc_overlap = overlap;
+        self
+    }
+
+    /// This config with per-stage write-path cost attribution on or off
+    /// (see [`LssConfig::stage_costs`] for the determinism contract).
+    pub fn with_stage_costs(mut self, enabled: bool) -> Self {
+        self.stage_costs = enabled;
         self
     }
 }

@@ -47,7 +47,7 @@ use crate::recovery::{
 };
 use crate::segment::{Segment, SegmentState};
 use crate::telemetry::TelemetrySnapshot;
-use crate::types::{GroupId, Lba, SegmentId, Slot};
+use crate::types::{GroupId, HostOp, HostOpKind, Lba, SegmentId, Slot};
 use crate::wal::{
     self, DurabilityConfig, Wal, WalError, WalRecord, WalSlot, WalSlotKind, WalStats,
 };
@@ -68,7 +68,7 @@ pub(crate) struct Durability {
     /// Version (arrival µs) of the newest WAL-appended user write per
     /// LBA. Snapshot-serialized and replay-rebuilt, so after recovery it
     /// reflects exactly the durable prefix.
-    versions: crate::FxHashMap<Lba, u64>,
+    versions: crate::index::VersionIndex,
     /// Scratch for per-flush WAL slot lists.
     wal_slot_buf: Vec<WalSlot>,
 }
@@ -198,6 +198,31 @@ pub struct Lss<P: PlacementPolicy, S: ArraySink> {
     policy_event_buf: Vec<PolicyEvent>,
     /// Durable backend (WAL + checkpoints); `None` for in-memory engines.
     dur: Option<Box<Durability>>,
+    /// Cached earliest SLA deadline across all groups, `(deadline, gid)`
+    /// with the same lexicographic tie-break as a full scan. Valid only
+    /// when `sla_dirty` is false; every mutation of any group's
+    /// `pending_since_us` marks it dirty, so [`Lss::try_advance_time`] —
+    /// which runs on *every* host op — rescans the groups only after a
+    /// deadline actually moved instead of once per op.
+    sla_next: Option<(u64, GroupId)>,
+    /// Whether `sla_next` must be recomputed before use.
+    sla_dirty: bool,
+    /// Per-group staleness flags for the `ctx.groups` snapshots.
+    /// [`Lss::refresh_ctx`] runs before every policy callback — including
+    /// once per host write — but typically only one or two groups mutated
+    /// since the previous refresh, so rebuilding every snapshot is wasted
+    /// work. Every group mutation that a [`GroupSnapshot`] field derives
+    /// from marks its flag; refresh re-snapshots only flagged groups.
+    /// Debug builds re-derive every snapshot on each refresh and assert
+    /// equality, so a missed mark fails loudly across the test suite.
+    ctx_dirty: Vec<bool>,
+    /// Coarse override: re-snapshot every group on the next refresh
+    /// (wholesale rebuilds during recovery/replay).
+    ctx_dirty_all: bool,
+    /// Per-stage cost attribution, allocated when
+    /// [`LssConfig::stage_costs`] is set. `None` keeps the hot path on the
+    /// unprofiled branch (one `is_some` test per write).
+    stage: Option<Box<crate::metrics::StageCosts>>,
 }
 
 impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
@@ -285,6 +310,11 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             events,
             policy_event_buf: Vec::new(),
             dur: None,
+            sla_next: None,
+            sla_dirty: true,
+            ctx_dirty: vec![true; num_groups],
+            ctx_dirty_all: true,
+            stage: cfg.stage_costs.then(Box::default),
         }
     }
 
@@ -304,6 +334,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// Fallible variant of [`Lss::write`]: reports index corruption and
     /// free-pool exhaustion as typed errors instead of panicking.
     pub fn try_write(&mut self, ts_us: u64, lba: Lba) -> Result<(), EngineError> {
+        if self.stage.is_some() {
+            return self.try_write_profiled(ts_us, lba);
+        }
         self.try_advance_time(ts_us)?;
         self.note_host_op();
         // Overlapped GC: migrate a bounded slice of the staged victim
@@ -314,17 +347,85 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.metrics.host_write_bytes += self.cfg.block_bytes;
         self.user_bytes_clock += self.cfg.block_bytes;
 
-        self.retire_previous_version(lba)?;
+        // Skip the transient `Absent` store: `append_pending` below
+        // unconditionally overwrites the entry, and nothing reads the
+        // index in between (`place_user` sees only the context snapshot).
+        self.retire_entry(lba, false)?;
 
         self.refresh_ctx();
         let g = self.policy.place_user(&self.ctx, lba);
         debug_assert!((g as usize) < self.groups.len(), "policy returned bad group");
+        self.ctx_dirty[g as usize] = true;
         self.groups[g as usize].note_arrival(self.now_us);
         self.append_pending(
             g,
             PendingBlock { lba, traffic: Traffic::User, arrival_us: self.now_us, needs_sla: true },
         )?;
         self.wal_commit()
+    }
+
+    /// [`Lss::try_write`] with per-stage wall-clock attribution: the same
+    /// calls in the same order (engine state evolves bit-identically —
+    /// timing is write-only, it never feeds a decision), with an
+    /// `Instant` read between stages. Out of line so the unprofiled hot
+    /// path pays only the `stage.is_some()` branch. An error mid-write
+    /// abandons that op's attribution — acceptable for a profiler, and
+    /// the deterministic error behavior is untouched.
+    #[cold]
+    fn try_write_profiled(&mut self, ts_us: u64, lba: Lba) -> Result<(), EngineError> {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        self.try_advance_time(ts_us)?;
+        let t1 = Instant::now();
+        self.note_host_op();
+        let t2 = Instant::now();
+        self.gc_overlap_tick()?;
+        let t3 = Instant::now();
+        self.metrics.host_write_bytes += self.cfg.block_bytes;
+        self.user_bytes_clock += self.cfg.block_bytes;
+        self.retire_entry(lba, false)?;
+        let t4 = Instant::now();
+        self.refresh_ctx();
+        let t5 = Instant::now();
+        let g = self.policy.place_user(&self.ctx, lba);
+        let t6 = Instant::now();
+        debug_assert!((g as usize) < self.groups.len(), "policy returned bad group");
+        self.ctx_dirty[g as usize] = true;
+        self.groups[g as usize].note_arrival(self.now_us);
+        self.append_pending(
+            g,
+            PendingBlock { lba, traffic: Traffic::User, arrival_us: self.now_us, needs_sla: true },
+        )?;
+        let t7 = Instant::now();
+        let result = self.wal_commit();
+        let t8 = Instant::now();
+        let ns = |a: Instant, b: Instant| (b - a).as_nanos() as u64;
+        let st = self.stage.as_mut().expect("profiled path requires stage accumulator");
+        st.ops += 1;
+        st.clock_ns += ns(t0, t1);
+        st.telemetry_ns += ns(t1, t2);
+        st.gc_ns += ns(t2, t3);
+        st.index_ns += ns(t3, t4);
+        st.placement_ns += ns(t4, t5);
+        st.policy_ns += ns(t5, t6);
+        st.parity_ns += ns(t6, t7);
+        st.wal_ns += ns(t7, t8);
+        result
+    }
+
+    /// Per-stage cost attribution accumulated so far, when
+    /// [`LssConfig::stage_costs`] is on. `None` when attribution is
+    /// disabled.
+    pub fn stage_costs(&self) -> Option<&crate::metrics::StageCosts> {
+        self.stage.as_deref()
+    }
+
+    /// Zero the stage-cost accumulator (start of a measurement window),
+    /// mirroring [`Lss::reset_metrics`]. No-op when attribution is off.
+    pub fn reset_stage_costs(&mut self) {
+        if let Some(st) = self.stage.as_deref_mut() {
+            *st = Default::default();
+        }
     }
 
     /// Process a multi-block host write request.
@@ -345,6 +446,50 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     ) -> Result<(), EngineError> {
         for i in 0..num_blocks as u64 {
             self.try_write(ts_us, lba + i)?;
+        }
+        Ok(())
+    }
+
+    /// Apply a batch of host operations in order.
+    ///
+    /// # Panics
+    ///
+    /// On any [`EngineError`]; use [`Lss::try_apply_ops`].
+    pub fn apply_ops(&mut self, ops: &[HostOp]) {
+        self.try_apply_ops(ops).unwrap_or_else(|(i, e)| panic!("op {i}: {e}"));
+    }
+
+    /// Fallible batched entry point: apply `ops` in order, stopping at the
+    /// first failure, which is reported with the index of the op that hit
+    /// it so the embedder can complete that op's ticket and resume the
+    /// remainder with a fresh call.
+    ///
+    /// # Determinism contract
+    ///
+    /// The batch is *defined* as the op-at-a-time loop: every op runs the
+    /// identical per-op sequence — including its own WAL group commit, so
+    /// acknowledgement and checkpoint cadence cannot shift with batch
+    /// size — and engine state, metrics, and the durable log are
+    /// bit-identical at every batch boundary for **any** partitioning of
+    /// the same op stream (proptest-pinned). What batching buys is
+    /// everything *around* the engine: the serve drain loop amortizes its
+    /// per-op telemetry probes, ticket completion, and queue round-trips
+    /// over the whole slice, and callers hand the engine one contiguous
+    /// run instead of `n` virtual-call round-trips.
+    pub fn try_apply_ops(&mut self, ops: &[HostOp]) -> Result<(), (usize, EngineError)> {
+        for (i, op) in ops.iter().enumerate() {
+            let r = match op.kind {
+                HostOpKind::Write => {
+                    if op.blocks == 1 {
+                        self.try_write(op.ts_us, op.lba)
+                    } else {
+                        self.try_write_request(op.ts_us, op.lba, op.blocks)
+                    }
+                }
+                HostOpKind::Read => self.try_read_request(op.ts_us, op.lba, op.blocks),
+                HostOpKind::Trim => self.try_trim(op.ts_us, op.lba, op.blocks),
+            };
+            r.map_err(|e| (i, e))?;
         }
         Ok(())
     }
@@ -495,14 +640,30 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// Fallible variant of [`Lss::advance_time`].
     pub fn try_advance_time(&mut self, ts_us: u64) -> Result<(), EngineError> {
         loop {
-            let next = self
-                .groups
-                .iter()
-                .filter_map(|g| g.sla_deadline(self.cfg.sla_us).map(|d| (d, g.id)))
-                .min();
-            match next {
+            if self.sla_dirty {
+                self.sla_next = self
+                    .groups
+                    .iter()
+                    .filter_map(|g| g.sla_deadline(self.cfg.sla_us).map(|d| (d, g.id)))
+                    .min();
+                self.sla_dirty = false;
+            }
+            // Debug builds re-derive the minimum on every use: a mutation
+            // site missing its `sla_dirty` mark trips this across the
+            // whole test suite instead of silently shifting a deadline.
+            debug_assert_eq!(
+                self.sla_next,
+                self.groups
+                    .iter()
+                    .filter_map(|g| g.sla_deadline(self.cfg.sla_us).map(|d| (d, g.id)))
+                    .min(),
+                "stale SLA-deadline cache"
+            );
+            match self.sla_next {
                 Some((deadline, gid)) if deadline <= ts_us => {
                     self.now_us = self.now_us.max(deadline);
+                    // Expiry handling flushes or shadow-appends, which
+                    // moves `pending_since_us` and re-marks the cache.
                     self.handle_sla_expiry(gid)?;
                 }
                 _ => break,
@@ -940,6 +1101,15 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
 
     /// Invalidate whatever copy of `lba` currently exists.
     fn retire_previous_version(&mut self, lba: Lba) -> Result<(), EngineError> {
+        self.retire_entry(lba, true)
+    }
+
+    /// [`Lss::retire_previous_version`] with the final index store made
+    /// optional: the write hot path passes `clear_index = false` because
+    /// `append_pending` immediately overwrites the entry anyway (and
+    /// nothing can fail or read the index before that store lands), which
+    /// saves one packed-word write per host block.
+    fn retire_entry(&mut self, lba: Lba, clear_index: bool) -> Result<(), EngineError> {
         match self.index.get(lba) {
             BlockEntry::Absent => {}
             BlockEntry::Durable { seg, off } => {
@@ -947,6 +1117,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 self.invalidate_block(seg);
             }
             BlockEntry::Pending { group, shadow } => {
+                self.ctx_dirty[group as usize] = true;
                 let g = &mut self.groups[group as usize];
                 let pos = g.find_pending(lba).ok_or_else(|| EngineError::IndexCorruption {
                     lba,
@@ -954,6 +1125,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 })?;
                 g.pending.swap_remove(pos);
                 g.recompute_pending_since();
+                self.sla_dirty = true;
                 self.metrics.buffer_absorbed_blocks += 1;
                 if let Some((seg, off)) = shadow {
                     debug_assert_eq!(self.segments[seg as usize].slot(off), Slot::Shadow(lba));
@@ -962,7 +1134,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 }
             }
         }
-        self.index.set(lba, BlockEntry::Absent);
+        if clear_index {
+            self.index.set(lba, BlockEntry::Absent);
+        }
         Ok(())
     }
 
@@ -984,11 +1158,13 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         let lba = block.lba;
         let needs_sla = block.needs_sla;
         let arrival = block.arrival_us;
+        self.ctx_dirty[gid as usize] = true;
         {
             let g = &mut self.groups[gid as usize];
             g.pending.push(block);
             if needs_sla && g.pending_since_us.is_none() {
                 g.pending_since_us = Some(arrival);
+                self.sla_dirty = true;
             }
         }
         self.index.set(lba, BlockEntry::Pending { group: gid, shadow: None });
@@ -1041,11 +1217,13 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.shadow_scratch = shadows;
         flushed?;
         // Home blocks are now persistent via their shadows: stop the timer.
+        self.ctx_dirty[home as usize] = true;
         let g = &mut self.groups[home as usize];
         for p in &mut g.pending {
             p.needs_sla = false;
         }
         g.pending_since_us = None;
+        self.sla_dirty = true;
         Ok(())
     }
 
@@ -1074,6 +1252,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         let seg_id = self.groups[gid as usize].open_segment;
 
         // Drain at most one chunk's worth of pending blocks (oldest first).
+        self.ctx_dirty[gid as usize] = true;
         let max_payload = (chunk_blocks as usize).saturating_sub(shadows.len());
         let take_n = self.groups[gid as usize].pending.len().min(max_payload);
         let mut pending = self.pending_pool.pop().unwrap_or_default();
@@ -1193,6 +1372,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         let pad_cnt = pad as u64;
         self.groups[gid as usize].account_chunk(user, gc, shadow_cnt, pad_cnt);
         self.groups[gid as usize].recompute_pending_since();
+        self.sla_dirty = true;
+        self.ctx_dirty[gid as usize] = true;
         self.metrics.user_bytes += user * block_bytes;
         self.metrics.gc_bytes += gc * block_bytes;
         self.metrics.shadow_bytes += shadow_cnt * block_bytes;
@@ -1286,6 +1467,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.groups[gid as usize].sealed.push(seg_id);
         self.groups[gid as usize].roll_window();
         self.groups[gid as usize].open_segment = SegmentId::MAX;
+        self.ctx_dirty[gid as usize] = true;
         self.refresh_ctx();
         self.policy.on_segment_sealed(&self.ctx, &meta);
         if !self.in_gc && self.should_inline_gc() {
@@ -1362,6 +1544,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.segments[seg_id as usize].open_seq = self.next_open_seq;
         self.next_open_seq += 1;
         self.groups[gid as usize].open_segment = seg_id;
+        self.ctx_dirty[gid as usize] = true;
         if self.dur.is_some() {
             let s = &self.segments[seg_id as usize];
             self.wal_append(WalRecord::Open {
@@ -1503,6 +1686,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         }
         self.buckets.remove(victim_id);
         let pos = self.segments[victim_id as usize].group_pos as usize;
+        self.ctx_dirty[victim_group as usize] = true;
         let g = &mut self.groups[victim_group as usize];
         debug_assert_eq!(g.sealed.get(pos), Some(&victim_id));
         g.sealed.swap_remove(pos);
@@ -1552,10 +1736,12 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                     // drop the home pending entry — the block's data already
                     // moved, rewriting it later would only add traffic.
                     if let BlockEntry::Pending { group: home, .. } = self.index.get(lba) {
+                        self.ctx_dirty[home as usize] = true;
                         let hg = &mut self.groups[home as usize];
                         if let Some(pos) = hg.find_pending(lba) {
                             hg.pending.swap_remove(pos);
                             hg.recompute_pending_since();
+                            self.sla_dirty = true;
                         }
                     }
                     let dest = self.policy.place_gc(&self.ctx, lba, &st.vm);
@@ -1653,7 +1839,12 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// SLA exists precisely to bound that window.
     pub fn recover_index(&self) -> BlockIndex {
         let chunk_blocks = self.cfg.chunk_blocks;
-        let mut best: crate::FxHashMap<Lba, (u64, u32, SegmentId)> = crate::FxHashMap::default();
+        // LBAs are dense, so the best-copy scan keeps one slot per block
+        // instead of hashing every written slot; flush sequences never
+        // reach u64::MAX, so that triple is a safe vacancy sentinel.
+        const EMPTY: (u64, u32, SegmentId) = (u64::MAX, u32::MAX, SegmentId::MAX);
+        let mut best: crate::index::DenseMap<(u64, u32, SegmentId)> =
+            crate::index::DenseMap::with_capacity(EMPTY, self.index.len());
         for seg in &self.segments {
             if seg.state == SegmentState::Free {
                 continue;
@@ -1664,8 +1855,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                     _ => continue,
                 };
                 let flush_seq = seg.chunk_seqs[(off / chunk_blocks) as usize];
-                match best.get(&lba) {
-                    Some(&(s, o, _)) if (s, o) >= (flush_seq, off) => {}
+                match best.get(lba) {
+                    Some((s, o, _)) if (s, o) >= (flush_seq, off) => {}
                     _ => {
                         best.insert(lba, (flush_seq, off, seg.id));
                     }
@@ -1673,7 +1864,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             }
         }
         let mut index = BlockIndex::with_capacity(best.len() as u64);
-        for (lba, (_, off, seg)) in best {
+        for (lba, (_, off, seg)) in best.iter() {
             index.set(lba, BlockEntry::Durable { seg, off });
         }
         index
@@ -1728,7 +1919,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             }
             WalRecord::Trim { lba, blocks } => {
                 for i in 0..*blocks as u64 {
-                    d.versions.remove(&(lba + i));
+                    d.versions.remove(lba + i);
                 }
             }
             _ => {}
@@ -1802,7 +1993,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
             wal,
             dir: dir.to_path_buf(),
             flushes_since_checkpoint: 0,
-            versions: crate::FxHashMap::default(),
+            versions: crate::index::VersionIndex::new(),
             wal_slot_buf: Vec::new(),
         }));
         Ok(())
@@ -1834,7 +2025,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     /// the durable backend. On a freshly recovered engine this reflects
     /// exactly the durable prefix — the crash sweep's ground truth.
     pub fn durable_version(&self, lba: Lba) -> Option<u64> {
-        self.dur.as_ref().and_then(|d| d.versions.get(&lba).copied())
+        self.dur.as_ref().and_then(|d| d.versions.get(lba))
     }
 
     /// Snapshot the complete logical engine state for a checkpoint.
@@ -1897,8 +2088,9 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 }
             }
         }
-        let mut versions: Vec<(u64, u64)> = d.versions.iter().map(|(&l, &v)| (l, v)).collect();
-        versions.sort_unstable();
+        // `VersionIndex::iter` walks LBA order, so the snapshot comes out
+        // sorted without an explicit pass.
+        let versions: Vec<(u64, u64)> = d.versions.iter().collect();
         DurableState {
             geometry: GeometrySnap {
                 block_bytes: self.cfg.block_bytes,
@@ -1928,8 +2120,11 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     fn apply_durable_state(
         &mut self,
         state: &DurableState,
-        versions: &mut crate::FxHashMap<Lba, u64>,
+        versions: &mut crate::index::VersionIndex,
     ) -> Result<(), RecoveryError> {
+        // Groups are rebuilt wholesale below; every context snapshot is
+        // stale afterwards.
+        self.ctx_dirty_all = true;
         let bad = |detail: String| RecoveryError::BadCheckpoint { detail };
         let g = &state.geometry;
         let want = GeometrySnap {
@@ -2066,8 +2261,13 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         self.ops_seen = state.ops_seen;
         self.next_open_seq = state.next_open_seq;
         self.next_flush_seq = state.next_flush_seq;
+        // Group pending buffers were rebuilt wholesale; any cached SLA
+        // deadline is stale (`recover_in_place` recomputes per group).
+        self.sla_dirty = true;
         versions.clear();
-        versions.extend(state.versions.iter().copied());
+        for &(lba, version) in &state.versions {
+            versions.insert(lba, version);
+        }
         Ok(())
     }
 
@@ -2079,10 +2279,13 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
     fn replay_record(
         &mut self,
         rec: &WalRecord,
-        versions: &mut crate::FxHashMap<Lba, u64>,
+        versions: &mut crate::index::VersionIndex,
         detached: &mut Vec<SegmentId>,
         report: &mut RecoveryReport,
     ) -> Result<(), RecoveryError> {
+        // Replay mutates groups along many arms; this is a cold path, so
+        // one wholesale mark per record beats per-arm bookkeeping.
+        self.ctx_dirty_all = true;
         let bad = |detail: String| RecoveryError::Replay { detail };
         match rec {
             WalRecord::Open { seg, group, open_seq, created_user_bytes, created_ts_us } => {
@@ -2245,6 +2448,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                 self.next_flush_seq += 1;
                 self.groups[gid].account_chunk(user, gc, shadow_cnt, *pad_blocks as u64);
                 self.groups[gid].recompute_pending_since();
+                self.sla_dirty = true;
                 self.now_us = self.now_us.max(*now_us);
                 self.user_bytes_clock = self.user_bytes_clock.max(*user_bytes_clock);
                 if self.segments[*seg as usize].is_full() {
@@ -2306,7 +2510,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
                         self.retire_previous_version(lba + i)
                             .map_err(|e| bad(format!("trim lba {}: {e}", lba + i)))?;
                     }
-                    versions.remove(&(lba + i));
+                    versions.remove(lba + i);
                 }
             }
         }
@@ -2322,7 +2526,8 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         cfg: DurabilityConfig,
     ) -> Result<RecoveryReport, RecoveryError> {
         let mut report = RecoveryReport::default();
-        let mut versions = crate::FxHashMap::default();
+        let mut versions = crate::index::VersionIndex::new();
+        self.ctx_dirty_all = true;
         let checkpoint = recovery::load_checkpoint(dir)?;
         let start_idx = match &checkpoint {
             Some(state) => {
@@ -2370,6 +2575,7 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         for grp in &mut self.groups {
             grp.recompute_pending_since();
         }
+        self.sla_dirty = true;
         // Hand the sink the replayed tail (the flushes a checkpoint-time
         // sink sync does not already cover) so it can verify, restore, or
         // truncate its own records.
@@ -2419,21 +2625,49 @@ impl<P: PlacementPolicy, S: ArraySink> Lss<P, S> {
         Ok(report)
     }
 
-    /// Refresh the scratch policy context from engine state.
+    /// Rebuild one group's snapshot from its current state.
+    fn snap_group(snap: &mut crate::placement::GroupSnapshot, g: &Group, chunk_blocks: u32) {
+        let (wb, wpc, wpb) = g.window_totals();
+        snap.pending_blocks = g.pending.len() as u32;
+        snap.chunk_blocks = chunk_blocks;
+        snap.segments = g.segment_count();
+        snap.user_blocks = g.user_blocks;
+        snap.gc_blocks = g.gc_blocks;
+        snap.window_blocks = wb;
+        snap.window_pad_chunks = wpc;
+        snap.window_pad_blocks = wpb;
+        snap.ewma_gap_us = g.ewma_gap_us();
+    }
+
+    /// Refresh the scratch policy context from engine state. Incremental:
+    /// only groups whose `ctx_dirty` flag is set since the previous
+    /// refresh are re-snapshotted (see the field docs for the contract).
     fn refresh_ctx(&mut self) {
         self.ctx.now_us = self.now_us;
         self.ctx.user_bytes = self.user_bytes_clock;
-        for (snap, g) in self.ctx.groups.iter_mut().zip(&self.groups) {
-            let (wb, wpc, wpb) = g.window_totals();
-            snap.pending_blocks = g.pending.len() as u32;
-            snap.chunk_blocks = self.cfg.chunk_blocks;
-            snap.segments = g.segment_count();
-            snap.user_blocks = g.user_blocks;
-            snap.gc_blocks = g.gc_blocks;
-            snap.window_blocks = wb;
-            snap.window_pad_chunks = wpc;
-            snap.window_pad_blocks = wpb;
-            snap.ewma_gap_us = g.ewma_gap_us();
+        let chunk_blocks = self.cfg.chunk_blocks;
+        if self.ctx_dirty_all {
+            self.ctx_dirty_all = false;
+            self.ctx_dirty.fill(false);
+            for (snap, g) in self.ctx.groups.iter_mut().zip(&self.groups) {
+                Self::snap_group(snap, g, chunk_blocks);
+            }
+        } else {
+            for (i, dirty) in self.ctx_dirty.iter_mut().enumerate() {
+                if *dirty {
+                    *dirty = false;
+                    Self::snap_group(&mut self.ctx.groups[i], &self.groups[i], chunk_blocks);
+                }
+            }
+        }
+        // Debug builds re-derive every snapshot on every refresh: a group
+        // mutation site missing its `ctx_dirty` mark trips this across the
+        // whole test suite instead of silently handing policies stale state.
+        #[cfg(debug_assertions)]
+        for (snap, g) in self.ctx.groups.iter().zip(&self.groups) {
+            let mut fresh = crate::placement::GroupSnapshot::default();
+            Self::snap_group(&mut fresh, g, chunk_blocks);
+            debug_assert_eq!(*snap, fresh, "stale policy-context cache for group {}", g.id);
         }
     }
 }

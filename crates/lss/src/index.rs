@@ -5,7 +5,26 @@
 //! segment slot, or still pending in a group's open-chunk buffer —
 //! optionally with a durable *shadow* copy somewhere else (ADAPT's lazy
 //! append state, §3.3).
+//!
+//! # Packed representation
+//!
+//! [`BlockEntry`] is the *value* type callers see; the table itself stores
+//! one tagged 64-bit word per LBA (half the 16 bytes the enum needs),
+//! because the index is the hottest randomly-accessed structure on the
+//! write path and its cache footprint is what shows up in replay time:
+//!
+//! ```text
+//!   bits 63..62  tag: 00 Absent · 01 Durable · 10 Pending · 11 Pending+shadow
+//!   Durable:     bits 61..32 slot offset (30 bits) · bits 31..0 segment id
+//!   Pending:     bits 7..0 home group
+//! ```
+//!
+//! `Absent` is the all-zero word, so growth is a plain zero fill. The rare
+//! `Pending { shadow: Some(..) }` state (ADAPT's lazy append; bounded by
+//! the pending-buffer size, not the address space) spills its durable
+//! shadow slot to a small side map keyed by LBA.
 
+use crate::fxhash::FxHashMap;
 use crate::types::{GroupId, Lba, SegmentId};
 
 /// Where the current version of a block lives.
@@ -32,51 +51,121 @@ pub enum BlockEntry {
     },
 }
 
-/// Dense, growable LBA index.
+const TAG_SHIFT: u32 = 62;
+const TAG_ABSENT: u64 = 0;
+const TAG_DURABLE: u64 = 1;
+const TAG_PENDING: u64 = 2;
+const TAG_PENDING_SHADOW: u64 = 3;
+/// Slot offsets must fit the 30 bits between the segment id and the tag.
+const MAX_OFF: u32 = (1 << 30) - 1;
+
+#[inline]
+fn encode(entry: BlockEntry) -> (u64, Option<(SegmentId, u32)>) {
+    match entry {
+        BlockEntry::Absent => (TAG_ABSENT << TAG_SHIFT, None),
+        BlockEntry::Durable { seg, off } => {
+            debug_assert!(off <= MAX_OFF, "slot offset {off} exceeds 30 bits");
+            ((TAG_DURABLE << TAG_SHIFT) | ((off as u64) << 32) | seg as u64, None)
+        }
+        BlockEntry::Pending { group, shadow: None } => {
+            ((TAG_PENDING << TAG_SHIFT) | group as u64, None)
+        }
+        BlockEntry::Pending { group, shadow: Some(slot) } => {
+            ((TAG_PENDING_SHADOW << TAG_SHIFT) | group as u64, Some(slot))
+        }
+    }
+}
+
+/// Dense, growable LBA index over packed 8-byte words.
 #[derive(Debug, Default)]
 pub struct BlockIndex {
-    entries: Vec<BlockEntry>,
+    words: Vec<u64>,
+    /// Durable shadow slots for the `Pending + shadow` entries (rare:
+    /// bounded by in-flight lazy appends, not by the address space).
+    shadows: FxHashMap<Lba, (SegmentId, u32)>,
 }
 
 impl BlockIndex {
     /// Create with capacity hint.
     pub fn with_capacity(blocks: u64) -> Self {
-        Self { entries: Vec::with_capacity(blocks as usize) }
+        Self { words: Vec::with_capacity(blocks as usize), shadows: FxHashMap::default() }
+    }
+
+    #[inline]
+    fn decode(&self, lba: Lba, word: u64) -> BlockEntry {
+        match word >> TAG_SHIFT {
+            TAG_ABSENT => BlockEntry::Absent,
+            TAG_DURABLE => BlockEntry::Durable {
+                seg: (word & u32::MAX as u64) as SegmentId,
+                off: ((word >> 32) & MAX_OFF as u64) as u32,
+            },
+            TAG_PENDING => BlockEntry::Pending { group: (word & 0xFF) as GroupId, shadow: None },
+            _ => BlockEntry::Pending {
+                group: (word & 0xFF) as GroupId,
+                shadow: Some(
+                    *self.shadows.get(&lba).expect("shadow-tagged word without side entry"),
+                ),
+            },
+        }
     }
 
     /// Current entry for `lba` ([`BlockEntry::Absent`] if out of range).
     #[inline]
     pub fn get(&self, lba: Lba) -> BlockEntry {
-        self.entries.get(lba as usize).copied().unwrap_or(BlockEntry::Absent)
+        match self.words.get(lba as usize) {
+            Some(&w) => self.decode(lba, w),
+            None => BlockEntry::Absent,
+        }
+    }
+
+    /// Store `entry` at an in-range `lba`, keeping the shadow side map in
+    /// sync (an entry leaving the `Pending + shadow` state drops its side
+    /// slot, so the map never leaks).
+    #[inline]
+    fn store(&mut self, lba: Lba, entry: BlockEntry) {
+        let (word, shadow) = encode(entry);
+        let old = std::mem::replace(&mut self.words[lba as usize], word);
+        match shadow {
+            Some(slot) => {
+                self.shadows.insert(lba, slot);
+            }
+            None => {
+                if old >> TAG_SHIFT == TAG_PENDING_SHADOW {
+                    self.shadows.remove(&lba);
+                }
+            }
+        }
     }
 
     /// Set the entry for `lba`, growing the table as needed.
     #[inline]
     pub fn set(&mut self, lba: Lba, entry: BlockEntry) {
         let idx = lba as usize;
-        if idx >= self.entries.len() {
-            self.entries.resize(idx + 1, BlockEntry::Absent);
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0);
         }
-        self.entries[idx] = entry;
+        self.store(lba, entry);
     }
 
     /// Apply a batch of `(lba → entry)` remaps in order.
     ///
     /// Semantically identical to calling [`BlockIndex::set`] once per pair
-    /// (later pairs win on duplicate LBAs), but the table is grown at most
-    /// once — one max scan, one resize — instead of bounds-checking the
-    /// grow path per call. Flush and GC migration collect a chunk's worth
-    /// of remaps and apply them here, pairing with the single WAL `Flush`
-    /// record that already covers the batch.
+    /// (later pairs win on duplicate LBAs), but the table grows at most
+    /// once: the batch is scanned for its max LBA only from the first
+    /// out-of-range element onward, so the steady state — a table already
+    /// large enough — is a single write pass with no scan at all. Flush
+    /// and GC migration collect a chunk's worth of remaps and apply them
+    /// here, pairing with the single WAL `Flush` record that already
+    /// covers the batch.
     pub fn apply_batch(&mut self, updates: &[(Lba, BlockEntry)]) {
-        let Some(max_lba) = updates.iter().map(|&(lba, _)| lba).max() else {
-            return;
-        };
-        if max_lba as usize >= self.entries.len() {
-            self.entries.resize(max_lba as usize + 1, BlockEntry::Absent);
-        }
-        for &(lba, entry) in updates {
-            self.entries[lba as usize] = entry;
+        for (i, &(lba, entry)) in updates.iter().enumerate() {
+            if lba as usize >= self.words.len() {
+                // One resize covers every remaining element.
+                let max_lba =
+                    updates[i..].iter().map(|&(l, _)| l).max().expect("non-empty remainder");
+                self.words.resize(max_lba as usize + 1, 0);
+            }
+            self.store(lba, entry);
         }
     }
 
@@ -84,26 +173,195 @@ impl BlockIndex {
     /// Shadow copies count as live while referenced by a pending entry.
     #[inline]
     pub fn is_live(&self, lba: Lba, seg: SegmentId, off: u32) -> bool {
-        match self.get(lba) {
-            BlockEntry::Durable { seg: s, off: o } => s == seg && o == off,
-            BlockEntry::Pending { shadow: Some((s, o)), .. } => s == seg && o == off,
+        let Some(&word) = self.words.get(lba as usize) else {
+            return false;
+        };
+        match word >> TAG_SHIFT {
+            TAG_DURABLE => {
+                (word & u32::MAX as u64) as SegmentId == seg
+                    && ((word >> 32) & MAX_OFF as u64) as u32 == off
+            }
+            TAG_PENDING_SHADOW => self.shadows.get(&lba) == Some(&(seg, off)),
             _ => false,
         }
     }
 
     /// Number of tracked LBAs (table size, not live count).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.words.len()
     }
 
     /// True when no LBA has ever been written.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.words.is_empty()
     }
 
-    /// Approximate resident bytes of the index.
+    /// Entries currently in the `Pending + shadow` state (side-map size).
+    pub fn shadow_entries(&self) -> usize {
+        self.shadows.len()
+    }
+
+    /// Approximate resident bytes of the index: one packed word per LBA
+    /// plus the (small) shadow side map.
     pub fn memory_bytes(&self) -> usize {
-        self.entries.capacity() * std::mem::size_of::<BlockEntry>()
+        self.words.capacity() * std::mem::size_of::<u64>()
+            + self.shadows.capacity()
+                * (std::mem::size_of::<Lba>() + std::mem::size_of::<(SegmentId, u32)>())
+    }
+}
+
+/// Dense, growable `Lba → T` map sharing [`BlockIndex`]'s grow discipline:
+/// a flat `Vec` indexed by LBA with a caller-chosen `empty` sentinel, so
+/// lookups are one bounds check + one load instead of a hash probe, and
+/// iteration is naturally LBA-ordered.
+#[derive(Debug, Clone)]
+pub struct DenseMap<T> {
+    slots: Vec<T>,
+    empty: T,
+    live: usize,
+}
+
+impl<T: Copy + PartialEq> DenseMap<T> {
+    /// Empty map; `empty` is the sentinel no inserted value may equal.
+    pub fn new(empty: T) -> Self {
+        Self { slots: Vec::new(), empty, live: 0 }
+    }
+
+    /// Empty map with a capacity hint.
+    pub fn with_capacity(empty: T, blocks: usize) -> Self {
+        Self { slots: Vec::with_capacity(blocks), empty, live: 0 }
+    }
+
+    /// Value for `lba`, `None` when unset or out of range.
+    #[inline]
+    pub fn get(&self, lba: Lba) -> Option<T> {
+        match self.slots.get(lba as usize) {
+            Some(&v) if v != self.empty => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Insert or overwrite; grows the table as needed.
+    #[inline]
+    pub fn insert(&mut self, lba: Lba, value: T) {
+        debug_assert!(value != self.empty, "sentinel value inserted into DenseMap");
+        let idx = lba as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, self.empty);
+        }
+        if self.slots[idx] == self.empty {
+            self.live += 1;
+        }
+        self.slots[idx] = value;
+    }
+
+    /// Remove `lba`'s value, returning it if present.
+    #[inline]
+    pub fn remove(&mut self, lba: Lba) -> Option<T> {
+        let slot = self.slots.get_mut(lba as usize)?;
+        if *slot == self.empty {
+            return None;
+        }
+        self.live -= 1;
+        Some(std::mem::replace(slot, self.empty))
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no entry is set.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.live = 0;
+    }
+
+    /// Live `(lba, value)` pairs in ascending LBA order.
+    pub fn iter(&self) -> impl Iterator<Item = (Lba, T)> + '_ {
+        let empty = self.empty;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &v)| v != empty)
+            .map(|(lba, &v)| (lba as Lba, v))
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+/// Dense `Lba → version` map for the durable-version bookkeeping: the WAL
+/// layer records, per LBA, the newest acknowledged write version. Replaces
+/// the old `FxHashMap<Lba, u64>` — the key space is the same dense LBA
+/// range the block index covers, so a flat vector with a `u64::MAX`
+/// sentinel is both smaller and faster, and iterating it yields the
+/// LBA-sorted order checkpoint serialization needs with no sort.
+#[derive(Debug, Clone)]
+pub struct VersionIndex {
+    map: DenseMap<u64>,
+}
+
+impl Default for VersionIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionIndex {
+    /// Versions are µs timestamps; `u64::MAX` is reserved as the sentinel.
+    pub fn new() -> Self {
+        Self { map: DenseMap::new(u64::MAX) }
+    }
+
+    /// Newest durable version of `lba`, if any.
+    #[inline]
+    pub fn get(&self, lba: Lba) -> Option<u64> {
+        self.map.get(lba)
+    }
+
+    /// Record `version` as `lba`'s newest durable version.
+    #[inline]
+    pub fn insert(&mut self, lba: Lba, version: u64) {
+        self.map.insert(lba, version);
+    }
+
+    /// Forget `lba` (trim).
+    #[inline]
+    pub fn remove(&mut self, lba: Lba) {
+        self.map.remove(lba);
+    }
+
+    /// Number of LBAs with a durable version.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no LBA has a durable version.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Live `(lba, version)` pairs in ascending LBA order.
+    pub fn iter(&self) -> impl Iterator<Item = (Lba, u64)> + '_ {
+        self.map.iter()
+    }
+
+    /// Approximate resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.map.memory_bytes()
     }
 }
 
@@ -125,6 +383,56 @@ mod tests {
         assert_eq!(idx.get(5), BlockEntry::Durable { seg: 2, off: 7 });
         assert_eq!(idx.get(4), BlockEntry::Absent);
         assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn packed_roundtrip_all_variants() {
+        let entries = [
+            BlockEntry::Absent,
+            BlockEntry::Durable { seg: 0, off: 0 },
+            BlockEntry::Durable { seg: SegmentId::MAX - 1, off: MAX_OFF },
+            BlockEntry::Pending { group: 0, shadow: None },
+            BlockEntry::Pending { group: 255, shadow: None },
+            BlockEntry::Pending { group: 7, shadow: Some((12, 3)) },
+            BlockEntry::Pending { group: 255, shadow: Some((SegmentId::MAX - 1, MAX_OFF)) },
+        ];
+        let mut idx = BlockIndex::default();
+        for (lba, &e) in entries.iter().enumerate() {
+            idx.set(lba as Lba, e);
+        }
+        for (lba, &e) in entries.iter().enumerate() {
+            assert_eq!(idx.get(lba as Lba), e, "lba {lba}");
+        }
+    }
+
+    #[test]
+    fn shadow_side_map_does_not_leak() {
+        let mut idx = BlockIndex::default();
+        idx.set(3, BlockEntry::Pending { group: 1, shadow: Some((9, 4)) });
+        assert_eq!(idx.shadow_entries(), 1);
+        assert!(idx.is_live(3, 9, 4));
+        // Leaving the shadow state drops the side entry.
+        idx.set(3, BlockEntry::Durable { seg: 2, off: 0 });
+        assert_eq!(idx.shadow_entries(), 0);
+        assert!(!idx.is_live(3, 9, 4));
+        // Re-entering replaces it; overwriting with a new shadow keeps one.
+        idx.set(3, BlockEntry::Pending { group: 1, shadow: Some((9, 5)) });
+        idx.set(3, BlockEntry::Pending { group: 1, shadow: Some((9, 6)) });
+        assert_eq!(idx.shadow_entries(), 1);
+        assert!(idx.is_live(3, 9, 6));
+        idx.set(3, BlockEntry::Absent);
+        assert_eq!(idx.shadow_entries(), 0);
+    }
+
+    #[test]
+    fn packed_entry_is_eight_bytes_per_block() {
+        let mut idx = BlockIndex::with_capacity(1024);
+        for lba in 0..1024 {
+            idx.set(lba, BlockEntry::Durable { seg: 1, off: (lba % 64) as u32 });
+        }
+        assert_eq!(idx.memory_bytes(), 1024 * 8);
+        // The legacy enum layout was 16 bytes per entry.
+        assert!(std::mem::size_of::<BlockEntry>() >= 16);
     }
 
     #[test]
@@ -171,11 +479,92 @@ mod tests {
     }
 
     #[test]
+    fn apply_batch_duplicate_lba_last_write_wins() {
+        // Regression: duplicates within one batch must resolve to the
+        // *last* pair, including when the duplicate toggles the shadow
+        // side-map state back and forth.
+        let mut idx = BlockIndex::default();
+        idx.apply_batch(&[
+            (5, BlockEntry::Pending { group: 1, shadow: Some((2, 2)) }),
+            (5, BlockEntry::Durable { seg: 8, off: 1 }),
+            (5, BlockEntry::Durable { seg: 8, off: 2 }),
+        ]);
+        assert_eq!(idx.get(5), BlockEntry::Durable { seg: 8, off: 2 });
+        assert_eq!(idx.shadow_entries(), 0, "superseded shadow must drop its side entry");
+        idx.apply_batch(&[
+            (5, BlockEntry::Durable { seg: 9, off: 0 }),
+            (5, BlockEntry::Pending { group: 3, shadow: Some((4, 4)) }),
+        ]);
+        assert_eq!(idx.get(5), BlockEntry::Pending { group: 3, shadow: Some((4, 4)) });
+        assert_eq!(idx.shadow_entries(), 1);
+    }
+
+    #[test]
+    fn apply_batch_in_range_skips_growth() {
+        let mut idx = BlockIndex::default();
+        idx.set(100, BlockEntry::Durable { seg: 1, off: 1 });
+        let len = idx.len();
+        idx.apply_batch(&[
+            (3, BlockEntry::Durable { seg: 2, off: 0 }),
+            (99, BlockEntry::Pending { group: 0, shadow: None }),
+        ]);
+        assert_eq!(idx.len(), len, "in-range batch must not grow the table");
+        assert_eq!(idx.get(3), BlockEntry::Durable { seg: 2, off: 0 });
+        assert_eq!(idx.get(99), BlockEntry::Pending { group: 0, shadow: None });
+    }
+
+    #[test]
     fn growth_preserves_existing() {
         let mut idx = BlockIndex::default();
         idx.set(0, BlockEntry::Durable { seg: 1, off: 1 });
         idx.set(1000, BlockEntry::Durable { seg: 2, off: 2 });
         assert_eq!(idx.get(0), BlockEntry::Durable { seg: 1, off: 1 });
         assert_eq!(idx.get(500), BlockEntry::Absent);
+    }
+
+    #[test]
+    fn dense_map_insert_get_remove() {
+        let mut m: DenseMap<u64> = DenseMap::new(u64::MAX);
+        assert!(m.is_empty());
+        m.insert(10, 7);
+        m.insert(2, 3);
+        m.insert(10, 8);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(10), Some(8));
+        assert_eq!(m.get(2), Some(3));
+        assert_eq!(m.get(5), None);
+        assert_eq!(m.get(999), None);
+        assert_eq!(m.remove(10), Some(8));
+        assert_eq!(m.remove(10), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn dense_map_iterates_in_lba_order() {
+        let mut m: DenseMap<u64> = DenseMap::new(u64::MAX);
+        for &(lba, v) in &[(9u64, 1u64), (0, 2), (4, 3)] {
+            m.insert(lba, v);
+        }
+        let got: Vec<_> = m.iter().collect();
+        assert_eq!(got, vec![(0, 2), (4, 3), (9, 1)]);
+    }
+
+    #[test]
+    fn version_index_roundtrip() {
+        let mut v = VersionIndex::new();
+        v.insert(100, 5_000);
+        v.insert(3, 1_000);
+        v.insert(100, 6_000);
+        assert_eq!(v.get(100), Some(6_000));
+        assert_eq!(v.get(3), Some(1_000));
+        assert_eq!(v.get(4), None);
+        assert_eq!(v.len(), 2);
+        let pairs: Vec<_> = v.iter().collect();
+        assert_eq!(pairs, vec![(3, 1_000), (100, 6_000)]);
+        v.remove(3);
+        assert_eq!(v.get(3), None);
+        assert_eq!(v.len(), 1);
+        v.clear();
+        assert!(v.is_empty());
     }
 }

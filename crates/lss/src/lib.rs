@@ -97,15 +97,16 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use gc::GcSelection;
 pub use gc_buckets::SegmentBuckets;
 pub use gc_variants::VictimPolicy;
+pub use index::{BlockEntry, BlockIndex, DenseMap, VersionIndex};
 pub use latency::{LatencyHistogram, LatencySummary};
-pub use metrics::{GroupTraffic, LssMetrics};
+pub use metrics::{GroupTraffic, LssMetrics, StageCosts};
 pub use placement::{
     GroupKind, GroupSnapshot, PlacementPolicy, PolicyCtx, ReclaimInfo, SegmentMeta, SlaAction,
     VictimMeta,
 };
 pub use recovery::{RecoveryError, RecoveryReport};
 pub use telemetry::TelemetrySnapshot;
-pub use types::{GroupId, Lba, SegmentId};
+pub use types::{GroupId, HostOp, HostOpKind, Lba, SegmentId};
 pub use wal::{
     DurabilityConfig, FsyncPolicy, TornTail, Wal, WalError, WalRecord, WalSlot, WalSlotKind,
     WalStats,

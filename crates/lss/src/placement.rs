@@ -41,7 +41,7 @@ pub enum SlaAction {
 }
 
 /// Immutable per-group view handed to the policy at decision time.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GroupSnapshot {
     /// Blocks currently pending in the group's open chunk.
     pub pending_blocks: u32,

@@ -50,6 +50,7 @@ pub struct ServerBuilder {
     clock_step_us: u64,
     ordered: bool,
     durable: bool,
+    apply_batch: usize,
     base: LssConfig,
     volumes: Vec<VolumeSpec>,
     qos: Option<QosConfig>,
@@ -74,6 +75,7 @@ impl ServerBuilder {
             clock_step_us: 1,
             ordered: false,
             durable: false,
+            apply_batch: env_apply_batch().unwrap_or(usize::MAX),
             base: LssConfig::default().with_gc_watermarks(10, 14),
             volumes: Vec::new(),
             qos: None,
@@ -126,6 +128,20 @@ impl ServerBuilder {
     /// confer durability and completions report `durable: true`.
     pub fn durable(mut self, on: bool) -> Self {
         self.durable = on;
+        self
+    }
+
+    /// Cap on consecutive same-volume ops fused into one engine
+    /// `apply_ops` slice per drain. Defaults to unbounded (whole drained
+    /// slices fuse), overridable at process level by the
+    /// `ADAPT_APPLY_BATCH` environment variable; this setter wins over
+    /// both. **Determinism contract:** every value — including 1, which
+    /// degenerates to op-at-a-time — produces bit-identical completions,
+    /// telemetry, and per-volume attribution; the cap only trades
+    /// per-op drain overhead against apply-latency granularity.
+    pub fn apply_batch(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "apply-batch cap must be nonzero");
+        self.apply_batch = cap;
         self
     }
 
@@ -213,6 +229,7 @@ impl ServerBuilder {
                     ordered: self.ordered,
                     durable: self.durable,
                     clock_step_us: self.clock_step_us,
+                    apply_batch: self.apply_batch,
                 };
                 std::thread::Builder::new()
                     .name(format!("adapt-shard-{}", plan.shard))
@@ -441,4 +458,12 @@ impl ServeReport {
     pub fn total_completed(&self) -> u64 {
         self.shards.iter().map(|s| s.stats.completed).sum()
     }
+}
+
+/// Process-level default for [`ServerBuilder::apply_batch`]: the
+/// `ADAPT_APPLY_BATCH` environment variable, when set to a positive
+/// integer. Results are bit-identical for every value, so the knob is
+/// safe to flip in CI and perf sweeps without re-baselining.
+fn env_apply_batch() -> Option<usize> {
+    std::env::var("ADAPT_APPLY_BATCH").ok()?.parse().ok().filter(|&n| n > 0)
 }

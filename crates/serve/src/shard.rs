@@ -10,6 +10,17 @@
 //! pending set reaches the group-commit window or the queue momentarily
 //! drains — batching when loaded, never stalling acks when idle.
 //!
+//! The apply stage is *fused*: consecutive same-volume ops from one
+//! drain are handed to the engine as a single [`ShardEngine::apply_ops`]
+//! slice, so the drain pays its per-op overheads — two metric probes for
+//! volume attribution, virtual-call round-trips, completion bookkeeping
+//! — once per run instead of once per op. Fusion is invisible by
+//! construction: the engine defines the batch as the op-at-a-time loop,
+//! timestamps come off the same applied-op clock, and runs break at
+//! volume boundaries so per-volume attribution stays exact (the
+//! `ADAPT_APPLY_BATCH` cap can shrink runs arbitrarily without changing
+//! any result).
+//!
 //! Two drain modes:
 //!
 //! - **FIFO** (serving): commands apply in queue order; the thread runs
@@ -28,7 +39,9 @@
 
 use crate::api::{Completion, CompletionSlot, OpKind, Request, ServeError, VolumeId};
 use adapt_array::{ArrayError, ArraySink};
-use adapt_lss::{EngineError, Lba, Lss, LssMetrics, PlacementPolicy, TelemetrySnapshot};
+use adapt_lss::{
+    EngineError, HostOp, HostOpKind, Lba, Lss, LssMetrics, PlacementPolicy, TelemetrySnapshot,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +58,23 @@ pub trait ShardEngine: Send {
     fn apply_read(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError>;
     /// Apply one trim request.
     fn apply_trim(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError>;
+    /// Apply a slice of ops in order, stopping at the first failure,
+    /// reported with the index of the op that hit it. *Defined* as the
+    /// per-op loop below — an engine with a fused batch path may
+    /// override, but must stay bit-identical to op-at-a-time for any
+    /// partitioning of the stream (the `ADAPT_APPLY_BATCH` determinism
+    /// contract; `Lss` pins it with proptests).
+    fn apply_ops(&mut self, ops: &[HostOp]) -> Result<(), (usize, EngineError)> {
+        for (i, op) in ops.iter().enumerate() {
+            let r = match op.kind {
+                HostOpKind::Write => self.apply_write(op.ts_us, op.lba, op.blocks),
+                HostOpKind::Read => self.apply_read(op.ts_us, op.lba, op.blocks),
+                HostOpKind::Trim => self.apply_trim(op.ts_us, op.lba, op.blocks),
+            };
+            r.map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
     /// Group-commit barrier: make every applied op durable. Must be a
     /// no-op `Ok(())` on engines without a WAL.
     fn sync(&mut self) -> Result<(), EngineError>;
@@ -79,6 +109,10 @@ impl<P: PlacementPolicy + Send, S: ArraySink + Send> ShardEngine for Lss<P, S> {
 
     fn apply_trim(&mut self, ts_us: u64, lba: Lba, blocks: u32) -> Result<(), EngineError> {
         self.try_trim(ts_us, lba, blocks)
+    }
+
+    fn apply_ops(&mut self, ops: &[HostOp]) -> Result<(), (usize, EngineError)> {
+        self.try_apply_ops(ops)
     }
 
     fn sync(&mut self) -> Result<(), EngineError> {
@@ -395,6 +429,11 @@ pub(crate) struct ShardWorker {
     pub(crate) durable: bool,
     /// Engine µs per applied op.
     pub(crate) clock_step_us: u64,
+    /// Max consecutive same-volume ops fused into one
+    /// [`ShardEngine::apply_ops`] call (`usize::MAX` = fuse whole drained
+    /// slices). Any value yields bit-identical results; see the
+    /// `ADAPT_APPLY_BATCH` knob on [`crate::ServerBuilder`].
+    pub(crate) apply_batch: usize,
 }
 
 /// Fatal errors fail-stop the shard (its state can no longer serve
@@ -434,6 +473,11 @@ impl ShardWorker {
             failed: false,
         };
         let mut buf: Vec<Command> = Vec::new();
+        // Run-fusion scratch, reused across drain cycles: consecutive
+        // same-volume ops accumulate in `run` and hit the engine as one
+        // `apply_ops` slice (`ops`).
+        let mut run: Vec<OpCommand> = Vec::new();
+        let mut ops: Vec<HostOp> = Vec::new();
         let mut busy_ns: u64 = 0;
         loop {
             let can_gc = !st.failed && !self.ordered && self.engine.gc_needed();
@@ -443,8 +487,9 @@ impl ShardWorker {
             for cmd in buf.drain(..) {
                 match cmd {
                     Command::Op(op) if self.ordered => self.stage_ordered(&mut st, op),
-                    Command::Op(op) => self.apply_one(&mut st, op),
+                    Command::Op(op) => self.stage_run(&mut st, &mut run, &mut ops, op),
                     Command::Telemetry(cell) => {
+                        self.apply_run(&mut st, &mut run, &mut ops);
                         self.barrier(&mut st);
                         cell.fill(self.engine.telemetry());
                     }
@@ -452,10 +497,11 @@ impl ShardWorker {
             }
             if self.ordered {
                 while let Some(op) = st.reorder.remove(&st.next_seq) {
-                    self.apply_one(&mut st, op);
                     st.next_seq += 1;
+                    self.stage_run(&mut st, &mut run, &mut ops, op);
                 }
             }
+            self.apply_run(&mut st, &mut run, &mut ops);
             if st.pending.len() >= self.window || (!st.pending.is_empty() && self.queue.len() == 0)
             {
                 self.barrier(&mut st);
@@ -532,36 +578,98 @@ impl ShardWorker {
         }
     }
 
-    fn apply_one(&mut self, st: &mut WorkerState, op: OpCommand) {
-        if st.failed {
-            self.complete(&op, 0, Err(ServeError::ShardFailed { shard: self.shard }));
+    /// Stage `op` into the current run, first flushing the run if `op`
+    /// would cross a volume boundary (per-volume attribution needs
+    /// single-volume runs) or overflow the fusion cap.
+    fn stage_run(
+        &mut self,
+        st: &mut WorkerState,
+        run: &mut Vec<OpCommand>,
+        ops: &mut Vec<HostOp>,
+        op: OpCommand,
+    ) {
+        if run.len() >= self.apply_batch
+            || run.last().is_some_and(|prev| prev.request.volume != op.request.volume)
+        {
+            self.apply_run(st, run, ops);
+        }
+        run.push(op);
+    }
+
+    /// Apply one fused run of same-volume commands through the engine's
+    /// batch entry point. Semantically the per-op loop, in order:
+    /// timestamps come off the same op clock, one before/after probe
+    /// delta per *run* (not per op) credits the issuing volume with the
+    /// identical totals (the probed counters are monotone, so per-op
+    /// deltas telescope), a mid-run failure completes exactly the op
+    /// that hit it and resumes with the remainder, and a fatal error
+    /// fail-stops the shard with every later command failed unapplied.
+    fn apply_run(&mut self, st: &mut WorkerState, run: &mut Vec<OpCommand>, ops: &mut Vec<HostOp>) {
+        if run.is_empty() {
             return;
         }
-        st.applied += 1;
-        let ts = st.applied * self.clock_step_us.max(1);
+        if st.failed {
+            for op in run.drain(..) {
+                self.complete(&op, 0, Err(ServeError::ShardFailed { shard: self.shard }));
+            }
+            return;
+        }
+        let step = self.clock_step_us.max(1);
+        ops.clear();
+        for (j, cmd) in run.iter().enumerate() {
+            let ts = (st.applied + j as u64 + 1) * step;
+            let r = &cmd.request;
+            ops.push(match r.kind {
+                OpKind::Write => HostOp::write(ts, cmd.local_lba, r.blocks),
+                OpKind::Read => HostOp::read(ts, cmd.local_lba, r.blocks),
+                OpKind::Trim => HostOp::trim(ts, cmd.local_lba, r.blocks),
+            });
+        }
+        let volume = run[0].request.volume;
         let before = self.engine.probe();
-        let r = match op.request.kind {
-            OpKind::Write => self.engine.apply_write(ts, op.local_lba, op.request.blocks),
-            OpKind::Read => self.engine.apply_read(ts, op.local_lba, op.request.blocks),
-            OpKind::Trim => self.engine.apply_trim(ts, op.local_lba, op.request.blocks),
-        };
+        // Per-op failures are rare: remember them by run index and keep
+        // applying the remainder; a fatal one truncates the run.
+        let mut failed: VecDeque<(usize, ServeError)> = VecDeque::new();
+        let mut fatal_at: Option<usize> = None;
+        let mut start = 0;
+        while start < ops.len() {
+            match self.engine.apply_ops(&ops[start..]) {
+                Ok(()) => break,
+                Err((off, e)) => {
+                    let i = start + off;
+                    let fatal = is_fatal(&e);
+                    failed.push_back((i, ServeError::engine(&e)));
+                    start = i + 1;
+                    if fatal {
+                        fatal_at = Some(i);
+                        break;
+                    }
+                }
+            }
+        }
         let after = self.engine.probe();
-        Probe::attribute(st.per_volume.entry(op.request.volume).or_default(), &before, &after);
-        match r {
-            Ok(()) => {
-                if op.request.kind == OpKind::Read {
-                    self.complete_read(&op, ts);
-                } else {
-                    st.pending.push((op, ts));
-                }
+        Probe::attribute(st.per_volume.entry(volume).or_default(), &before, &after);
+        let base = st.applied;
+        // Every op up to (and including) a fatal one ticked the op
+        // clock; ops cut off by the fatal never reached the engine.
+        st.applied += fatal_at.map_or(run.len(), |i| i + 1) as u64;
+        for (j, op) in run.drain(..).enumerate() {
+            if fatal_at.is_some_and(|i| j > i) {
+                self.complete(&op, 0, Err(ServeError::ShardFailed { shard: self.shard }));
+                continue;
             }
-            Err(e) => {
-                let fatal = is_fatal(&e);
-                self.complete(&op, ts, Err(ServeError::engine(&e)));
-                if fatal {
-                    self.fail_stop(st);
-                }
+            let ts = (base + j as u64 + 1) * step;
+            if failed.front().is_some_and(|&(i, _)| i == j) {
+                let (_, e) = failed.pop_front().expect("peeked");
+                self.complete(&op, ts, Err(e));
+            } else if op.request.kind == OpKind::Read {
+                self.complete_read(&op, ts);
+            } else {
+                st.pending.push((op, ts));
             }
+        }
+        if fatal_at.is_some() {
+            self.fail_stop(st);
         }
     }
 

@@ -2,11 +2,15 @@
 //! file-backed arrays) behind the sharded async API.
 
 use adapt_array::{CountingArray, FileArraySink, FileSinkOptions};
-use adapt_lss::{DurabilityConfig, FsyncPolicy, Lss, Retryable};
+use adapt_lss::{DurabilityConfig, EngineError, FsyncPolicy, Lss, Retryable, TelemetrySnapshot};
 use adapt_placement::SepGc;
-use adapt_serve::{Request, ServerBuilder, ShardRouter, SubmitError, TenantId, VolumeSpec};
+use adapt_serve::shard::Probe;
+use adapt_serve::{
+    Request, ServeError, ServerBuilder, ShardEngine, ShardRouter, SubmitError, TenantId, VolumeSpec,
+};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Deterministic LBA scatter (splitmix64).
 fn mix(mut x: u64) -> u64 {
@@ -211,6 +215,232 @@ fn ordered_replay_is_bit_identical_across_client_counts() {
         assert_eq!(a.applied_ops, b.applied_ops);
     }
     assert_eq!(solo.merged_telemetry(), quad.merged_telemetry());
+}
+
+/// The `apply_batch` fusion cap is observably inert: capping runs at 1
+/// (pure op-at-a-time), at an awkward prime, or leaving them unbounded
+/// yields bit-identical telemetry, per-volume attribution, and op
+/// counts — the `ADAPT_APPLY_BATCH` determinism contract, exercised
+/// across volume-boundary run breaks.
+#[test]
+fn apply_batch_cap_is_bit_identical() {
+    let run = |cap: Option<usize>| {
+        let mut builder = mem_builder().shards(2).ordered_replay(true);
+        if let Some(cap) = cap {
+            builder = builder.apply_batch(cap);
+        }
+        let server = builder.start(mem_factory);
+        let client = server.client();
+        let mut next_seq = [0u64; 2];
+        for i in 0..3000u64 {
+            let r = mix(i ^ 0xBA7C);
+            let (volume, cap_blocks) =
+                if r.is_multiple_of(4) { (1, 4 * 1024) } else { (0, 8 * 1024) };
+            let lba = mix(r) % cap_blocks;
+            let mut req = match r % 17 {
+                0 => Request::trim(0, volume, lba, 1),
+                1..=3 => Request::read(0, volume, lba, 1),
+                _ => Request::write(0, volume, lba, 1),
+            };
+            let shard = client.shard_of(req.volume, req.lba, req.blocks).unwrap() as usize;
+            req = req.with_seq(next_seq[shard]);
+            next_seq[shard] += 1;
+            let t = client.submit_backoff(req).unwrap();
+            assert!(client.wait(t).result.is_ok());
+        }
+        let report = server.shutdown();
+        assert!(report.balanced());
+        report
+    };
+    let op_at_a_time = run(Some(1));
+    let prime = run(Some(7));
+    let unbounded = run(None);
+    for other in [&prime, &unbounded] {
+        for (a, b) in op_at_a_time.shards.iter().zip(&other.shards) {
+            assert_eq!(a.telemetry, b.telemetry, "shard {} telemetry diverged", a.shard);
+            assert_eq!(a.per_volume, b.per_volume, "shard {} attribution diverged", a.shard);
+            assert_eq!(a.applied_ops, b.applied_ops);
+        }
+    }
+}
+
+/// Wraps a real engine with a wait-gate on every apply (so tests can
+/// deterministically hold a shard's queue full) and optional fatal-error
+/// injection on writes.
+struct GatedEngine {
+    inner: Lss<SepGc, CountingArray>,
+    /// `(open, cv)`: applies block while `!open`.
+    gate: Arc<(Mutex<bool>, Condvar)>,
+    /// Inject `IndexCorruption` (fatal) on every write.
+    fail_writes: bool,
+}
+
+impl GatedEngine {
+    fn wait_gate(&self) {
+        let (open, cv) = &*self.gate;
+        let mut open = open.lock().unwrap();
+        while !*open {
+            open = cv.wait(open).unwrap();
+        }
+    }
+}
+
+fn open_gate(gate: &Arc<(Mutex<bool>, Condvar)>) {
+    let (open, cv) = &**gate;
+    *open.lock().unwrap() = true;
+    cv.notify_all();
+}
+
+impl ShardEngine for GatedEngine {
+    fn apply_write(&mut self, ts_us: u64, lba: u64, blocks: u32) -> Result<(), EngineError> {
+        self.wait_gate();
+        if self.fail_writes {
+            return Err(EngineError::IndexCorruption { lba, detail: "injected fault".into() });
+        }
+        ShardEngine::apply_write(&mut self.inner, ts_us, lba, blocks)
+    }
+
+    fn apply_read(&mut self, ts_us: u64, lba: u64, blocks: u32) -> Result<(), EngineError> {
+        self.wait_gate();
+        ShardEngine::apply_read(&mut self.inner, ts_us, lba, blocks)
+    }
+
+    fn apply_trim(&mut self, ts_us: u64, lba: u64, blocks: u32) -> Result<(), EngineError> {
+        self.wait_gate();
+        ShardEngine::apply_trim(&mut self.inner, ts_us, lba, blocks)
+    }
+
+    fn sync(&mut self) -> Result<(), EngineError> {
+        ShardEngine::sync(&mut self.inner)
+    }
+
+    fn flush_all(&mut self) -> Result<(), EngineError> {
+        ShardEngine::flush_all(&mut self.inner)
+    }
+
+    fn gc_needed(&self) -> bool {
+        ShardEngine::gc_needed(&self.inner)
+    }
+
+    fn gc_step(&mut self) -> Result<bool, EngineError> {
+        ShardEngine::gc_step(&mut self.inner)
+    }
+
+    fn probe(&self) -> Probe {
+        ShardEngine::probe(&self.inner)
+    }
+
+    fn telemetry(&mut self) -> TelemetrySnapshot {
+        ShardEngine::telemetry(&mut self.inner)
+    }
+}
+
+/// A queue-full `Busy` rejection refunds the admission token it already
+/// consumed: shard backpressure must not drain the tenant's QoS budget.
+/// With refill 0 the bucket holds exactly `burst_ops` lifetime tokens,
+/// so the arithmetic is exact: 3 + 5 successful admissions exhaust an
+/// 8-token bucket no matter how many Busy rejections happen in between.
+#[test]
+fn queue_full_refunds_qos_token() {
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let server = {
+        let gate = Arc::clone(&gate);
+        ServerBuilder::new()
+            .volume(0, 8 * 1024)
+            .range_blocks(8 * 1024)
+            .shards(1)
+            .queue_depth(2)
+            .qos(adapt_serve::QosConfig { refill_per_op: 0.0, burst_ops: 8.0 })
+            .start(move |plan| {
+                let sink = CountingArray::new(plan.lss.array_config());
+                Box::new(GatedEngine {
+                    inner: Lss::builder(SepGc::new(), sink).config(plan.lss).build(),
+                    gate: Arc::clone(&gate),
+                    fail_writes: false,
+                })
+            })
+    };
+    let client = server.client();
+    // First op: the worker dequeues it and parks on the closed gate.
+    let mut tickets = vec![client.submit(Request::write(0, 0, 0, 1)).unwrap()];
+    while client.queue_depths()[0] > 0 {
+        std::thread::yield_now();
+    }
+    // Two more fill the depth-2 queue behind the parked worker.
+    for lba in 1..3 {
+        tickets.push(client.submit(Request::write(0, 0, lba, 1)).unwrap());
+    }
+    // Tokens so far: 8 − 3 = 5. A storm of queue-full rejections must
+    // leave that balance untouched.
+    for lba in 0..10 {
+        match client.submit(Request::write(0, 0, 100 + lba, 1)) {
+            Err(SubmitError::Busy { .. }) => {}
+            other => panic!("full queue must reject Busy, got {other:?}"),
+        }
+    }
+    open_gate(&gate);
+    for t in tickets {
+        assert!(client.wait(t).result.is_ok());
+    }
+    // The remaining 5 tokens admit exactly 5 more ops…
+    for lba in 200..205 {
+        let t = client.submit_backoff(Request::write(0, 0, lba, 1)).unwrap();
+        assert!(client.wait(t).result.is_ok());
+    }
+    // …and the 9th lifetime admission throttles (admission precedes the
+    // queue, so this is Throttled, never Busy). Without the refund the
+    // Busy storm would have hit this 10 ops earlier.
+    assert!(matches!(
+        client.submit(Request::write(0, 0, 300, 1)),
+        Err(SubmitError::TenantThrottled { tenant: 0 })
+    ));
+    let report = server.shutdown();
+    assert!(report.balanced());
+    assert_eq!(report.shards[0].stats.rejected_busy, 10);
+}
+
+/// After a fatal engine error fail-stops a shard, later submissions
+/// still complete — with `ShardFailed` — and a non-blocking
+/// [`Ticket::poll`] observes that completion without ever blocking.
+#[test]
+fn poll_observes_fail_stopped_shard() {
+    let gate = Arc::new((Mutex::new(true), Condvar::new()));
+    let server = {
+        let gate = Arc::clone(&gate);
+        ServerBuilder::new().volume(0, 8 * 1024).range_blocks(8 * 1024).shards(1).start(
+            move |plan| {
+                let sink = CountingArray::new(plan.lss.array_config());
+                Box::new(GatedEngine {
+                    inner: Lss::builder(SepGc::new(), sink).config(plan.lss).build(),
+                    gate: Arc::clone(&gate),
+                    fail_writes: true,
+                })
+            },
+        )
+    };
+    let client = server.client();
+    // The op that hits the fault reports the engine error itself…
+    let first = client.wait(client.submit(Request::write(0, 0, 0, 1)).unwrap());
+    assert!(matches!(first.result, Err(ServeError::Engine(_))), "got {first:?}");
+    // …and everything after it fails fast with ShardFailed, observable
+    // through the non-blocking poll.
+    let ticket = client.submit(Request::write(0, 0, 1, 1)).unwrap();
+    let polled = loop {
+        match ticket.poll() {
+            Some(c) => break c,
+            None => std::thread::yield_now(),
+        }
+    };
+    assert_eq!(polled.result, Err(ServeError::ShardFailed { shard: 0 }));
+    assert!(!polled.durable);
+    // Reads fail the same way: the engine is never touched again.
+    let read = client.wait(client.submit(Request::read(0, 0, 0, 1)).unwrap());
+    assert_eq!(read.result, Err(ServeError::ShardFailed { shard: 0 }));
+    let report = server.shutdown();
+    assert!(report.balanced(), "fail-stop must not lose completions");
+    assert!(report.shards[0].failed);
+    assert!(report.any_failed());
+    assert_eq!(report.shards[0].stats.failed_ops, 3);
 }
 
 /// An abandoned sequence gap must not hang shutdown: the gapped op

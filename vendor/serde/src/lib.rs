@@ -203,6 +203,32 @@ mod tests {
         Named { x: u64, y: bool },
     }
 
+    #[derive(Serialize, Deserialize)]
+    struct Optional {
+        always: u64,
+        #[serde(skip_serializing_if = "Option::is_none")]
+        sometimes: Option<u64>,
+    }
+
+    #[test]
+    fn derive_skip_serializing_if_omits_none() {
+        match (Optional { always: 1, sometimes: None }).to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 1);
+                assert_eq!(fields[0].0, "always");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match (Optional { always: 1, sometimes: Some(2) }).to_value() {
+            Value::Object(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[1].0, "sometimes");
+                assert_eq!(fields[1].1, Value::UInt(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
     fn derive_struct_emits_ordered_fields() {
         let d = Demo { a: 7, b: vec![(1, 0.5)], hidden: 9 };

@@ -7,9 +7,11 @@
 //! `Deserialize` derives a marker impl only (nothing in the workspace
 //! deserializes).
 //!
-//! Supported field attribute: `#[serde(skip)]` (the field is omitted from
-//! the serialized object). Generics are intentionally unsupported; the
-//! macro fails loudly if it meets one.
+//! Supported field attributes: `#[serde(skip)]` (the field is omitted
+//! from the serialized object) and
+//! `#[serde(skip_serializing_if = "path")]` (the field is omitted when
+//! `path(&field)` is true, e.g. `"Option::is_none"`). Generics are
+//! intentionally unsupported; the macro fails loudly if it meets one.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -36,21 +38,23 @@ impl Cursor {
         t
     }
 
-    /// Skip attributes (`#[...]`, including doc comments). Returns whether
-    /// any of the skipped attributes was `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut skip_marked = false;
+    /// Skip attributes (`#[...]`, including doc comments). Returns the
+    /// accumulated serde field markers of the skipped attributes.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         loop {
             match (self.peek(), self.tokens.get(self.pos + 1)) {
                 (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
                     if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
                 {
-                    if attr_is_serde_skip(g.stream()) {
-                        skip_marked = true;
+                    let a = parse_serde_attr(g.stream());
+                    attrs.skip |= a.skip;
+                    if a.skip_if.is_some() {
+                        attrs.skip_if = a.skip_if;
                     }
                     self.pos += 2;
                 }
-                _ => return skip_marked,
+                _ => return attrs,
             }
         }
     }
@@ -77,27 +81,73 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+/// Serde field markers recognized by the shim.
+#[derive(Default)]
+struct FieldAttrs {
+    /// `#[serde(skip)]`: omit the field unconditionally.
+    skip: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: omit the field when
+    /// `path(&field)` is true. The path is kept verbatim.
+    skip_if: Option<String>,
+}
+
+fn parse_serde_attr(stream: TokenStream) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
     let mut iter = stream.into_iter();
     match (iter.next(), iter.next()) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
             if name.to_string() == "serde" =>
         {
-            args.stream().into_iter().any(|t| match t {
-                TokenTree::Ident(i) => i.to_string() == "skip",
-                _ => false,
-            })
+            let tokens: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut i = 0;
+            while i < tokens.len() {
+                match &tokens[i] {
+                    TokenTree::Ident(id) if id.to_string() == "skip" => attrs.skip = true,
+                    TokenTree::Ident(id) if id.to_string() == "skip_serializing_if" => {
+                        // Expect `= "path"`.
+                        match (tokens.get(i + 1), tokens.get(i + 2)) {
+                            (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                                if eq.as_char() == '=' =>
+                            {
+                                let raw = lit.to_string();
+                                let path = raw.trim_matches('"').to_string();
+                                assert!(
+                                    !path.is_empty() && !path.contains('"'),
+                                    "serde_derive shim: skip_serializing_if expects a \
+                                     plain string literal path, found {raw}"
+                                );
+                                attrs.skip_if = Some(path);
+                                i += 2;
+                            }
+                            other => panic!(
+                                "serde_derive shim: malformed skip_serializing_if, \
+                                 found {other:?}"
+                            ),
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
         }
-        _ => false,
+        _ => {}
     }
+    attrs
 }
 
 /// Parsed item: its name and shape.
 enum Shape {
-    /// Named-field struct: field names, in declaration order, minus skips.
-    Struct(Vec<String>),
+    /// Named-field struct: fields in declaration order, minus skips.
+    Struct(Vec<Field>),
     /// Enum variants.
     Enum(Vec<Variant>),
+}
+
+/// A named struct field that survives `#[serde(skip)]`.
+struct Field {
+    name: String,
+    /// `skip_serializing_if` predicate path, if any.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -109,7 +159,8 @@ enum VariantKind {
     Unit,
     /// Tuple variant with this arity.
     Tuple(usize),
-    /// Struct variant with these field names (minus skips).
+    /// Struct variant with these field names (minus skips;
+    /// `skip_serializing_if` is not supported inside enum variants).
     Struct(Vec<String>),
 }
 
@@ -136,12 +187,12 @@ fn parse_item(input: TokenStream) -> (String, Shape) {
     (name, shape)
 }
 
-/// Parse `name: Type, ...` returning non-skipped field names.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Parse `name: Type, ...` returning non-skipped fields.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     while c.peek().is_some() {
-        let skip = c.skip_attrs();
+        let attrs = c.skip_attrs();
         c.skip_vis();
         let field = c.expect_ident();
         match c.next() {
@@ -162,8 +213,8 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
             }
             c.pos += 1;
         }
-        if !skip {
-            fields.push(field);
+        if !attrs.skip {
+            fields.push(Field { name: field, skip_if: attrs.skip_if });
         }
     }
     fields
@@ -183,8 +234,13 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
                 let fields = parse_named_fields(g.stream());
+                assert!(
+                    fields.iter().all(|f| f.skip_if.is_none()),
+                    "serde_derive shim: skip_serializing_if inside enum variant \
+                     `{name}` is not supported"
+                );
                 c.pos += 1;
-                VariantKind::Struct(fields)
+                VariantKind::Struct(fields.into_iter().map(|f| f.name).collect())
             }
             _ => VariantKind::Unit,
         };
@@ -230,9 +286,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Struct(fields) => {
             let mut pushes = String::new();
             for f in &fields {
-                pushes.push_str(&format!(
-                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
-                ));
+                let name = &f.name;
+                let push = format!(
+                    "__fields.push((\"{name}\".to_string(), ::serde::Serialize::to_value(&self.{name})));\n"
+                );
+                match &f.skip_if {
+                    Some(pred) => pushes
+                        .push_str(&format!("if !{pred}(&self.{name}) {{\n    {push}}}\n")),
+                    None => pushes.push_str(&push),
+                }
             }
             format!(
                 "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
